@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build test race bench verify examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/netproto/ ./internal/policy/
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+verify:
+	$(GO) run ./cmd/p4lru-bench verify
+
+reproduce:
+	$(GO) run ./cmd/p4lru-bench run -csv -o results all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/natgateway
+	$(GO) run ./examples/querycache
+	$(GO) run ./examples/flowmonitor
+	$(GO) run ./examples/pipelinecheck
+	$(GO) run ./examples/netquery
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f results/*.csv results/full_run.txt test_output.txt bench_output.txt

@@ -1,0 +1,208 @@
+// bench_test.go holds one testing.B benchmark per table and figure of the
+// paper's evaluation (§4), plus micro-benchmarks of the core P4LRU update
+// path. Each experiment benchmark executes the full parameter sweep once per
+// iteration at test scale and reports its headline quantities as custom
+// metrics; run with
+//
+//	go test -bench=. -benchmem            # everything, test scale
+//	go test -bench=Fig12 -benchtime=1x -v # one experiment, log the series
+//
+// The cmd/p4lru-bench binary runs the same experiments at paper-like scale
+// and prints the full series.
+package p4lru_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/p4lru/p4lru/internal/experiments"
+	"github.com/p4lru/p4lru/internal/lru"
+)
+
+// runExperiment executes a registered experiment once per b.N iteration and
+// reports the supplied metrics from its figures.
+func runExperiment(b *testing.B, id string, metrics func(figs []experiments.Figure, b *testing.B)) {
+	b.Helper()
+	r, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	scale := experiments.TestScale()
+	var figs []experiments.Figure
+	for i := 0; i < b.N; i++ {
+		figs = r.Run(scale)
+	}
+	if metrics != nil {
+		metrics(figs, b)
+	}
+	if testing.Verbose() {
+		for _, f := range figs {
+			b.Log("\n" + f.Format())
+		}
+	}
+}
+
+// lastOf returns the final y value of a named series in figure idx.
+func lastOf(b *testing.B, figs []experiments.Figure, idx int, series string) float64 {
+	b.Helper()
+	s := figs[idx].Get(series)
+	if s == nil || len(s.Points) == 0 {
+		b.Fatalf("series %q missing in %s", series, figs[idx].ID)
+	}
+	return s.Points[len(s.Points)-1].Y
+}
+
+func BenchmarkTable2Resources(b *testing.B) {
+	runExperiment(b, "table2", func(figs []experiments.Figure, b *testing.B) {
+		// Stateful ALU utilization per system (x=2 is the SALU row).
+		for _, s := range figs[0].Series {
+			for _, p := range s.Points {
+				if p.X == 2 {
+					b.ReportMetric(p.Y, s.Name+"-salu-%")
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkFig09LruTableTestbed(b *testing.B) {
+	runExperiment(b, "fig9", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 0, "p4lru3"), "p4lru3-missrate")
+		b.ReportMetric(lastOf(b, figs, 0, "baseline"), "baseline-missrate")
+		b.ReportMetric(lastOf(b, figs, 1, "p4lru3"), "p4lru3-latency-us")
+	})
+}
+
+func BenchmarkFig10LruIndexTestbed(b *testing.B) {
+	runExperiment(b, "fig10", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 0, "p4lru3"), "p4lru3-ktps")
+		b.ReportMetric(lastOf(b, figs, 0, "naive"), "naive-ktps")
+		b.ReportMetric(lastOf(b, figs, 1, "p4lru3"), "p4lru3-speedup")
+	})
+}
+
+func BenchmarkFig11LruMonTestbed(b *testing.B) {
+	runExperiment(b, "fig11", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 0, "p4lru3"), "p4lru3-upload-kpps")
+		b.ReportMetric(lastOf(b, figs, 0, "baseline"), "baseline-upload-kpps")
+	})
+}
+
+func BenchmarkFig12LruTableComparative(b *testing.B) {
+	runExperiment(b, "fig12", func(figs []experiments.Figure, b *testing.B) {
+		for _, name := range []string{"p4lru3", "timeout", "elastic", "coco"} {
+			b.ReportMetric(lastOf(b, figs, 0, name), name+"-missrate")
+		}
+	})
+}
+
+func BenchmarkFig13LruIndexComparative(b *testing.B) {
+	runExperiment(b, "fig13", func(figs []experiments.Figure, b *testing.B) {
+		for _, name := range []string{"p4lru3", "timeout", "elastic", "coco"} {
+			b.ReportMetric(lastOf(b, figs, 0, name), name+"-missrate")
+		}
+	})
+}
+
+func BenchmarkFig14LruMonComparative(b *testing.B) {
+	runExperiment(b, "fig14", func(figs []experiments.Figure, b *testing.B) {
+		for _, name := range []string{"p4lru3", "timeout", "elastic", "coco"} {
+			b.ReportMetric(lastOf(b, figs, 0, name), name+"-missrate")
+		}
+	})
+}
+
+func BenchmarkFig15LruTableParameter(b *testing.B) {
+	runExperiment(b, "fig15", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 1, "p4lru3"), "p4lru3-similarity")
+		b.ReportMetric(lastOf(b, figs, 1, "p4lru1"), "p4lru1-similarity")
+	})
+}
+
+func BenchmarkFig16LruIndexParameter(b *testing.B) {
+	runExperiment(b, "fig16", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 0, "p4lru3"), "p4lru3-missrate")
+		b.ReportMetric(lastOf(b, figs, 0, "p4lru1"), "p4lru1-missrate")
+	})
+}
+
+func BenchmarkFig17LruMonParameter(b *testing.B) {
+	runExperiment(b, "fig17", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 0, "10ms"), "err-at-max-bw-10ms")
+		b.ReportMetric(lastOf(b, figs, 1, "10ms"), "upload-kpps-10ms")
+	})
+}
+
+func BenchmarkAblationSeries(b *testing.B) {
+	runExperiment(b, "ablation-series", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 0, "reply-path"), "replypath-hitrate")
+		b.ReportMetric(lastOf(b, figs, 0, "immediate"), "immediate-hitrate")
+	})
+}
+
+func BenchmarkAblationP4LRU4(b *testing.B) {
+	runExperiment(b, "ablation-p4lru4", nil)
+}
+
+func BenchmarkAblationClock(b *testing.B) {
+	runExperiment(b, "ablation-clock", func(figs []experiments.Figure, b *testing.B) {
+		b.ReportMetric(lastOf(b, figs, 0, "p4lru3"), "p4lru3-missrate")
+		b.ReportMetric(lastOf(b, figs, 0, "clock"), "clock-missrate")
+	})
+}
+
+func BenchmarkAblationEncoding(b *testing.B) {
+	runExperiment(b, "ablation-encoding", nil)
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the per-packet update path of the core structures.
+// ---------------------------------------------------------------------------
+
+func zipfKeys(n int) []uint64 {
+	r := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(r, 1.1, 1, 1<<20)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = z.Uint64() + 1
+	}
+	return keys
+}
+
+func BenchmarkCoreUnit3Update(b *testing.B) {
+	u := lru.NewUnit3[uint64](nil)
+	keys := zipfKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Update(keys[i&(1<<16-1)]%8, uint64(i))
+	}
+}
+
+func BenchmarkCoreArrayUpdate(b *testing.B) {
+	a := lru.NewArray3[uint64](1<<16, 1, nil)
+	keys := zipfKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(keys[i&(1<<16-1)], uint64(i))
+	}
+}
+
+func BenchmarkCoreIdealUpdate(b *testing.B) {
+	c := lru.NewIdeal[uint64](3<<16, nil)
+	keys := zipfKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Update(keys[i&(1<<16-1)], uint64(i))
+	}
+}
+
+func BenchmarkCoreSeriesQueryReply(b *testing.B) {
+	s := lru.NewSeries3[uint64](4, 1<<14, 1, nil)
+	keys := zipfKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(1<<16-1)]
+		_, level, _ := s.Query(k)
+		s.Reply(k, uint64(i), level)
+	}
+}

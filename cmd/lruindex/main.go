@@ -1,0 +1,68 @@
+// Command lruindex runs the LruIndex query-acceleration simulator (§3.2):
+// closed-loop Zipf clients against a B+ tree database, with the in-network
+// index cache in between.
+//
+// Usage:
+//
+//	lruindex [-items N] [-threads T] [-queries N] [-levels L] [-mem bytes]
+//	         [-policy series|p4lru1|timeout|elastic|coco|ideal|none] [-cores C]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+func main() {
+	items := flag.Int("items", 200_000, "database items")
+	threads := flag.Int("threads", 8, "closed-loop client threads")
+	queries := flag.Int("queries", 500_000, "total queries")
+	levels := flag.Int("levels", 4, "series connection levels (policy=series)")
+	mem := flag.Int("mem", 400*1024, "total cache memory (bytes)")
+	pol := flag.String("policy", "series", "cache policy (series = P4LRU3 series connection; none = naive)")
+	cores := flag.Int("cores", 4, "server cores")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	var cache policy.Cache
+	switch *pol {
+	case "none":
+		cache = nil
+	case "series":
+		units := *mem / *levels / 25
+		if units < 1 {
+			units = 1
+		}
+		cache = policy.NewSeries(*levels, units, uint64(*seed), nil)
+	default:
+		cache = policy.NewForMemory(policy.Kind(*pol), *mem, policy.Options{Seed: uint64(*seed)})
+	}
+
+	res := kvindex.Run(kvindex.Config{
+		Items:       *items,
+		Threads:     *threads,
+		Queries:     *queries,
+		Seed:        *seed,
+		Cache:       cache,
+		ServerCores: *cores,
+	})
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "lruindex: %d value errors (stale cached index?)\n", res.Errors)
+		os.Exit(1)
+	}
+
+	name := "naive"
+	capacity := 0
+	if cache != nil {
+		name = cache.Name()
+		capacity = cache.Capacity()
+	}
+	fmt.Printf("policy=%s entries=%d items=%d threads=%d\n", name, capacity, *items, *threads)
+	fmt.Printf("queries=%d hitRate=%.4f avgLatency=%v p50=%v p99=%v\n",
+		res.Queries, res.HitRate, res.AvgLatency, res.P50Latency, res.P99Latency)
+	fmt.Printf("throughput=%.1f KTPS indexNodesWalked=%d\n", res.ThroughputTPS/1e3, res.NodesWalked)
+}

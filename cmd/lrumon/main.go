@@ -1,0 +1,95 @@
+// Command lrumon runs the LruMon telemetry simulator (§3.3): the Tower/CM/CU
+// filter plus the P4LRU3 write-cache, reporting upload volume and
+// measurement error.
+//
+// Usage:
+//
+//	lrumon [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
+//	       [-filter tower|cm|cu|none] [-threshold 1500] [-reset 10ms]
+//	       [-policy p4lru3|p4lru1|...] [-mem bytes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/telemetry"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "trace file (P4LT); synthesized when empty")
+	packets := flag.Int("packets", 1_000_000, "synthesized packets")
+	flows := flag.Int("flows", 50_000, "synthesized base flows")
+	segments := flag.Int("segments", 60, "CAIDA_n segments")
+	seed := flag.Int64("seed", 1, "seed")
+	filterName := flag.String("filter", "tower", "pre-filter: tower, cm, cu or none")
+	threshold := flag.Uint("threshold", 1500, "filter threshold L (bytes)")
+	reset := flag.Duration("reset", 10*time.Millisecond, "counter reset period")
+	pol := flag.String("policy", "p4lru3", "cache replacement policy")
+	mem := flag.Int("mem", 400*1024, "cache memory (bytes)")
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *packets, *flows, *segments, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrumon:", err)
+		os.Exit(1)
+	}
+
+	scale := float64(*packets) / 25 / float64(1<<20)
+	var filter sketch.Filter
+	switch *filterName {
+	case "tower":
+		filter = sketch.NewTowerDefault(scale, *reset, uint64(*seed)+3)
+	case "cm":
+		filter = sketch.NewCountMin(2, int(scale*float64(1<<19)), *reset, uint64(*seed)+3)
+	case "cu":
+		filter = sketch.NewCU(2, int(scale*float64(1<<19)), *reset, uint64(*seed)+3)
+	case "none":
+		filter = nil
+	default:
+		fmt.Fprintf(os.Stderr, "lrumon: unknown filter %q\n", *filterName)
+		os.Exit(2)
+	}
+
+	cache := policy.NewForMemory(policy.Kind(*pol), *mem, policy.Options{
+		Seed:  uint64(*seed),
+		Merge: telemetry.Merge,
+	})
+	res, an := telemetry.Run(tr, telemetry.Config{
+		Filter:    filter,
+		Cache:     cache,
+		Threshold: uint32(*threshold),
+	}, *reset)
+
+	fmt.Printf("filter=%s threshold=%dB reset=%v policy=%s entries=%d\n",
+		*filterName, *threshold, *reset, cache.Name(), cache.Capacity())
+	fmt.Printf("packets=%d bytes=%d filtered=%d (%.2f%% of packets)\n",
+		res.Packets, res.TotalBytes, res.Filtered, 100*float64(res.Filtered)/float64(res.Packets))
+	fmt.Printf("cacheHits=%d cacheMisses=%d uploads=%d uploadRate=%.1f KPPS\n",
+		res.CacheHits, res.CacheMisses, res.Uploads, res.UploadRatePPS/1e3)
+	fmt.Printf("totalErrorRate=%.5f maxFlowError=%dB analyzerFlows=%d fpCollisions=%d\n",
+		res.TotalErrorRate, res.MaxFlowError, res.AnalyzerFlows, an.Collisions)
+}
+
+func loadTrace(file string, packets, flows, segments int, seed int64) (*trace.Trace, error) {
+	if file == "" {
+		return trace.Synthesize(trace.SynthConfig{
+			Packets:   packets,
+			BaseFlows: flows,
+			Segments:  segments,
+			Duration:  time.Second,
+			Seed:      seed,
+		}), nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}

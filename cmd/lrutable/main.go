@@ -1,0 +1,79 @@
+// Command lrutable runs the LruTable NAT simulator (§3.1) over a trace file
+// or a synthesized CAIDA_n-like workload and reports fast-path miss rate and
+// added latency.
+//
+// Usage:
+//
+//	lrutable [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
+//	         [-policy p4lru3|p4lru1|p4lru2|p4lru4|ideal|timeout|elastic|coco]
+//	         [-mem bytes] [-delta 1ms] [-timeout 100ms] [-similarity]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/nat"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "trace file (P4LT); synthesized when empty")
+	packets := flag.Int("packets", 1_000_000, "synthesized packets")
+	flows := flag.Int("flows", 50_000, "synthesized base flows")
+	segments := flag.Int("segments", 60, "CAIDA_n segments")
+	seed := flag.Int64("seed", 1, "seed")
+	pol := flag.String("policy", "p4lru3", "replacement policy")
+	mem := flag.Int("mem", 400*1024, "cache memory (bytes)")
+	delta := flag.Duration("delta", time.Millisecond, "slow-path latency ΔT")
+	timeout := flag.Duration("timeout", 100*time.Millisecond, "timeout policy threshold")
+	similarity := flag.Bool("similarity", false, "track LRU similarity")
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *packets, *flows, *segments, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrutable:", err)
+		os.Exit(1)
+	}
+
+	cache := policy.NewForMemory(policy.Kind(*pol), *mem, policy.Options{
+		Seed:             uint64(*seed),
+		Merge:            nat.MergeNAT,
+		TimeoutThreshold: *timeout,
+	})
+	res := nat.Run(tr, nat.Config{
+		Cache:           cache,
+		SlowPathDelay:   *delta,
+		TrackSimilarity: *similarity,
+	})
+
+	fmt.Printf("policy=%s mem=%dB entries=%d ΔT=%v\n", cache.Name(), *mem, cache.Capacity(), *delta)
+	fmt.Printf("packets=%d hits=%d placeholderHits=%d misses=%d\n",
+		res.Packets, res.Hits, res.PlaceholderHits, res.Misses)
+	fmt.Printf("missRate=%.4f slowPathRate=%.4f avgAddedLatency=%v\n",
+		res.MissRate, float64(res.SlowPathTrips)/float64(res.Packets), res.AvgAddedLatency)
+	if *similarity {
+		fmt.Printf("lruSimilarity=%.4f\n", res.Similarity)
+	}
+}
+
+func loadTrace(file string, packets, flows, segments int, seed int64) (*trace.Trace, error) {
+	if file == "" {
+		return trace.Synthesize(trace.SynthConfig{
+			Packets:   packets,
+			BaseFlows: flows,
+			Segments:  segments,
+			Duration:  time.Second,
+			Seed:      seed,
+		}), nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}

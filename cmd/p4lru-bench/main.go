@@ -1,0 +1,188 @@
+// Command p4lru-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	p4lru-bench list
+//	p4lru-bench run    [-scale small|default] [-csv] [-plot] [-o dir] <id>... | all
+//	p4lru-bench verify [-scale small|default]
+//
+// Each experiment prints the same rows/series the paper reports (§4); -csv
+// additionally writes one CSV per panel into -o, -plot renders terminal
+// charts, and verify re-checks the paper's headline claims (exit 1 on any
+// failure) — the artifact-evaluation entry point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/asciiplot"
+	"github.com/p4lru/p4lru/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, r := range experiments.All() {
+			fmt.Printf("%-18s %s\n", r.ID, r.Description)
+		}
+	case "run":
+		if err := runCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
+			os.Exit(1)
+		}
+	case "verify":
+		if err := verifyCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  p4lru-bench list
+  p4lru-bench run    [-scale small|default] [-csv] [-plot] [-o dir] <id>... | all
+  p4lru-bench verify [-scale small|default]`)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scaleName := fs.String("scale", "default", "experiment scale: small or default")
+	csv := fs.Bool("csv", false, "also write CSV files")
+	plot := fs.Bool("plot", false, "render terminal charts")
+	outDir := fs.String("o", ".", "directory for CSV output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no experiment ids given (try 'all' or 'p4lru-bench list')")
+	}
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	var runners []experiments.Runner
+	if fs.NArg() == 1 && fs.Arg(0) == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range fs.Args() {
+			r, ok := experiments.Find(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		figs := r.Run(scale)
+		fmt.Printf("== %s (%s) — %v\n\n", r.ID, r.Description, time.Since(start).Round(time.Millisecond))
+		for _, f := range figs {
+			fmt.Println(f.Format())
+			if *plot {
+				fmt.Println(plotFigure(f))
+			}
+			if *csv {
+				path := filepath.Join(*outDir, f.ID+".csv")
+				if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+					return fmt.Errorf("writing %s: %w", path, err)
+				}
+				fmt.Printf("(csv written to %s)\n\n", path)
+			}
+		}
+	}
+	return nil
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "small":
+		return experiments.TestScale(), nil
+	case "default":
+		return experiments.DefaultScale(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+// plotFigure renders a figure as a terminal chart; memory/ΔT sweeps get a
+// log x-axis.
+func plotFigure(f experiments.Figure) string {
+	series := make([]asciiplot.Series, 0, len(f.Series))
+	logX := true
+	for _, s := range f.Series {
+		ps := asciiplot.Series{Name: s.Name}
+		for _, p := range s.Points {
+			ps.Xs = append(ps.Xs, p.X)
+			ps.Ys = append(ps.Ys, p.Y)
+			if p.X <= 0 {
+				logX = false
+			}
+		}
+		series = append(series, ps)
+	}
+	// Log scale only pays off across ≥2 decades.
+	if logX {
+		lo, hi := series[0].Xs[0], series[0].Xs[0]
+		for _, s := range series {
+			for _, x := range s.Xs {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+		}
+		logX = hi/lo >= 50
+	}
+	return asciiplot.Render(series, asciiplot.Options{
+		Title:  f.ID + " — " + f.Title,
+		XLabel: f.XLabel,
+		LogX:   logX,
+	})
+}
+
+func verifyCmd(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	scaleName := fs.String("scale", "default", "experiment scale: small or default")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	claims := experiments.Verify(scale)
+	failed := 0
+	for _, c := range claims {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("[%s] %-16s %s\n%22s%s\n", status, c.ID, c.Statement, "", c.Detail)
+	}
+	fmt.Printf("\n%d/%d claims hold (%v)\n", len(claims)-failed, len(claims),
+		time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("%d claim(s) failed", failed)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Command tracegen synthesizes, inspects, and converts the CAIDA_n-like
+// traces used by the simulators.
+//
+// Usage:
+//
+//	tracegen gen  -o trace.p4lt [-packets N] [-flows N] [-segments n] [-seed S] [-duration D]
+//	tracegen stat trace.p4lt
+//	tracegen topcap   trace.p4lt out.pcap   # render as an Ethernet capture
+//	tracegen frompcap in.pcap   trace.p4lt  # extract 5-tuple flows from a capture
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/packet"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = genCmd(os.Args[2:])
+	case "stat":
+		err = statCmd(os.Args[2:])
+	case "topcap":
+		err = toPcapCmd(os.Args[2:])
+	case "frompcap":
+		err = fromPcapCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracegen gen      -o trace.p4lt [-packets N] [-flows N] [-segments n] [-seed S] [-duration D]
+  tracegen stat     trace.p4lt
+  tracegen topcap   trace.p4lt out.pcap
+  tracegen frompcap in.pcap trace.p4lt`)
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("o", "trace.p4lt", "output file")
+	packets := fs.Int("packets", 1_000_000, "total packets")
+	flows := fs.Int("flows", 50_000, "base flow population (CAIDA_1)")
+	segments := fs.Int("segments", 1, "CAIDA_n segment count n")
+	seed := fs.Int64("seed", 1, "random seed")
+	duration := fs.Duration("duration", time.Second, "trace duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr := trace.Synthesize(trace.SynthConfig{
+		Packets:   *packets,
+		BaseFlows: *flows,
+		Segments:  *segments,
+		Duration:  *duration,
+		Seed:      *seed,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", *out, trace.ComputeStats(tr))
+	return nil
+}
+
+func statCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat needs exactly one trace file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Println(trace.ComputeStats(tr))
+	return nil
+}
+
+func toPcapCmd(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("topcap needs <trace.p4lt> <out.pcap>")
+	}
+	in, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tr, err := trace.Read(in)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := packet.WritePcap(out, tr); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d frames\n", args[1], len(tr.Packets))
+	return nil
+}
+
+func fromPcapCmd(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("frompcap needs <in.pcap> <trace.p4lt>")
+	}
+	in, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tr, skipped, err := packet.ReadPcap(in)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := trace.Write(out, tr); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s (%d foreign frames skipped)\n", args[1], trace.ComputeStats(tr), skipped)
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package p4lru is a from-scratch Go reproduction of "P4LRU: Towards An LRU
+// Cache Entirely in Programmable Data Plane" (SIGCOMM 2023).
+//
+// The implementation lives under internal/: the P4LRU cache family
+// (internal/lru), the Tofino-style pipeline model that validates the
+// data-plane constraints (internal/pipeline), the baseline replacement
+// policies (internal/policy), the three in-network systems — LruTable
+// (internal/nat), LruIndex (internal/kvindex), LruMon (internal/telemetry) —
+// and the experiment harness regenerating every table and figure of the
+// paper's evaluation (internal/experiments).
+//
+// Entry points: cmd/p4lru-bench reruns the evaluation; the examples/
+// directory holds runnable scenario walkthroughs; bench_test.go at the
+// module root exposes one testing.B benchmark per table/figure.
+package p4lru

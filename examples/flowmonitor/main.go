@@ -1,0 +1,52 @@
+// Flow-monitor example: the LruMon scenario (§3.3). A Tower sketch filters
+// mouse flows; elephants aggregate in a P4LRU3 write-cache keyed by 32-bit
+// fingerprints; evicted entries stream to the analyzer. The better the
+// cache, the fewer upload packets — with measurement accuracy untouched.
+//
+// Run: go run ./examples/flowmonitor
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/telemetry"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func main() {
+	fmt.Println("synthesizing a CAIDA_60-like trace (1M packets)...")
+	tr := trace.Synthesize(trace.SynthConfig{
+		Packets:   1_000_000,
+		BaseFlows: 60_000,
+		Segments:  60,
+		Duration:  time.Second,
+		Seed:      9,
+	})
+	fmt.Println(trace.ComputeStats(tr))
+	fmt.Println()
+
+	const (
+		reset     = 10 * time.Millisecond
+		threshold = 1500
+		mem       = 200 * 1024
+	)
+
+	fmt.Printf("%-10s %10s %10s %12s %13s %13s\n",
+		"policy", "hits", "misses", "uploads", "uploadKPPS", "totalError")
+	for _, kind := range []policy.Kind{policy.KindP4LRU3, policy.KindP4LRU1, policy.KindElastic} {
+		cache := policy.NewForMemory(kind, mem, policy.Options{Seed: 2, Merge: telemetry.Merge})
+		res, _ := telemetry.Run(tr, telemetry.Config{
+			Filter:    sketch.NewTowerDefault(0.04, reset, 7),
+			Cache:     cache,
+			Threshold: threshold,
+		}, reset)
+		fmt.Printf("%-10s %10d %10d %12d %13.1f %12.4f%%\n",
+			cache.Name(), res.CacheHits, res.CacheMisses, res.Uploads,
+			res.UploadRatePPS/1e3, 100*res.TotalErrorRate)
+	}
+	fmt.Println("\nthe total error is identical across policies — only the filter drops")
+	fmt.Println("bytes. The LRU cache simply uploads less, unburdening the analyzer.")
+}

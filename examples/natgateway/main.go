@@ -1,0 +1,49 @@
+// NAT gateway example: the LruTable scenario (§3.1). A synthesized
+// CAIDA-like trace flows through the data-plane NAT fast path; misses take a
+// control-plane round trip. Compare the P4LRU3 cache against the hash-table
+// baseline and a tuned timeout cache at equal memory.
+//
+// Run: go run ./examples/natgateway
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/nat"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func main() {
+	fmt.Println("synthesizing a CAIDA_30-like trace (1M packets)...")
+	tr := trace.Synthesize(trace.SynthConfig{
+		Packets:   1_000_000,
+		BaseFlows: 60_000,
+		Segments:  30,
+		Duration:  time.Second,
+		Seed:      3,
+	})
+	fmt.Println(trace.ComputeStats(tr))
+	fmt.Println()
+
+	const mem = 256 * 1024 // 256 KiB of data-plane cache
+	const deltaT = time.Millisecond
+
+	fmt.Printf("%-10s %10s %14s %14s\n", "policy", "missRate", "slowPathRate", "addedLatency")
+	for _, kind := range []policy.Kind{policy.KindP4LRU3, policy.KindP4LRU1, policy.KindTimeout} {
+		cache := policy.NewForMemory(kind, mem, policy.Options{
+			Seed:             1,
+			Merge:            nat.MergeNAT,
+			TimeoutThreshold: 50 * time.Millisecond,
+		})
+		res := nat.Run(tr, nat.Config{Cache: cache, SlowPathDelay: deltaT})
+		fmt.Printf("%-10s %9.2f%% %13.2f%% %14v\n",
+			cache.Name(),
+			100*res.MissRate,
+			100*float64(res.SlowPathTrips)/float64(res.Packets),
+			res.AvgAddedLatency)
+	}
+	fmt.Println("\nevery slow-path trip costs ΔT =", deltaT, "— the LRU cache keeps hot")
+	fmt.Println("translations on the fast path even as the flow mix churns.")
+}

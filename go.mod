@@ -1,0 +1,3 @@
+module github.com/p4lru/p4lru
+
+go 1.22

@@ -1,0 +1,198 @@
+// Package asciiplot renders (x, y) series as Unicode line charts for
+// terminal output — the presentation layer of cmd/p4lru-bench's -plot mode.
+// No external plotting stack: a Braille-dot canvas (2×4 dots per cell) with
+// per-series glyph markers and a y-axis gutter.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Xs, Ys []float64
+}
+
+// Options controls rendering.
+type Options struct {
+	// Width/Height of the plot area in terminal cells (defaults 64×16).
+	Width, Height int
+	// Title printed above the chart.
+	Title string
+	// XLabel printed below the axis.
+	XLabel string
+	// LogX plots x on a log10 scale (all x must be > 0).
+	LogX bool
+}
+
+// markers cycles per series in the legend and on the curves.
+var markers = []rune{'●', '▲', '■', '◆', '○', '△', '□', '◇'}
+
+// Render draws the series into a string. Series with fewer than one point
+// are skipped; an empty plot renders a note instead of panicking.
+func Render(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+
+	// Collect bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for i := range s.Xs {
+			x := s.Xs[i]
+			if opt.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Ys[i]), math.Max(maxY, s.Ys[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return "(no data)\n"
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	// Braille canvas: each cell holds 2×4 dots.
+	dotsW, dotsH := opt.Width*2, opt.Height*4
+	grid := make([][]uint8, opt.Height) // braille bit pattern per cell
+	over := make([][]rune, opt.Height)  // marker overlay
+	for r := range grid {
+		grid[r] = make([]uint8, opt.Width)
+		over[r] = make([]rune, opt.Width)
+	}
+
+	toDot := func(x, y float64) (int, int) {
+		if opt.LogX {
+			x = math.Log10(x)
+		}
+		dx := int(math.Round((x - minX) / (maxX - minX) * float64(dotsW-1)))
+		dy := int(math.Round((y - minY) / (maxY - minY) * float64(dotsH-1)))
+		return dx, dotsH - 1 - dy // flip: row 0 is the top
+	}
+	// Braille dot bit layout within a cell (col, row): standard U+2800 map.
+	bit := [4][2]uint8{{0x01, 0x08}, {0x02, 0x10}, {0x04, 0x20}, {0x40, 0x80}}
+	setDot := func(dx, dy int) {
+		if dx < 0 || dy < 0 || dx >= dotsW || dy >= dotsH {
+			return
+		}
+		grid[dy/4][dx/2] |= bit[dy%4][dx%2]
+	}
+
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		var px, py int
+		first := true
+		for i := range s.Xs {
+			if opt.LogX && s.Xs[i] <= 0 {
+				continue
+			}
+			dx, dy := toDot(s.Xs[i], s.Ys[i])
+			if !first {
+				drawLine(px, py, dx, dy, setDot)
+			}
+			px, py, first = dx, dy, false
+			over[dy/4][dx/2] = mark
+		}
+	}
+
+	// Assemble with a y-axis gutter.
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for r := 0; r < opt.Height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.4g ┤", maxY)
+		case opt.Height - 1:
+			fmt.Fprintf(&b, "%10.4g ┤", minY)
+		default:
+			fmt.Fprintf(&b, "%10s ┤", "")
+		}
+		for c := 0; c < opt.Width; c++ {
+			if over[r][c] != 0 {
+				b.WriteRune(over[r][c])
+			} else if grid[r][c] != 0 {
+				b.WriteRune(rune(0x2800 + int(grid[r][c])))
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	axisMin, axisMax := minX, maxX
+	if opt.LogX {
+		axisMin, axisMax = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", opt.Width))
+	fmt.Fprintf(&b, "%11s%-.4g%s%.4g", "", axisMin,
+		strings.Repeat(" ", max(1, opt.Width-12)), axisMax)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", opt.XLabel)
+	}
+	b.WriteByte('\n')
+
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "%11s%c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// drawLine rasterizes with Bresenham over the dot grid.
+func drawLine(x0, y0, x1, y1 int, set func(int, int)) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		set(x0, y0)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		if e2 := 2 * err; e2 >= dy {
+			err += dy
+			x0 += sx
+		} else {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]Series{
+		{Name: "up", Xs: []float64{1, 2, 3, 4}, Ys: []float64{1, 2, 3, 4}},
+		{Name: "down", Xs: []float64{1, 2, 3, 4}, Ys: []float64{4, 3, 2, 1}},
+	}, Options{Title: "cross", Width: 40, Height: 10, XLabel: "x"})
+
+	for _, want := range []string{"cross", "up", "down", "(x)", "●", "▲", "└"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + labels + 2 legend lines
+	if len(lines) != 1+10+1+1+2 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, Options{}); got != "(no data)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+	if got := Render([]Series{{Name: "x"}}, Options{}); got != "(no data)\n" {
+		t.Errorf("pointless render = %q", got)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Render([]Series{
+		{Name: "flat", Xs: []float64{1, 2, 3}, Ys: []float64{5, 5, 5}},
+	}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "flat") {
+		t.Errorf("constant series broke rendering:\n%s", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	out := Render([]Series{
+		{Name: "sweep", Xs: []float64{1, 10, 100, 1000}, Ys: []float64{1, 2, 3, 4}},
+	}, Options{Width: 30, Height: 6, LogX: true})
+	if !strings.Contains(out, "1000") {
+		t.Errorf("log-x axis labels missing:\n%s", out)
+	}
+	// Non-positive x values are skipped, not fatal.
+	out = Render([]Series{
+		{Name: "bad", Xs: []float64{0, 10}, Ys: []float64{1, 2}},
+	}, Options{LogX: true})
+	if out == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestRenderMarkersOnCurve(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", Xs: []float64{0, 1}, Ys: []float64{0, 1}},
+	}, Options{Width: 10, Height: 4})
+	if strings.Count(out, "●") < 3 { // 2 data markers + 1 legend
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestYAxisLabels(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", Xs: []float64{0, 1}, Ys: []float64{-2.5, 7.5}},
+	}, Options{Width: 12, Height: 4})
+	if !strings.Contains(out, "7.5") || !strings.Contains(out, "-2.5") {
+		t.Errorf("y-axis bounds missing:\n%s", out)
+	}
+}

@@ -1,0 +1,295 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, _, ok := tr.Get(5); ok {
+		t.Error("Get on empty tree found a key")
+	}
+	if tr.Delete(5) {
+		t.Error("Delete on empty tree returned true")
+	}
+	if err := tr.check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 1000; k++ {
+		if !tr.Put(k, k*2) {
+			t.Fatalf("Put(%d) not inserted", k)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		v, nodes, ok := tr.Get(k)
+		if !ok || v != k*2 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+		if nodes != tr.Height() {
+			t.Fatalf("Get(%d) visited %d nodes, height is %d", k, nodes, tr.Height())
+		}
+	}
+	if _, _, ok := tr.Get(1000); ok {
+		t.Error("found absent key")
+	}
+	if err := tr.check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New()
+	tr.Put(7, 1)
+	if tr.Put(7, 2) {
+		t.Error("replace reported as insert")
+	}
+	if v, _, _ := tr.Get(7); v != 2 {
+		t.Errorf("value = %d, want 2", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := New()
+	if tr.Height() != 1 {
+		t.Fatal("fresh height")
+	}
+	for k := uint64(0); k < 100000; k++ {
+		tr.Put(k, k)
+	}
+	h := tr.Height()
+	if h < 4 || h > 7 {
+		t.Errorf("height for 1e5 keys = %d, want 4–7 (degree %d)", h, degree)
+	}
+	if err := tr.check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for k := uint64(0); k < n; k++ {
+		tr.Put(k, k)
+	}
+	// Delete every other key.
+	for k := uint64(0); k < n; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("second Delete(%d) = true", k)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < n; k++ {
+		_, _, ok := tr.Get(k)
+		if want := k%2 == 1; ok != want {
+			t.Fatalf("Get(%d) ok=%v, want %v", k, ok, want)
+		}
+	}
+	// Delete the rest, in random order.
+	keys := make([]uint64, 0, n/2)
+	for k := uint64(1); k < n; k += 2 {
+		keys = append(keys, k)
+	}
+	r := rand.New(rand.NewSource(1))
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("after deleting all: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomOpsAgainstMap(t *testing.T) {
+	tr := New()
+	ref := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(2))
+	for op := 0; op < 50000; op++ {
+		k := uint64(r.Intn(2000))
+		switch r.Intn(3) {
+		case 0:
+			v := uint64(r.Int63())
+			_, exists := ref[k]
+			if got := tr.Put(k, v); got != !exists {
+				t.Fatalf("op %d: Put(%d) inserted=%v, want %v", op, k, got, !exists)
+			}
+			ref[k] = v
+		case 1:
+			_, exists := ref[k]
+			if got := tr.Delete(k); got != exists {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, exists)
+			}
+			delete(ref, k)
+		case 2:
+			want, exists := ref[k]
+			got, _, ok := tr.Get(k)
+			if ok != exists || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, got, ok, want, exists)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: len %d vs ref %d", op, tr.Len(), len(ref))
+		}
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 100; k += 2 { // evens 0..98
+		tr.Put(k, k+1)
+	}
+	var got []uint64
+	tr.Range(10, 20, func(k, v uint64) bool {
+		if v != k+1 {
+			t.Fatalf("Range value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 98, func(k, v uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early-stop visited %d", count)
+	}
+	// Full scan is sorted and complete.
+	var all []uint64
+	tr.Range(0, ^uint64(0), func(k, v uint64) bool {
+		all = append(all, k)
+		return true
+	})
+	if len(all) != tr.Len() || !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }) {
+		t.Errorf("full scan broken: %d keys", len(all))
+	}
+}
+
+// Property: any insert sequence yields a tree containing exactly those keys,
+// passing invariant checks.
+func TestPutProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tr := New()
+		ref := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Put(k, k)
+			ref[k] = true
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.check(); err != nil {
+			return false
+		}
+		for k := range ref {
+			if _, _, ok := tr.Get(k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved insert/delete keeps invariants.
+func TestMixedProperty(t *testing.T) {
+	f := func(ops []int64) bool {
+		tr := New()
+		ref := map[uint64]bool{}
+		for _, op := range ops {
+			k := uint64(op) % 64
+			if op%2 == 0 {
+				tr.Put(k, k)
+				ref[k] = true
+			} else {
+				tr.Delete(k)
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		return tr.check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetNodeCountReflectsHeight(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 1_000_000; k++ {
+		tr.Put(k, k)
+	}
+	_, nodes, ok := tr.Get(999_999)
+	if !ok {
+		t.Fatal("key missing")
+	}
+	if nodes != tr.Height() {
+		t.Errorf("walk touched %d nodes, height %d", nodes, tr.Height())
+	}
+	if tr.Height() < 5 {
+		t.Errorf("height %d for 1e6 keys — index walk too cheap to matter", tr.Height())
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for k := uint64(0); k < 1_000_000; k++ {
+		tr.Put(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint64(i), uint64(i))
+	}
+}

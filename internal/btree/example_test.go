@@ -1,0 +1,28 @@
+package btree_test
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/btree"
+)
+
+// The B+ tree maps keys to payload handles; Get reports how many nodes the
+// walk visits — the work LruIndex's cached index skips.
+func ExampleTree() {
+	t := btree.New()
+	for k := uint64(1); k <= 100_000; k++ {
+		t.Put(k, k*64)
+	}
+	handle, nodes, ok := t.Get(31337)
+	fmt.Printf("handle=%d nodes=%d ok=%v height=%d\n", handle, nodes, ok, t.Height())
+
+	sum := uint64(0)
+	t.Range(10, 14, func(k, v uint64) bool {
+		sum += k
+		return true
+	})
+	fmt.Println("range sum:", sum)
+	// Output:
+	// handle=2005568 nodes=6 ok=true height=6
+	// range sum: 60
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/nat"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/telemetry"
+)
+
+// comparativeKinds are the policies of the §4.2.1 comparison, in the
+// paper's legend order.
+var comparativeKinds = []policy.Kind{
+	policy.KindCoco, policy.KindElastic, policy.KindTimeout, policy.KindP4LRU3,
+}
+
+func kindNames(kinds []policy.Kind) []string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return names
+}
+
+// timeoutGrid is the threshold grid searched to give the timeout policy its
+// best configuration, as the paper "meticulously adjusted" it.
+var timeoutGrid = []time.Duration{
+	2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond, 250 * time.Millisecond,
+}
+
+// bestTimeout runs `metric` (lower is better) over the grid and returns the
+// best value achieved.
+func bestTimeout(metric func(threshold time.Duration) float64) float64 {
+	best := metric(timeoutGrid[0])
+	for _, thr := range timeoutGrid[1:] {
+		if v := metric(thr); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// tuned evaluates one comparative cell: the timeout policy gets its
+// threshold grid-searched; every other policy runs once with threshold 0.
+func tuned(kind policy.Kind, metric func(threshold time.Duration) float64) float64 {
+	if kind == policy.KindTimeout {
+		return bestTimeout(metric)
+	}
+	return metric(0)
+}
+
+// memorySweep returns the cache-memory axis for this scale, centred on the
+// default array's footprint.
+func memorySweep(s Scale) []int {
+	base := p4lru3MemoryBytes(s)
+	return []int{base / 4, base / 2, base, base * 2, base * 4}
+}
+
+// deltaTSweep is the slow-path/query-latency axis.
+var deltaTSweep = []time.Duration{
+	1 * time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+	1 * time.Millisecond, 10 * time.Millisecond,
+}
+
+func durationsToMicros(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / 1e3
+	}
+	return out
+}
+
+// Fig12 is the LruTable comparative experiment: slow-path miss rate against
+// cache memory (a) and against slow-path latency ΔT (b), for Coco, Elastic,
+// the tuned Timeout, and P4LRU3 on the CAIDA_60-like trace.
+func Fig12(s Scale) []Figure {
+	tr := traceFor(s, 60)
+	run := func(kind policy.Kind, mem int, dt, timeout time.Duration) float64 {
+		res := nat.Run(tr, nat.Config{
+			Cache:         natCache(kind, mem, uint64(s.Seed), timeout),
+			SlowPathDelay: dt,
+		})
+		return slowPathRate(res)
+	}
+
+	mems := memorySweep(s)
+	memFig := Figure{ID: "fig12a", Title: "LruTable comparative: miss rate vs memory",
+		XLabel: "memory (bytes)", YLabel: "slow-path rate"}
+	memFig.Series = grid(kindNames(comparativeKinds), intsToFloats(mems), func(ni, xi int) float64 {
+		kind := comparativeKinds[ni]
+		return tuned(kind, func(thr time.Duration) float64 {
+			return run(kind, mems[xi], time.Millisecond, thr)
+		})
+	})
+
+	mem := p4lru3MemoryBytes(s)
+	dtFig := Figure{ID: "fig12b", Title: "LruTable comparative: miss rate vs ΔT",
+		XLabel: "ΔT (µs)", YLabel: "slow-path rate"}
+	dtFig.Series = grid(kindNames(comparativeKinds), durationsToMicros(deltaTSweep), func(ni, xi int) float64 {
+		kind := comparativeKinds[ni]
+		return tuned(kind, func(thr time.Duration) float64 {
+			return run(kind, mem, deltaTSweep[xi], thr)
+		})
+	})
+	return []Figure{memFig, dtFig}
+}
+
+// indexCacheFor builds the LruIndex cache for a comparative policy at equal
+// memory: P4LRU3 gets the 4-level series deployment; the single-bucket
+// policies get one table of the same footprint.
+func indexCacheFor(kind policy.Kind, mem int, seed uint64, timeout time.Duration) policy.Cache {
+	if kind == policy.KindP4LRU3 {
+		return lruIndexSeries(4, mem, seed)
+	}
+	return policy.NewForMemory(kind, mem, policy.Options{
+		Seed:             seed,
+		TimeoutThreshold: timeout,
+	})
+}
+
+// Fig13 is the LruIndex comparative experiment: cache miss rate against
+// memory (a) and against the database query latency ΔT (b).
+func Fig13(s Scale) []Figure {
+	run := func(kind policy.Kind, mem int, arena, timeout time.Duration) float64 {
+		res := kvindex.Run(kvindex.Config{
+			Items:     s.Items,
+			Threads:   8,
+			Queries:   s.Queries,
+			Seed:      s.Seed,
+			Cache:     indexCacheFor(kind, mem, uint64(s.Seed), timeout),
+			ArenaTime: arena,
+			NodeTime:  arena / 2,
+		})
+		return 1 - res.HitRate
+	}
+
+	mems := memorySweep(s)
+	memFig := Figure{ID: "fig13a", Title: "LruIndex comparative: miss rate vs memory",
+		XLabel: "memory (bytes)", YLabel: "miss rate"}
+	memFig.Series = grid(kindNames(comparativeKinds), intsToFloats(mems), func(ni, xi int) float64 {
+		kind := comparativeKinds[ni]
+		return tuned(kind, func(thr time.Duration) float64 {
+			return run(kind, mems[xi], 0, thr)
+		})
+	})
+
+	dts := []time.Duration{1 * time.Microsecond, 4 * time.Microsecond,
+		16 * time.Microsecond, 64 * time.Microsecond}
+	mem := p4lru3MemoryBytes(s)
+	dtFig := Figure{ID: "fig13b", Title: "LruIndex comparative: miss rate vs ΔT",
+		XLabel: "ΔT (µs)", YLabel: "miss rate"}
+	dtFig.Series = grid(kindNames(comparativeKinds), durationsToMicros(dts), func(ni, xi int) float64 {
+		kind := comparativeKinds[ni]
+		return tuned(kind, func(thr time.Duration) float64 {
+			return run(kind, mem, dts[xi], thr)
+		})
+	})
+	return []Figure{memFig, dtFig}
+}
+
+// Fig14 is the LruMon comparative experiment: cache miss rate against
+// memory (a) and against the filter threshold (b), Tower filter.
+func Fig14(s Scale) []Figure {
+	const reset = 10 * time.Millisecond
+	tr := traceFor(s, 60)
+	run := func(kind policy.Kind, mem int, threshold uint32, timeout time.Duration) float64 {
+		res, _ := telemetry.Run(tr, telemetry.Config{
+			Filter:    sketch.NewTowerDefault(towerScaleFor(s), reset, uint64(s.Seed)+3),
+			Cache:     monCache(kind, mem, uint64(s.Seed), timeout),
+			Threshold: threshold,
+		}, reset)
+		total := res.CacheHits + res.CacheMisses
+		if total == 0 {
+			return 0
+		}
+		return float64(res.CacheMisses) / float64(total)
+	}
+
+	mems := memorySweep(s)
+	memFig := Figure{ID: "fig14a", Title: "LruMon comparative: miss rate vs memory",
+		XLabel: "memory (bytes)", YLabel: "cache miss rate"}
+	memFig.Series = grid(kindNames(comparativeKinds), intsToFloats(mems), func(ni, xi int) float64 {
+		kind := comparativeKinds[ni]
+		return tuned(kind, func(thr time.Duration) float64 {
+			return run(kind, mems[xi], 1500, thr)
+		})
+	})
+
+	thresholds := []uint32{500, 1000, 1500, 3000, 6000}
+	thrXs := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		thrXs[i] = float64(t)
+	}
+	mem := p4lru3MemoryBytes(s)
+	thrFig := Figure{ID: "fig14b", Title: "LruMon comparative: miss rate vs filter threshold",
+		XLabel: "threshold (bytes)", YLabel: "cache miss rate"}
+	thrFig.Series = grid(kindNames(comparativeKinds), thrXs, func(ni, xi int) float64 {
+		kind := comparativeKinds[ni]
+		return tuned(kind, func(to time.Duration) float64 {
+			return run(kind, mem, thresholds[xi], to)
+		})
+	})
+	return []Figure{memFig, thrFig}
+}

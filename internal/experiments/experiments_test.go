@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// lastY returns the y of the last point of the named series.
+func lastY(t *testing.T, f Figure, name string) float64 {
+	t.Helper()
+	s := f.Get(name)
+	if s == nil || len(s.Points) == 0 {
+		t.Fatalf("%s: series %q missing or empty", f.ID, name)
+	}
+	return s.Points[len(s.Points)-1].Y
+}
+
+func meanY(t *testing.T, f Figure, name string) float64 {
+	t.Helper()
+	s := f.Get(name)
+	if s == nil || len(s.Points) == 0 {
+		t.Fatalf("%s: series %q missing or empty", f.ID, name)
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum / float64(len(s.Points))
+}
+
+func TestFigureFormatAndCSV(t *testing.T) {
+	f := Figure{
+		ID: "x", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "b", Points: []Point{{1, 11}}},
+		},
+	}
+	out := f.Format()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "-") {
+		t.Errorf("Format missing pieces:\n%s", out)
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "x,a,b\n1,10,11\n2,20,\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if r.ID == "" || r.Description == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r.ID)
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"table2", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17"} {
+		if !ids[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+	if _, ok := Find("fig9"); !ok {
+		t.Error("Find(fig9) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	figs := Table2(TestScale())
+	if len(figs) != 1 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("%d systems", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 5 {
+			t.Errorf("%s: %d resources", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 100 {
+				t.Errorf("%s: utilization %.2f%% out of range", s.Name, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	figs := Fig9(TestScale())
+	if len(figs) != 2 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	miss, lat := figs[0], figs[1]
+	// P4LRU3 beats the baseline on both panels at the highest concurrency.
+	if lastY(t, miss, "p4lru3") >= lastY(t, miss, "baseline") {
+		t.Errorf("fig9a: p4lru3 %.4f not below baseline %.4f",
+			lastY(t, miss, "p4lru3"), lastY(t, miss, "baseline"))
+	}
+	if lastY(t, lat, "p4lru3") >= lastY(t, lat, "baseline") {
+		t.Errorf("fig9b: p4lru3 latency not below baseline")
+	}
+	// Miss rate rises with concurrency.
+	s := miss.Get("p4lru3")
+	if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+		t.Errorf("fig9a: p4lru3 miss rate does not rise with concurrency: %v", s.Points)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	figs := Fig10(TestScale())
+	thr, sp := figs[0], figs[1]
+	// Cached beats naive at 8 threads; p4lru3 at or above baseline.
+	if lastY(t, thr, "p4lru3") <= lastY(t, thr, "naive") {
+		t.Errorf("fig10a: cached %.0f not above naive %.0f",
+			lastY(t, thr, "p4lru3"), lastY(t, thr, "naive"))
+	}
+	// Throughput grows with threads.
+	s := thr.Get("p4lru3")
+	if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+		t.Errorf("fig10a: throughput not increasing")
+	}
+	// Speedups are ≥ ~1 for the cached systems.
+	if meanY(t, sp, "p4lru3") < 1 {
+		t.Errorf("fig10b: mean p4lru3 speedup %.2f < 1", meanY(t, sp, "p4lru3"))
+	}
+	if meanY(t, sp, "p4lru3") <= meanY(t, sp, "baseline")*0.98 {
+		t.Errorf("fig10b: p4lru3 speedup %.3f clearly below baseline %.3f",
+			meanY(t, sp, "p4lru3"), meanY(t, sp, "baseline"))
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	figs := Fig11(TestScale())
+	up, thr := figs[0], figs[1]
+	if meanY(t, up, "p4lru3") >= meanY(t, up, "baseline") {
+		t.Errorf("fig11a: p4lru3 upload %.1f not below baseline %.1f",
+			meanY(t, up, "p4lru3"), meanY(t, up, "baseline"))
+	}
+	// Upload falls as the threshold rises.
+	s := thr.Get("p4lru3")
+	if s.Points[len(s.Points)-1].Y >= s.Points[0].Y {
+		t.Errorf("fig11b: upload did not fall with threshold: %v", s.Points)
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	figs := Fig12(TestScale())
+	mem := figs[0]
+	// P4LRU3 has the lowest mean miss rate of the four policies.
+	p3 := meanY(t, mem, "p4lru3")
+	for _, other := range []string{"coco", "elastic", "timeout"} {
+		if p3 >= meanY(t, mem, other) {
+			t.Errorf("fig12a: p4lru3 %.4f not below %s %.4f", p3, other, meanY(t, mem, other))
+		}
+	}
+	// More memory ⇒ fewer misses for p4lru3.
+	s := mem.Get("p4lru3")
+	if s.Points[len(s.Points)-1].Y >= s.Points[0].Y {
+		t.Errorf("fig12a: p4lru3 miss rate not falling with memory: %v", s.Points)
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	figs := Fig13(TestScale())
+	mem := figs[0]
+	p3 := meanY(t, mem, "p4lru3")
+	for _, other := range []string{"coco", "elastic", "timeout"} {
+		if p3 >= meanY(t, mem, other) {
+			t.Errorf("fig13a: p4lru3 %.4f not below %s %.4f", p3, other, meanY(t, mem, other))
+		}
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	figs := Fig14(TestScale())
+	mem := figs[0]
+	p3 := meanY(t, mem, "p4lru3")
+	for _, other := range []string{"coco", "elastic", "timeout"} {
+		if p3 >= meanY(t, mem, other) {
+			t.Errorf("fig14a: p4lru3 %.4f not below %s %.4f", p3, other, meanY(t, mem, other))
+		}
+	}
+}
+
+func TestFig15Shapes(t *testing.T) {
+	figs := Fig15(TestScale())
+	missMem, simMem := figs[0], figs[1]
+	// Ideal ≤ p4lru3 ≤ p4lru2 ≤ p4lru1 on miss rate (mean over sweep).
+	if !(meanY(t, missMem, "ideal") <= meanY(t, missMem, "p4lru3")) {
+		t.Errorf("fig15a: ideal above p4lru3")
+	}
+	if !(meanY(t, missMem, "p4lru3") < meanY(t, missMem, "p4lru1")) {
+		t.Errorf("fig15a: p4lru3 not below p4lru1")
+	}
+	// Similarity ladder: ideal = 1 > p4lru3 > p4lru2 > p4lru1.
+	for _, p := range simMem.Get("ideal").Points {
+		if p.Y != 1 {
+			t.Errorf("fig15b: ideal similarity %.3f ≠ 1", p.Y)
+		}
+	}
+	if !(meanY(t, simMem, "p4lru3") > meanY(t, simMem, "p4lru2") &&
+		meanY(t, simMem, "p4lru2") > meanY(t, simMem, "p4lru1")) {
+		t.Errorf("fig15b: similarity ladder broken: p4lru3=%.3f p4lru2=%.3f p4lru1=%.3f",
+			meanY(t, simMem, "p4lru3"), meanY(t, simMem, "p4lru2"), meanY(t, simMem, "p4lru1"))
+	}
+}
+
+func TestFig16Shapes(t *testing.T) {
+	figs := Fig16(TestScale())
+	missLv := figs[0]
+	// P4LRU3 series has the lowest miss rate at every level count.
+	p3 := missLv.Get("p4lru3")
+	p1 := missLv.Get("p4lru1")
+	for i := range p3.Points {
+		if p3.Points[i].Y >= p1.Points[i].Y {
+			t.Errorf("fig16a: at %v levels p4lru3 %.4f not below p4lru1 %.4f",
+				p3.Points[i].X, p3.Points[i].Y, p1.Points[i].Y)
+		}
+	}
+	// More levels help the CAIDA-like/Zipf workload (4+ levels no worse
+	// than 1 level).
+	if p3.Points[3].Y > p3.Points[0].Y {
+		t.Errorf("fig16a: 4 levels (%.4f) worse than 1 level (%.4f)",
+			p3.Points[3].Y, p3.Points[0].Y)
+	}
+}
+
+func TestFig17Shapes(t *testing.T) {
+	figs := Fig17(TestScale())
+	errFig, upFig, _, maxFig := figs[0], figs[1], figs[2], figs[3]
+	for _, s := range errFig.Series {
+		// Error rises with the bandwidth threshold.
+		if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+			t.Errorf("fig17a %s: error not rising: %v", s.Name, s.Points)
+		}
+	}
+	for _, s := range upFig.Series {
+		// Upload falls with the threshold.
+		if s.Points[len(s.Points)-1].Y >= s.Points[0].Y {
+			t.Errorf("fig17b %s: upload not falling: %v", s.Name, s.Points)
+		}
+	}
+	// Max error stays below the threshold bound.
+	for _, s := range maxFig.Series {
+		if s.Name == "threshold-bound" {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Y >= p.X {
+				t.Errorf("fig17d %s: max error %.0f ≥ threshold %.0f", s.Name, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestAblationSeriesShapes(t *testing.T) {
+	figs := AblationSeries(TestScale())
+	hit, dup := figs[0], figs[1]
+	if meanY(t, hit, "reply-path") < meanY(t, hit, "immediate") {
+		t.Errorf("ablation: reply-path hit rate %.4f below immediate %.4f",
+			meanY(t, hit, "reply-path"), meanY(t, hit, "immediate"))
+	}
+	// Reply path never duplicates; immediate mode does (at >1 level).
+	if meanY(t, dup, "reply-path") != 0 {
+		t.Errorf("ablation: reply-path produced duplicates")
+	}
+	im := dup.Get("immediate")
+	foundDup := false
+	for _, p := range im.Points {
+		if p.X > 1 && p.Y > 0 {
+			foundDup = true
+		}
+	}
+	if !foundDup {
+		t.Error("ablation: immediate mode produced no duplicates")
+	}
+}
+
+func TestAblationP4LRU4Shapes(t *testing.T) {
+	figs := AblationP4LRU4(TestScale())
+	f := figs[0]
+	// P4LRU4 at least matches P4LRU2 (deeper units, same memory).
+	if meanY(t, f, "p4lru4") > meanY(t, f, "p4lru2") {
+		t.Errorf("p4lru4 mean miss %.4f above p4lru2 %.4f",
+			meanY(t, f, "p4lru4"), meanY(t, f, "p4lru2"))
+	}
+}
+
+func TestAblationEncodingRuns(t *testing.T) {
+	figs := AblationEncoding(TestScale())
+	for _, s := range figs[0].Series {
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("%s: non-positive ns/op at cap %v", s.Name, p.X)
+			}
+		}
+	}
+}
+
+func TestAblationClockShapes(t *testing.T) {
+	figs := AblationClock(TestScale())
+	f := figs[0]
+	// CPU-side policies (clock, ideal) at or below P4LRU3; P4LRU3 below the
+	// hash table; CLOCK close to ideal.
+	if meanY(t, f, "clock") > meanY(t, f, "p4lru3") {
+		t.Errorf("clock mean %.4f above p4lru3 %.4f", meanY(t, f, "clock"), meanY(t, f, "p4lru3"))
+	}
+	if meanY(t, f, "p4lru3") >= meanY(t, f, "p4lru1") {
+		t.Errorf("p4lru3 %.4f not below p4lru1 %.4f", meanY(t, f, "p4lru3"), meanY(t, f, "p4lru1"))
+	}
+	if d := meanY(t, f, "clock") - meanY(t, f, "ideal"); d < -0.01 || d > 0.01 {
+		t.Errorf("clock %.4f not within 1%% of ideal %.4f", meanY(t, f, "clock"), meanY(t, f, "ideal"))
+	}
+}
+
+// TestVerifyAllClaimsHold: the artifact-evaluation checker must pass every
+// claim at test scale (it reruns the full evaluation, so this is the
+// heaviest test in the package).
+func TestVerifyAllClaimsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verify reruns the whole evaluation")
+	}
+	claims := Verify(TestScale())
+	if len(claims) < 10 {
+		t.Fatalf("only %d claims checked", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed: %s (%s)", c.ID, c.Statement, c.Detail)
+		}
+		if c.Detail == "" {
+			t.Errorf("claim %s has no detail", c.ID)
+		}
+	}
+}

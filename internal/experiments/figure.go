@@ -1,0 +1,197 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): one function per experiment, shared by the
+// cmd/p4lru-bench CLI, the bench_test.go harness, and the regression tests
+// that pin the qualitative shapes (who wins, which direction trends point).
+//
+// Absolute numbers differ from the paper — the substrate is a simulator fed
+// synthetic CAIDA-like traces, not a Tofino testbed replaying CAIDA 2018 —
+// but each experiment reproduces the published series structure: same
+// panels, same sweeps, same competing systems.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one panel: a set of curves over a common axis.
+type Figure struct {
+	ID     string // e.g. "fig12a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table: one row per x value,
+// one column per series.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+
+	for _, x := range f.xs() {
+		fmt.Fprintf(&b, "%-14.6g", x)
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				fmt.Fprintf(&b, " %16.6g", y)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as x,series1,series2,... rows.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range f.xs() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := s.at(x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// xs returns the union of x values across series, ascending.
+func (f Figure) xs() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func (s Series) at(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the named series, or nil.
+func (f Figure) Get(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Scale sizes every experiment, so tests run small and the CLI runs at
+// paper-like proportions. The paper's testbed: ≈2.6e7 packets over 1.3–2.4e6
+// flows against 2^16–2^17 cache units; Default keeps the packets-per-unit
+// and flows-per-unit ratios at a tractable absolute size.
+type Scale struct {
+	// Packets per synthesized trace; BaseFlows the CAIDA_1 flow count.
+	Packets   int
+	BaseFlows int
+	// Units is the cache-array width for the testbed experiments
+	// (the paper's 2^16, scaled).
+	Units int
+	// Items and Queries size the LruIndex database experiments.
+	Items   int
+	Queries int
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// DefaultScale is used by cmd/p4lru-bench.
+func DefaultScale() Scale {
+	return Scale{
+		Packets:   2_000_000,
+		BaseFlows: 100_000,
+		Units:     1 << 14,
+		Items:     200_000,
+		Queries:   300_000,
+		Seed:      1,
+	}
+}
+
+// TestScale keeps the regression tests fast.
+func TestScale() Scale {
+	return Scale{
+		Packets:   150_000,
+		BaseFlows: 8_000,
+		Units:     1 << 10,
+		Items:     20_000,
+		Queries:   40_000,
+		Seed:      1,
+	}
+}
+
+// Runner is the registry entry for one experiment.
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(Scale) []Figure
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"table2", "hardware resource usage of the three systems (Table 2)", Table2},
+		{"fig9", "LruTable testbed: miss rate and added latency vs concurrency", Fig9},
+		{"fig10", "LruIndex testbed: throughput vs threads, speedup vs items", Fig10},
+		{"fig11", "LruMon testbed: upload rate vs concurrency and threshold", Fig11},
+		{"fig12", "LruTable comparative: miss rate vs memory and ΔT", Fig12},
+		{"fig13", "LruIndex comparative: miss rate vs memory and ΔT", Fig13},
+		{"fig14", "LruMon comparative: miss rate vs memory and threshold", Fig14},
+		{"fig15", "LruTable parameter: miss rate and LRU similarity", Fig15},
+		{"fig16", "LruIndex parameter: connection levels, memory, ΔT", Fig16},
+		{"fig17", "LruMon parameter: error/upload vs bandwidth threshold", Fig17},
+		{"ablation-series", "series connection: reply-path vs naive immediate insertion", AblationSeries},
+		{"ablation-p4lru4", "P4LRU4 extension vs P4LRU2/3 at equal memory", AblationP4LRU4},
+		{"ablation-clock", "P4LRU3 vs CPU-side CLOCK and ideal LRU", AblationClock},
+		{"ablation-encoding", "encoded ALU state machines vs generic permutation units", AblationEncoding},
+	}
+}
+
+// Find returns the runner with the given id.
+func Find(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs job(0..n-1) concurrently, bounded by the CPU count. Each
+// experiment point is an independent simulation over shared *read-only*
+// inputs (the synthesized trace), so sweeps parallelize safely; results are
+// written into pre-indexed slots, keeping output order deterministic.
+func parallelFor(n int, job func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// sweep evaluates y = eval(x) for every x concurrently and returns the
+// points in input order.
+func sweep(xs []float64, eval func(x float64) float64) []Point {
+	pts := make([]Point, len(xs))
+	parallelFor(len(xs), func(i int) {
+		pts[i] = Point{X: xs[i], Y: eval(xs[i])}
+	})
+	return pts
+}
+
+// grid evaluates a full (series × x) matrix concurrently and returns one
+// Series per name, points in x order.
+func grid(names []string, xs []float64, cell func(ni, xi int) float64) []Series {
+	series := make([]Series, len(names))
+	for i, n := range names {
+		series[i] = Series{Name: n, Points: make([]Point, len(xs))}
+	}
+	parallelFor(len(names)*len(xs), func(j int) {
+		ni, xi := j/len(xs), j%len(xs)
+		series[ni].Points[xi] = Point{X: xs[xi], Y: cell(ni, xi)}
+	})
+	return series
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}

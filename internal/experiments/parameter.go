@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/nat"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/telemetry"
+)
+
+// parameterKinds is the P4LRU family ladder of the §4.2.2 experiments.
+var parameterKinds = []policy.Kind{
+	policy.KindIdeal, policy.KindP4LRU1, policy.KindP4LRU2, policy.KindP4LRU3,
+}
+
+// Fig15 is the LruTable parameter study: slow-path miss rate and LRU
+// similarity against memory (a, b) and against ΔT (c, d) for LRU_IDEAL and
+// P4LRU1/2/3.
+func Fig15(s Scale) []Figure {
+	tr := traceFor(s, 60)
+	run := func(kind policy.Kind, mem int, dt time.Duration) nat.Result {
+		return nat.Run(tr, nat.Config{
+			Cache:           natCache(kind, mem, uint64(s.Seed), 0),
+			SlowPathDelay:   dt,
+			TrackSimilarity: true,
+		})
+	}
+	names := kindNames(parameterKinds)
+
+	// Panel pair builder: one simulation per cell yields both metrics.
+	panels := func(idSuffix, axisTitle, xLabel string, xs []float64,
+		cell func(kind policy.Kind, xi int) nat.Result) (Figure, Figure) {
+		results := make([][]nat.Result, len(parameterKinds))
+		for i := range results {
+			results[i] = make([]nat.Result, len(xs))
+		}
+		parallelFor(len(parameterKinds)*len(xs), func(j int) {
+			ni, xi := j/len(xs), j%len(xs)
+			results[ni][xi] = cell(parameterKinds[ni], xi)
+		})
+		miss := Figure{ID: "fig15" + idSuffix[:1], Title: "LruTable parameter: miss rate vs " + axisTitle,
+			XLabel: xLabel, YLabel: "slow-path rate"}
+		sim := Figure{ID: "fig15" + idSuffix[1:], Title: "LruTable parameter: LRU similarity vs " + axisTitle,
+			XLabel: xLabel, YLabel: "similarity"}
+		for ni, name := range names {
+			m := Series{Name: name, Points: make([]Point, len(xs))}
+			sm := Series{Name: name, Points: make([]Point, len(xs))}
+			for xi, x := range xs {
+				m.Points[xi] = Point{X: x, Y: slowPathRate(results[ni][xi])}
+				sm.Points[xi] = Point{X: x, Y: results[ni][xi].Similarity}
+			}
+			miss.Series = append(miss.Series, m)
+			sim.Series = append(sim.Series, sm)
+		}
+		return miss, sim
+	}
+
+	mems := memorySweep(s)
+	missMem, simMem := panels("ab", "memory", "memory (bytes)", intsToFloats(mems),
+		func(kind policy.Kind, xi int) nat.Result {
+			return run(kind, mems[xi], time.Millisecond)
+		})
+
+	mem := p4lru3MemoryBytes(s)
+	missDT, simDT := panels("cd", "ΔT", "ΔT (µs)", durationsToMicros(deltaTSweep),
+		func(kind policy.Kind, xi int) nat.Result {
+			return run(kind, mem, deltaTSweep[xi])
+		})
+	return []Figure{missMem, simMem, missDT, simDT}
+}
+
+// seriesForUnitCap builds a series-connected cache with unit capacity c and
+// `levels` levels inside a total memory budget.
+func seriesForUnitCap(unitCap, levels, mem int, seed uint64) policy.Cache {
+	perUnit := 8*unitCap + 1
+	units := mem / levels / perUnit
+	if units < 1 {
+		units = 1
+	}
+	return policy.NewSeriesUnitCap(unitCap, levels, units, seed, nil)
+}
+
+// Fig16 is the LruIndex parameter study: miss rate (a) and LRU similarity
+// (b) against the number of series-connection levels for P4LRU1/2/3 units,
+// then miss rate against memory (c) and ΔT (d) at the default 4 levels.
+func Fig16(s Scale) []Figure {
+	run := func(cache policy.Cache, arena time.Duration) kvindex.Result {
+		cfg := kvindex.Config{
+			Items:           s.Items,
+			Threads:         8,
+			Queries:         s.Queries,
+			Seed:            s.Seed,
+			Cache:           cache,
+			TrackSimilarity: true,
+		}
+		if arena > 0 {
+			cfg.ArenaTime = arena
+			cfg.NodeTime = arena / 2
+		}
+		return kvindex.Run(cfg)
+	}
+	mem := p4lru3MemoryBytes(s)
+	unitCaps := []int{1, 2, 3}
+	capNames := make([]string, len(unitCaps))
+	for i, c := range unitCaps {
+		capNames[i] = string(kindForUnitCap(c))
+	}
+
+	// Panels (a)/(b): one run per (unitCap, levels) yields both metrics.
+	levelSweep := []int{1, 2, 3, 4, 5, 6}
+	levelXs := intsToFloats(levelSweep)
+	results := make([][]kvindex.Result, len(unitCaps))
+	for i := range results {
+		results[i] = make([]kvindex.Result, len(levelSweep))
+	}
+	parallelFor(len(unitCaps)*len(levelSweep), func(j int) {
+		ni, xi := j/len(levelSweep), j%len(levelSweep)
+		results[ni][xi] = run(seriesForUnitCap(unitCaps[ni], levelSweep[xi], mem, uint64(s.Seed)), 0)
+	})
+	missLv := Figure{ID: "fig16a", Title: "LruIndex parameter: miss rate vs connection levels",
+		XLabel: "levels", YLabel: "miss rate"}
+	simLv := Figure{ID: "fig16b", Title: "LruIndex parameter: LRU similarity vs connection levels",
+		XLabel: "levels", YLabel: "similarity"}
+	for ni, name := range capNames {
+		m := Series{Name: name, Points: make([]Point, len(levelSweep))}
+		sm := Series{Name: name, Points: make([]Point, len(levelSweep))}
+		for xi, x := range levelXs {
+			m.Points[xi] = Point{X: x, Y: 1 - results[ni][xi].HitRate}
+			sm.Points[xi] = Point{X: x, Y: results[ni][xi].Similarity}
+		}
+		missLv.Series = append(missLv.Series, m)
+		simLv.Series = append(simLv.Series, sm)
+	}
+
+	// Panel (c): miss vs memory at 4 levels, plus the ideal LRU.
+	mems := memorySweep(s)
+	missMem := Figure{ID: "fig16c", Title: "LruIndex parameter: miss rate vs memory (4 levels)",
+		XLabel: "memory (bytes)", YLabel: "miss rate"}
+	missMem.Series = grid(capNames, intsToFloats(mems), func(ni, xi int) float64 {
+		return 1 - run(seriesForUnitCap(unitCaps[ni], 4, mems[xi], uint64(s.Seed)), 0).HitRate
+	})
+	ideal := Series{Name: "ideal", Points: sweep(intsToFloats(mems), func(x float64) float64 {
+		c := policy.NewForMemory(policy.KindIdeal, int(x), policy.Options{Seed: uint64(s.Seed)})
+		return 1 - run(c, 0).HitRate
+	})}
+	missMem.Series = append(missMem.Series, ideal)
+
+	// Panel (d): miss vs ΔT at 4 levels.
+	dts := []time.Duration{1 * time.Microsecond, 4 * time.Microsecond,
+		16 * time.Microsecond, 64 * time.Microsecond}
+	missDT := Figure{ID: "fig16d", Title: "LruIndex parameter: miss rate vs ΔT (4 levels)",
+		XLabel: "ΔT (µs)", YLabel: "miss rate"}
+	missDT.Series = grid(capNames, durationsToMicros(dts), func(ni, xi int) float64 {
+		return 1 - run(seriesForUnitCap(unitCaps[ni], 4, mem, uint64(s.Seed)), dts[xi]).HitRate
+	})
+	return []Figure{missLv, simLv, missMem, missDT}
+}
+
+func kindForUnitCap(c int) policy.Kind {
+	switch c {
+	case 1:
+		return policy.KindP4LRU1
+	case 2:
+		return policy.KindP4LRU2
+	case 3:
+		return policy.KindP4LRU3
+	case 4:
+		return policy.KindP4LRU4
+	}
+	return policy.Kind("p4lru?")
+}
+
+// Fig17 is the LruMon parameter study over the Tower filter: total error
+// rate (a) and upload rate (b) against the bandwidth threshold for several
+// reset periods, upload against total error (c), and the per-flow maximum
+// error against the byte threshold (d).
+func Fig17(s Scale) []Figure {
+	tr := traceFor(s, 60)
+	mem := p4lru3MemoryBytes(s)
+	resetPeriods := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	bandwidths := []float64{0.05e6, 0.1e6, 0.2e6, 0.4e6, 0.8e6} // bytes/second
+
+	type sample struct {
+		bw        float64
+		threshold uint32
+		res       telemetry.Result
+	}
+	samples := make([][]sample, len(resetPeriods))
+	for i := range samples {
+		samples[i] = make([]sample, len(bandwidths))
+	}
+	parallelFor(len(resetPeriods)*len(bandwidths), func(j int) {
+		ri, bi := j/len(bandwidths), j%len(bandwidths)
+		reset := resetPeriods[ri]
+		bw := bandwidths[bi]
+		thr := uint32(bw * reset.Seconds())
+		if thr < 64 {
+			thr = 64
+		}
+		res, _ := telemetry.Run(tr, telemetry.Config{
+			Filter:    sketch.NewTowerDefault(towerScaleFor(s), reset, uint64(s.Seed)+5),
+			Cache:     monCache(policy.KindP4LRU3, mem, uint64(s.Seed), 0),
+			Threshold: thr,
+		}, reset)
+		samples[ri][bi] = sample{bw: bw, threshold: thr, res: res}
+	})
+
+	errFig := Figure{ID: "fig17a", Title: "LruMon parameter: total error vs bandwidth threshold",
+		XLabel: "bw threshold (MB/s)", YLabel: "total error rate"}
+	upFig := Figure{ID: "fig17b", Title: "LruMon parameter: upload rate vs bandwidth threshold",
+		XLabel: "bw threshold (MB/s)", YLabel: "uploads KPPS"}
+	tradeFig := Figure{ID: "fig17c", Title: "LruMon parameter: upload rate vs total error",
+		XLabel: "total error rate", YLabel: "uploads KPPS"}
+	maxFig := Figure{ID: "fig17d", Title: "LruMon parameter: max flow error vs threshold",
+		XLabel: "threshold (bytes)", YLabel: "max flow error (bytes)"}
+
+	for ri, reset := range resetPeriods {
+		name := reset.String()
+		errS := Series{Name: name}
+		upS := Series{Name: name}
+		trS := Series{Name: name}
+		mxS := Series{Name: name}
+		for _, sm := range samples[ri] {
+			mbps := sm.bw / 1e6
+			errS.Points = append(errS.Points, Point{X: mbps, Y: sm.res.TotalErrorRate})
+			upS.Points = append(upS.Points, Point{X: mbps, Y: sm.res.UploadRatePPS / 1e3})
+			trS.Points = append(trS.Points, Point{X: sm.res.TotalErrorRate, Y: sm.res.UploadRatePPS / 1e3})
+			mxS.Points = append(mxS.Points, Point{X: float64(sm.threshold), Y: float64(sm.res.MaxFlowError)})
+		}
+		errFig.Series = append(errFig.Series, errS)
+		upFig.Series = append(upFig.Series, upS)
+		tradeFig.Series = append(tradeFig.Series, trS)
+		maxFig.Series = append(maxFig.Series, mxS)
+	}
+	// Reference bound y = x for panel (d): the error must stay below it.
+	bound := Series{Name: "threshold-bound"}
+	seen := map[uint32]bool{}
+	for ri := range resetPeriods {
+		for _, sm := range samples[ri] {
+			if !seen[sm.threshold] {
+				seen[sm.threshold] = true
+				bound.Points = append(bound.Points, Point{X: float64(sm.threshold), Y: float64(sm.threshold)})
+			}
+		}
+	}
+	maxFig.Series = append(maxFig.Series, bound)
+
+	return []Figure{errFig, upFig, tradeFig, maxFig}
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/nat"
+	"github.com/p4lru/p4lru/internal/pipeline"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/telemetry"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+// concurrencySweep is the CAIDA_n axis of the testbed figures.
+var concurrencySweep = []int{1, 10, 20, 30, 40, 50, 60}
+
+// traceFor synthesizes the CAIDA_n stand-in at this scale. Traces span one
+// second, matching §4.2's rescaling.
+func traceFor(s Scale, segments int) *trace.Trace {
+	return trace.Synthesize(trace.SynthConfig{
+		Packets:   s.Packets,
+		BaseFlows: s.BaseFlows,
+		Segments:  segments,
+		Duration:  time.Second,
+		Seed:      s.Seed,
+	})
+}
+
+// p4lru3MemoryBytes is the memory the testbed P4LRU3 array occupies; the
+// equal-memory baselines are sized from it.
+func p4lru3MemoryBytes(s Scale) int { return s.Units * 25 }
+
+// Table2 regenerates the hardware resource usage table from the pipeline
+// programs of the three systems at the paper's deployment sizes. X encodes
+// the resource: 0=hash bits, 1=SRAM, 2=stateful ALUs, 3=VLIW, 4=stages.
+func Table2(Scale) []Figure {
+	budget := pipeline.TofinoBudget
+	lt, err := pipeline.BuildLruTableSystem(1<<16, 1, budget)
+	if err != nil {
+		panic(err)
+	}
+	li, err := pipeline.BuildLruIndexSystem(4, 1<<16, 1, budget)
+	if err != nil {
+		panic(err)
+	}
+	lm, err := pipeline.BuildLruMonSystem(1<<17, 1, 1, budget)
+	if err != nil {
+		panic(err)
+	}
+
+	fig := Figure{
+		ID:     "table2",
+		Title:  "resource utilization %, per occupied pipes (0=hash bits, 1=SRAM, 2=stateful ALU, 3=VLIW, 4=stages)",
+		XLabel: "resource",
+		YLabel: "percent",
+	}
+	for _, sys := range []struct {
+		name string
+		prog *pipeline.Program
+	}{{"lrutable", lt}, {"lruindex", li}, {"lrumon", lm}} {
+		row := sys.prog.UtilizationRow()
+		ser := Series{Name: sys.name}
+		for i, key := range pipeline.UtilizationKeys() {
+			ser.Points = append(ser.Points, Point{X: float64(i), Y: row[key]})
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return []Figure{fig}
+}
+
+// natCache builds the LruTable data-plane cache for one policy at equal
+// memory.
+func natCache(kind policy.Kind, mem int, seed uint64, timeout time.Duration) policy.Cache {
+	return policy.NewForMemory(kind, mem, policy.Options{
+		Seed:             seed,
+		Merge:            nat.MergeNAT,
+		TimeoutThreshold: timeout,
+	})
+}
+
+// Fig9 is the LruTable testbed experiment: fast-path miss rate (a) and
+// added forwarding latency (b) against trace concurrency, P4LRU3 vs the
+// hash-table baseline.
+func Fig9(s Scale) []Figure {
+	const slowPath = 5 * time.Microsecond
+	mem := p4lru3MemoryBytes(s)
+
+	missFig := Figure{ID: "fig9a", Title: "LruTable testbed: miss rate vs concurrency",
+		XLabel: "CAIDA_n", YLabel: "slow-path rate"}
+	latFig := Figure{ID: "fig9b", Title: "LruTable testbed: added latency vs concurrency",
+		XLabel: "CAIDA_n", YLabel: "latency (µs)"}
+
+	traces := make([]*trace.Trace, len(concurrencySweep))
+	parallelFor(len(traces), func(i int) { traces[i] = traceFor(s, concurrencySweep[i]) })
+
+	systems := []struct {
+		name string
+		kind policy.Kind
+	}{{"p4lru3", policy.KindP4LRU3}, {"baseline", policy.KindP4LRU1}}
+	results := make([][]nat.Result, len(systems))
+	for i := range results {
+		results[i] = make([]nat.Result, len(traces))
+	}
+	parallelFor(len(systems)*len(traces), func(j int) {
+		si, ti := j/len(traces), j%len(traces)
+		results[si][ti] = nat.Run(traces[ti], nat.Config{
+			Cache:         natCache(systems[si].kind, mem, uint64(s.Seed), 0),
+			SlowPathDelay: slowPath,
+		})
+	})
+	for si, sys := range systems {
+		miss := Series{Name: sys.name, Points: make([]Point, len(traces))}
+		lat := Series{Name: sys.name, Points: make([]Point, len(traces))}
+		for ti, n := range concurrencySweep {
+			res := results[si][ti]
+			miss.Points[ti] = Point{X: float64(n), Y: slowPathRate(res)}
+			lat.Points[ti] = Point{X: float64(n), Y: float64(res.AvgAddedLatency) / 1e3}
+		}
+		missFig.Series = append(missFig.Series, miss)
+		latFig.Series = append(latFig.Series, lat)
+	}
+	return []Figure{missFig, latFig}
+}
+
+func slowPathRate(r nat.Result) float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.SlowPathTrips) / float64(r.Packets)
+}
+
+// lruIndexSeries builds the two-pipe (two-level) LruIndex cache used by the
+// testbed figures, sized to `mem` bytes total.
+func lruIndexSeries(levels, mem int, seed uint64) policy.Cache {
+	units := mem / levels / 25
+	if units < 1 {
+		units = 1
+	}
+	return policy.NewSeries(levels, units, seed, nil)
+}
+
+// Fig10 is the LruIndex testbed experiment: query throughput against thread
+// count (a) and speedup over the naive solution against database size (b).
+func Fig10(s Scale) []Figure {
+	mem := p4lru3MemoryBytes(s)
+	baseCfg := func() kvindex.Config {
+		return kvindex.Config{
+			Items:   s.Items,
+			Queries: s.Queries,
+			Seed:    s.Seed,
+		}
+	}
+
+	thrFig := Figure{ID: "fig10a", Title: "LruIndex testbed: throughput vs threads",
+		XLabel: "threads", YLabel: "KTPS"}
+	systems := []struct {
+		name  string
+		cache func() policy.Cache
+	}{
+		{"p4lru3", func() policy.Cache { return lruIndexSeries(2, mem, uint64(s.Seed)) }},
+		{"baseline", func() policy.Cache {
+			return policy.NewForMemory(policy.KindP4LRU1, mem, policy.Options{Seed: uint64(s.Seed)})
+		}},
+		{"naive", func() policy.Cache { return nil }},
+	}
+	for _, sys := range systems {
+		ser := Series{Name: sys.name}
+		for _, threads := range []int{1, 2, 4, 8} {
+			cfg := baseCfg()
+			cfg.Threads = threads
+			cfg.Cache = sys.cache()
+			res := kvindex.Run(cfg)
+			ser.Points = append(ser.Points, Point{X: float64(threads), Y: res.ThroughputTPS / 1e3})
+		}
+		thrFig.Series = append(thrFig.Series, ser)
+	}
+
+	spFig := Figure{ID: "fig10b", Title: "LruIndex testbed: speedup vs items (8 threads)",
+		XLabel: "items", YLabel: "speedup vs naive"}
+	itemSweep := []int{s.Items / 4, s.Items / 2, s.Items, s.Items * 2}
+	for _, sys := range systems[:2] { // speedup is relative to naive
+		ser := Series{Name: sys.name}
+		for _, items := range itemSweep {
+			cfg := baseCfg()
+			cfg.Items = items
+			cfg.Threads = 8
+			naive := kvindex.Run(cfg)
+			cfg.Cache = sys.cache()
+			cached := kvindex.Run(cfg)
+			ser.Points = append(ser.Points, Point{
+				X: float64(items),
+				Y: cached.ThroughputTPS / naive.ThroughputTPS,
+			})
+		}
+		spFig.Series = append(spFig.Series, ser)
+	}
+	return []Figure{thrFig, spFig}
+}
+
+// monCache builds the LruMon write-cache for one policy at equal memory.
+func monCache(kind policy.Kind, mem int, seed uint64, timeout time.Duration) policy.Cache {
+	return policy.NewForMemory(kind, mem, policy.Options{
+		Seed:             seed,
+		Merge:            telemetry.Merge,
+		TimeoutThreshold: timeout,
+	})
+}
+
+// towerScaleFor keeps the filter proportioned to the trace: the paper pairs
+// 2^20 counters with 2.6e7 packets; we keep counters ≈ packets/25.
+func towerScaleFor(s Scale) float64 {
+	return float64(s.Packets) / 25 / float64(1<<20)
+}
+
+// Fig11 is the LruMon testbed experiment with the CM-sketch filter: upload
+// rate against concurrency (a) and against the filter threshold (b).
+func Fig11(s Scale) []Figure {
+	const reset = 10 * time.Millisecond
+	mem := p4lru3MemoryBytes(s)
+	cmWidth := int(float64(s.Packets) / 25)
+	if cmWidth < 64 {
+		cmWidth = 64
+	}
+
+	traces := make([]*trace.Trace, len(concurrencySweep))
+	parallelFor(len(traces), func(i int) { traces[i] = traceFor(s, concurrencySweep[i]) })
+	caida60 := traces[len(traces)-1] // the sweep ends at CAIDA_60
+
+	run := func(kind policy.Kind, tr *trace.Trace, threshold uint32) telemetry.Result {
+		res, _ := telemetry.Run(tr, telemetry.Config{
+			Filter:    sketch.NewCountMin(2, cmWidth/2, reset, uint64(s.Seed)+7),
+			Cache:     monCache(kind, mem, uint64(s.Seed), 0),
+			Threshold: threshold,
+		}, reset)
+		return res
+	}
+
+	sysNames := []string{"p4lru3", "baseline"}
+	sysKinds := []policy.Kind{policy.KindP4LRU3, policy.KindP4LRU1}
+
+	xs := make([]float64, len(concurrencySweep))
+	for i, n := range concurrencySweep {
+		xs[i] = float64(n)
+	}
+	upFig := Figure{ID: "fig11a", Title: "LruMon testbed (CM filter): upload rate vs concurrency",
+		XLabel: "CAIDA_n", YLabel: "uploads KPPS"}
+	upFig.Series = grid(sysNames, xs, func(ni, xi int) float64 {
+		return run(sysKinds[ni], traces[xi], 1500).UploadRatePPS / 1e3
+	})
+
+	thresholds := []uint32{500, 1000, 1500, 3000, 6000}
+	thrXs := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		thrXs[i] = float64(t)
+	}
+	thrFig := Figure{ID: "fig11b", Title: "LruMon testbed (CM filter): upload rate vs threshold (CAIDA_60)",
+		XLabel: "threshold (bytes)", YLabel: "uploads KPPS"}
+	thrFig.Series = grid(sysNames, thrXs, func(ni, xi int) float64 {
+		return run(sysKinds[ni], caida60, thresholds[xi]).UploadRatePPS / 1e3
+	})
+	return []Figure{upFig, thrFig}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import "fmt"
+
+// Claim is one verifiable headline statement from the paper's evaluation.
+type Claim struct {
+	ID        string
+	Statement string
+	Pass      bool
+	Detail    string
+}
+
+// Verify reruns the evaluation at the given scale and checks the paper's
+// qualitative claims — the artifact-evaluation entry point
+// (`p4lru-bench verify`). The same assertions run in the regression tests;
+// this form prints them against any scale.
+func Verify(s Scale) []Claim {
+	var claims []Claim
+	add := func(id, statement string, pass bool, detail string, args ...interface{}) {
+		claims = append(claims, Claim{
+			ID: id, Statement: statement, Pass: pass,
+			Detail: fmt.Sprintf(detail, args...),
+		})
+	}
+	mean := func(f Figure, name string) float64 {
+		ser := f.Get(name)
+		if ser == nil || len(ser.Points) == 0 {
+			return -1
+		}
+		sum := 0.0
+		for _, p := range ser.Points {
+			sum += p.Y
+		}
+		return sum / float64(len(ser.Points))
+	}
+	last := func(f Figure, name string) float64 {
+		ser := f.Get(name)
+		if ser == nil || len(ser.Points) == 0 {
+			return -1
+		}
+		return ser.Points[len(ser.Points)-1].Y
+	}
+
+	// LruTable testbed (Figure 9).
+	fig9 := Fig9(s)
+	p3, base := last(fig9[0], "p4lru3"), last(fig9[0], "baseline")
+	add("fig9", "LruTable: P4LRU3 misses less than the hash-table baseline",
+		p3 < base, "miss %.4f vs %.4f at max concurrency", p3, base)
+
+	// LruIndex testbed (Figure 10).
+	fig10 := Fig10(s)
+	cached, naive := last(fig10[0], "p4lru3"), last(fig10[0], "naive")
+	add("fig10", "LruIndex: the index cache accelerates query throughput",
+		cached > naive, "%.1f vs %.1f KTPS at 8 threads", cached, naive)
+
+	// LruMon testbed (Figure 11).
+	fig11 := Fig11(s)
+	up3, upBase := mean(fig11[0], "p4lru3"), mean(fig11[0], "baseline")
+	add("fig11", "LruMon: P4LRU3 uploads less than the baseline",
+		up3 < upBase, "mean %.1f vs %.1f KPPS", up3, upBase)
+
+	// Comparatives (Figures 12–14): P4LRU3 lowest mean miss rate.
+	for _, c := range []struct {
+		id   string
+		figs []Figure
+		name string
+	}{
+		{"fig12", Fig12(s), "LruTable"},
+		{"fig13", Fig13(s), "LruIndex"},
+		{"fig14", Fig14(s), "LruMon"},
+	} {
+		p3 := mean(c.figs[0], "p4lru3")
+		worst := ""
+		pass := true
+		detail := fmt.Sprintf("p4lru3 %.4f", p3)
+		for _, other := range []string{"coco", "elastic", "timeout"} {
+			v := mean(c.figs[0], other)
+			detail += fmt.Sprintf(", %s %.4f", other, v)
+			if p3 >= v {
+				pass = false
+				worst = other
+			}
+		}
+		add(c.id, fmt.Sprintf("%s: P4LRU3 beats Coco, Elastic and tuned Timeout", c.name),
+			pass, "%s%s", detail, failNote(worst))
+	}
+
+	// Figure 15: similarity ladder.
+	fig15 := Fig15(s)
+	s3, s2, s1 := mean(fig15[1], "p4lru3"), mean(fig15[1], "p4lru2"), mean(fig15[1], "p4lru1")
+	add("fig15", "LRU similarity: P4LRU3 > P4LRU2 > P4LRU1; ideal ≡ 1",
+		s3 > s2 && s2 > s1 && mean(fig15[1], "ideal") == 1,
+		"similarity %.3f / %.3f / %.3f", s3, s2, s1)
+
+	// Figure 16: more levels help, and P4LRU3's similarity-vs-levels slope
+	// flips sign versus P4LRU1 (the paper's 4-level argument).
+	fig16 := Fig16(s)
+	p3lv := fig16[0].Get("p4lru3")
+	levelsHelp := p3lv != nil && len(p3lv.Points) >= 4 &&
+		p3lv.Points[3].Y <= p3lv.Points[0].Y
+	sim3 := fig16[1].Get("p4lru3")
+	sim1 := fig16[1].Get("p4lru1")
+	signFlip := sim1 != nil && sim3 != nil &&
+		sim1.Points[len(sim1.Points)-1].Y > sim1.Points[0].Y && // p4lru1 rises
+		sim3.Points[len(sim3.Points)-1].Y < maxY(sim3.Points) // p4lru3 peaks early
+	add("fig16", "Series connection: 4 levels beat 1; P4LRU3's similarity peaks at low depth",
+		levelsHelp && signFlip, "levelsHelp=%v signFlip=%v", levelsHelp, signFlip)
+
+	// Figure 17: per-flow max error bounded by the filter threshold.
+	fig17 := Fig17(s)
+	bounded := true
+	for _, ser := range fig17[3].Series {
+		if ser.Name == "threshold-bound" {
+			continue
+		}
+		for _, p := range ser.Points {
+			if p.Y >= p.X {
+				bounded = false
+			}
+		}
+	}
+	add("fig17", "LruMon: max per-flow error never exceeds the filter threshold",
+		bounded, "bounded=%v", bounded)
+
+	// Series ablation: reply path never duplicates keys.
+	abl := AblationSeries(s)
+	noDup := mean(abl[1], "reply-path") == 0
+	hasDup := last(abl[1], "immediate") > 0
+	add("ablation-series", "Query/update separation eliminates duplicate entries",
+		noDup && hasDup, "reply-path dup=%.4f, immediate dup=%.4f",
+		mean(abl[1], "reply-path"), last(abl[1], "immediate"))
+
+	return claims
+}
+
+func failNote(worst string) string {
+	if worst == "" {
+		return ""
+	}
+	return " — lost to " + worst
+}
+
+func maxY(pts []Point) float64 {
+	m := pts[0].Y
+	for _, p := range pts {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}

@@ -1,0 +1,96 @@
+// Package hashing provides the seeded hash family used throughout the
+// repository: index hashes for cache/sketch arrays (the paper's h(·), h_i(·),
+// g_1(·), g_2(·)) and fingerprint hashes (the paper's fp(·) in LruMon).
+//
+// The data plane computes CRC-based hashes; any family with good avalanche
+// behaviour and independent seeds preserves the experiments. We use a
+// splitmix64-style finalizer over the input words, which is fast, allocation
+// free, and gives 64 well-mixed bits per call from which 32-bit values and
+// array indexes are derived.
+package hashing
+
+import "encoding/binary"
+
+// Hash is one member of the seeded hash family.
+type Hash struct {
+	seed uint64
+}
+
+// New returns the family member with the given seed. Distinct seeds give
+// effectively independent hash functions.
+func New(seed uint64) Hash {
+	// Pre-mix the seed so that small consecutive seeds (0, 1, 2, ...) still
+	// produce unrelated functions.
+	return Hash{seed: mix64(seed ^ 0x9e3779b97f4a7c15)}
+}
+
+// Uint64 hashes a 64-bit key.
+func (h Hash) Uint64(k uint64) uint64 {
+	return mix64(k ^ h.seed)
+}
+
+// Uint32 hashes a 64-bit key down to 32 bits.
+func (h Hash) Uint32(k uint64) uint32 {
+	v := h.Uint64(k)
+	return uint32(v ^ (v >> 32))
+}
+
+// Bytes hashes an arbitrary byte string.
+func (h Hash) Bytes(b []byte) uint64 {
+	acc := h.seed ^ uint64(len(b))*0x9e3779b97f4a7c15
+	for len(b) >= 8 {
+		acc = mix64(acc ^ binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		acc = mix64(acc ^ binary.LittleEndian.Uint64(tail[:]) ^ uint64(len(b))<<56)
+	}
+	return mix64(acc)
+}
+
+// Index maps a 64-bit key uniformly onto [0, n). n must be positive.
+// For power-of-two n this compiles to a mask; otherwise it uses the
+// fixed-point multiply trick to avoid modulo bias without division.
+func (h Hash) Index(k uint64, n int) int {
+	if n <= 0 {
+		panic("hashing: Index with non-positive n")
+	}
+	v := h.Uint64(k)
+	if n&(n-1) == 0 {
+		return int(v & uint64(n-1))
+	}
+	// Lemire's multiply-shift range reduction on the high 32 bits.
+	return int((v >> 32) * uint64(n) >> 32)
+}
+
+// Fingerprint returns a non-zero 32-bit fingerprint of the key, matching the
+// paper's 32-bit flow fingerprints. Zero is reserved so callers can use 0 as
+// "empty slot".
+func (h Hash) Fingerprint(k uint64) uint32 {
+	fp := h.Uint32(k ^ 0x5bd1e995)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche on 64 bits.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Family returns n independent hash functions derived from a base seed,
+// convenient for multi-array structures (TowerSketch rows, series-connected
+// cache arrays).
+func Family(baseSeed uint64, n int) []Hash {
+	fs := make([]Hash, n)
+	for i := range fs {
+		fs[i] = New(baseSeed + uint64(i)*0x9e3779b97f4a7c15 + uint64(i)*uint64(i))
+	}
+	return fs
+}

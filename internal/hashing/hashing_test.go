@@ -1,0 +1,200 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	h1, h2 := New(42), New(42)
+	for k := uint64(0); k < 1000; k++ {
+		if h1.Uint64(k) != h2.Uint64(k) {
+			t.Fatalf("same seed, different hash for key %d", k)
+		}
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	h1, h2 := New(1), New(2)
+	same := 0
+	for k := uint64(0); k < 1000; k++ {
+		if h1.Uint64(k) == h2.Uint64(k) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 collide on %d/1000 keys", same)
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	h := New(7)
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 65536, 1 << 20} {
+		for k := uint64(0); k < 2000; k++ {
+			idx := h.Index(k, n)
+			if idx < 0 || idx >= n {
+				t.Fatalf("Index(%d, %d) = %d out of range", k, n, idx)
+			}
+		}
+	}
+}
+
+func TestIndexPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index(0) did not panic")
+		}
+	}()
+	New(1).Index(5, 0)
+}
+
+func TestIndexUniformity(t *testing.T) {
+	h := New(99)
+	const n = 64
+	const samples = 64 * 2000
+	counts := make([]int, n)
+	for k := uint64(0); k < samples; k++ {
+		counts[h.Index(k, n)]++
+	}
+	mean := float64(samples) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > mean*0.25 {
+			t.Errorf("bucket %d has %d entries, mean %.0f (>25%% skew)", i, c, mean)
+		}
+	}
+}
+
+func TestIndexNonPowerOfTwoUniformity(t *testing.T) {
+	h := New(5)
+	const n = 60
+	const samples = 60 * 2000
+	counts := make([]int, n)
+	for k := uint64(0); k < samples; k++ {
+		counts[h.Index(k, n)]++
+	}
+	mean := float64(samples) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > mean*0.25 {
+			t.Errorf("bucket %d has %d entries, mean %.0f (>25%% skew)", i, c, mean)
+		}
+	}
+}
+
+func TestFingerprintNonZero(t *testing.T) {
+	h := New(3)
+	for k := uint64(0); k < 100000; k++ {
+		if h.Fingerprint(k) == 0 {
+			t.Fatalf("Fingerprint(%d) = 0", k)
+		}
+	}
+}
+
+func TestFingerprintCollisionRate(t *testing.T) {
+	h := New(11)
+	const n = 100000
+	seen := make(map[uint32]bool, n)
+	collisions := 0
+	for k := uint64(0); k < n; k++ {
+		fp := h.Fingerprint(k)
+		if seen[fp] {
+			collisions++
+		}
+		seen[fp] = true
+	}
+	// Birthday bound: expected ≈ n²/2^33 ≈ 1.2 collisions for n=1e5.
+	if collisions > 20 {
+		t.Errorf("%d fingerprint collisions in %d keys (expected ~1)", collisions, n)
+	}
+}
+
+func TestBytesMatchesLengthSensitivity(t *testing.T) {
+	h := New(4)
+	a := h.Bytes([]byte{1, 2, 3})
+	b := h.Bytes([]byte{1, 2, 3, 0})
+	if a == b {
+		t.Error("trailing zero byte does not change hash")
+	}
+	if h.Bytes(nil) != h.Bytes([]byte{}) {
+		t.Error("nil and empty slices hash differently")
+	}
+}
+
+func TestBytesAvalanche(t *testing.T) {
+	h := New(8)
+	base := h.Bytes([]byte("hello world, this is a test"))
+	flipped := h.Bytes([]byte("hello world, this is a tesu"))
+	diff := base ^ flipped
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 {
+		t.Errorf("single-byte change flipped only %d/64 bits", bits)
+	}
+}
+
+func TestFamilyDistinct(t *testing.T) {
+	fs := Family(1234, 8)
+	if len(fs) != 8 {
+		t.Fatalf("Family returned %d members", len(fs))
+	}
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			same := 0
+			for k := uint64(0); k < 200; k++ {
+				if fs[i].Uint64(k) == fs[j].Uint64(k) {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Errorf("family members %d and %d agree on %d/200 keys", i, j, same)
+			}
+		}
+	}
+}
+
+// Property: Uint32 depends on all 64 bits of the output (not a truncation).
+func TestUint32Property(t *testing.T) {
+	h := New(21)
+	f := func(k uint64) bool {
+		v64 := h.Uint64(k)
+		v32 := h.Uint32(k)
+		return v32 == uint32(v64^(v64>>32))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mix64 is injective on sampled inputs (no accidental constants).
+func TestMixInjectiveProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return mix64(a) != mix64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	h := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Uint64(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkIndexPow2(b *testing.B) {
+	h := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Index(uint64(i), 65536)
+	}
+	_ = sink
+}

@@ -1,0 +1,93 @@
+package lru
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+)
+
+// Array is the parallel-connection technique (§1.2): a hash function h(·)
+// selects one of m small P4LRU units, replacing the buckets of a plain hash
+// table with P4LRU units to reach arbitrary capacity. All three systems use
+// arrays of 2^16 or 2^17 P4LRU3 units.
+type Array[V any] struct {
+	units []UnitCache[V]
+	hash  hashing.Hash
+}
+
+// NewArray builds an array of numUnits units, each produced by newUnit.
+// seed selects the member of the index-hash family.
+func NewArray[V any](numUnits int, seed uint64, newUnit func() UnitCache[V]) *Array[V] {
+	if numUnits < 1 {
+		panic(fmt.Sprintf("lru: array with %d units", numUnits))
+	}
+	a := &Array[V]{
+		units: make([]UnitCache[V], numUnits),
+		hash:  hashing.New(seed),
+	}
+	for i := range a.units {
+		a.units[i] = newUnit()
+	}
+	return a
+}
+
+// NewArray3 builds an array of P4LRU3 units — the configuration used by
+// LruTable, LruIndex and LruMon.
+func NewArray3[V any](numUnits int, seed uint64, merge MergeFunc[V]) *Array[V] {
+	return NewArray(numUnits, seed, func() UnitCache[V] { return NewUnit3[V](merge) })
+}
+
+// Units returns the number of units.
+func (a *Array[V]) Units() int { return len(a.units) }
+
+// Capacity returns the total entry capacity (units × per-unit capacity).
+func (a *Array[V]) Capacity() int {
+	if len(a.units) == 0 {
+		return 0
+	}
+	return len(a.units) * a.units[0].Cap()
+}
+
+// Len returns the total number of occupied entries across all units.
+func (a *Array[V]) Len() int {
+	total := 0
+	for _, u := range a.units {
+		total += u.Len()
+	}
+	return total
+}
+
+// UnitFor returns the unit addressed by h(k), exposing per-unit operations
+// (used by the pipeline programs and by Series).
+func (a *Array[V]) UnitFor(k uint64) UnitCache[V] {
+	return a.units[a.hash.Index(k, len(a.units))]
+}
+
+// Lookup returns the value for k without modifying the array.
+func (a *Array[V]) Lookup(k uint64) (V, bool) {
+	return a.UnitFor(k).Lookup(k)
+}
+
+// Update inserts or refreshes k in its unit (Algorithm 1 on the unit).
+func (a *Array[V]) Update(k uint64, v V) Result[V] {
+	return a.UnitFor(k).Update(k, v)
+}
+
+// InsertTail stores k as the least recently used entry of its unit.
+func (a *Array[V]) InsertTail(k uint64, v V) Result[V] {
+	return a.UnitFor(k).InsertTail(k, v)
+}
+
+// Range calls fn for every cached (key, value) pair until fn returns false.
+// Iteration order is unit order, then LRU order within a unit.
+func (a *Array[V]) Range(fn func(k uint64, v V) bool) {
+	for _, u := range a.units {
+		for i := 0; i < u.Len(); i++ {
+			k := u.KeyAt(i)
+			v, _ := u.Lookup(k)
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}

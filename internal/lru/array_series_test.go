@@ -1,0 +1,272 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArrayBasics(t *testing.T) {
+	a := NewArray3[uint64](16, 1, nil)
+	if a.Units() != 16 || a.Capacity() != 48 || a.Len() != 0 {
+		t.Fatalf("fresh array: units=%d cap=%d len=%d", a.Units(), a.Capacity(), a.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		a.Update(k, k*2)
+	}
+	if a.Len() > a.Capacity() {
+		t.Errorf("len %d exceeds capacity %d", a.Len(), a.Capacity())
+	}
+	// Recently used keys of each unit must be retrievable.
+	found := 0
+	for k := uint64(0); k < 100; k++ {
+		if v, ok := a.Lookup(k); ok {
+			if v != k*2 {
+				t.Errorf("Lookup(%d) = %d, want %d", k, v, k*2)
+			}
+			found++
+		}
+	}
+	if found != a.Len() {
+		t.Errorf("found %d keys but len is %d", found, a.Len())
+	}
+}
+
+func TestArrayHashStability(t *testing.T) {
+	a := NewArray3[uint64](64, 7, nil)
+	// The same key must always address the same unit.
+	u1 := a.UnitFor(12345)
+	for i := 0; i < 10; i++ {
+		if a.UnitFor(12345) != u1 {
+			t.Fatal("UnitFor not stable")
+		}
+	}
+	// Different seeds give different placements for at least some keys.
+	b := NewArray3[uint64](64, 8, nil)
+	moved := 0
+	for k := uint64(0); k < 100; k++ {
+		a.Update(k, k)
+		b.Update(k, k)
+	}
+	for i := 0; i < 64; i++ {
+		// crude placement comparison via lookup success pattern after
+		// overflow — just ensure arrays are not trivially identical.
+		_ = i
+	}
+	for k := uint64(0); k < 1000; k++ {
+		av, aok := a.Lookup(k)
+		bv, bok := b.Lookup(k)
+		_ = av
+		_ = bv
+		if aok != bok {
+			moved++
+		}
+	}
+	_ = moved // placement differences are probabilistic; no hard assertion
+}
+
+func TestArrayCollisionEviction(t *testing.T) {
+	// Single unit: 4th distinct key must evict.
+	a := NewArray3[uint64](1, 1, nil)
+	for k := uint64(1); k <= 3; k++ {
+		if res := a.Update(k, k); res.Evicted {
+			t.Fatalf("premature eviction at %d", k)
+		}
+	}
+	res := a.Update(4, 4)
+	if !res.Evicted || res.EvictedKey != 1 {
+		t.Fatalf("eviction: %+v", res)
+	}
+}
+
+func TestArrayPanicsOnZeroUnits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewArray(0) did not panic")
+		}
+	}()
+	NewArray3[uint64](0, 1, nil)
+}
+
+func TestSeriesQueryReplyProtocol(t *testing.T) {
+	s := NewSeries3[uint64](4, 4, 1, nil)
+	if s.Levels() != 4 || s.Capacity() != 4*4*3 {
+		t.Fatalf("series shape: levels=%d cap=%d", s.Levels(), s.Capacity())
+	}
+
+	// Miss → reply inserts at level 1.
+	if _, level, ok := s.Query(100); ok || level != 0 {
+		t.Fatalf("fresh query: level=%d ok=%v", level, ok)
+	}
+	s.Reply(100, 1000, 0)
+	v, level, ok := s.Query(100)
+	if !ok || level != 1 || v != 1000 {
+		t.Fatalf("after insert: v=%d level=%d ok=%v", v, level, ok)
+	}
+
+	// Hit at level 1 → promote in place, still level 1.
+	s.Reply(100, 1001, level)
+	if v, level, ok = s.Query(100); !ok || level != 1 || v != 1001 {
+		t.Fatalf("after promote: v=%d level=%d ok=%v", v, level, ok)
+	}
+}
+
+func TestSeriesDemotionCascade(t *testing.T) {
+	// 1 unit per level, capacity 3 per unit: filling level 1 with 4 keys
+	// demotes the LRU key to level 2's tail.
+	s := NewSeries3[uint64](2, 1, 1, nil)
+	for k := uint64(1); k <= 3; k++ {
+		s.Reply(k, k*10, 0)
+	}
+	res := s.Reply(4, 40, 0)
+	if res.Evicted {
+		t.Fatalf("demotion reported as full eviction: %+v", res)
+	}
+	// Key 1 must now live at level 2.
+	v, level, ok := s.Query(1)
+	if !ok || level != 2 || v != 10 {
+		t.Fatalf("demoted key: v=%d level=%d ok=%v", v, level, ok)
+	}
+	// No key may live in two levels after reply-path operations.
+	for k := uint64(1); k <= 4; k++ {
+		if n := s.Contains(k); n > 1 {
+			t.Errorf("key %d present in %d levels", k, n)
+		}
+	}
+}
+
+func TestSeriesFullExpulsion(t *testing.T) {
+	// 2 levels × 1 unit × 3 entries = 6 slots; the 7th insert expels one
+	// entry completely.
+	s := NewSeries3[uint64](2, 1, 1, nil)
+	for k := uint64(1); k <= 6; k++ {
+		if res := s.Reply(k, k, 0); res.Evicted {
+			t.Fatalf("premature expulsion at key %d: %+v", k, res)
+		}
+	}
+	res := s.Reply(7, 7, 0)
+	if !res.Evicted {
+		t.Fatal("7th insert did not expel")
+	}
+	if s.Len() != 6 {
+		t.Errorf("len = %d, want 6", s.Len())
+	}
+	if n := s.Contains(res.EvictedKey); n != 0 {
+		t.Errorf("expelled key still present in %d levels", n)
+	}
+}
+
+// TestSeriesNoDuplicatesUnderReplyPath: the §3.2 claim — query/update
+// separation keeps every key in at most one level — verified on a random
+// workload.
+func TestSeriesNoDuplicatesUnderReplyPath(t *testing.T) {
+	s := NewSeries3[uint64](4, 8, 1, nil)
+	r := rand.New(rand.NewSource(5))
+	for step := 0; step < 20000; step++ {
+		k := uint64(r.Intn(200))
+		_, level, _ := s.Query(k)
+		s.Reply(k, uint64(step), level)
+		if n := s.Contains(k); n != 1 {
+			t.Fatalf("step %d: key %d in %d levels", step, k, n)
+		}
+	}
+}
+
+// TestSeriesImmediateModeCreatesDuplicates: the naive single-pass mode the
+// paper warns about must actually exhibit the duplicate-entry pathology
+// (this is the premise of the series-connection design).
+func TestSeriesImmediateModeCreatesDuplicates(t *testing.T) {
+	s := NewSeries3[uint64](4, 8, 1, nil)
+	r := rand.New(rand.NewSource(5))
+	dupes := 0
+	for step := 0; step < 20000; step++ {
+		k := uint64(r.Intn(200))
+		s.AccessImmediate(k, uint64(step))
+		if s.Contains(k) > 1 {
+			dupes++
+		}
+	}
+	if dupes == 0 {
+		t.Error("immediate mode never produced a duplicate — ablation premise broken")
+	}
+}
+
+// TestSeriesHitRateBeatsImmediate: with equal hardware the reply-path series
+// should achieve at least the hit rate of the duplicate-prone naive mode on
+// a skewed workload.
+func TestSeriesHitRateBeatsImmediate(t *testing.T) {
+	run := func(immediate bool) float64 {
+		s := NewSeries3[uint64](4, 32, 1, nil)
+		r := rand.New(rand.NewSource(42))
+		zipf := rand.NewZipf(r, 1.2, 1, 2000)
+		hits, total := 0, 0
+		for step := 0; step < 50000; step++ {
+			k := zipf.Uint64()
+			total++
+			if immediate {
+				if s.AccessImmediate(k, uint64(step)) {
+					hits++
+				}
+			} else {
+				_, level, ok := s.Query(k)
+				if ok {
+					hits++
+				}
+				s.Reply(k, uint64(step), level)
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	sep, naive := run(false), run(true)
+	if sep < naive {
+		t.Errorf("separated series hit rate %.4f < naive %.4f", sep, naive)
+	}
+}
+
+func TestSeriesReplyPanicsOnBadLevel(t *testing.T) {
+	s := NewSeries3[uint64](2, 1, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reply with level 3 did not panic")
+		}
+	}()
+	s.Reply(1, 1, 3)
+}
+
+func TestSeriesPanicsOnZeroLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSeries(0 levels) did not panic")
+		}
+	}()
+	NewSeries3[uint64](0, 4, 1, nil)
+}
+
+func BenchmarkArrayUpdate(b *testing.B) {
+	a := NewArray3[uint64](1<<16, 1, nil)
+	r := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(r, 1.1, 1, 1<<20)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = zipf.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(keys[i&(1<<16-1)], uint64(i))
+	}
+}
+
+func BenchmarkSeriesQueryReply(b *testing.B) {
+	s := NewSeries3[uint64](4, 1<<14, 1, nil)
+	r := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(r, 1.1, 1, 1<<20)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = zipf.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(1<<16-1)]
+		_, level, _ := s.Query(k)
+		s.Reply(k, uint64(i), level)
+	}
+}

@@ -1,0 +1,29 @@
+// Package lru implements the paper's core contribution: the P4LRU cache — a
+// pipeline-friendly LRU whose keys are kept in LRU order while values stay in
+// fixed slots, with a permutation-valued "cache state" DFA (S_lru) recording
+// the key→value mapping (§2.2 of the paper).
+//
+// The package provides:
+//
+//   - Unit: the generic P4LRUn unit following Algorithm 1, with the cache
+//     state held as an explicit permutation. Reference implementation and the
+//     source of truth for differential tests.
+//   - Unit2, Unit3: the encoded-state implementations of §2.3.1/§2.3.2 whose
+//     state transitions are exactly the stateful-ALU arithmetic deployed on
+//     Tofino (XOR/± with a two-way predicate), with the Table 1 encoding.
+//   - Unit4: the §2.3.3 extension. The S4 cache state is stored as an
+//     (S3 code, 2-bit V4 code) pair via the quotient S4/V4 ≅ S3; the S3 part
+//     transitions through tiny lookup tables (≤6 entries, within Tofino's
+//     16-entry SALU table budget) and the V4 part through 2-bit XOR.
+//   - Ideal: the classical list+map LRU (LRU_IDEAL in the evaluation).
+//   - Array: the parallel-connection technique — a hash-indexed array of
+//     units giving arbitrary capacity (§1.2, used by all three systems).
+//   - Series: the series-connection technique with query/update separation
+//     (§3.2, LruIndex), plus the naive immediate-insert mode the paper warns
+//     about, kept for the duplicate-entry ablation.
+//
+// Keys are uint64 (flow IDs, fingerprints, addresses); values are a type
+// parameter. All types in this package are single-goroutine: the data plane
+// processes one packet at a time per pipeline, and the simulators follow
+// that model. Wrap with external locking if sharing across goroutines.
+package lru

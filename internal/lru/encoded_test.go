@@ -1,0 +1,303 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/p4lru/p4lru/internal/perm"
+)
+
+// TestState3Table1 checks the Table 1 encoding: even permutations get even
+// codes, odd permutations odd codes, and encode/decode round-trip.
+func TestState3Table1(t *testing.T) {
+	seen := map[State3]bool{}
+	for _, p := range perm.All(3) {
+		code := State3Encode(p)
+		if seen[code] {
+			t.Fatalf("code %d assigned twice", code)
+		}
+		seen[code] = true
+		if int(code)&1 != p.Parity() {
+			t.Errorf("perm %v parity %d but code %d", p, p.Parity(), code)
+		}
+		if !State3Decode(code).Equal(p) {
+			t.Errorf("decode(encode(%v)) = %v", p, State3Decode(code))
+		}
+	}
+	if got := State3Encode(perm.Identity(3)); got != State3Initial {
+		t.Errorf("identity code = %d, want %d", got, State3Initial)
+	}
+}
+
+func TestState3DecodePanicsOnBadCode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("State3Decode(6) did not panic")
+		}
+	}()
+	State3Decode(6)
+}
+
+// TestState3ArithmeticMatchesGroupTheory verifies that the §2.3.2 stateful-ALU
+// arithmetic implements exactly S_new = R^-1 × S for each operation, over all
+// six states.
+func TestState3ArithmeticMatchesGroupTheory(t *testing.T) {
+	ops := []struct {
+		name  string
+		arith func(State3) State3
+		rot   int // 0-based hit position
+	}{
+		{"op1", State3Op1, 0},
+		{"op2", State3Op2, 1},
+		{"op3", State3Op3, 2},
+	}
+	for _, op := range ops {
+		rinv := perm.RotationInverse(3, op.rot)
+		for s := State3(0); s < 6; s++ {
+			want := State3Encode(rinv.Compose(State3Decode(s)))
+			if got := op.arith(s); got != want {
+				t.Errorf("%s(%d) = %d, want %d", op.name, s, got, want)
+			}
+		}
+	}
+}
+
+// TestState3Figure4 checks the specific transitions drawn in Figure 4
+// (type-2 permutation, hit on key[2]).
+func TestState3Figure4(t *testing.T) {
+	for _, tr := range []struct{ from, to State3 }{
+		{4, 5}, {5, 4}, {1, 2}, {2, 1}, {0, 3}, {3, 0},
+	} {
+		if got := State3Op2(tr.from); got != tr.to {
+			t.Errorf("op2: %d → %d, want %d", tr.from, got, tr.to)
+		}
+	}
+}
+
+// TestState3Figure5 checks the transitions drawn in Figure 5 (type-3
+// permutation, hit on key[3] or miss).
+func TestState3Figure5(t *testing.T) {
+	for _, tr := range []struct{ from, to State3 }{
+		{4, 2}, {2, 0}, {0, 4}, {5, 3}, {3, 1}, {1, 5},
+	} {
+		if got := State3Op3(tr.from); got != tr.to {
+			t.Errorf("op3: %d → %d, want %d", tr.from, got, tr.to)
+		}
+	}
+}
+
+// TestState3OpOrders: op3 generates the 3-cycle structure (order 3), op2 an
+// involution (order 2) — the C3 and C2 parts of S3.
+func TestState3OpOrders(t *testing.T) {
+	for s := State3(0); s < 6; s++ {
+		if State3Op2(State3Op2(s)) != s {
+			t.Errorf("op2 not an involution at %d", s)
+		}
+		if got := State3Op3(State3Op3(State3Op3(s))); got != s {
+			t.Errorf("op3^3(%d) = %d", s, got)
+		}
+	}
+}
+
+// differentialRun drives an encoded unit and the generic Unit with the same
+// operation stream and asserts identical observable behaviour.
+func differentialRun[V comparable](t *testing.T, name string, enc, ref UnitCache[V],
+	genKey func(r *rand.Rand) uint64, genVal func(r *rand.Rand, step int) V, steps int, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for step := 0; step < steps; step++ {
+		k := genKey(r)
+		v := genVal(r, step)
+		var re, rr Result[V]
+		switch r.Intn(4) {
+		case 0, 1: // Update is the common path
+			re, rr = enc.Update(k, v), ref.Update(k, v)
+		case 2:
+			ve, oke := enc.Lookup(k)
+			vr, okr := ref.Lookup(k)
+			if oke != okr || ve != vr {
+				t.Fatalf("%s step %d: Lookup(%d) = (%v,%v) vs (%v,%v)", name, step, k, ve, oke, vr, okr)
+			}
+			continue
+		case 3:
+			re, rr = enc.InsertTail(k, v), ref.InsertTail(k, v)
+		}
+		if re != rr {
+			t.Fatalf("%s step %d key %d: %+v vs %+v", name, step, k, re, rr)
+		}
+		if enc.Len() != ref.Len() {
+			t.Fatalf("%s step %d: len %d vs %d", name, step, enc.Len(), ref.Len())
+		}
+		if !equalKeys(keysOf[V](enc), keysOf[V](ref)) {
+			t.Fatalf("%s step %d: keys %v vs %v", name, step, keysOf[V](enc), keysOf[V](ref))
+		}
+	}
+}
+
+func TestUnit2MatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		differentialRun[uint64](t, "unit2",
+			NewUnit2[uint64](nil), NewUnit[uint64](2, nil),
+			func(r *rand.Rand) uint64 { return uint64(r.Intn(6)) },
+			func(r *rand.Rand, step int) uint64 { return uint64(step) },
+			10000, seed)
+	}
+}
+
+func TestUnit3MatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		differentialRun[uint64](t, "unit3",
+			NewUnit3[uint64](nil), NewUnit[uint64](3, nil),
+			func(r *rand.Rand) uint64 { return uint64(r.Intn(8)) },
+			func(r *rand.Rand, step int) uint64 { return uint64(step) },
+			10000, seed)
+	}
+}
+
+func TestUnit4MatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		differentialRun[uint64](t, "unit4",
+			NewUnit4[uint64](nil), NewUnit[uint64](4, nil),
+			func(r *rand.Rand) uint64 { return uint64(r.Intn(10)) },
+			func(r *rand.Rand, step int) uint64 { return uint64(step) },
+			10000, seed)
+	}
+}
+
+func TestEncodedUnitsWithMerge(t *testing.T) {
+	add := func(old, in uint64) uint64 { return old + in }
+	for seed := int64(0); seed < 3; seed++ {
+		differentialRun[uint64](t, "unit3+merge",
+			NewUnit3[uint64](add), NewUnit[uint64](3, add),
+			func(r *rand.Rand) uint64 { return uint64(r.Intn(8)) },
+			func(r *rand.Rand, step int) uint64 { return uint64(r.Intn(100)) },
+			10000, seed)
+		differentialRun[uint64](t, "unit2+merge",
+			NewUnit2[uint64](add), NewUnit[uint64](2, add),
+			func(r *rand.Rand) uint64 { return uint64(r.Intn(6)) },
+			func(r *rand.Rand, step int) uint64 { return uint64(r.Intn(100)) },
+			10000, seed)
+		differentialRun[uint64](t, "unit4+merge",
+			NewUnit4[uint64](add), NewUnit[uint64](4, add),
+			func(r *rand.Rand) uint64 { return uint64(r.Intn(10)) },
+			func(r *rand.Rand, step int) uint64 { return uint64(r.Intn(100)) },
+			10000, seed)
+	}
+}
+
+// Property-based differential: arbitrary key streams from testing/quick.
+func TestUnit3DifferentialProperty(t *testing.T) {
+	f := func(stream []uint16) bool {
+		enc := NewUnit3[uint64](nil)
+		ref := NewUnit[uint64](3, nil)
+		for i, raw := range stream {
+			k := uint64(raw % 7)
+			re := enc.Update(k, uint64(i))
+			rr := ref.Update(k, uint64(i))
+			if re != rr || !equalKeys(keysOf[uint64](enc), keysOf[uint64](ref)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnit3StateReachability: from the initial state, the two non-trivial
+// operations generate all of S3 (the DFA is strongly connected).
+func TestUnit3StateReachability(t *testing.T) {
+	seen := map[State3]bool{State3Initial: true}
+	frontier := []State3{State3Initial}
+	for len(frontier) > 0 {
+		s := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, next := range []State3{State3Op2(s), State3Op3(s)} {
+			if !seen[next] {
+				seen[next] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("reachable states = %d, want 6", len(seen))
+	}
+}
+
+// TestUnit4PairEncodingConsistency: the reconstructed S4 state always equals
+// the permutation an explicitly-tracked generic unit holds.
+func TestUnit4PairEncodingConsistency(t *testing.T) {
+	enc := NewUnit4[uint64](nil)
+	ref := NewUnit[uint64](4, nil)
+	r := rand.New(rand.NewSource(99))
+	for step := 0; step < 5000; step++ {
+		k := uint64(r.Intn(9))
+		enc.Update(k, uint64(step))
+		ref.Update(k, uint64(step))
+		if !enc.State().Equal(ref.State()) {
+			t.Fatalf("step %d: pair state %v vs reference %v", step, enc.State(), ref.State())
+		}
+	}
+}
+
+// TestUnit4V4CorrectionNontrivial: the V4 part of the pair encoding must
+// actually be exercised (otherwise the encoding would be vacuous).
+func TestUnit4V4CorrectionNontrivial(t *testing.T) {
+	enc := NewUnit4[uint64](nil)
+	r := rand.New(rand.NewSource(3))
+	sawNonzero := false
+	for step := 0; step < 2000 && !sawNonzero; step++ {
+		enc.Update(uint64(r.Intn(9)), uint64(step))
+		if _, v4 := enc.StatePair(); v4 != 0 {
+			sawNonzero = true
+		}
+	}
+	if !sawNonzero {
+		t.Error("v4 component never left 0 — pair encoding is degenerate")
+	}
+}
+
+func TestEncodedResets(t *testing.T) {
+	u2, u3, u4 := NewUnit2[uint64](nil), NewUnit3[uint64](nil), NewUnit4[uint64](nil)
+	for _, k := range []uint64{1, 2, 3, 4, 5} {
+		u2.Update(k, k)
+		u3.Update(k, k)
+		u4.Update(k, k)
+	}
+	u2.Reset()
+	u3.Reset()
+	u4.Reset()
+	if u2.Len() != 0 || u2.State() != 0 {
+		t.Error("unit2 reset incomplete")
+	}
+	if u3.Len() != 0 || u3.State() != State3Initial {
+		t.Error("unit3 reset incomplete")
+	}
+	s3, v4 := u4.StatePair()
+	if u4.Len() != 0 || s3 != State3Initial || v4 != 0 {
+		t.Error("unit4 reset incomplete")
+	}
+}
+
+func BenchmarkUnit3Update(b *testing.B) {
+	u := NewUnit3[uint64](nil)
+	for i := 0; i < b.N; i++ {
+		u.Update(uint64(i%8), uint64(i))
+	}
+}
+
+func BenchmarkUnitGeneric3Update(b *testing.B) {
+	u := NewUnit[uint64](3, nil)
+	for i := 0; i < b.N; i++ {
+		u.Update(uint64(i%8), uint64(i))
+	}
+}
+
+func BenchmarkUnit4Update(b *testing.B) {
+	u := NewUnit4[uint64](nil)
+	for i := 0; i < b.N; i++ {
+		u.Update(uint64(i%10), uint64(i))
+	}
+}

@@ -1,0 +1,72 @@
+package lru_test
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/lru"
+)
+
+// A single P4LRU3 unit is an exact 3-entry LRU cache whose state machine is
+// the paper's stateful-ALU arithmetic.
+func ExampleUnit3() {
+	u := lru.NewUnit3[string](nil)
+	u.Update(1, "one")
+	u.Update(2, "two")
+	u.Update(3, "three")
+
+	u.Update(1, "ONE") // promote 1 to most recently used
+	res := u.Update(4, "four")
+	fmt.Printf("evicted key %d (LRU)\n", res.EvictedKey)
+
+	v, ok := u.Lookup(1)
+	fmt.Printf("key 1: %q %v\n", v, ok)
+	// Output:
+	// evicted key 2 (LRU)
+	// key 1: "ONE" true
+}
+
+// The parallel connection replaces hash-table buckets with P4LRU units,
+// scaling to arbitrary capacity (§1.2).
+func ExampleArray() {
+	a := lru.NewArray3[uint64](1024, 42, nil)
+	for k := uint64(1); k <= 5000; k++ {
+		a.Update(k, k*10)
+	}
+	// Hashing spreads 5000 keys over 1024 three-entry units; units that saw
+	// fewer than three keys stay partially filled.
+	fmt.Printf("capacity %d, holding %d entries\n", a.Capacity(), a.Len())
+	v, ok := a.Lookup(5000)
+	fmt.Printf("recent key 5000: %d %v\n", v, ok)
+	// Output:
+	// capacity 3072, holding 2900 entries
+	// recent key 5000: 50000 true
+}
+
+// The series connection (§3.2) separates the read-only query path from the
+// mutating reply path, so keys never duplicate across levels.
+func ExampleSeries() {
+	s := lru.NewSeries3[uint64](4, 64, 1, nil)
+
+	_, level, ok := s.Query(7)
+	fmt.Printf("before insert: level=%d ok=%v\n", level, ok)
+
+	s.Reply(7, 700, level) // miss path: insert at level 1
+
+	v, level, ok := s.Query(7)
+	fmt.Printf("after insert: value=%d level=%d ok=%v\n", v, level, ok)
+	// Output:
+	// before insert: level=0 ok=false
+	// after insert: value=700 level=1 ok=true
+}
+
+// A write-cache accumulates values on hits — LruMon's per-flow byte counts.
+func ExampleUnit3_writeCache() {
+	add := func(old, in uint64) uint64 { return old + in }
+	u := lru.NewUnit3[uint64](add)
+	u.Update(0xfeed, 1500)
+	u.Update(0xfeed, 64)
+	total, _ := u.Lookup(0xfeed)
+	fmt.Println("flow bytes:", total)
+	// Output:
+	// flow bytes: 1564
+}

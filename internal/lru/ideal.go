@@ -1,0 +1,129 @@
+package lru
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Ideal is the classical LRU cache (doubly linked list + hash map), the
+// LRU_IDEAL baseline of §4.2. It maintains a single global recency order
+// over its whole capacity — the structure the paper shows cannot be built in
+// a pipeline, kept here as the upper bound every P4LRU variant is measured
+// against.
+type Ideal[V any] struct {
+	capacity int
+	order    *list.List               // front = most recently used
+	index    map[uint64]*list.Element // key → list element
+	merge    MergeFunc[V]
+}
+
+type idealEntry[V any] struct {
+	key uint64
+	val V
+}
+
+// NewIdeal returns an empty ideal LRU cache with the given capacity.
+// merge may be nil for replace-on-hit semantics.
+func NewIdeal[V any](capacity int, merge MergeFunc[V]) *Ideal[V] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("lru: ideal capacity %d < 1", capacity))
+	}
+	return &Ideal[V]{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[uint64]*list.Element, capacity),
+		merge:    merge,
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Ideal[V]) Len() int { return c.order.Len() }
+
+// Cap returns the cache capacity.
+func (c *Ideal[V]) Cap() int { return c.capacity }
+
+// Lookup returns the value for k without modifying recency order.
+func (c *Ideal[V]) Lookup(k uint64) (V, bool) {
+	if e, ok := c.index[k]; ok {
+		return e.Value.(*idealEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Update accesses k: on a hit the entry moves to the front and its value is
+// merged; on a miss the entry is admitted, evicting the least recently used
+// entry if the cache is full.
+func (c *Ideal[V]) Update(k uint64, v V) Result[V] {
+	var res Result[V]
+	if e, ok := c.index[k]; ok {
+		res.Hit = true
+		ent := e.Value.(*idealEntry[V])
+		if c.merge != nil {
+			ent.val = c.merge(ent.val, v)
+		} else {
+			ent.val = v
+		}
+		c.order.MoveToFront(e)
+		return res
+	}
+	if c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		ent := back.Value.(*idealEntry[V])
+		res.Evicted = true
+		res.EvictedKey = ent.key
+		res.EvictedValue = ent.val
+		delete(c.index, ent.key)
+		c.order.Remove(back)
+	}
+	c.index[k] = c.order.PushFront(&idealEntry[V]{key: k, val: v})
+	return res
+}
+
+// InsertTail admits k as the least recently used entry (series-connection
+// analog; used when comparing against Series composed of ideal shards).
+func (c *Ideal[V]) InsertTail(k uint64, v V) Result[V] {
+	var res Result[V]
+	if e, ok := c.index[k]; ok {
+		res.Hit = true
+		e.Value.(*idealEntry[V]).val = v
+		return res
+	}
+	if c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		ent := back.Value.(*idealEntry[V])
+		res.Evicted = true
+		res.EvictedKey = ent.key
+		res.EvictedValue = ent.val
+		delete(c.index, ent.key)
+		c.order.Remove(back)
+	}
+	c.index[k] = c.order.PushBack(&idealEntry[V]{key: k, val: v})
+	return res
+}
+
+// KeyAt returns the i-th key in LRU order (0 = most recently used).
+// O(i); intended for tests.
+func (c *Ideal[V]) KeyAt(i int) uint64 {
+	if i < 0 || i >= c.order.Len() {
+		panic(fmt.Sprintf("lru: KeyAt(%d) with %d entries", i, c.order.Len()))
+	}
+	e := c.order.Front()
+	for ; i > 0; i-- {
+		e = e.Next()
+	}
+	return e.Value.(*idealEntry[V]).key
+}
+
+var _ UnitCache[int] = (*Ideal[int])(nil)
+
+// Range calls fn for every cached (key, value) pair in LRU order until fn
+// returns false.
+func (c *Ideal[V]) Range(fn func(k uint64, v V) bool) {
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*idealEntry[V])
+		if !fn(ent.key, ent.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdealBasics(t *testing.T) {
+	c := NewIdeal[uint64](3, nil)
+	for _, k := range []uint64{1, 2, 3} {
+		c.Update(k, k*10)
+	}
+	if got := keysOf[uint64](c); !equalKeys(got, []uint64{3, 2, 1}) {
+		t.Fatalf("order = %v", got)
+	}
+	c.Update(1, 100) // promote
+	if got := keysOf[uint64](c); !equalKeys(got, []uint64{1, 3, 2}) {
+		t.Fatalf("after promote = %v", got)
+	}
+	res := c.Update(4, 40)
+	if !res.Evicted || res.EvictedKey != 2 || res.EvictedValue != 20 {
+		t.Fatalf("eviction: %+v", res)
+	}
+	if c.Len() != 3 || c.Cap() != 3 {
+		t.Errorf("len=%d cap=%d", c.Len(), c.Cap())
+	}
+}
+
+func TestIdealLookupReadOnly(t *testing.T) {
+	c := NewIdeal[uint64](3, nil)
+	c.Update(1, 10)
+	c.Update(2, 20)
+	c.Lookup(1)
+	if got := keysOf[uint64](c); !equalKeys(got, []uint64{2, 1}) {
+		t.Errorf("Lookup changed order: %v", got)
+	}
+}
+
+func TestIdealInsertTail(t *testing.T) {
+	c := NewIdeal[uint64](3, nil)
+	c.Update(1, 10)
+	c.InsertTail(2, 20)
+	if got := keysOf[uint64](c); !equalKeys(got, []uint64{1, 2}) {
+		t.Fatalf("order = %v, want [1 2]", got)
+	}
+	// Tail entry is evicted first.
+	c.Update(3, 30)
+	res := c.Update(4, 40)
+	if res.EvictedKey != 2 {
+		t.Errorf("evicted %d, want tail-inserted 2", res.EvictedKey)
+	}
+}
+
+func TestIdealMerge(t *testing.T) {
+	c := NewIdeal[uint64](2, func(a, b uint64) uint64 { return a + b })
+	c.Update(1, 5)
+	c.Update(1, 7)
+	if v, _ := c.Lookup(1); v != 12 {
+		t.Errorf("merged = %d, want 12", v)
+	}
+}
+
+func TestIdealPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewIdeal(0) did not panic")
+		}
+	}()
+	NewIdeal[int](0, nil)
+}
+
+// TestSimilarityIdealIsOne: an ideal LRU must score exactly 1.
+func TestSimilarityIdealIsOne(t *testing.T) {
+	c := NewIdeal[uint64](64, nil)
+	tr := NewSimilarityTracker()
+	r := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(r, 1.1, 1, 1000)
+	for step := 0; step < 50000; step++ {
+		k := zipf.Uint64()
+		res := c.Update(k, uint64(step))
+		tr.Touch(k)
+		if res.Evicted {
+			tr.Evict(res.EvictedKey)
+		}
+	}
+	if tr.Evictions() == 0 {
+		t.Fatal("no evictions sampled")
+	}
+	if sim := tr.Similarity(); sim != 1 {
+		t.Errorf("ideal LRU similarity = %v, want exactly 1", sim)
+	}
+}
+
+// TestSimilarityRandomEviction: a cache that evicts uniformly at random
+// should score around (n+1)/(2n) ≈ 0.5.
+func TestSimilarityRandomEviction(t *testing.T) {
+	const cap = 256
+	entries := map[uint64]bool{}
+	tr := NewSimilarityTracker()
+	r := rand.New(rand.NewSource(2))
+	for step := 0; step < 100000; step++ {
+		k := uint64(r.Intn(4096))
+		if entries[k] {
+			tr.Touch(k)
+			continue
+		}
+		if len(entries) >= cap {
+			// Evict a uniformly random entry.
+			idx := r.Intn(len(entries))
+			for victim := range entries {
+				if idx == 0 {
+					delete(entries, victim)
+					tr.Evict(victim)
+					break
+				}
+				idx--
+			}
+		}
+		entries[k] = true
+		tr.Touch(k)
+	}
+	sim := tr.Similarity()
+	if sim < 0.45 || sim > 0.55 {
+		t.Errorf("random eviction similarity = %.3f, want ≈0.5", sim)
+	}
+}
+
+// TestSimilarityOrdering: P4LRU3 must score higher similarity than the
+// 1-entry hash bucket (P4LRU1) on a skewed trace — the Figure 15(b) ordering.
+func TestSimilarityOrdering(t *testing.T) {
+	run := func(unitCap int) float64 {
+		var arr *Array[uint64]
+		switch unitCap {
+		case 1:
+			arr = NewArray(512, 1, func() UnitCache[uint64] { return NewUnit[uint64](1, nil) })
+		case 3:
+			arr = NewArray3[uint64](512/3+1, 1, nil)
+		}
+		tr := NewSimilarityTracker()
+		r := rand.New(rand.NewSource(3))
+		zipf := rand.NewZipf(r, 1.05, 1, 1<<14)
+		for step := 0; step < 80000; step++ {
+			k := zipf.Uint64()
+			res := arr.Update(k, uint64(step))
+			tr.Touch(k)
+			if res.Evicted {
+				tr.Evict(res.EvictedKey)
+			}
+		}
+		return tr.Similarity()
+	}
+	s1, s3 := run(1), run(3)
+	if s3 <= s1 {
+		t.Errorf("similarity P4LRU3=%.3f not above P4LRU1=%.3f", s3, s1)
+	}
+}
+
+func TestSimilarityTrackerBookkeeping(t *testing.T) {
+	tr := NewSimilarityTracker()
+	tr.Touch(1)
+	tr.Touch(2)
+	tr.Touch(1) // re-touch
+	if tr.Tracked() != 2 {
+		t.Errorf("tracked = %d, want 2", tr.Tracked())
+	}
+	tr.Evict(1)
+	if tr.Tracked() != 1 {
+		t.Errorf("tracked after evict = %d, want 1", tr.Tracked())
+	}
+	tr.Evict(99) // unknown key ignored
+	if tr.Tracked() != 1 || tr.Evictions() != 1 {
+		t.Errorf("unknown evict changed state: tracked=%d evictions=%d", tr.Tracked(), tr.Evictions())
+	}
+	// Evict(1) above expelled the fresher of two entries (rank 1/2 = 0.5);
+	// evicting the last remaining entry scores 1/1. Mean = 0.75.
+	tr.Evict(2)
+	if sim := tr.Similarity(); sim != 0.75 {
+		t.Errorf("similarity = %v, want 0.75", sim)
+	}
+}
+
+func TestSimilarityEmptyIsOne(t *testing.T) {
+	if got := NewSimilarityTracker().Similarity(); got != 1 {
+		t.Errorf("empty similarity = %v", got)
+	}
+}

@@ -1,0 +1,174 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkUnitInvariants asserts the structural invariants of any unit: keys
+// are distinct, the occupancy never exceeds capacity, and the generic unit's
+// state is a valid permutation.
+func checkUnitInvariants(t *testing.T, u UnitCache[uint64]) {
+	t.Helper()
+	if u.Len() > u.Cap() {
+		t.Fatalf("len %d exceeds cap %d", u.Len(), u.Cap())
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < u.Len(); i++ {
+		k := u.KeyAt(i)
+		if seen[k] {
+			t.Fatalf("duplicate key %d in unit", k)
+		}
+		seen[k] = true
+		if _, ok := u.Lookup(k); !ok {
+			t.Fatalf("resident key %d not found by Lookup", k)
+		}
+	}
+}
+
+// TestUnitInvariantsUnderRandomOps: mixed Update/InsertTail streams keep the
+// structural invariants and the mapping correctness (last write wins) for
+// every unit implementation.
+func TestUnitInvariantsUnderRandomOps(t *testing.T) {
+	impls := map[string]func() UnitCache[uint64]{
+		"generic3": func() UnitCache[uint64] { return NewUnit[uint64](3, nil) },
+		"generic5": func() UnitCache[uint64] { return NewUnit[uint64](5, nil) },
+		"unit2":    func() UnitCache[uint64] { return NewUnit2[uint64](nil) },
+		"unit3":    func() UnitCache[uint64] { return NewUnit3[uint64](nil) },
+		"unit4":    func() UnitCache[uint64] { return NewUnit4[uint64](nil) },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			u := mk()
+			stored := map[uint64]uint64{}
+			r := rand.New(rand.NewSource(11))
+			for step := 0; step < 30000; step++ {
+				k := uint64(r.Intn(12) + 1)
+				v := uint64(step + 1)
+				var res Result[uint64]
+				if r.Intn(4) == 0 {
+					res = u.InsertTail(k, v)
+				} else {
+					res = u.Update(k, v)
+				}
+				stored[k] = v
+				if res.Evicted {
+					delete(stored, res.EvictedKey)
+				}
+				if step%100 == 0 {
+					checkUnitInvariants(t, u)
+				}
+				// Mapping correctness: a resident key's value is its last
+				// written one.
+				if got, ok := u.Lookup(k); !ok || got != v {
+					t.Fatalf("step %d: Lookup(%d) = %d,%v want %d", step, k, got, ok, v)
+				}
+			}
+			// Final cross-check: everything tracked is present with the
+			// right value, and nothing else is.
+			if len(stored) != u.Len() {
+				t.Fatalf("tracked %d keys, unit holds %d", len(stored), u.Len())
+			}
+			for k, v := range stored {
+				if got, ok := u.Lookup(k); !ok || got != v {
+					t.Fatalf("final: Lookup(%d) = %d,%v want %d", k, got, ok, v)
+				}
+			}
+		})
+	}
+}
+
+// TestUnitStateStaysPermutation: the generic unit's cache state remains a
+// bijection (quick.Check over random op streams).
+func TestUnitStateStaysPermutation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		u := NewUnit[uint64](4, nil)
+		for i, op := range ops {
+			k := uint64(op%9) + 1
+			if op%5 == 0 {
+				u.InsertTail(k, uint64(i))
+			} else {
+				u.Update(k, uint64(i))
+			}
+			st := u.State()
+			seen := make([]bool, st.Len())
+			for j := 0; j < st.Len(); j++ {
+				img := st.Apply(j)
+				if img < 0 || img >= st.Len() || seen[img] {
+					return false
+				}
+				seen[img] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSeriesConservation: under the reply-path protocol, every key is either
+// resident in exactly one level or has been expelled; residency count never
+// exceeds capacity; a resident key's value is its last write.
+func TestSeriesConservation(t *testing.T) {
+	s := NewSeries3[uint64](3, 8, 13, nil)
+	stored := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(17))
+	for step := 0; step < 40000; step++ {
+		k := uint64(r.Intn(300) + 1)
+		v := uint64(step + 1)
+		_, level, _ := s.Query(k)
+		res := s.Reply(k, v, level)
+		stored[k] = v
+		if res.Evicted {
+			delete(stored, res.EvictedKey)
+		}
+		if s.Len() > s.Capacity() {
+			t.Fatalf("step %d: len %d exceeds capacity %d", step, s.Len(), s.Capacity())
+		}
+		if n := s.Contains(k); n != 1 {
+			t.Fatalf("step %d: key %d resident in %d levels", step, k, n)
+		}
+	}
+	if len(stored) != s.Len() {
+		t.Fatalf("tracked %d keys, series holds %d", len(stored), s.Len())
+	}
+	for k, v := range stored {
+		got, _, ok := s.Query(k)
+		if !ok || got != v {
+			t.Fatalf("final: Query(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+// TestArrayRangeMatchesLookups: Range enumerates exactly the resident
+// entries with their current values.
+func TestArrayRangeMatchesLookups(t *testing.T) {
+	a := NewArray3[uint64](32, 3, nil)
+	r := rand.New(rand.NewSource(19))
+	for step := 0; step < 5000; step++ {
+		a.Update(uint64(r.Intn(500)+1), uint64(step))
+	}
+	count := 0
+	a.Range(func(k uint64, v uint64) bool {
+		count++
+		got, ok := a.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("Range pair (%d,%d) not confirmed by Lookup (%d,%v)", k, v, got, ok)
+		}
+		return true
+	})
+	if count != a.Len() {
+		t.Fatalf("Range visited %d, Len %d", count, a.Len())
+	}
+	// Early stop works.
+	visited := 0
+	a.Range(func(k, v uint64) bool {
+		visited++
+		return visited < 5
+	})
+	if visited != 5 {
+		t.Errorf("early stop visited %d", visited)
+	}
+}

@@ -1,0 +1,139 @@
+package lru
+
+import "fmt"
+
+// Series is the series-connection technique (§3.2): L cache arrays linked in
+// series to approximate a deeper LRU. It exploits workloads where each key
+// traverses the data plane twice (query then reply): the query path is
+// read-only across all levels, and only the reply path modifies the cache —
+// promoting on a hit, or inserting at level 1 and demoting each level's
+// eviction to the tail of the next level on a miss. LruIndex instantiates a
+// 4-level series of 2^16-unit P4LRU3 arrays.
+//
+// The naive alternative — inserting on the query path itself — duplicates
+// keys across levels; AccessImmediate implements it for the ablation the
+// paper motivates in §3.2.
+type Series[V any] struct {
+	levels []*Array[V]
+}
+
+// NewSeries builds a series of `levels` arrays, each with numUnits units from
+// newUnit. Each level gets an independent index-hash (the paper's h_i).
+func NewSeries[V any](levels, numUnits int, seed uint64, newUnit func() UnitCache[V]) *Series[V] {
+	if levels < 1 {
+		panic(fmt.Sprintf("lru: series with %d levels", levels))
+	}
+	s := &Series[V]{levels: make([]*Array[V], levels)}
+	for i := range s.levels {
+		s.levels[i] = NewArray(numUnits, seed+uint64(i)*0x9e3779b9, newUnit)
+	}
+	return s
+}
+
+// NewSeries3 builds a series of P4LRU3 arrays (the LruIndex configuration).
+func NewSeries3[V any](levels, numUnits int, seed uint64, merge MergeFunc[V]) *Series[V] {
+	return NewSeries(levels, numUnits, seed, func() UnitCache[V] { return NewUnit3[V](merge) })
+}
+
+// Levels returns the number of series-connected arrays.
+func (s *Series[V]) Levels() int { return len(s.levels) }
+
+// Level returns the i-th array (0-based).
+func (s *Series[V]) Level(i int) *Array[V] { return s.levels[i] }
+
+// Capacity returns the total entry capacity across levels.
+func (s *Series[V]) Capacity() int {
+	total := 0
+	for _, a := range s.levels {
+		total += a.Capacity()
+	}
+	return total
+}
+
+// Len returns the total number of occupied entries across levels.
+func (s *Series[V]) Len() int {
+	total := 0
+	for _, a := range s.levels {
+		total += a.Len()
+	}
+	return total
+}
+
+// Query is the read-only query path: it consults every level and returns the
+// cached value and the 1-based level that holds k (the packet's cached_flag),
+// or level 0 on a miss.
+func (s *Series[V]) Query(k uint64) (v V, level int, ok bool) {
+	for i, a := range s.levels {
+		if val, found := a.Lookup(k); found {
+			return val, i + 1, true
+		}
+	}
+	var zero V
+	return zero, 0, false
+}
+
+// Reply is the cache-modifying reply path. level is the cached_flag returned
+// by the earlier Query for the same key:
+//
+//   - level ≥ 1: the key was cached in that level; it is promoted to the
+//     most recent entry of its unit there.
+//   - level = 0: the key was absent; it is inserted at level 1 and each
+//     level's evicted entry is demoted to the tail of the next level. The
+//     entry expelled from the last level leaves the cache entirely and is
+//     returned.
+func (s *Series[V]) Reply(k uint64, v V, level int) Result[V] {
+	if level < 0 || level > len(s.levels) {
+		panic(fmt.Sprintf("lru: reply level %d out of range [0,%d]", level, len(s.levels)))
+	}
+	if level >= 1 {
+		return s.levels[level-1].Update(k, v)
+	}
+	res := s.levels[0].Update(k, v)
+	for i := 1; i < len(s.levels) && res.Evicted; i++ {
+		res = s.levels[i].InsertTail(res.EvictedKey, res.EvictedValue)
+	}
+	return res
+}
+
+// AccessImmediate is the naive single-pass mode: every access inserts at
+// level 1 immediately (no query/update separation), demoting evictions down
+// the series. The same key can end up recorded in several levels — the
+// duplicate-entry problem §3.2 describes. Returns whether k was cached in
+// any level before the insertion.
+func (s *Series[V]) AccessImmediate(k uint64, v V) (hit bool) {
+	_, _, hit = s.Query(k)
+	res := s.levels[0].Update(k, v)
+	for i := 1; i < len(s.levels) && res.Evicted; i++ {
+		res = s.levels[i].InsertTail(res.EvictedKey, res.EvictedValue)
+	}
+	return hit
+}
+
+// Contains reports whether k is cached in any level and in how many levels —
+// the duplication diagnostic for the ablation.
+func (s *Series[V]) Contains(k uint64) (levels int) {
+	for _, a := range s.levels {
+		if _, found := a.Lookup(k); found {
+			levels++
+		}
+	}
+	return levels
+}
+
+// Range calls fn for every cached (key, value) pair across all levels until
+// fn returns false.
+func (s *Series[V]) Range(fn func(k uint64, v V) bool) {
+	for _, a := range s.levels {
+		stopped := false
+		a.Range(func(k uint64, v V) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package lru
+
+import "github.com/p4lru/p4lru/internal/ostat"
+
+// SimilarityTracker computes the paper's LRU-similarity metric (§4.2):
+//
+//	For each evicted entry, let k be the rank of its last-access time among
+//	the last-access times of all cached entries (k = n for the stalest
+//	entry). Its relative ranking is k/n; LRU similarity is the mean relative
+//	ranking over all evictions. An ideal LRU always scores 1.
+//
+// Drive it alongside any cache: call Touch for every access the cache admits
+// or refreshes, and Evict for every entry the cache expels.
+type SimilarityTracker struct {
+	seq     int64
+	last    map[uint64]int64 // key → last-access sequence number
+	set     ostat.Set        // the multiset of last-access sequences (all distinct)
+	sum     float64
+	samples int
+}
+
+// NewSimilarityTracker returns an empty tracker.
+func NewSimilarityTracker() *SimilarityTracker {
+	return &SimilarityTracker{last: make(map[uint64]int64)}
+}
+
+// Touch records an access to key k (the entry is now the most recently used
+// from the tracker's point of view).
+func (t *SimilarityTracker) Touch(k uint64) {
+	t.seq++
+	if old, ok := t.last[k]; ok {
+		t.set.Delete(old)
+	}
+	t.last[k] = t.seq
+	t.set.Insert(t.seq)
+}
+
+// Evict records that the cache expelled key k and accumulates its relative
+// ranking. Unknown keys are ignored (defensive; should not happen when Touch
+// is called for every admission).
+func (t *SimilarityTracker) Evict(k uint64) {
+	seq, ok := t.last[k]
+	if !ok {
+		return
+	}
+	n := t.set.Len()
+	if n > 0 {
+		// Rank from the stalest side: the entry with the oldest last-access
+		// time has rank n (ideal-LRU victim), the freshest has rank 1.
+		older := t.set.Rank(seq) // number of entries accessed at or before seq
+		rank := n - older + 1
+		t.sum += float64(rank) / float64(n)
+		t.samples++
+	}
+	t.set.Delete(seq)
+	delete(t.last, k)
+}
+
+// Tracked returns the number of entries currently tracked (cached).
+func (t *SimilarityTracker) Tracked() int { return len(t.last) }
+
+// Evictions returns the number of evictions sampled.
+func (t *SimilarityTracker) Evictions() int { return t.samples }
+
+// Similarity returns the mean relative ranking over all evictions, or 1 if
+// nothing was evicted (an empty cache is vacuously ideal).
+func (t *SimilarityTracker) Similarity() float64 {
+	if t.samples == 0 {
+		return 1
+	}
+	return t.sum / float64(t.samples)
+}

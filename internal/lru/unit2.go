@@ -1,0 +1,139 @@
+package lru
+
+import "fmt"
+
+// Unit2 is the P4LRU2 cache unit of §2.3.1: two key registers, two value
+// registers, and a one-bit state register. State 0 encodes the identity
+// mapping (key[1]↔val[1], key[2]↔val[2]); state 1 the swap. A single
+// stateful ALU covers both transition branches.
+type Unit2[V any] struct {
+	keys  [2]uint64
+	vals  [2]V
+	state State2
+	size  uint8
+	merge MergeFunc[V]
+}
+
+var _ UnitCache[int] = (*Unit2[int])(nil)
+
+// State2Op1 is the transition for a hit on key[1]: no change.
+func State2Op1(s State2) State2 { return s }
+
+// State2Op2 is the transition for a hit on key[2] or a miss: S ^ 1.
+func State2Op2(s State2) State2 { return s ^ 1 }
+
+// NewUnit2 returns an empty P4LRU2 unit. merge may be nil for replace-on-hit
+// semantics.
+func NewUnit2[V any](merge MergeFunc[V]) *Unit2[V] {
+	return &Unit2[V]{merge: merge}
+}
+
+// Len returns the number of occupied entries.
+func (u *Unit2[V]) Len() int { return int(u.size) }
+
+// Cap returns 2.
+func (u *Unit2[V]) Cap() int { return 2 }
+
+// State returns the current one-bit cache state.
+func (u *Unit2[V]) State() State2 { return u.state }
+
+// KeyAt returns the i-th key in LRU order (0 = most recently used).
+func (u *Unit2[V]) KeyAt(i int) uint64 {
+	if i < 0 || i >= int(u.size) {
+		panic(fmt.Sprintf("lru: KeyAt(%d) with %d entries", i, u.size))
+	}
+	return u.keys[i]
+}
+
+// valPos returns the value slot of key position i: S(i), where S is the
+// identity for state 0 and the swap for state 1.
+func (u *Unit2[V]) valPos(i int) int {
+	return i ^ int(u.state)
+}
+
+// Lookup returns the value mapped to k without modifying the unit.
+func (u *Unit2[V]) Lookup(k uint64) (V, bool) {
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			return u.vals[u.valPos(i)], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Update is Algorithm 1 specialized to n=2.
+func (u *Unit2[V]) Update(k uint64, v V) Result[V] {
+	var res Result[V]
+
+	hitPos := -1
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			hitPos = i
+			break
+		}
+	}
+
+	var op int
+	switch {
+	case hitPos >= 0:
+		res.Hit = true
+		op = hitPos
+	case u.size < 2:
+		op = int(u.size)
+		u.size++
+	default:
+		op = 1
+		res.Evicted = true
+		res.EvictedKey = u.keys[1]
+	}
+
+	if op == 1 {
+		u.keys[1] = u.keys[0]
+		u.state = State2Op2(u.state)
+	}
+	u.keys[0] = k
+
+	slot := u.valPos(0)
+	if res.Evicted {
+		res.EvictedValue = u.vals[slot]
+	}
+	if res.Hit && u.merge != nil {
+		u.vals[slot] = u.merge(u.vals[slot], v)
+	} else {
+		u.vals[slot] = v
+	}
+	return res
+}
+
+// InsertTail stores k as the least recently used entry without a state
+// transition.
+func (u *Unit2[V]) InsertTail(k uint64, v V) Result[V] {
+	var res Result[V]
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			res.Hit = true
+			u.vals[u.valPos(i)] = v
+			return res
+		}
+	}
+	if u.size < 2 {
+		u.keys[u.size] = k
+		u.vals[u.valPos(int(u.size))] = v
+		u.size++
+		return res
+	}
+	slot := u.valPos(1)
+	res.Evicted = true
+	res.EvictedKey = u.keys[1]
+	res.EvictedValue = u.vals[slot]
+	u.keys[1] = k
+	u.vals[slot] = v
+	return res
+}
+
+// Reset empties the unit and restores the initial state.
+func (u *Unit2[V]) Reset() {
+	u.size = 0
+	u.state = 0
+}

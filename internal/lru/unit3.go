@@ -1,0 +1,225 @@
+package lru
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/perm"
+)
+
+// State2 and State3 are the integer-encoded cache states of §2.3.1/§2.3.2.
+// The zero value is the state of an empty unit.
+type (
+	State2 = uint8
+	State3 = uint8
+)
+
+// state3Perms is Table 1 of the paper: the permutation encoded by each
+// P4LRU3 state code, 0-based. Even permutations carry even codes.
+var state3Perms = [6]perm.Perm{
+	0: {1, 2, 0}, // (1 2 3 / 2 3 1)
+	1: {0, 2, 1}, // (1 2 3 / 1 3 2)
+	2: {2, 0, 1}, // (1 2 3 / 3 1 2)
+	3: {2, 1, 0}, // (1 2 3 / 3 2 1)
+	4: {0, 1, 2}, // (1 2 3 / 1 2 3) — identity, the initial state
+	5: {1, 0, 2}, // (1 2 3 / 2 1 3)
+}
+
+// State3Initial is the code of the identity permutation (Table 1).
+const State3Initial State3 = 4
+
+// State3Decode returns the permutation encoded by code s.
+func State3Decode(s State3) perm.Perm {
+	if s > 5 {
+		panic(fmt.Sprintf("lru: invalid P4LRU3 state %d", s))
+	}
+	return state3Perms[s].Clone()
+}
+
+// State3Encode returns the Table 1 code of a size-3 permutation.
+func State3Encode(p perm.Perm) State3 {
+	for s, q := range state3Perms {
+		if p.Equal(q) {
+			return State3(s)
+		}
+	}
+	panic(fmt.Sprintf("lru: %v is not a size-3 permutation", p))
+}
+
+// State3Op1 is the §2.3.2 Operation 1 (incoming key matches key[1]):
+// the cache state is unchanged.
+func State3Op1(s State3) State3 { return s }
+
+// State3Op2 is the §2.3.2 Operation 2 (incoming key matches key[2]):
+//
+//	S_new = S ^ 1  if S ≥ 4
+//	S_new = S ^ 3  if S ≤ 3
+//
+// One stateful ALU: a two-branch predicate on the register value and an XOR.
+func State3Op2(s State3) State3 {
+	if s >= 4 {
+		return s ^ 1
+	}
+	return s ^ 3
+}
+
+// State3Op3 is the §2.3.2 Operation 3 (incoming key matches key[3], or is
+// not in the cache):
+//
+//	S_new = S - 2  if S ≥ 2
+//	S_new = S + 4  if S ≤ 1
+func State3Op3(s State3) State3 {
+	if s >= 2 {
+		return s - 2
+	}
+	return s + 4
+}
+
+// state3ValPos[s][i] = S(i): the value slot of the key at position i under
+// state code s. Derived from Table 1; the data plane realizes the i=0 row as
+// a small match table after the state register.
+var state3ValPos = func() (t [6][3]uint8) {
+	for s, p := range state3Perms {
+		for i := 0; i < 3; i++ {
+			t[s][i] = uint8(p.Apply(i))
+		}
+	}
+	return
+}()
+
+// Unit3 is the P4LRU3 cache unit exactly as deployed on Tofino (§2.3.2):
+// three key registers, three value registers, and a state register whose
+// transitions are the arithmetic of State3Op1/Op2/Op3.
+type Unit3[V any] struct {
+	keys  [3]uint64
+	vals  [3]V
+	state State3
+	size  uint8
+	merge MergeFunc[V]
+}
+
+var _ UnitCache[int] = (*Unit3[int])(nil)
+
+// NewUnit3 returns an empty P4LRU3 unit. merge may be nil for replace-on-hit
+// (read-cache) semantics.
+func NewUnit3[V any](merge MergeFunc[V]) *Unit3[V] {
+	return &Unit3[V]{state: State3Initial, merge: merge}
+}
+
+// Len returns the number of occupied entries.
+func (u *Unit3[V]) Len() int { return int(u.size) }
+
+// Cap returns 3.
+func (u *Unit3[V]) Cap() int { return 3 }
+
+// State returns the current encoded cache state.
+func (u *Unit3[V]) State() State3 { return u.state }
+
+// KeyAt returns the i-th key in LRU order (0 = most recently used).
+func (u *Unit3[V]) KeyAt(i int) uint64 {
+	if i < 0 || i >= int(u.size) {
+		panic(fmt.Sprintf("lru: KeyAt(%d) with %d entries", i, u.size))
+	}
+	return u.keys[i]
+}
+
+// Lookup returns the value mapped to k without modifying the unit.
+func (u *Unit3[V]) Lookup(k uint64) (V, bool) {
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			return u.vals[state3ValPos[u.state][i]], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Update is Algorithm 1 specialized to n=3 with encoded state transitions.
+func (u *Unit3[V]) Update(k uint64, v V) Result[V] {
+	var res Result[V]
+
+	hitPos := -1
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			hitPos = i
+			break
+		}
+	}
+
+	var op int
+	switch {
+	case hitPos >= 0:
+		res.Hit = true
+		op = hitPos
+	case u.size < 3:
+		op = int(u.size)
+		u.size++
+	default:
+		op = 2
+		res.Evicted = true
+		res.EvictedKey = u.keys[2]
+	}
+
+	// Step 1: rotate keys[0..op] forward.
+	switch op {
+	case 1:
+		u.keys[1] = u.keys[0]
+	case 2:
+		u.keys[2] = u.keys[1]
+		u.keys[1] = u.keys[0]
+	}
+	u.keys[0] = k
+
+	// Step 2: stateful-ALU arithmetic transition.
+	switch op {
+	case 0:
+		u.state = State3Op1(u.state)
+	case 1:
+		u.state = State3Op2(u.state)
+	case 2:
+		u.state = State3Op3(u.state)
+	}
+
+	// Step 3: value slot of the most recently used key.
+	slot := state3ValPos[u.state][0]
+	if res.Evicted {
+		res.EvictedValue = u.vals[slot]
+	}
+	if res.Hit && u.merge != nil {
+		u.vals[slot] = u.merge(u.vals[slot], v)
+	} else {
+		u.vals[slot] = v
+	}
+	return res
+}
+
+// InsertTail stores k as the least recently used entry without a state
+// transition (series-connection demotion, §3.2).
+func (u *Unit3[V]) InsertTail(k uint64, v V) Result[V] {
+	var res Result[V]
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			res.Hit = true
+			u.vals[state3ValPos[u.state][i]] = v
+			return res
+		}
+	}
+	if u.size < 3 {
+		u.keys[u.size] = k
+		u.vals[state3ValPos[u.state][u.size]] = v
+		u.size++
+		return res
+	}
+	slot := state3ValPos[u.state][2]
+	res.Evicted = true
+	res.EvictedKey = u.keys[2]
+	res.EvictedValue = u.vals[slot]
+	u.keys[2] = k
+	u.vals[slot] = v
+	return res
+}
+
+// Reset empties the unit and restores the initial state.
+func (u *Unit3[V]) Reset() {
+	u.size = 0
+	u.state = State3Initial
+}

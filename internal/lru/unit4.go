@@ -1,0 +1,177 @@
+package lru
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/perm"
+)
+
+// Unit4 is the P4LRU4 extension sketched in §2.3.3. The 24-element cache
+// state (an element of S4) is stored as a pair
+//
+//	(s3 code, v4 code) ∈ {0..5} × {0..3}
+//
+// through the unique factorization g = r(k)·h with k ∈ S3 (the quotient
+// S4/V4 ≅ S3) and h ∈ V4 = C2 × C2. The s3 part reuses the Table 1 code of
+// P4LRU3 and transitions through a ≤6-entry lookup (within Tofino's
+// 16-entry SALU table budget); the v4 part transitions by a 2-bit XOR whose
+// operand depends on the operation and the current s3 code — exactly the
+// "more nuanced logic" the paper predicts for P4LRU4.
+type Unit4[V any] struct {
+	keys  [4]uint64
+	vals  [4]V
+	s3    State3 // Table 1 code of the quotient image
+	v4    uint8  // index into perm.V4Elements
+	size  uint8
+	merge MergeFunc[V]
+}
+
+var _ UnitCache[int] = (*Unit4[int])(nil)
+
+// unit4Tables holds the precomputed transition and decode tables. They are
+// derived once from the group algebra in internal/perm; the derivation is
+// itself exercised by differential tests against the generic Unit.
+var unit4Tables = func() (t struct {
+	s3Next [4][6]State3   // s3Next[op][s3] — quotient transition
+	v4Xor  [4][6]uint8    // v4Xor[op][s3] — V4 correction, XORed in
+	valPos [6][4][4]uint8 // valPos[s3][v4][keyPos] = S(keyPos)
+}) {
+	for op := 0; op < 4; op++ {
+		a := perm.RotationInverse(4, op)
+		for c := 0; c < 6; c++ {
+			k := state3Perms[c]
+			k2, h2 := perm.LeftMulS4Pair(a, k, 0)
+			t.s3Next[op][c] = State3Encode(k2)
+			t.v4Xor[op][c] = uint8(h2)
+		}
+	}
+	for c := 0; c < 6; c++ {
+		for h := 0; h < 4; h++ {
+			g := perm.EmbedS3(state3Perms[c]).Compose(perm.V4Elements[h])
+			for i := 0; i < 4; i++ {
+				t.valPos[c][h][i] = uint8(g.Apply(i))
+			}
+		}
+	}
+	return
+}()
+
+// NewUnit4 returns an empty P4LRU4 unit. merge may be nil for replace-on-hit
+// semantics.
+func NewUnit4[V any](merge MergeFunc[V]) *Unit4[V] {
+	return &Unit4[V]{s3: State3Initial, merge: merge}
+}
+
+// Len returns the number of occupied entries.
+func (u *Unit4[V]) Len() int { return int(u.size) }
+
+// Cap returns 4.
+func (u *Unit4[V]) Cap() int { return 4 }
+
+// State returns the full S4 cache state reconstructed from the pair encoding.
+func (u *Unit4[V]) State() perm.Perm {
+	return perm.S4Decomposition{K: State3Decode(u.s3), H: int(u.v4)}.Recompose()
+}
+
+// StatePair returns the raw (s3 code, v4 code) pair.
+func (u *Unit4[V]) StatePair() (State3, uint8) { return u.s3, u.v4 }
+
+// KeyAt returns the i-th key in LRU order (0 = most recently used).
+func (u *Unit4[V]) KeyAt(i int) uint64 {
+	if i < 0 || i >= int(u.size) {
+		panic(fmt.Sprintf("lru: KeyAt(%d) with %d entries", i, u.size))
+	}
+	return u.keys[i]
+}
+
+func (u *Unit4[V]) valPos(i int) int {
+	return int(unit4Tables.valPos[u.s3][u.v4][i])
+}
+
+// Lookup returns the value mapped to k without modifying the unit.
+func (u *Unit4[V]) Lookup(k uint64) (V, bool) {
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			return u.vals[u.valPos(i)], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Update is Algorithm 1 specialized to n=4 with pair-encoded transitions.
+func (u *Unit4[V]) Update(k uint64, v V) Result[V] {
+	var res Result[V]
+
+	hitPos := -1
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			hitPos = i
+			break
+		}
+	}
+
+	var op int
+	switch {
+	case hitPos >= 0:
+		res.Hit = true
+		op = hitPos
+	case u.size < 4:
+		op = int(u.size)
+		u.size++
+	default:
+		op = 3
+		res.Evicted = true
+		res.EvictedKey = u.keys[3]
+	}
+
+	copy(u.keys[1:op+1], u.keys[:op])
+	u.keys[0] = k
+
+	u.v4 ^= unit4Tables.v4Xor[op][u.s3]
+	u.s3 = unit4Tables.s3Next[op][u.s3]
+
+	slot := u.valPos(0)
+	if res.Evicted {
+		res.EvictedValue = u.vals[slot]
+	}
+	if res.Hit && u.merge != nil {
+		u.vals[slot] = u.merge(u.vals[slot], v)
+	} else {
+		u.vals[slot] = v
+	}
+	return res
+}
+
+// InsertTail stores k as the least recently used entry without a state
+// transition.
+func (u *Unit4[V]) InsertTail(k uint64, v V) Result[V] {
+	var res Result[V]
+	for i := 0; i < int(u.size); i++ {
+		if u.keys[i] == k {
+			res.Hit = true
+			u.vals[u.valPos(i)] = v
+			return res
+		}
+	}
+	if u.size < 4 {
+		u.keys[u.size] = k
+		u.vals[u.valPos(int(u.size))] = v
+		u.size++
+		return res
+	}
+	slot := u.valPos(3)
+	res.Evicted = true
+	res.EvictedKey = u.keys[3]
+	res.EvictedValue = u.vals[slot]
+	u.keys[3] = k
+	u.vals[slot] = v
+	return res
+}
+
+// Reset empties the unit and restores the initial state.
+func (u *Unit4[V]) Reset() {
+	u.size = 0
+	u.s3 = State3Initial
+	u.v4 = 0
+}

@@ -1,0 +1,302 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// keysOf returns the keys of a unit in LRU order.
+func keysOf[V any](u UnitCache[V]) []uint64 {
+	ks := make([]uint64, u.Len())
+	for i := range ks {
+		ks[i] = u.KeyAt(i)
+	}
+	return ks
+}
+
+func equalKeys(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnitFillAndOrder(t *testing.T) {
+	u := NewUnit[int](3, nil)
+	if u.Cap() != 3 || u.Len() != 0 {
+		t.Fatalf("fresh unit: cap=%d len=%d", u.Cap(), u.Len())
+	}
+	for i, k := range []uint64{10, 20, 30} {
+		res := u.Update(k, int(k))
+		if res.Hit || res.Evicted {
+			t.Fatalf("insert %d: hit=%v evicted=%v", k, res.Hit, res.Evicted)
+		}
+		if u.Len() != i+1 {
+			t.Fatalf("after insert %d: len=%d", k, u.Len())
+		}
+	}
+	if got := keysOf[int](u); !equalKeys(got, []uint64{30, 20, 10}) {
+		t.Errorf("LRU order = %v, want [30 20 10]", got)
+	}
+}
+
+func TestUnitHitPromotes(t *testing.T) {
+	u := NewUnit[int](3, nil)
+	for _, k := range []uint64{1, 2, 3} {
+		u.Update(k, int(k))
+	}
+	res := u.Update(1, 100)
+	if !res.Hit || res.Evicted {
+		t.Fatalf("hit on 1: %+v", res)
+	}
+	if got := keysOf[int](u); !equalKeys(got, []uint64{1, 3, 2}) {
+		t.Errorf("order after promote = %v, want [1 3 2]", got)
+	}
+	if v, ok := u.Lookup(1); !ok || v != 100 {
+		t.Errorf("Lookup(1) = %d,%v", v, ok)
+	}
+}
+
+func TestUnitEvictsLRU(t *testing.T) {
+	u := NewUnit[int](3, nil)
+	for _, k := range []uint64{1, 2, 3} {
+		u.Update(k, int(k)*10)
+	}
+	res := u.Update(4, 40)
+	if res.Hit || !res.Evicted {
+		t.Fatalf("insert 4: %+v", res)
+	}
+	if res.EvictedKey != 1 || res.EvictedValue != 10 {
+		t.Errorf("evicted %d=%d, want 1=10", res.EvictedKey, res.EvictedValue)
+	}
+	if _, ok := u.Lookup(1); ok {
+		t.Error("evicted key still present")
+	}
+}
+
+// TestUnitPaperExamples walks the two worked examples of §2.2 (n=5).
+func TestUnitPaperExamples(t *testing.T) {
+	const (
+		kA, kB, kC, kD, kE, kF uint64 = 'A', 'B', 'C', 'D', 'E', 'F'
+	)
+	u := NewUnit[string](5, func(old, in string) string { return old + "+" + in })
+	// Insert so that A ends most recent, E least recent.
+	for _, p := range []struct {
+		k uint64
+		v string
+	}{{kE, "VE"}, {kD, "VD"}, {kC, "VC"}, {kB, "VB"}, {kA, "VA"}} {
+		u.Update(p.k, p.v)
+	}
+	if got := keysOf[string](u); !equalKeys(got, []uint64{kA, kB, kC, kD, kE}) {
+		t.Fatalf("setup order = %v", got)
+	}
+
+	// The pipeline-friendliness invariant: promotions must not move values.
+	// Record each key's value slot before Example 1.
+	slotOf := func(k uint64) int {
+		for i := 0; i < u.Len(); i++ {
+			if u.KeyAt(i) == k {
+				return u.State().Apply(i)
+			}
+		}
+		t.Fatalf("key %c not found", k)
+		return -1
+	}
+	before := map[uint64]int{}
+	for _, k := range []uint64{kA, kB, kC, kD, kE} {
+		before[k] = slotOf(k)
+	}
+
+	// Example 1: ⟨K_D, V'_D⟩ arrives — hit, keys rotate to {D,A,B,C,E},
+	// V_D is updated in place.
+	res := u.Update(kD, "V'D")
+	if !res.Hit || res.Evicted {
+		t.Fatalf("example 1: %+v", res)
+	}
+	if got := keysOf[string](u); !equalKeys(got, []uint64{kD, kA, kB, kC, kE}) {
+		t.Errorf("example 1 order = %v, want [D A B C E]", got)
+	}
+	if v, _ := u.Lookup(kD); v != "VD+V'D" {
+		t.Errorf("example 1 value = %q, want merged VD+V'D", v)
+	}
+	for _, k := range []uint64{kA, kB, kC, kD, kE} {
+		if slotOf(k) != before[k] {
+			t.Errorf("example 1: value slot of %c moved %d→%d", k, before[k], slotOf(k))
+		}
+	}
+
+	// Example 2: ⟨K_F, V_F⟩ arrives — miss, E is evicted, F reuses E's
+	// value slot.
+	slotE := slotOf(kE)
+	res = u.Update(kF, "VF")
+	if res.Hit || !res.Evicted || res.EvictedKey != kE || res.EvictedValue != "VE" {
+		t.Fatalf("example 2: %+v", res)
+	}
+	if got := keysOf[string](u); !equalKeys(got, []uint64{kF, kD, kA, kB, kC}) {
+		t.Errorf("example 2 order = %v, want [F D A B C]", got)
+	}
+	if slotOf(kF) != slotE {
+		t.Errorf("example 2: F stored at slot %d, want evicted E's slot %d", slotOf(kF), slotE)
+	}
+	// All surviving keys keep their slots.
+	for _, k := range []uint64{kA, kB, kC, kD} {
+		if slotOf(k) != before[k] {
+			t.Errorf("example 2: value slot of %c moved", k)
+		}
+	}
+}
+
+// TestUnitMatchesIdeal: a P4LRU unit of capacity n IS an exact LRU of
+// capacity n — differential test against the classical implementation.
+func TestUnitMatchesIdeal(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		u := NewUnit[uint64](n, nil)
+		id := NewIdeal[uint64](n, nil)
+		r := rand.New(rand.NewSource(int64(n)))
+		for step := 0; step < 20000; step++ {
+			k := uint64(r.Intn(3 * n)) // small key space to force hits+evictions
+			v := uint64(step)
+			ru, ri := u.Update(k, v), id.Update(k, v)
+			if ru.Hit != ri.Hit || ru.Evicted != ri.Evicted ||
+				ru.EvictedKey != ri.EvictedKey || ru.EvictedValue != ri.EvictedValue {
+				t.Fatalf("n=%d step %d key %d: unit %+v vs ideal %+v", n, step, k, ru, ri)
+			}
+			if !equalKeys(keysOf[uint64](u), keysOf[uint64](id)) {
+				t.Fatalf("n=%d step %d: order %v vs %v", n, step, keysOf[uint64](u), keysOf[uint64](id))
+			}
+		}
+	}
+}
+
+func TestUnitMergeSemantics(t *testing.T) {
+	add := func(old, in uint64) uint64 { return old + in }
+	u := NewUnit[uint64](3, add)
+	u.Update(7, 5)
+	u.Update(7, 3)
+	if v, _ := u.Lookup(7); v != 8 {
+		t.Errorf("merged value = %d, want 8", v)
+	}
+	// Replace semantics when merge is nil.
+	u2 := NewUnit[uint64](3, nil)
+	u2.Update(7, 5)
+	u2.Update(7, 3)
+	if v, _ := u2.Lookup(7); v != 3 {
+		t.Errorf("replaced value = %d, want 3", v)
+	}
+	// A re-inserted key after eviction starts fresh (no stale merge).
+	u.Update(8, 1)
+	u.Update(9, 1)
+	u.Update(10, 1) // evicts 7
+	u.Update(7, 2)  // 7 re-enters
+	if v, _ := u.Lookup(7); v != 2 {
+		t.Errorf("re-inserted value = %d, want 2 (no stale merge)", v)
+	}
+}
+
+func TestUnitInsertTail(t *testing.T) {
+	u := NewUnit[int](3, nil)
+	res := u.InsertTail(1, 10)
+	if res.Hit || res.Evicted {
+		t.Fatalf("tail insert into empty: %+v", res)
+	}
+	u.Update(2, 20) // 2 becomes MRU
+	if got := keysOf[int](u); !equalKeys(got, []uint64{2, 1}) {
+		t.Fatalf("order = %v, want [2 1]", got)
+	}
+	u.InsertTail(3, 30)
+	if got := keysOf[int](u); !equalKeys(got, []uint64{2, 1, 3}) {
+		t.Fatalf("order = %v, want [2 1 3]", got)
+	}
+	// Full: tail insert replaces the LRU entry.
+	res = u.InsertTail(4, 40)
+	if !res.Evicted || res.EvictedKey != 3 || res.EvictedValue != 30 {
+		t.Fatalf("tail replace: %+v", res)
+	}
+	if got := keysOf[int](u); !equalKeys(got, []uint64{2, 1, 4}) {
+		t.Fatalf("order = %v, want [2 1 4]", got)
+	}
+	// Duplicate guard: tail insert of a cached key only updates its value.
+	res = u.InsertTail(2, 99)
+	if !res.Hit || res.Evicted {
+		t.Fatalf("duplicate tail insert: %+v", res)
+	}
+	if v, _ := u.Lookup(2); v != 99 {
+		t.Errorf("value after duplicate tail insert = %d", v)
+	}
+	if u.Len() != 3 {
+		t.Errorf("len changed on duplicate tail insert: %d", u.Len())
+	}
+}
+
+func TestUnitLookupReadOnly(t *testing.T) {
+	u := NewUnit[int](3, nil)
+	for _, k := range []uint64{1, 2, 3} {
+		u.Update(k, int(k))
+	}
+	before := keysOf[int](u)
+	stateBefore := u.State()
+	if _, ok := u.Lookup(1); !ok {
+		t.Fatal("lookup miss on cached key")
+	}
+	if _, ok := u.Lookup(42); ok {
+		t.Fatal("lookup hit on absent key")
+	}
+	if !equalKeys(before, keysOf[int](u)) || !stateBefore.Equal(u.State()) {
+		t.Error("Lookup modified the unit")
+	}
+}
+
+func TestUnitReset(t *testing.T) {
+	u := NewUnit[int](3, nil)
+	for _, k := range []uint64{1, 2, 3} {
+		u.Update(k, int(k))
+	}
+	u.Reset()
+	if u.Len() != 0 || !u.State().IsIdentity() {
+		t.Errorf("after reset: len=%d state=%v", u.Len(), u.State())
+	}
+	if _, ok := u.Lookup(1); ok {
+		t.Error("reset unit still contains keys")
+	}
+}
+
+func TestUnitCapacityOne(t *testing.T) {
+	u := NewUnit[int](1, nil)
+	u.Update(1, 10)
+	res := u.Update(2, 20)
+	if !res.Evicted || res.EvictedKey != 1 || res.EvictedValue != 10 {
+		t.Fatalf("n=1 eviction: %+v", res)
+	}
+	res = u.Update(2, 30)
+	if !res.Hit {
+		t.Fatalf("n=1 hit: %+v", res)
+	}
+	if v, _ := u.Lookup(2); v != 30 {
+		t.Errorf("n=1 value = %d", v)
+	}
+}
+
+func TestNewUnitPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewUnit(0) did not panic")
+		}
+	}()
+	NewUnit[int](0, nil)
+}
+
+func TestKeyAtPanicsOutOfRange(t *testing.T) {
+	u := NewUnit[int](3, nil)
+	u.Update(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KeyAt out of range did not panic")
+		}
+	}()
+	u.KeyAt(1)
+}

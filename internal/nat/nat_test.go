@@ -1,0 +1,207 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func testTrace(segments int, packets int) *trace.Trace {
+	return trace.Synthesize(trace.SynthConfig{
+		Packets:   packets,
+		BaseFlows: packets / 20,
+		Segments:  segments,
+		Duration:  time.Second,
+		Seed:      42,
+	})
+}
+
+func newCache(kind policy.Kind, mem int) policy.Cache {
+	return policy.NewForMemory(kind, mem, policy.Options{
+		Seed:             1,
+		Merge:            MergeNAT,
+		TimeoutThreshold: 50 * time.Millisecond,
+	})
+}
+
+func TestMergeNAT(t *testing.T) {
+	if MergeNAT(5, Placeholder) != 5 {
+		t.Error("placeholder overwrote a real translation")
+	}
+	if MergeNAT(Placeholder, 9) != 9 {
+		t.Error("real translation did not land")
+	}
+	if MergeNAT(5, 9) != 9 {
+		t.Error("newer translation did not land")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	tr := testTrace(1, 50000)
+	res := Run(tr, Config{
+		Cache:         newCache(policy.KindP4LRU3, 256*1024),
+		SlowPathDelay: time.Millisecond,
+	})
+	if res.Packets != len(tr.Packets) {
+		t.Fatalf("packets = %d, want %d", res.Packets, len(tr.Packets))
+	}
+	if res.Hits+res.PlaceholderHits+res.Misses != res.Packets {
+		t.Fatalf("accounting: %d + %d + %d != %d",
+			res.Hits, res.PlaceholderHits, res.Misses, res.Packets)
+	}
+	if res.MissRate <= 0 || res.MissRate >= 1 {
+		t.Errorf("miss rate = %v", res.MissRate)
+	}
+	if res.SlowPathTrips != res.Misses+res.PlaceholderHits {
+		t.Errorf("slow path trips = %d, want %d", res.SlowPathTrips, res.Misses+res.PlaceholderHits)
+	}
+	if res.AvgAddedLatency <= 0 {
+		t.Errorf("avg latency = %v", res.AvgAddedLatency)
+	}
+	if res.CacheEntries == 0 {
+		t.Error("cache ended empty")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr := testTrace(4, 20000)
+	run := func() Result {
+		return Run(tr, Config{
+			Cache:         newCache(policy.KindP4LRU3, 64*1024),
+			SlowPathDelay: time.Millisecond,
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestMissRateRisesWithConcurrency reproduces the Figure 9(a) trend: more
+// concurrent flows ⇒ higher fast-path miss rate.
+func TestMissRateRisesWithConcurrency(t *testing.T) {
+	miss := map[int]float64{}
+	for _, n := range []int{1, 60} {
+		tr := testTrace(n, 100000)
+		res := Run(tr, Config{
+			Cache:         newCache(policy.KindP4LRU3, 128*1024),
+			SlowPathDelay: time.Millisecond,
+		})
+		miss[n] = res.MissRate
+	}
+	if miss[60] <= miss[1] {
+		t.Errorf("miss rate CAIDA60 %.4f not above CAIDA1 %.4f", miss[60], miss[1])
+	}
+}
+
+// TestP4LRU3BeatsBaseline reproduces the headline Figure 9 comparison:
+// the P4LRU3 cache must produce a lower miss rate (and hence latency) than
+// the hash-table baseline at equal memory.
+func TestP4LRU3BeatsBaseline(t *testing.T) {
+	tr := testTrace(30, 100000)
+	cfg := func(kind policy.Kind) Config {
+		return Config{
+			Cache:         newCache(kind, 128*1024),
+			SlowPathDelay: time.Millisecond,
+		}
+	}
+	p3 := Run(tr, cfg(policy.KindP4LRU3))
+	p1 := Run(tr, cfg(policy.KindP4LRU1))
+	if p3.MissRate >= p1.MissRate {
+		t.Errorf("p4lru3 miss %.4f not below baseline %.4f", p3.MissRate, p1.MissRate)
+	}
+	if p3.AvgAddedLatency >= p1.AvgAddedLatency {
+		t.Errorf("p4lru3 latency %v not below baseline %v", p3.AvgAddedLatency, p1.AvgAddedLatency)
+	}
+}
+
+// TestLatencyScalesWithSlowPath: average added latency must grow with ΔT
+// and stay between the fast-path floor and ΔT.
+func TestLatencyScalesWithSlowPath(t *testing.T) {
+	tr := testTrace(10, 50000)
+	var prev time.Duration
+	for _, dt := range []time.Duration{100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond} {
+		res := Run(tr, Config{
+			Cache:         newCache(policy.KindP4LRU3, 128*1024),
+			SlowPathDelay: dt,
+		})
+		if res.AvgAddedLatency <= prev {
+			t.Errorf("ΔT=%v: latency %v not increasing", dt, res.AvgAddedLatency)
+		}
+		if res.AvgAddedLatency >= dt+time.Microsecond {
+			t.Errorf("ΔT=%v: avg latency %v above ΔT", dt, res.AvgAddedLatency)
+		}
+		prev = res.AvgAddedLatency
+	}
+}
+
+// TestSlowPathFillsPlaceholders: after the slow-path reply lands, repeat
+// traffic to the same flow must take the fast path with the real address.
+func TestSlowPathFillsPlaceholders(t *testing.T) {
+	// Two packets of the same flow, far enough apart for the reply.
+	tr := &trace.Trace{Packets: []trace.Packet{
+		{Time: 0, Flow: 77, Size: 100},
+		{Time: 10 * time.Millisecond, Flow: 77, Size: 100},
+	}}
+	res := Run(tr, Config{
+		Cache:         newCache(policy.KindP4LRU3, 64*1024),
+		SlowPathDelay: time.Millisecond,
+	})
+	if res.Misses != 1 || res.Hits != 1 || res.PlaceholderHits != 0 {
+		t.Errorf("miss/hit/placeholder = %d/%d/%d, want 1/1/0",
+			res.Misses, res.Hits, res.PlaceholderHits)
+	}
+}
+
+// TestPlaceholderHitBeforeReply: a second packet arriving before the reply
+// must count as a placeholder hit (slow path, no second reply).
+func TestPlaceholderHitBeforeReply(t *testing.T) {
+	tr := &trace.Trace{Packets: []trace.Packet{
+		{Time: 0, Flow: 77, Size: 100},
+		{Time: 10 * time.Microsecond, Flow: 77, Size: 100}, // reply lands at 1ms
+	}}
+	res := Run(tr, Config{
+		Cache:         newCache(policy.KindP4LRU3, 64*1024),
+		SlowPathDelay: time.Millisecond,
+	})
+	if res.Misses != 1 || res.PlaceholderHits != 1 || res.Hits != 0 {
+		t.Errorf("miss/hit/placeholder = %d/%d/%d, want 1/0/1",
+			res.Misses, res.Hits, res.PlaceholderHits)
+	}
+	// Exactly one slow-path reply was generated for the miss; the
+	// placeholder hit added a control-plane trip but no cache update.
+	if res.SlowPathTrips != 2 {
+		t.Errorf("slow path trips = %d, want 2", res.SlowPathTrips)
+	}
+}
+
+// TestSimilarityOrdering: Figure 15(b) — P4LRU3 similarity above P4LRU1.
+func TestSimilarityOrdering(t *testing.T) {
+	tr := testTrace(20, 60000)
+	run := func(kind policy.Kind) float64 {
+		return Run(tr, Config{
+			Cache:           newCache(kind, 32*1024),
+			SlowPathDelay:   time.Millisecond,
+			TrackSimilarity: true,
+		}).Similarity
+	}
+	s3, s1 := run(policy.KindP4LRU3), run(policy.KindP4LRU1)
+	if s3 <= s1 {
+		t.Errorf("similarity p4lru3 %.3f not above p4lru1 %.3f", s3, s1)
+	}
+	ideal := run(policy.KindIdeal)
+	if ideal != 1 {
+		t.Errorf("ideal similarity = %.3f, want 1", ideal)
+	}
+}
+
+func TestRunPanicsWithoutCache(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil cache accepted")
+		}
+	}()
+	Run(&trace.Trace{}, Config{})
+}

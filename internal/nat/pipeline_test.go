@@ -1,0 +1,55 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/pipeline"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+// TestLruTableOnPipelineDataplane runs the whole LruTable simulation twice —
+// once on the plain-Go P4LRU3 array and once on the pipeline-realized
+// program (same hash seed) — and requires identical system-level results:
+// the constraint-checked data plane tells the same story end to end.
+func TestLruTableOnPipelineDataplane(t *testing.T) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Packets:   120_000,
+		BaseFlows: 10_000,
+		Segments:  20,
+		Duration:  time.Second,
+		Seed:      21,
+	})
+	const units = 1 << 10
+	const seed = 77
+
+	cfg := func(c policy.Cache) Config {
+		return Config{Cache: c, SlowPathDelay: time.Millisecond}
+	}
+
+	plain := Run(tr, cfg(policy.NewP4LRU(3, units, seed, MergeNAT)))
+
+	arr, err := pipeline.BuildCacheArray3("natdp", units, seed, pipeline.ModeRead, pipeline.TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := Run(tr, cfg(arr.AsPolicyCache()))
+
+	if plain.Packets != piped.Packets ||
+		plain.Hits != piped.Hits ||
+		plain.PlaceholderHits != piped.PlaceholderHits ||
+		plain.Misses != piped.Misses ||
+		plain.SlowPathTrips != piped.SlowPathTrips {
+		t.Fatalf("system results diverge:\nplain: %+v\npipeline: %+v", plain, piped)
+	}
+	if plain.AvgAddedLatency != piped.AvgAddedLatency {
+		t.Errorf("latency diverges: %v vs %v", plain.AvgAddedLatency, piped.AvgAddedLatency)
+	}
+	if plain.CacheEntries != piped.CacheEntries {
+		t.Errorf("final cache occupancy diverges: %d vs %d", plain.CacheEntries, piped.CacheEntries)
+	}
+	if piped.MissRate <= 0 {
+		t.Error("pipeline run degenerate (no misses)")
+	}
+}

@@ -1,0 +1,118 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Client issues point queries through the switch and validates replies.
+type Client struct {
+	conn *net.UDPConn
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	// Timeout bounds each round trip (lost datagrams count as failures).
+	Timeout time.Duration
+}
+
+// NewClient dials the switch. items bounds the key space (keys 1..items);
+// skew shapes popularity.
+func NewClient(switchAddr *net.UDPAddr, items int, skew float64, seed int64) (*Client, error) {
+	conn, err := net.DialUDP("udp", nil, switchAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: dial switch: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Client{
+		conn:    conn,
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, skew, 1, uint64(items-1)),
+		Timeout: 2 * time.Second,
+	}, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// QueryResult is one completed round trip.
+type QueryResult struct {
+	Key     uint64
+	Latency time.Duration
+	Cached  bool // the switch resolved the index
+	Valid   bool // the value matched the expected contents
+}
+
+// Query performs one synchronous round trip for key.
+func (c *Client) Query(key uint64) (QueryResult, error) {
+	start := time.Now()
+	req := Message{Type: MsgQuery, Key: key}
+	if _, err := c.conn.Write(req.Marshal()); err != nil {
+		return QueryResult{}, fmt.Errorf("netproto: send: %w", err)
+	}
+
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+		return QueryResult{}, err
+	}
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return QueryResult{}, fmt.Errorf("netproto: recv: %w", err)
+		}
+		var msg Message
+		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgReply {
+			continue
+		}
+		if msg.Key != key {
+			continue // stale reply from an earlier timed-out query
+		}
+		valid := len(msg.Value) >= 8 &&
+			binary.LittleEndian.Uint64(msg.Value) == key^0xbadc0ffee
+		return QueryResult{
+			Key:     key,
+			Latency: time.Since(start),
+			Cached:  msg.CachedFlag != 0,
+			Valid:   valid,
+		}, nil
+	}
+}
+
+// NextKey draws the next Zipf-popular key (1-based).
+func (c *Client) NextKey() uint64 { return c.zipf.Uint64() + 1 }
+
+// RunStats aggregates a Run.
+type RunStats struct {
+	Queries  int
+	Cached   int
+	Invalid  int
+	Failures int
+	AvgRTT   time.Duration
+}
+
+// Run performs count closed-loop queries.
+func (c *Client) Run(count int) RunStats {
+	var st RunStats
+	var total time.Duration
+	for i := 0; i < count; i++ {
+		res, err := c.Query(c.NextKey())
+		if err != nil {
+			st.Failures++
+			continue
+		}
+		st.Queries++
+		total += res.Latency
+		if res.Cached {
+			st.Cached++
+		}
+		if !res.Valid {
+			st.Invalid++
+		}
+	}
+	if st.Queries > 0 {
+		st.AvgRTT = total / time.Duration(st.Queries)
+	}
+	return st
+}

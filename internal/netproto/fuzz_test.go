@@ -1,0 +1,28 @@
+package netproto
+
+import "testing"
+
+// FuzzUnmarshal: the wire decoder must never panic, and anything it accepts
+// must re-marshal to an equivalent message.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add((&Message{Type: MsgQuery, Key: 7}).Marshal())
+	f.Add((&Message{Type: MsgReply, CachedFlag: 2, Key: 9, CachedIndex: 64,
+		Value: []byte("v")}).Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, headerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.Unmarshal(data); err != nil {
+			return
+		}
+		var again Message
+		if err := again.Unmarshal(m.Marshal()); err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if again.Type != m.Type || again.Key != m.Key ||
+			again.CachedFlag != m.CachedFlag || again.CachedIndex != m.CachedIndex {
+			t.Fatalf("round trip drifted: %+v vs %+v", again, m)
+		}
+	})
+}

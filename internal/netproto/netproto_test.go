@@ -1,0 +1,234 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{
+		Type:        MsgReply,
+		CachedFlag:  3,
+		Key:         0xdeadbeefcafe,
+		CachedIndex: 4096,
+		Value:       []byte("sixty-four bytes of payload....."),
+	}
+	var got Message
+	if err := got.Unmarshal(m.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.CachedFlag != m.CachedFlag ||
+		got.Key != m.Key || got.CachedIndex != m.CachedIndex ||
+		!bytes.Equal(got.Value, m.Value) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(flag uint8, key, idx uint64, val []byte, isQuery bool) bool {
+		typ := MsgReply
+		if isQuery {
+			typ = MsgQuery
+		}
+		m := Message{Type: typ, CachedFlag: flag, Key: key, CachedIndex: idx, Value: val}
+		var got Message
+		if err := got.Unmarshal(m.Marshal()); err != nil {
+			return false
+		}
+		return got.Type == m.Type && got.CachedFlag == flag &&
+			got.Key == key && got.CachedIndex == idx && bytes.Equal(got.Value, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10), // short
+		append([]byte{0, 0}, make([]byte, 22)...), // bad magic
+		(&Message{Type: 9, Key: 1}).Marshal(),     // bad type
+	}
+	// Craft a bad-version packet.
+	badVer := (&Message{Type: MsgQuery}).Marshal()
+	badVer[2] = 99
+	cases = append(cases, badVer)
+
+	var m Message
+	for i, c := range cases {
+		if err := m.Unmarshal(c); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("case %d: err = %v, want ErrBadMessage", i, err)
+		}
+	}
+}
+
+// startStack brings up server + switch on loopback.
+func startStack(t *testing.T, items, levels, units int) (*Server, *Switch) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", items)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), levels, units, 1)
+	if err != nil {
+		srv.Close()
+		t.Fatalf("switch: %v", err)
+	}
+	t.Cleanup(func() {
+		sw.Close()
+		srv.Close()
+	})
+	return srv, sw
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	srv, sw := startStack(t, 1000, 2, 64)
+	cl, err := NewClient(sw.Addr(), 1000, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// First query for a key: a miss that walks the index.
+	res, err := cl.Query(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Error("first query reported cached")
+	}
+	if !res.Valid {
+		t.Error("first query returned a bad value")
+	}
+
+	// Second query: the switch must now resolve the index.
+	res, err = cl.Query(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("second query not served from the index cache")
+	}
+	if !res.Valid {
+		t.Error("cached query returned a bad value — stale index")
+	}
+
+	queries, walks, nodes := srv.Stats()
+	if queries != 2 || walks != 1 {
+		t.Errorf("server stats: queries=%d walks=%d, want 2/1", queries, walks)
+	}
+	if nodes == 0 {
+		t.Error("no nodes walked on the miss")
+	}
+	if q, h := sw.Stats(); q != 2 || h != 1 {
+		t.Errorf("switch stats: queries=%d hits=%d, want 2/1", q, h)
+	}
+}
+
+func TestEndToEndWorkload(t *testing.T) {
+	srv, sw := startStack(t, 5000, 4, 256)
+	cl, err := NewClient(sw.Addr(), 5000, 1.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	st := cl.Run(3000)
+	if st.Failures > 30 {
+		t.Fatalf("%d/%d queries failed", st.Failures, 3000)
+	}
+	if st.Invalid != 0 {
+		t.Fatalf("%d invalid values — cached indexes must stay correct", st.Invalid)
+	}
+	hitRate := float64(st.Cached) / float64(st.Queries)
+	if hitRate < 0.3 {
+		t.Errorf("hit rate %.3f too low for a Zipf workload", hitRate)
+	}
+	if sw.CacheLen() == 0 {
+		t.Error("switch cache empty after workload")
+	}
+	// Cached queries must skip the index walk.
+	q, walks, _ := srv.Stats()
+	if walks >= q {
+		t.Errorf("every query walked the index (%d/%d) despite caching", walks, q)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, sw := startStack(t, 2000, 2, 256)
+	const clients = 4
+	const per = 500
+
+	var wg sync.WaitGroup
+	stats := make([]RunStats, clients)
+	for i := 0; i < clients; i++ {
+		cl, err := NewClient(sw.Addr(), 2000, 1.2, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			stats[i] = cl.Run(per)
+		}(i, cl)
+	}
+	wg.Wait()
+
+	totalInvalid, totalOK := 0, 0
+	for _, st := range stats {
+		totalInvalid += st.Invalid
+		totalOK += st.Queries
+	}
+	if totalInvalid != 0 {
+		t.Errorf("%d invalid values under concurrency", totalInvalid)
+	}
+	if totalOK < clients*per*9/10 {
+		t.Errorf("only %d/%d queries completed", totalOK, clients*per)
+	}
+}
+
+func TestCloseIsIdempotentAndUnblocks(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), 1, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Errorf("switch close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+}
+
+func BenchmarkEndToEndQuery(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), 4, 512, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sw.Close()
+	cl, err := NewClient(sw.Addr(), 10000, 1.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Query(cl.NextKey()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/p4lru/p4lru/internal/kvindex"
+)
+
+// Server answers MsgQuery packets over UDP from the kvindex database: when
+// the query carries a cached_flag it reads the value straight from the
+// arena; otherwise it walks the B+ tree and embeds the resolved index into
+// the reply so the switch can cache it.
+type Server struct {
+	conn *net.UDPConn
+	db   *kvindex.Server
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Stats.
+	queries     atomic.Int64
+	indexWalks  atomic.Int64
+	nodesWalked atomic.Int64
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0") over a database of
+// `items` keys.
+func NewServer(addr string, items int) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: listen: %w", err)
+	}
+	s := &Server{conn: conn, db: kvindex.NewServer(items)}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns (queries served, full index walks, total nodes walked).
+func (s *Server) Stats() (queries, walks, nodes int64) {
+	return s.queries.Load(), s.indexWalks.Load(), s.nodesWalked.Load()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		var msg Message
+		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgQuery {
+			continue // drop malformed traffic
+		}
+		s.queries.Add(1)
+
+		idx, value, nodes, ok := s.db.Resolve(msg.Key, msg.CachedIndex, msg.CachedFlag != 0)
+		if !ok {
+			continue // unknown key: drop (clients only ask for loaded keys)
+		}
+		if nodes > 0 {
+			s.indexWalks.Add(1)
+			s.nodesWalked.Add(int64(nodes))
+		}
+
+		reply := Message{
+			Type:        MsgReply,
+			CachedFlag:  msg.CachedFlag,
+			Key:         msg.Key,
+			CachedIndex: idx,
+			Value:       value,
+		}
+		if _, err := s.conn.WriteToUDP(reply.Marshal(), peer); err != nil && s.closed.Load() {
+			return
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/p4lru/p4lru/internal/lru"
+)
+
+// Switch is the in-network middlebox: a UDP proxy between clients and the
+// server that carries the series-connected P4LRU3 index cache. Query packets
+// consult the cache read-only and stamp cached_flag/cached_index; reply
+// packets perform the only cache mutations (§3.2's query/update separation).
+//
+// A hardware pipeline serializes packets; this software stand-in uses a
+// mutex around the cache instead, and a peer table to route replies back to
+// the querying client (the role the network's addressing plays on a real
+// switch path).
+type Switch struct {
+	clientConn *net.UDPConn // faces clients
+	serverConn *net.UDPConn // faces the server
+	serverAddr *net.UDPAddr
+
+	mu    sync.Mutex
+	cache *lru.Series[uint64]
+	peers map[uint64]*net.UDPAddr // key → last querying client
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Stats.
+	queries atomic.Int64
+	hits    atomic.Int64
+}
+
+// NewSwitch starts a switch listening on listenAddr, forwarding to
+// serverAddr, with a `levels`-deep series of P4LRU3 arrays of numUnits units.
+func NewSwitch(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int, seed uint64) (*Switch, error) {
+	la, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: resolve %q: %w", listenAddr, err)
+	}
+	clientConn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: listen client side: %w", err)
+	}
+	serverConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		clientConn.Close()
+		return nil, fmt.Errorf("netproto: listen server side: %w", err)
+	}
+	sw := &Switch{
+		clientConn: clientConn,
+		serverConn: serverConn,
+		serverAddr: serverAddr,
+		cache:      lru.NewSeries3[uint64](levels, numUnits, seed, nil),
+		peers:      make(map[uint64]*net.UDPAddr),
+	}
+	sw.wg.Add(2)
+	go sw.clientLoop()
+	go sw.serverLoop()
+	return sw, nil
+}
+
+// Addr returns the client-facing address.
+func (sw *Switch) Addr() *net.UDPAddr { return sw.clientConn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns (queries seen, cache hits).
+func (sw *Switch) Stats() (queries, hits int64) {
+	return sw.queries.Load(), sw.hits.Load()
+}
+
+// CacheLen returns the number of cached indexes.
+func (sw *Switch) CacheLen() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.cache.Len()
+}
+
+// Close stops both proxy directions.
+func (sw *Switch) Close() error {
+	sw.closed.Store(true)
+	err1 := sw.clientConn.Close()
+	err2 := sw.serverConn.Close()
+	sw.wg.Wait()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// clientLoop handles the query direction: client → (cache lookup) → server.
+func (sw *Switch) clientLoop() {
+	defer sw.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := sw.clientConn.ReadFromUDP(buf)
+		if err != nil {
+			if sw.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		var msg Message
+		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgQuery {
+			continue
+		}
+		sw.queries.Add(1)
+
+		// Read-only cache consult; stamp the header fields.
+		sw.mu.Lock()
+		idx, level, ok := sw.cache.Query(msg.Key)
+		sw.peers[msg.Key] = peer
+		sw.mu.Unlock()
+		if ok {
+			sw.hits.Add(1)
+			msg.CachedFlag = uint8(level)
+			msg.CachedIndex = idx
+		} else {
+			msg.CachedFlag = 0
+			msg.CachedIndex = 0
+		}
+
+		if _, err := sw.serverConn.WriteToUDP(msg.Marshal(), sw.serverAddr); err != nil && sw.closed.Load() {
+			return
+		}
+	}
+}
+
+// serverLoop handles the reply direction: server → (cache update) → client.
+func (sw *Switch) serverLoop() {
+	defer sw.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := sw.serverConn.ReadFromUDP(buf)
+		if err != nil {
+			if sw.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		var msg Message
+		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgReply {
+			continue
+		}
+
+		// The reply path performs the only cache mutation: promote the key
+		// at its level, or insert at level 1 and cascade demotions.
+		sw.mu.Lock()
+		sw.cache.Reply(msg.Key, msg.CachedIndex, int(msg.CachedFlag))
+		peer := sw.peers[msg.Key]
+		sw.mu.Unlock()
+		if peer == nil {
+			continue
+		}
+		if _, err := sw.clientConn.WriteToUDP(msg.Marshal(), peer); err != nil && sw.closed.Load() {
+			return
+		}
+	}
+}

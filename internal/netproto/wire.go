@@ -1,0 +1,98 @@
+// Package netproto is a wire-level deployment of the LruIndex protocol
+// (§3.2) over UDP: a client, an in-network switch middlebox holding the
+// series-connected P4LRU cache, and a database server.
+//
+// The paper's packets carry two extra header fields, cached_flag and
+// cached_index; this package defines that header, a Server that answers
+// queries (skipping its B+ tree walk when the index comes pre-resolved), a
+// Switch that proxies packets while maintaining the cache exactly as §3.2
+// prescribes (read-only on the query path, mutating on the reply path), and
+// a Client driver.
+//
+// Everything binds to caller-supplied addresses (use "127.0.0.1:0" in
+// tests); components run until Close.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgQuery travels client → switch → server.
+	MsgQuery MsgType = 1
+	// MsgReply travels server → switch → client, carrying the value and
+	// the resolved index.
+	MsgReply MsgType = 2
+)
+
+// Wire layout (little endian):
+//
+//	offset size field
+//	0      2    magic 0x4C50 ("PL")
+//	2      1    version (1)
+//	3      1    type
+//	4      1    cached_flag (0 = not cached, i = series level)
+//	5      3    reserved
+//	8      8    key
+//	16     8    cached_index
+//	24     ...  value (replies only)
+const (
+	headerSize  = 24
+	wireMagic   = 0x4C50
+	wireVersion = 1
+)
+
+// Message is one protocol packet.
+type Message struct {
+	Type        MsgType
+	CachedFlag  uint8
+	Key         uint64
+	CachedIndex uint64
+	Value       []byte // replies only
+}
+
+// ErrBadMessage reports a malformed packet.
+var ErrBadMessage = errors.New("netproto: bad message")
+
+// Marshal encodes m into a fresh buffer.
+func (m *Message) Marshal() []byte {
+	buf := make([]byte, headerSize+len(m.Value))
+	binary.LittleEndian.PutUint16(buf[0:2], wireMagic)
+	buf[2] = wireVersion
+	buf[3] = byte(m.Type)
+	buf[4] = m.CachedFlag
+	binary.LittleEndian.PutUint64(buf[8:16], m.Key)
+	binary.LittleEndian.PutUint64(buf[16:24], m.CachedIndex)
+	copy(buf[headerSize:], m.Value)
+	return buf
+}
+
+// Unmarshal decodes a packet into m. The value slice aliases data.
+func (m *Message) Unmarshal(data []byte) error {
+	if len(data) < headerSize {
+		return fmt.Errorf("%w: %d bytes", ErrBadMessage, len(data))
+	}
+	if binary.LittleEndian.Uint16(data[0:2]) != wireMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if data[2] != wireVersion {
+		return fmt.Errorf("%w: version %d", ErrBadMessage, data[2])
+	}
+	switch MsgType(data[3]) {
+	case MsgQuery, MsgReply:
+		m.Type = MsgType(data[3])
+	default:
+		return fmt.Errorf("%w: type %d", ErrBadMessage, data[3])
+	}
+	m.CachedFlag = data[4]
+	m.Key = binary.LittleEndian.Uint64(data[8:16])
+	m.CachedIndex = binary.LittleEndian.Uint64(data[16:24])
+	m.Value = data[headerSize:]
+	return nil
+}

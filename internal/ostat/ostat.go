@@ -1,0 +1,177 @@
+// Package ostat provides an order-statistic set over int64 keys — a
+// randomized treap supporting O(log n) insert, delete, and rank queries.
+//
+// The LRU-similarity metric of the paper's §4.2 needs, for every evicted
+// cache entry, the rank of its last-access time among the last-access times
+// of all currently cached entries; with millions of evictions a balanced
+// order-statistic structure is required.
+package ostat
+
+// Set is an order-statistic set of distinct int64 keys.
+// The zero value is an empty set ready to use.
+type Set struct {
+	root *node
+	rng  uint64
+}
+
+type node struct {
+	key         int64
+	prio        uint32
+	size        int
+	left, right *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// nextPrio is an xorshift64* PRNG; treap priorities only need to be
+// well-scattered, not cryptographic.
+func (s *Set) nextPrio() uint32 {
+	if s.rng == 0 {
+		s.rng = 0x2545f4914f6cdd1d
+	}
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return uint32(s.rng >> 32)
+}
+
+// Len returns the number of keys in the set.
+func (s *Set) Len() int { return size(s.root) }
+
+// split partitions t into (< key, ≥ key).
+func split(t *node, key int64) (l, r *node) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.key < key {
+		t.right, r = split(t.right, key)
+		t.update()
+		return t, r
+	}
+	l, t.left = split(t.left, key)
+	t.update()
+	return l, t
+}
+
+// merge joins l and r assuming every key in l is smaller than every key in r.
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio >= r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// Insert adds key to the set. It reports whether the key was newly added
+// (false if already present).
+func (s *Set) Insert(key int64) bool {
+	if s.Contains(key) {
+		return false
+	}
+	l, r := split(s.root, key)
+	n := &node{key: key, prio: s.nextPrio(), size: 1}
+	s.root = merge(merge(l, n), r)
+	return true
+}
+
+// Delete removes key from the set. It reports whether the key was present.
+func (s *Set) Delete(key int64) bool {
+	l, r := split(s.root, key)
+	mid, rest := split(r, key+1)
+	s.root = merge(l, rest)
+	return mid != nil
+}
+
+// Contains reports whether key is in the set.
+func (s *Set) Contains(key int64) bool {
+	n := s.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Rank returns the number of keys ≤ key (1-based rank of key if present).
+func (s *Set) Rank(key int64) int {
+	rank := 0
+	n := s.root
+	for n != nil {
+		if key < n.key {
+			n = n.left
+		} else {
+			rank += size(n.left) + 1
+			n = n.right
+		}
+	}
+	return rank
+}
+
+// Min returns the smallest key. ok is false for an empty set.
+func (s *Set) Min() (key int64, ok bool) {
+	n := s.root
+	if n == nil {
+		return 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// Max returns the largest key. ok is false for an empty set.
+func (s *Set) Max() (key int64, ok bool) {
+	n := s.root
+	if n == nil {
+		return 0, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// Kth returns the k-th smallest key (1-based). ok is false if k is out of
+// range.
+func (s *Set) Kth(k int) (key int64, ok bool) {
+	if k < 1 || k > s.Len() {
+		return 0, false
+	}
+	n := s.root
+	for {
+		ls := size(n.left)
+		switch {
+		case k <= ls:
+			n = n.left
+		case k == ls+1:
+			return n.key, true
+		default:
+			k -= ls + 1
+			n = n.right
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package ostat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s Set
+	if s.Len() != 0 {
+		t.Errorf("empty Len = %d", s.Len())
+	}
+	if s.Contains(0) {
+		t.Error("empty set contains 0")
+	}
+	if s.Rank(100) != 0 {
+		t.Errorf("empty Rank = %d", s.Rank(100))
+	}
+	if _, ok := s.Min(); ok {
+		t.Error("empty Min ok")
+	}
+	if _, ok := s.Max(); ok {
+		t.Error("empty Max ok")
+	}
+	if _, ok := s.Kth(1); ok {
+		t.Error("empty Kth ok")
+	}
+	if s.Delete(5) {
+		t.Error("delete from empty returned true")
+	}
+}
+
+func TestInsertContainsDelete(t *testing.T) {
+	var s Set
+	keys := []int64{5, 1, 9, 3, 7, -2, 100}
+	for _, k := range keys {
+		if !s.Insert(k) {
+			t.Errorf("Insert(%d) = false", k)
+		}
+	}
+	if s.Insert(5) {
+		t.Error("duplicate Insert(5) = true")
+	}
+	if s.Len() != len(keys) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(keys))
+	}
+	for _, k := range keys {
+		if !s.Contains(k) {
+			t.Errorf("Contains(%d) = false", k)
+		}
+	}
+	if s.Contains(4) {
+		t.Error("Contains(4) = true")
+	}
+	if !s.Delete(3) {
+		t.Error("Delete(3) = false")
+	}
+	if s.Contains(3) {
+		t.Error("Contains(3) after delete")
+	}
+	if s.Delete(3) {
+		t.Error("second Delete(3) = true")
+	}
+	if s.Len() != len(keys)-1 {
+		t.Errorf("Len after delete = %d", s.Len())
+	}
+}
+
+func TestRank(t *testing.T) {
+	var s Set
+	for _, k := range []int64{10, 20, 30, 40, 50} {
+		s.Insert(k)
+	}
+	cases := []struct {
+		key  int64
+		want int
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {20, 2}, {35, 3}, {50, 5}, {99, 5},
+	}
+	for _, c := range cases {
+		if got := s.Rank(c.key); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxKth(t *testing.T) {
+	var s Set
+	keys := []int64{42, 7, 19, 3, 88}
+	for _, k := range keys {
+		s.Insert(k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if min, _ := s.Min(); min != keys[0] {
+		t.Errorf("Min = %d, want %d", min, keys[0])
+	}
+	if max, _ := s.Max(); max != keys[len(keys)-1] {
+		t.Errorf("Max = %d", max)
+	}
+	for i, want := range keys {
+		got, ok := s.Kth(i + 1)
+		if !ok || got != want {
+			t.Errorf("Kth(%d) = %d,%v, want %d", i+1, got, ok, want)
+		}
+	}
+	if _, ok := s.Kth(0); ok {
+		t.Error("Kth(0) ok")
+	}
+	if _, ok := s.Kth(len(keys) + 1); ok {
+		t.Error("Kth(n+1) ok")
+	}
+}
+
+// TestAgainstReference drives the treap alongside a sorted-slice reference
+// with a random operation mix.
+func TestAgainstReference(t *testing.T) {
+	var s Set
+	ref := map[int64]bool{}
+	r := rand.New(rand.NewSource(7))
+	for op := 0; op < 20000; op++ {
+		k := int64(r.Intn(500))
+		switch r.Intn(3) {
+		case 0:
+			got := s.Insert(k)
+			want := !ref[k]
+			if got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", op, k, got, want)
+			}
+			ref[k] = true
+		case 1:
+			got := s.Delete(k)
+			if got != ref[k] {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, ref[k])
+			}
+			delete(ref, k)
+		case 2:
+			want := 0
+			for rk := range ref {
+				if rk <= k {
+					want++
+				}
+			}
+			if got := s.Rank(k); got != want {
+				t.Fatalf("op %d: Rank(%d) = %d, want %d", op, k, got, want)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, s.Len(), len(ref))
+		}
+	}
+}
+
+// Property: after inserting any set of keys, Rank(Kth(i)) == i.
+func TestRankKthInverseProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		var s Set
+		for _, k := range keys {
+			s.Insert(k)
+		}
+		for i := 1; i <= s.Len(); i++ {
+			k, ok := s.Kth(i)
+			if !ok || s.Rank(k) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonically increasing inserts keep rank = position.
+func TestSequentialInsertRanks(t *testing.T) {
+	var s Set
+	for i := int64(1); i <= 1000; i++ {
+		s.Insert(i)
+		if got := s.Rank(i); got != int(i) {
+			t.Fatalf("Rank(%d) = %d", i, got)
+		}
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	var s Set
+	for i := 0; i < b.N; i++ {
+		s.Insert(int64(i))
+		if i >= 100000 {
+			s.Delete(int64(i - 100000))
+		}
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	var s Set
+	for i := int64(0); i < 100000; i++ {
+		s.Insert(i * 3)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Rank(int64(i % 300000))
+	}
+	_ = sink
+}

@@ -1,0 +1,62 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+// FuzzParse: the frame parser must never panic on arbitrary bytes, and any
+// frame it accepts must carry a self-consistent wire length.
+func FuzzParse(f *testing.F) {
+	f.Add(Build(sampleTuple(), 100))
+	tcp := sampleTuple()
+	tcp.Proto = ProtoTCP
+	f.Add(Build(tcp, 1514))
+	f.Add([]byte{})
+	f.Add(make([]byte, EthernetHeaderLen+IPv4HeaderLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if fr.WireLen < EthernetHeaderLen+IPv4HeaderLen {
+			t.Fatalf("accepted frame with wire length %d", fr.WireLen)
+		}
+		if fr.Tuple.Proto != ProtoTCP && fr.Tuple.Proto != ProtoUDP {
+			t.Fatalf("accepted protocol %d", fr.Tuple.Proto)
+		}
+	})
+}
+
+// FuzzReadPcap: the capture reader must never panic; accepted captures must
+// produce time-ordered... (pcap timestamps may jitter; we only require no
+// panic and bounded sizes).
+func FuzzReadPcap(f *testing.F) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Packets: 30, BaseFlows: 5, Duration: 10 * time.Millisecond, Seed: 2,
+	})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:30])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, _, err := ReadPcap(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, p := range got.Packets {
+			if p.Size > 0xffff {
+				t.Fatalf("size %d overflows", p.Size)
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func sampleTuple() FiveTuple {
+	return FiveTuple{
+		SrcIP:   [4]byte{10, 1, 2, 3},
+		DstIP:   [4]byte{192, 168, 0, 9},
+		SrcPort: 4444,
+		DstPort: 53,
+		Proto:   ProtoUDP,
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	for _, proto := range []uint8{ProtoUDP, ProtoTCP} {
+		ft := sampleTuple()
+		ft.Proto = proto
+		for _, wireLen := range []int{0, 64, 200, 1514} {
+			frame := Build(ft, wireLen)
+			f, err := Parse(frame)
+			if err != nil {
+				t.Fatalf("proto %d len %d: %v", proto, wireLen, err)
+			}
+			if f.Tuple != ft {
+				t.Fatalf("tuple %+v, want %+v", f.Tuple, ft)
+			}
+			want := wireLen
+			if min := EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen; want < min {
+				want = len(frame)
+			}
+			if f.WireLen != want {
+				t.Errorf("wireLen %d, want %d", f.WireLen, want)
+			}
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	good := Build(sampleTuple(), 100)
+
+	// Truncated.
+	if _, err := Parse(good[:20]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+	// Wrong EtherType.
+	bad := append([]byte(nil), good...)
+	bad[12] = 0x86
+	if _, err := Parse(bad); !errors.Is(err, ErrNotIPv4) {
+		t.Errorf("ethertype: %v", err)
+	}
+	// Corrupted IP header → checksum failure.
+	bad = append([]byte(nil), good...)
+	bad[EthernetHeaderLen+8] ^= 0xff // TTL
+	if _, err := Parse(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("checksum: %v", err)
+	}
+	// Unsupported protocol (rebuild checksum so it gets that far).
+	bad = append([]byte(nil), good...)
+	ip := bad[EthernetHeaderLen:]
+	ip[9] = 1 // ICMP
+	ip[10], ip[11] = 0, 0
+	c := Checksum(ip[:IPv4HeaderLen])
+	ip[10], ip[11] = byte(c>>8), byte(c)
+	if _, err := Parse(bad); !errors.Is(err, ErrProto) {
+		t.Errorf("proto: %v", err)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	// RFC 1071 example: the checksum of data including its own checksum
+	// field is zero.
+	hdr := Build(sampleTuple(), 64)[EthernetHeaderLen:][:IPv4HeaderLen]
+	if Checksum(hdr) != 0 {
+		t.Error("checksum over valid header not zero")
+	}
+	// Odd length handled.
+	if Checksum([]byte{0x01}) != ^uint16(0x0100) {
+		t.Errorf("odd-length checksum = %#x", Checksum([]byte{0x01}))
+	}
+}
+
+func TestKeyProperties(t *testing.T) {
+	a := sampleTuple()
+	b := a
+	b.SrcPort++
+	if a.Key() == b.Key() {
+		t.Error("port change did not change key")
+	}
+	if a.Key() != sampleTuple().Key() {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestKeyCollisionRate(t *testing.T) {
+	f := func(s1, d1 [4]byte, sp, dp uint16) bool {
+		a := FiveTuple{SrcIP: s1, DstIP: d1, SrcPort: sp, DstPort: dp, Proto: ProtoTCP}
+		b := a
+		b.DstIP[3] ^= 1
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := sampleTuple().String()
+	if got != "10.1.2.3:4444→192.168.0.9:53/17" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	src := trace.Synthesize(trace.SynthConfig{
+		Packets: 5000, BaseFlows: 500, Segments: 2, Duration: time.Second, Seed: 4,
+	})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("%d frames skipped", skipped)
+	}
+	if len(got.Packets) != len(src.Packets) {
+		t.Fatalf("packets %d vs %d", len(got.Packets), len(src.Packets))
+	}
+	// Flow structure must survive: same number of distinct flows, and the
+	// same packets-per-flow multiset (keys are rewritten to tuple keys).
+	countFlows := func(tr *trace.Trace) map[uint64]int {
+		m := map[uint64]int{}
+		for _, p := range tr.Packets {
+			m[p.Flow]++
+		}
+		return m
+	}
+	a, b := countFlows(src), countFlows(got)
+	if len(a) != len(b) {
+		t.Fatalf("flows %d vs %d", len(a), len(b))
+	}
+	hist := func(m map[uint64]int) map[int]int {
+		h := map[int]int{}
+		for _, c := range m {
+			h[c]++
+		}
+		return h
+	}
+	ha, hb := hist(a), hist(b)
+	for size, n := range ha {
+		if hb[size] != n {
+			t.Errorf("flow-size histogram differs at %d: %d vs %d", size, n, hb[size])
+		}
+	}
+	// Sizes survive via orig_len even though frames are snapped.
+	for i := range src.Packets {
+		if got.Packets[i].Size != src.Packets[i].Size {
+			t.Fatalf("packet %d size %d vs %d", i, got.Packets[i].Size, src.Packets[i].Size)
+		}
+	}
+	// Timestamps survive at microsecond resolution, rebased to the first
+	// packet (as ReadPcap documents).
+	base := src.Packets[0].Time
+	for i := range src.Packets {
+		d := got.Packets[i].Time - (src.Packets[i].Time - base)
+		if d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("packet %d time drift %v", i, d)
+		}
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	for i, b := range [][]byte{
+		nil,
+		[]byte("short"),
+		make([]byte, 24), // zero magic
+	} {
+		if _, _, err := ReadPcap(bytes.NewReader(b)); !errors.Is(err, ErrBadPcap) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	// Wrong link type.
+	var buf bytes.Buffer
+	_ = WritePcap(&buf, &trace.Trace{})
+	raw := buf.Bytes()
+	raw[20] = 101 // LINKTYPE_RAW
+	if _, _, err := ReadPcap(bytes.NewReader(raw)); !errors.Is(err, ErrBadPcap) {
+		t.Errorf("link type: %v", err)
+	}
+}
+
+func TestReadPcapTruncatedBody(t *testing.T) {
+	src := trace.Synthesize(trace.SynthConfig{Packets: 100, BaseFlows: 10, Seed: 1})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7]
+	if _, _, err := ReadPcap(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated pcap accepted")
+	}
+}
+
+func TestReadPcapSkipsForeignFrames(t *testing.T) {
+	// Hand-assemble a capture with one valid frame and one ARP frame.
+	var buf bytes.Buffer
+	src := &trace.Trace{Packets: []trace.Packet{{Time: 0, Flow: 1, Size: 100}}}
+	if err := WritePcap(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	arp := make([]byte, 42)
+	arp[12], arp[13] = 0x08, 0x06
+	var rec [16]byte
+	recLen := uint32(len(arp))
+	putU32 := func(off int, v uint32) {
+		rec[off] = byte(v)
+		rec[off+1] = byte(v >> 8)
+		rec[off+2] = byte(v >> 16)
+		rec[off+3] = byte(v >> 24)
+	}
+	putU32(8, recLen)
+	putU32(12, recLen)
+	buf.Write(rec[:])
+	buf.Write(arp)
+
+	tr, skipped, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || len(tr.Packets) != 1 {
+		t.Errorf("skipped=%d packets=%d, want 1/1", skipped, len(tr.Packets))
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	frame := Build(sampleTuple(), 1500)
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	ft := sampleTuple()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		ft.SrcPort = uint16(i)
+		sink ^= ft.Key()
+	}
+	_ = sink
+}

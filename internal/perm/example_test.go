@@ -1,0 +1,31 @@
+package perm_test
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/perm"
+)
+
+// The paper's Example 2 (§2.2): updating the cache state by pre-multiplying
+// with the inverse key-array rotation.
+func ExamplePerm_Compose() {
+	// After Example 1 the cache state is (1 2 3 4 5 / 4 1 2 3 5).
+	s := perm.MustNew(3, 0, 1, 2, 4)
+	// A full miss rotates all five keys: R = (1..5 / 2 3 4 5 1).
+	rinv := perm.RotationInverse(5, 4)
+	fmt.Println(rinv.Compose(s))
+	// Output:
+	// (1 2 3 4 5 / 5 4 1 2 3)
+}
+
+// S4 factors as coset-representative × Klein-four element — the §2.3.3
+// encoding behind P4LRU4.
+func ExampleDecomposeS4() {
+	g := perm.MustNew(2, 3, 0, 1) // (1 2 3 4 / 3 4 1 2)
+	d := perm.DecomposeS4(g)
+	fmt.Printf("S3 part %v, V4 index %d\n", d.K, d.H)
+	fmt.Println("recomposed:", d.Recompose())
+	// Output:
+	// S3 part (1 2 3 / 1 2 3), V4 index 2
+	// recomposed: (1 2 3 4 / 3 4 1 2)
+}

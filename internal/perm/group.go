@@ -1,0 +1,130 @@
+package perm
+
+import "fmt"
+
+// This file implements the group-theoretic machinery of the paper's §2.3.3:
+// the Klein four-group V4 inside S4, the quotient isomorphism S4/V4 ≅ S3,
+// and the unique factorization g = r(k)·h (k ∈ S3, h ∈ V4) that lets a
+// P4LRU4 cache state be stored as a (S3 code, 2-bit V4 code) pair.
+//
+// Throughout, "·" is the package's Compose convention ((a·b)(i) = b(a(i))).
+
+// V4Elements lists the Klein four-group inside S4: the identity and the three
+// double transpositions. Index 0 is the identity; the three non-identity
+// elements are indexed so that composition acts as XOR on indices
+// (V4 ≅ C2 × C2).
+var V4Elements = [4]Perm{
+	MustNew(0, 1, 2, 3), // e
+	MustNew(1, 0, 3, 2), // (01)(23)
+	MustNew(2, 3, 0, 1), // (02)(13)
+	MustNew(3, 2, 1, 0), // (03)(12)
+}
+
+// v4Index returns the index of g in V4Elements, or -1 if g ∉ V4.
+func v4Index(g Perm) int {
+	for i, h := range V4Elements {
+		if g.Equal(h) {
+			return i
+		}
+	}
+	return -1
+}
+
+// EmbedS3 lifts a permutation of {0,1,2} to the subgroup of S4 fixing 3.
+// This subgroup is a transversal of V4 in S4 (it meets each coset exactly
+// once), so it serves as the coset-representative map r(·).
+func EmbedS3(p Perm) Perm {
+	if len(p) != 3 {
+		panic(fmt.Sprintf("perm: EmbedS3 requires size 3, got %d", len(p)))
+	}
+	return Perm{p[0], p[1], p[2], 3}
+}
+
+// S4Decomposition is the factorization g = r(k) · h with k ∈ S3 (embedded as
+// the stabilizer of 3) and h ∈ V4, which is unique because the stabilizer
+// meets every V4-coset exactly once.
+type S4Decomposition struct {
+	K Perm // element of S3 (size 3)
+	H int  // index into V4Elements
+}
+
+// DecomposeS4 factors g ∈ S4 as r(K)·H. It panics if g is not a size-4
+// permutation.
+func DecomposeS4(g Perm) S4Decomposition {
+	if len(g) != 4 {
+		panic(fmt.Sprintf("perm: DecomposeS4 requires size 4, got %d", len(g)))
+	}
+	// Try each of the six coset representatives; exactly one yields
+	// r^-1 · g ∈ V4.
+	for r := 0; r < 6; r++ {
+		k := Unrank(3, r)
+		rep := EmbedS3(k)
+		h := rep.Inverse().Compose(g)
+		if idx := v4Index(h); idx >= 0 {
+			return S4Decomposition{K: k, H: idx}
+		}
+	}
+	panic("perm: DecomposeS4: no factorization found (unreachable)")
+}
+
+// Recompose inverts DecomposeS4: it returns r(K) · V4Elements[H].
+func (d S4Decomposition) Recompose() Perm {
+	return EmbedS3(d.K).Compose(V4Elements[d.H])
+}
+
+// QuotientS4 is the canonical surjection S4 → S4/V4 ≅ S3 realized through the
+// factorization: QuotientS4(g) = K where g = r(K)·h.
+func QuotientS4(g Perm) Perm { return DecomposeS4(g).K }
+
+// LeftMulTableS3 returns, for a fixed left multiplier m ∈ S3, the table
+// t[rank(k)] = rank(m·k) describing left multiplication on lexicographic
+// ranks. P4LRU-style state machines store such tables in tiny SALU lookup
+// tables (≤16 entries on Tofino).
+func LeftMulTableS3(m Perm) [6]int {
+	if len(m) != 3 {
+		panic(fmt.Sprintf("perm: LeftMulTableS3 requires size 3, got %d", len(m)))
+	}
+	var t [6]int
+	for r := 0; r < 6; r++ {
+		k := Unrank(3, r)
+		t[r] = m.Compose(k).Rank()
+	}
+	return t
+}
+
+// ConjV4Index returns the index of s^-1 · V4Elements[h] · s, the conjugation
+// action of s ∈ S4 on V4 (well-defined because V4 ⊴ S4). Conjugation permutes
+// the three non-identity elements, so on indices it is a permutation of
+// {1,2,3} fixing 0.
+func ConjV4Index(h int, s Perm) int {
+	if len(s) != 4 {
+		panic(fmt.Sprintf("perm: ConjV4Index requires size-4 conjugator, got %d", len(s)))
+	}
+	c := s.Inverse().Compose(V4Elements[h]).Compose(s)
+	idx := v4Index(c)
+	if idx < 0 {
+		panic("perm: ConjV4Index: conjugate left V4 (V4 not normal?)")
+	}
+	return idx
+}
+
+// LeftMulS4Pair computes, entirely in the (S3 code, V4 index) coordinates,
+// the pair encoding of a·g given a fixed left multiplier a ∈ S4 and
+// g = r(k)·h:
+//
+//	a·g = a·r(k)·h = r(k')·h'·h,   where a·r(k) = r(k')·h'
+//	    = r(k')·(h'·h)
+//
+// so the S3 part maps k ↦ k' = φ(a)·k and the V4 part XORs in a correction
+// h' that depends only on (a, k). This is exactly the structure the paper
+// sketches for implementing P4LRU4 with data-plane arithmetic: an S3 state
+// machine (as in P4LRU3) plus a 2-bit XOR whose operand comes from a tiny
+// table keyed by the operation and current S3 code.
+func LeftMulS4Pair(a Perm, k Perm, h int) (Perm, int) {
+	if len(a) != 4 {
+		panic(fmt.Sprintf("perm: LeftMulS4Pair requires size-4 multiplier, got %d", len(a)))
+	}
+	d := DecomposeS4(a.Compose(EmbedS3(k)))
+	// h'·h in V4 is XOR of indices.
+	return d.K, d.H ^ h
+}

@@ -1,0 +1,280 @@
+// Package perm implements the permutation algebra underlying the P4LRU cache
+// state (the DFA S_lru of the paper's §2.2–§2.3).
+//
+// A Perm represents an element of the symmetric group S_n in one-line
+// notation: p[i] is the (0-based) image of position i. In the paper's
+// two-row notation
+//
+//	S = ( 1   2  ...  n )
+//	    (p_1 p_2 ... p_n)
+//
+// the Perm value stores p_1-1, p_2-1, ..., p_n-1.
+//
+// The paper composes permutations with the convention
+//
+//	(A × B)(i) = B(A(i))
+//
+// (footnote 2 of the paper); Compose follows that convention.
+package perm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Perm is a permutation of {0, ..., n-1} in one-line notation.
+type Perm []int
+
+// Identity returns the identity permutation of size n.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// New validates one-line notation and returns it as a Perm.
+// It returns an error if images are out of range or repeated.
+func New(images ...int) (Perm, error) {
+	seen := make([]bool, len(images))
+	for _, v := range images {
+		if v < 0 || v >= len(images) {
+			return nil, fmt.Errorf("perm: image %d out of range [0,%d)", v, len(images))
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("perm: image %d repeated", v)
+		}
+		seen[v] = true
+	}
+	p := make(Perm, len(images))
+	copy(p, images)
+	return p, nil
+}
+
+// MustNew is New but panics on invalid input. For tests and constants.
+func MustNew(images ...int) Perm {
+	p, err := New(images...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the permutation size n.
+func (p Perm) Len() int { return len(p) }
+
+// Apply returns the image of position i.
+func (p Perm) Apply(i int) int { return p[i] }
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether p is the identity.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns p × q under the paper's convention: (p × q)(i) = q(p(i)).
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: compose size mismatch %d vs %d", len(p), len(q)))
+	}
+	r := make(Perm, len(p))
+	for i := range p {
+		r[i] = q[p[i]]
+	}
+	return r
+}
+
+// Inverse returns p^-1.
+func (p Perm) Inverse() Perm {
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[v] = i
+	}
+	return r
+}
+
+// Parity returns 0 for even permutations and 1 for odd ones.
+// The paper's P4LRU3 encoding maps even permutations to even codes.
+func (p Perm) Parity() int {
+	visited := make([]bool, len(p))
+	parity := 0
+	for i := range p {
+		if visited[i] {
+			continue
+		}
+		// Walk the cycle containing i; a cycle of length L contributes L-1
+		// transpositions.
+		cycleLen := 0
+		for j := i; !visited[j]; j = p[j] {
+			visited[j] = true
+			cycleLen++
+		}
+		parity ^= (cycleLen - 1) & 1
+	}
+	return parity
+}
+
+// Rotation returns the paper's step-1 key-array rotation R for a hit at
+// (0-based) position i:
+//
+//	R = (1 2 ... i-1  i  i+1 ... n)   (1-based, paper notation)
+//	    (2 3 ...  i   1  i+1 ... n)
+//
+// i.e. positions 0..i rotate forward by one and position i maps to 0.
+func Rotation(n, i int) Perm {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("perm: rotation position %d out of range [0,%d)", i, n))
+	}
+	r := make(Perm, n)
+	for j := 0; j < i; j++ {
+		r[j] = j + 1
+	}
+	r[i] = 0
+	for j := i + 1; j < n; j++ {
+		r[j] = j
+	}
+	return r
+}
+
+// RotationInverse returns R^-1 for Rotation(n, i); this is the permutation
+// the paper pre-multiplies the cache state by in Step 2:
+//
+//	R^-1 = (1 2 ...  i  i+1 ... n)   (1-based)
+//	       (i 1 ... i-1 i+1 ... n)
+func RotationInverse(n, i int) Perm {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("perm: rotation position %d out of range [0,%d)", i, n))
+	}
+	r := make(Perm, n)
+	r[0] = i
+	for j := 1; j <= i; j++ {
+		r[j] = j - 1
+	}
+	for j := i + 1; j < n; j++ {
+		r[j] = j
+	}
+	return r
+}
+
+// Rank returns the lexicographic rank of p among all permutations of its
+// size, using the Lehmer code. Identity has rank 0; ranks are in [0, n!).
+func (p Perm) Rank() int {
+	n := len(p)
+	rank := 0
+	fact := factorial(n - 1)
+	// Count, for each position, how many smaller unused images remain.
+	used := make([]bool, n)
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for v := 0; v < p[i]; v++ {
+			if !used[v] {
+				smaller++
+			}
+		}
+		rank += smaller * fact
+		used[p[i]] = true
+		if i < n-1 {
+			fact /= n - 1 - i
+		}
+	}
+	return rank
+}
+
+// Unrank returns the permutation of size n with lexicographic rank r.
+func Unrank(n, r int) Perm {
+	if f := factorial(n); r < 0 || r >= f {
+		panic(fmt.Sprintf("perm: rank %d out of range [0,%d)", r, f))
+	}
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	p := make(Perm, n)
+	fact := factorial(n - 1)
+	for i := 0; i < n; i++ {
+		idx := 0
+		if fact > 0 {
+			idx = r / fact
+			r %= fact
+		}
+		p[i] = avail[idx]
+		avail = append(avail[:idx], avail[idx+1:]...)
+		if i < n-1 {
+			fact /= n - 1 - i
+		}
+	}
+	return p
+}
+
+// All returns every permutation of size n in lexicographic order.
+// It is intended for the small n (≤ 5) used by P4LRU state machines.
+func All(n int) []Perm {
+	f := factorial(n)
+	out := make([]Perm, 0, f)
+	for r := 0; r < f; r++ {
+		out = append(out, Unrank(n, r))
+	}
+	return out
+}
+
+// Order returns the order of p in the symmetric group (the smallest k ≥ 1
+// with p^k = identity).
+func (p Perm) Order() int {
+	order := 1
+	q := p.Clone()
+	for !q.IsIdentity() {
+		q = q.Compose(p)
+		order++
+	}
+	return order
+}
+
+// String renders p in the paper's two-row style, 1-based: e.g. "(1 2 3 / 2 1 3)".
+func (p Perm) String() string {
+	var top, bot strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			top.WriteByte(' ')
+			bot.WriteByte(' ')
+		}
+		fmt.Fprintf(&top, "%d", i+1)
+		fmt.Fprintf(&bot, "%d", v+1)
+	}
+	return "(" + top.String() + " / " + bot.String() + ")"
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// Factorial exposes n! for sizing state tables of P4LRUn.
+func Factorial(n int) int { return factorial(n) }

@@ -1,0 +1,346 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		p := Identity(n)
+		if !p.IsIdentity() {
+			t.Errorf("Identity(%d) not identity: %v", n, p)
+		}
+		if p.Len() != n {
+			t.Errorf("Identity(%d).Len() = %d", n, p.Len())
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		images []int
+		ok     bool
+	}{
+		{[]int{0}, true},
+		{[]int{0, 1, 2}, true},
+		{[]int{2, 0, 1}, true},
+		{[]int{0, 0, 1}, false},
+		{[]int{0, 3, 1}, false},
+		{[]int{-1, 0, 1}, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.images...)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%v) err=%v, want ok=%v", c.images, err, c.ok)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with invalid input did not panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+// TestComposePaperConvention checks the paper's footnote-2 convention with
+// the worked Example 2 of §2.2:
+//
+//	(1 2 3 4 5 / 5 1 2 3 4) × (1 2 3 4 5 / 4 1 2 3 5) = (1 2 3 4 5 / 5 4 1 2 3)
+func TestComposePaperConvention(t *testing.T) {
+	a := MustNew(4, 0, 1, 2, 3)
+	b := MustNew(3, 0, 1, 2, 4)
+	want := MustNew(4, 3, 0, 1, 2)
+	if got := a.Compose(b); !got.Equal(want) {
+		t.Errorf("a×b = %v, want %v", got, want)
+	}
+}
+
+// TestComposeExample1 checks the paper's worked Example 1 of §2.2:
+// R^-1 × identity = R^-1 with R^-1 = (1 2 3 4 5 / 4 1 2 3 5).
+func TestComposeExample1(t *testing.T) {
+	rinv := RotationInverse(5, 3) // hit at 1-based position 4
+	want := MustNew(3, 0, 1, 2, 4)
+	if !rinv.Equal(want) {
+		t.Fatalf("RotationInverse(5,3) = %v, want %v", rinv, want)
+	}
+	got := rinv.Compose(Identity(5))
+	if !got.Equal(want) {
+		t.Errorf("R^-1 × id = %v, want %v", got, want)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for _, p := range All(n) {
+			if !p.Compose(p.Inverse()).IsIdentity() {
+				t.Errorf("p×p^-1 != id for %v", p)
+			}
+			if !p.Inverse().Compose(p).IsIdentity() {
+				t.Errorf("p^-1×p != id for %v", p)
+			}
+		}
+	}
+}
+
+func TestRotationInverseMatchesInverse(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for i := 0; i < n; i++ {
+			r := Rotation(n, i)
+			if got, want := RotationInverse(n, i), r.Inverse(); !got.Equal(want) {
+				t.Errorf("RotationInverse(%d,%d) = %v, want %v", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRotationShape(t *testing.T) {
+	// Rotation(5, 3) should map 0→1, 1→2, 2→3, 3→0, 4→4
+	// (paper: (1 2 3 4 5 / 2 3 4 1 5), 1-based).
+	want := MustNew(1, 2, 3, 0, 4)
+	if got := Rotation(5, 3); !got.Equal(want) {
+		t.Errorf("Rotation(5,3) = %v, want %v", got, want)
+	}
+	// Full-miss rotation: every position shifts, last wraps to front.
+	want = MustNew(1, 2, 3, 4, 0)
+	if got := Rotation(5, 4); !got.Equal(want) {
+		t.Errorf("Rotation(5,4) = %v, want %v", got, want)
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for r := 0; r < Factorial(n); r++ {
+			p := Unrank(n, r)
+			if got := p.Rank(); got != r {
+				t.Errorf("n=%d: Unrank(%d).Rank() = %d", n, r, got)
+			}
+		}
+	}
+}
+
+func TestRankIdentityIsZero(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		if got := Identity(n).Rank(); got != 0 {
+			t.Errorf("Identity(%d).Rank() = %d", n, got)
+		}
+	}
+}
+
+func TestAllDistinct(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		all := All(n)
+		if len(all) != Factorial(n) {
+			t.Fatalf("All(%d) has %d elements, want %d", n, len(all), Factorial(n))
+		}
+		seen := map[string]bool{}
+		for _, p := range all {
+			s := p.String()
+			if seen[s] {
+				t.Errorf("All(%d) repeats %v", n, p)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		want int
+	}{
+		{Identity(3), 0},
+		{MustNew(1, 0, 2), 1}, // single transposition
+		{MustNew(1, 2, 0), 0}, // 3-cycle
+		{MustNew(1, 0, 3, 2), 0},
+		{MustNew(0, 1, 3, 2), 1},
+	}
+	for _, c := range cases {
+		if got := c.p.Parity(); got != c.want {
+			t.Errorf("Parity(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestParityHomomorphism(t *testing.T) {
+	// parity(a×b) = parity(a) XOR parity(b) for all of S4.
+	all := All(4)
+	for _, a := range all {
+		for _, b := range all {
+			if got, want := a.Compose(b).Parity(), a.Parity()^b.Parity(); got != want {
+				t.Fatalf("parity(%v × %v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestOrder(t *testing.T) {
+	if got := Identity(4).Order(); got != 1 {
+		t.Errorf("order(id) = %d", got)
+	}
+	if got := MustNew(1, 0, 2).Order(); got != 2 {
+		t.Errorf("order(transposition) = %d", got)
+	}
+	if got := MustNew(1, 2, 0).Order(); got != 3 {
+		t.Errorf("order(3-cycle) = %d", got)
+	}
+	if got := MustNew(1, 2, 3, 0).Order(); got != 4 {
+		t.Errorf("order(4-cycle) = %d", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustNew(1, 0, 2)
+	if got, want := p.String(), "(1 2 3 / 2 1 3)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := MustNew(1, 0, 2)
+	q := p.Clone()
+	q[0] = 2
+	if p[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func randomPerm(r *rand.Rand, n int) Perm {
+	p := Identity(n)
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Property: composition is associative.
+func TestComposeAssociativeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c := randomPerm(rr, n), randomPerm(rr, n), randomPerm(rr, n)
+		return a.Compose(b).Compose(c).Equal(a.Compose(b.Compose(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rank/Unrank are mutually inverse on random permutations.
+func TestRankUnrankProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		rr := rand.New(rand.NewSource(seed))
+		p := randomPerm(rr, n)
+		return Unrank(n, p.Rank()).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestV4IsSubgroup(t *testing.T) {
+	for i, a := range V4Elements {
+		for j, b := range V4Elements {
+			c := a.Compose(b)
+			idx := v4Index(c)
+			if idx < 0 {
+				t.Fatalf("V4 not closed: %v × %v = %v", a, b, c)
+			}
+			// Composition on indices must be XOR (C2 × C2 structure).
+			if idx != i^j {
+				t.Errorf("V4 index %d × %d = %d, want %d", i, j, idx, i^j)
+			}
+		}
+	}
+}
+
+func TestV4IsNormal(t *testing.T) {
+	for _, g := range All(4) {
+		for h := range V4Elements {
+			ConjV4Index(h, g) // panics if conjugate leaves V4
+		}
+	}
+}
+
+func TestDecomposeS4RoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range All(4) {
+		d := DecomposeS4(g)
+		if !d.Recompose().Equal(g) {
+			t.Errorf("Recompose(Decompose(%v)) = %v", g, d.Recompose())
+		}
+		key := d.K.String() + "|" + string(rune('0'+d.H))
+		if seen[key] {
+			t.Errorf("decomposition not unique: pair %v repeated", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != 24 {
+		t.Errorf("expected 24 distinct (k,h) pairs, got %d", len(seen))
+	}
+}
+
+func TestQuotientS4Homomorphism(t *testing.T) {
+	all := All(4)
+	for _, a := range all {
+		for _, b := range all {
+			got := QuotientS4(a.Compose(b))
+			want := QuotientS4(a).Compose(QuotientS4(b))
+			if !got.Equal(want) {
+				t.Fatalf("φ(%v × %v) = %v, want φ(a)×φ(b) = %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLeftMulS4PairMatchesDirect(t *testing.T) {
+	all := All(4)
+	for _, a := range all {
+		for _, g := range all {
+			d := DecomposeS4(g)
+			k2, h2 := LeftMulS4Pair(a, d.K, d.H)
+			want := DecomposeS4(a.Compose(g))
+			if !k2.Equal(want.K) || h2 != want.H {
+				t.Fatalf("LeftMulS4Pair(%v, %v, %d) = (%v,%d), want (%v,%d)",
+					a, d.K, d.H, k2, h2, want.K, want.H)
+			}
+		}
+	}
+}
+
+func TestLeftMulTableS3(t *testing.T) {
+	// Left multiplication by the identity is the identity table.
+	tab := LeftMulTableS3(Identity(3))
+	for i, v := range tab {
+		if v != i {
+			t.Errorf("identity table[%d] = %d", i, v)
+		}
+	}
+	// Left multiplication tables are permutations of {0..5}.
+	for _, m := range All(3) {
+		tab := LeftMulTableS3(m)
+		seen := [6]bool{}
+		for _, v := range tab {
+			if v < 0 || v > 5 || seen[v] {
+				t.Fatalf("table for %v is not a permutation: %v", m, tab)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestEmbedS3(t *testing.T) {
+	for _, k := range All(3) {
+		g := EmbedS3(k)
+		if g[3] != 3 {
+			t.Errorf("EmbedS3(%v) does not fix 3: %v", k, g)
+		}
+		if got := QuotientS4(g); !got.Equal(k) {
+			t.Errorf("φ(EmbedS3(%v)) = %v, want %v", k, got, k)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"time"
+
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// PolicyCache adapts a CacheArray3 to policy.Cache, so the system simulators
+// (internal/nat, internal/telemetry) can run *directly on the
+// pipeline-realized data plane* instead of the plain-Go structures — the
+// strongest end-to-end check that the constraint-enforcing program and the
+// reference implementation tell the same system-level story.
+//
+// Conventions: keys are nonzero 32-bit values (key 0 is the hardware's empty
+// slot). In ModeRead, an update with value 0 is a query-direction packet
+// (placeholder insert / read-only hit) and a nonzero value is a reply
+// carrying a translation — exactly the LruTable protocol with
+// nat.Placeholder = 0. Query/Len/Range are control-plane readouts.
+type PolicyCache struct {
+	arr *CacheArray3
+}
+
+// AsPolicyCache wraps the array. A pipeline constraint violation inside
+// Update panics: the programs are validated to never violate (differential
+// tests), so a violation is a program bug, not an input condition.
+func (c *CacheArray3) AsPolicyCache() *PolicyCache { return &PolicyCache{arr: c} }
+
+// Name implements policy.Cache.
+func (p *PolicyCache) Name() string { return "p4lru3-pipeline" }
+
+// Query implements policy.Cache (control-plane readout).
+func (p *PolicyCache) Query(k uint64) (uint64, int, bool) {
+	v, ok := p.arr.Lookup(k)
+	return v, 0, ok
+}
+
+// Update implements policy.Cache by pushing a packet through the program.
+func (p *PolicyCache) Update(k, v uint64, _ int, _ time.Duration) policy.Result {
+	reply := p.arr.mode == ModeRead && v != 0
+	res, err := p.arr.Update(k, v, reply)
+	if err != nil {
+		panic("pipeline: constraint violation in validated program: " + err.Error())
+	}
+	out := policy.Result{Hit: res.Hit, Admitted: !res.Hit}
+	if !res.Hit && res.EvictedKey != 0 {
+		out.Evicted = true
+		out.EvictedKey = res.EvictedKey
+		out.EvictedValue = res.EvictedValue
+	}
+	return out
+}
+
+// Len implements policy.Cache (control-plane readout).
+func (p *PolicyCache) Len() int { return p.arr.Len() }
+
+// Capacity implements policy.Cache.
+func (p *PolicyCache) Capacity() int { return p.arr.Units() * 3 }
+
+// Range implements policy.Cache (control-plane readout).
+func (p *PolicyCache) Range(fn func(k, v uint64) bool) { p.arr.Range(fn) }
+
+var _ policy.Cache = (*PolicyCache)(nil)

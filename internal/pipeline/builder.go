@@ -1,0 +1,308 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+)
+
+// hashingNew keeps step construction terse.
+func hashingNew(seed uint64) hashing.Hash { return hashing.New(seed) }
+
+// Budget is the per-pipeline resource model the builder validates against
+// and Report normalizes by. The numbers are the publicly cited Tofino-1
+// per-pipe figures (12 MAU stages; 4 stateful ALUs per stage; 80 SRAM blocks
+// of 128×1024 bits per stage; ~400 hash output bits per stage across its
+// hash units; 32 VLIW instruction slots per stage). They are a model, not a
+// datasheet: Table 2 comparisons are qualitative.
+type Budget struct {
+	Stages           int
+	SALUsPerStage    int
+	SRAMBitsPerStage int
+	HashBitsPerStage int
+	VLIWPerStage     int
+}
+
+// TofinoBudget is the default budget.
+var TofinoBudget = Budget{
+	Stages:           12,
+	SALUsPerStage:    4,
+	SRAMBitsPerStage: 80 * 128 * 1024,
+	HashBitsPerStage: 416,
+	VLIWPerStage:     32,
+}
+
+// Builder assembles a Program stage by stage.
+type Builder struct {
+	name   string
+	budget Budget
+	stages []*Stage
+	regs   map[string]bool
+	err    error
+	pipes  int
+}
+
+// NewBuilder starts a program. pipes is how many of the switch's pipelines
+// the program occupies (LruIndex folds 2–4; it scales the Report budget).
+func NewBuilder(name string, budget Budget, pipes int) *Builder {
+	if pipes < 1 {
+		pipes = 1
+	}
+	return &Builder{name: name, budget: budget, regs: map[string]bool{}, pipes: pipes}
+}
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("pipeline %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Stage appends a new stage and returns its builder.
+func (b *Builder) Stage() *StageBuilder {
+	st := &Stage{index: len(b.stages)}
+	b.stages = append(b.stages, st)
+	if len(b.stages) > b.budget.Stages*b.pipes {
+		b.fail("stage %d exceeds budget of %d stages × %d pipes",
+			st.index, b.budget.Stages, b.pipes)
+	}
+	return &StageBuilder{b: b, st: st}
+}
+
+// Build validates per-stage budgets and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, st := range b.stages {
+		// One stateful ALU per register with attached actions (a Tofino
+		// SALU serves one register memory and holds up to 4 register
+		// actions of 2 arithmetic branches each).
+		st.saluCount = 0
+		for _, r := range st.registers {
+			if len(r.actions) > 4 {
+				b.fail("register %q carries %d actions (SALU limit 4)", r.name, len(r.actions))
+			}
+			if len(r.actions) > 0 {
+				st.saluCount++
+			}
+		}
+		if st.saluCount > b.budget.SALUsPerStage {
+			b.fail("stage %d uses %d SALUs (budget %d)", st.index, st.saluCount, b.budget.SALUsPerStage)
+		}
+		sram := 0
+		for _, r := range st.registers {
+			sram += r.width * len(r.cells)
+		}
+		if sram > b.budget.SRAMBitsPerStage {
+			b.fail("stage %d uses %d SRAM bits (budget %d)", st.index, sram, b.budget.SRAMBitsPerStage)
+		}
+		if st.hashBits > b.budget.HashBitsPerStage {
+			b.fail("stage %d uses %d hash bits (budget %d)", st.index, st.hashBits, b.budget.HashBitsPerStage)
+		}
+		if st.vliw > b.budget.VLIWPerStage {
+			b.fail("stage %d uses %d VLIW slots (budget %d)", st.index, st.vliw, b.budget.VLIWPerStage)
+		}
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	return &Program{name: b.name, stages: b.stages, budget: b.budget, pipes: b.pipes}, nil
+}
+
+// StageBuilder adds resources and steps to one stage.
+type StageBuilder struct {
+	b  *Builder
+	st *Stage
+}
+
+// Register declares a register array of `cells` cells of `width` bits in
+// this stage.
+func (s *StageBuilder) Register(name string, width, cells int) *Register {
+	if width < 1 || width > 64 {
+		s.b.fail("register %q width %d out of [1,64]", name, width)
+	}
+	if cells < 1 {
+		s.b.fail("register %q has %d cells", name, cells)
+	}
+	if s.b.regs[name] {
+		s.b.fail("register %q declared twice", name)
+	}
+	s.b.regs[name] = true
+	r := &Register{
+		name:    name,
+		width:   width,
+		cells:   make([]uint64, maxInt(cells, 1)),
+		stage:   s.st.index,
+		actions: map[string]*SALUAction{},
+	}
+	s.st.registers = append(s.st.registers, r)
+	return r
+}
+
+// Action attaches a register action (one stateful ALU) to a register that
+// lives in this stage.
+func (s *StageBuilder) Action(r *Register, a SALUAction) {
+	if r.stage != s.st.index {
+		s.b.fail("action %q on register %q from stage %d attached in stage %d",
+			a.Name, r.name, r.stage, s.st.index)
+		return
+	}
+	if _, dup := r.actions[a.Name]; dup {
+		s.b.fail("register %q action %q declared twice", r.name, a.Name)
+		return
+	}
+	cp := a
+	r.actions[a.Name] = &cp
+}
+
+// SALU appends a step invoking action `action` of register r at cell
+// Index(phv), writing the branch output into outField ("" to discard).
+func (s *StageBuilder) SALU(r *Register, action string, index Operand, outField string, guards ...Guard) {
+	if r.stage != s.st.index {
+		s.b.fail("SALU step on register %q (stage %d) placed in stage %d", r.name, r.stage, s.st.index)
+		return
+	}
+	if _, ok := r.actions[action]; !ok {
+		s.b.fail("SALU step references unknown action %q on register %q", action, r.name)
+		return
+	}
+	s.st.steps = append(s.st.steps, &saluStep{
+		guards: guards, reg: r, action: action, index: index, outField: outField,
+	})
+}
+
+// ALU appends a VLIW instruction dst = a <op> b.
+func (s *StageBuilder) ALU(dst string, a Operand, op ALUOp, b Operand, guards ...Guard) {
+	s.st.steps = append(s.st.steps, &aluStep{guards: guards, dst: dst, a: a, op: op, b: b})
+	s.st.vliw++
+}
+
+// Set appends dst = operand. (ALU semantics are dst = a <op> b with OpSet
+// yielding b, so the value rides in the b position.)
+func (s *StageBuilder) Set(dst string, v Operand, guards ...Guard) {
+	s.ALU(dst, C(0), OpSet, v, guards...)
+}
+
+// HashIndex appends dst = uniform index of src over [0, mod) using the hash
+// engine (charged ceil(log2 mod) hash bits).
+func (s *StageBuilder) HashIndex(dst string, src Operand, mod int, seed uint64, guards ...Guard) {
+	if mod < 1 {
+		s.b.fail("hash step %q with modulus %d", dst, mod)
+		return
+	}
+	bits := 0
+	for m := mod - 1; m > 0; m >>= 1 {
+		bits++
+	}
+	s.st.steps = append(s.st.steps, &hashStep{
+		guards: guards, dst: dst, src: src, bits: bits, mod: mod, hash: hashingNew(seed),
+	})
+	s.st.hashBits += bits
+}
+
+// HashBits appends dst = bits-wide hash of src (fingerprints).
+func (s *StageBuilder) HashBits(dst string, src Operand, bits int, seed uint64, guards ...Guard) {
+	if bits < 1 || bits > 64 {
+		s.b.fail("hash step %q with %d bits", dst, bits)
+		return
+	}
+	s.st.steps = append(s.st.steps, &hashStep{
+		guards: guards, dst: dst, src: src, bits: bits, hash: hashingNew(seed),
+	})
+	s.st.hashBits += bits
+}
+
+// Table appends an exact-match table step dst = entries[key] (deflt on miss).
+func (s *StageBuilder) Table(dst string, key Operand, entries map[uint64]uint64, deflt uint64, guards ...Guard) {
+	cp := make(map[uint64]uint64, len(entries))
+	for k, v := range entries {
+		cp[k] = v
+	}
+	s.st.steps = append(s.st.steps, &tableStep{guards: guards, dst: dst, key: key, entries: cp, deflt: deflt})
+	s.st.tableEnts += len(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Resource accounting (Table 2)
+// ---------------------------------------------------------------------------
+
+// Resources summarizes what a program consumes.
+type Resources struct {
+	Pipes        int
+	Stages       int
+	Registers    int
+	SRAMBits     int
+	SALUs        int
+	HashBits     int
+	VLIW         int
+	TableEntries int
+}
+
+// Resources tallies the program's usage.
+func (p *Program) Resources() Resources {
+	res := Resources{Pipes: p.pipes, Stages: len(p.stages)}
+	for _, st := range p.stages {
+		res.Registers += len(st.registers)
+		for _, r := range st.registers {
+			res.SRAMBits += r.width * len(r.cells)
+		}
+		res.SALUs += st.saluCount
+		res.HashBits += st.hashBits
+		res.VLIW += st.vliw
+		res.TableEntries += st.tableEnts
+	}
+	return res
+}
+
+// Report renders usage as percentages of the program's budget across the
+// pipes it occupies — the shape of the paper's Table 2.
+func (p *Program) Report() string {
+	r := p.Resources()
+	b := p.budget
+	pct := func(used, per int) float64 {
+		total := per * b.Stages * p.pipes
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(used) / float64(total)
+	}
+	lines := []string{
+		fmt.Sprintf("program %s (%d pipe(s), %d stages)", p.name, p.pipes, r.Stages),
+		fmt.Sprintf("  Hash Bits    %6.2f%%", pct(r.HashBits, b.HashBitsPerStage)),
+		fmt.Sprintf("  SRAM         %6.2f%%", pct(r.SRAMBits, b.SRAMBitsPerStage)),
+		fmt.Sprintf("  Stateful ALU %6.2f%%", pct(r.SALUs, b.SALUsPerStage)),
+		fmt.Sprintf("  VLIW instr   %6.2f%%", pct(r.VLIW, b.VLIWPerStage)),
+		fmt.Sprintf("  Stages       %6.2f%%", 100*float64(r.Stages)/float64(b.Stages*p.pipes)),
+	}
+	return strings.Join(lines, "\n")
+}
+
+// UtilizationRow returns Table 2 style percentages keyed by resource name.
+func (p *Program) UtilizationRow() map[string]float64 {
+	r := p.Resources()
+	b := p.budget
+	pct := func(used, per int) float64 {
+		total := per * b.Stages * p.pipes
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(used) / float64(total)
+	}
+	return map[string]float64{
+		"hash_bits":    pct(r.HashBits, b.HashBitsPerStage),
+		"sram":         pct(r.SRAMBits, b.SRAMBitsPerStage),
+		"stateful_alu": pct(r.SALUs, b.SALUsPerStage),
+		"vliw":         pct(r.VLIW, b.VLIWPerStage),
+		"stages":       100 * float64(r.Stages) / float64(b.Stages*p.pipes),
+	}
+}
+
+// UtilizationKeys returns the row keys in display order.
+func UtilizationKeys() []string {
+	return []string{"hash_bits", "sram", "stateful_alu", "vliw", "stages"}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

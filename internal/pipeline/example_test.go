@@ -1,0 +1,47 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/pipeline"
+)
+
+// A program that touches the same register twice in one packet — the essence
+// of classical LRU — is rejected at runtime: the "second data traversal"
+// rule of §2.1.
+func ExampleProgram_Run_secondTraversal() {
+	b := pipeline.NewBuilder("illegal", pipeline.TofinoBudget, 1)
+	st := b.Stage()
+	head := st.Register("queue.head", 32, 8)
+	st.Action(head, pipeline.SALUAction{
+		Name: "swap",
+		True: pipeline.SALUBranch{Op: pipeline.OpSet, Operand: pipeline.F("key"), Out: pipeline.OutOld},
+	})
+	st.SALU(head, "swap", pipeline.C(0), "first")
+	st.SALU(head, "swap", pipeline.C(0), "second") // classical LRU's write-back
+
+	prog, _ := b.Build()
+	err := prog.Run(pipeline.NewPHV(map[string]uint64{"key": 7}))
+	fmt.Println(err)
+	// Output:
+	// stage 0: pipeline: register "queue.head" accessed twice by one packet (second data traversal)
+}
+
+// BuildCacheArray3 deploys P4LRU3 as a 9-stage program; each unit costs
+// seven registers (3 keys + state + 3 values) = seven stateful ALU memories.
+func ExampleBuildCacheArray3() {
+	arr, err := pipeline.BuildCacheArray3("demo", 1<<16, 1, pipeline.ModeWrite, pipeline.TofinoBudget)
+	if err != nil {
+		panic(err)
+	}
+	res := arr.Program().Resources()
+	fmt.Printf("stages=%d registers=%d SALUs=%d\n", res.Stages, res.Registers, res.SALUs)
+
+	arr.Update(10, 1500, false)
+	arr.Update(10, 64, false)
+	out, _ := arr.Update(10, 1, false)
+	fmt.Printf("hit=%v total=%d\n", out.Hit, out.Value)
+	// Output:
+	// stages=9 registers=7 SALUs=7
+	// hit=true total=1565
+}

@@ -1,0 +1,286 @@
+package pipeline
+
+import "fmt"
+
+// This file realizes the complete LruIndex data plane (§3.2) as one
+// executable pipeline program: L series-connected P4LRU3 cache arrays
+// traversed by two packet kinds distinguished by FieldPType —
+//
+//	query  (ptype 0): every level is consulted read-only; the first level
+//	       holding the key stamps cached_flag/cached_index.
+//	reply  (ptype 1): the only cache mutations. cached_flag = i ≥ 1 promotes
+//	       the key inside level i; cached_flag = 0 runs a full update on
+//	       level 1 and demotes each level's evicted entry to the *tail* of
+//	       the next level, all in a single pipeline pass (the evicted
+//	       key/value ride the PHV between levels).
+//
+// Every register is touched at most once per packet on every path — the
+// program would not Run otherwise — and the whole data plane is
+// differentially tested against lru.Series.
+
+// PHV fields of the LruIndex program (inputs: FieldKey, FieldVal,
+// FieldPType, FieldFlag; outputs: FieldFlag, FieldIndex after a query).
+const (
+	// FieldFlag is the packet's cached_flag: 0 or the 1-based level.
+	FieldFlag = "cached_flag"
+	// FieldIndex is the packet's cached_index.
+	FieldIndex = "cached_index"
+)
+
+// state3PermTable is Table 1 in flat form: state3PermTable[code][pos] is the
+// value slot S(pos) (0-based). Kept in sync with internal/lru by the
+// differential tests.
+var state3PermTable = [6][3]uint64{
+	0: {1, 2, 0}, // (1 2 3 / 2 3 1)
+	1: {0, 2, 1}, // (1 2 3 / 1 3 2)
+	2: {2, 0, 1}, // (1 2 3 / 3 1 2)
+	3: {2, 1, 0}, // (1 2 3 / 3 2 1)
+	4: {0, 1, 2}, // identity — the initial state
+	5: {1, 0, 2}, // (1 2 3 / 2 1 3)
+}
+
+// state3Slot is the 18-entry decode table: (state code << 2 | keyPos) → the
+// value slot S(keyPos). One MAU table serves the query path (pos = match
+// position), the update path (pos = 0 after transition), and the tail path
+// (pos = 2, the LRU slot).
+var state3Slot = func() map[uint64]uint64 {
+	t := make(map[uint64]uint64, 18)
+	for code := uint64(0); code < 6; code++ {
+		for pos := uint64(0); pos < 3; pos++ {
+			t[code<<2|pos] = state3PermTable[code][pos]
+		}
+	}
+	return t
+}()
+
+// IndexDataplane is the runnable LruIndex pipeline program.
+type IndexDataplane struct {
+	prog   *Program
+	levels int
+	units  int
+}
+
+// QueryOutcome reports a query packet's header rewrite.
+type QueryOutcome struct {
+	Flag  int    // 0 = not cached, i = cached at level i
+	Index uint64 // cached_index when Flag ≠ 0
+}
+
+// BuildLruIndexDataplane assembles the L-level program. Seeds match
+// lru.NewSeries3(levels, numUnits, seed, nil), which the differential tests
+// rely on. Keys must be nonzero (key 0 is the hardware's empty slot).
+func BuildLruIndexDataplane(levels, numUnits int, seed uint64, budget Budget) (*IndexDataplane, error) {
+	if levels < 1 || levels > 4 {
+		return nil, fmt.Errorf("pipeline: lruindex dataplane with %d levels", levels)
+	}
+	if numUnits < 1 {
+		return nil, fmt.Errorf("pipeline: lruindex dataplane with %d units", numUnits)
+	}
+	b := NewBuilder("lruindex-dataplane", budget, levels)
+
+	key := F(FieldKey)
+	isQuery := G(F(FieldPType), CmpEQ, C(0))
+	isReply := G(F(FieldPType), CmpEQ, C(1))
+
+	// carryK/carryV hold the entry demoted out of the previous level on the
+	// miss-reply path. Level 1's "demotion input" is the packet itself.
+	for lv := 1; lv <= levels; lv++ {
+		name := fmt.Sprintf("lv%d", lv)
+		idxF := name + ".idx"
+		idx := F(idxF)
+		ev1, ev2, ev3 := name+".ev1", name+".ev2", name+".ev3"
+		opF := name + ".op"
+		stateF := name + ".state"
+		slotF := name + ".slot"
+		qhitF := name + ".qpos" // 0 = no query match, i = match at key[i]
+
+		// This level runs a full update when the reply's flag addresses it
+		// (flag == lv, or flag == 0 for level 1); it runs a tail insert on
+		// the miss-reply path for levels ≥ 2 when the previous level
+		// demoted a real (nonzero) key.
+		updGuards := func(extra ...Guard) []Guard {
+			gs := []Guard{isReply}
+			if lv == 1 {
+				gs = append(gs, G(F(FieldFlag), CmpLE, C(1)))
+			} else {
+				gs = append(gs, G(F(FieldFlag), CmpEQ, C(uint64(lv))))
+			}
+			return append(gs, extra...)
+		}
+		tailGuards := func(extra ...Guard) []Guard {
+			gs := []Guard{isReply,
+				G(F(FieldFlag), CmpEQ, C(0)),
+				G(F("carryK"), CmpNE, C(0))}
+			return append(gs, extra...)
+		}
+		// The key this level updates with: the packet key (update path).
+		upKey := key
+
+		// Stage A: index hashes. The update path indexes by the packet
+		// key; the tail path by the carried key. Both are computed (hash
+		// bits are cheap); the SALU steps pick the right one.
+		stA := b.Stage()
+		lvSeed := seed + uint64(lv-1)*0x9e3779b9
+		stA.HashIndex(idxF, key, numUnits, lvSeed)
+		if lv > 1 {
+			stA.HashIndex(name+".tidx", F("carryK"), numUnits, lvSeed)
+		}
+		stA.Set(opF, C(0))
+		tidx := idx
+		if lv > 1 {
+			tidx = F(name + ".tidx")
+		}
+
+		// Stage B: key[1]. Query: read. Update: swap.
+		stB := b.Stage()
+		key1 := stB.Register(name+".key1", 32, numUnits)
+		stB.Action(key1, SALUAction{Name: "read", True: SALUBranch{Op: OpKeep, Out: OutOld}})
+		stB.Action(key1, SALUAction{Name: "swap",
+			True: SALUBranch{Op: OpSet, Operand: upKey, Out: OutOld}})
+		stB.SALU(key1, "read", idx, ev1, isQuery)
+		stB.SALU(key1, "swap", idx, ev1, updGuards()...)
+
+		// Stage C: hit-at-1 detection + key[2].
+		stC := b.Stage()
+		stC.Set(opF, C(1), G(F(ev1), CmpEQ, upKey))
+		stC.Set(qhitF, C(1), isQuery, G(F(ev1), CmpEQ, key))
+		key2 := stC.Register(name+".key2", 32, numUnits)
+		stC.Action(key2, SALUAction{Name: "read", True: SALUBranch{Op: OpKeep, Out: OutOld}})
+		stC.Action(key2, SALUAction{Name: "swap",
+			True: SALUBranch{Op: OpSet, Operand: F(ev1), Out: OutOld}})
+		stC.SALU(key2, "read", idx, ev2, isQuery)
+		stC.SALU(key2, "swap", idx, ev2, updGuards(G(F(ev1), CmpNE, upKey))...)
+
+		// Stage D: hit-at-2 detection + key[3]. The tail path touches only
+		// this key register, replacing the LRU key.
+		stD := b.Stage()
+		stD.Set(opF, C(2), G(F(opF), CmpNE, C(1)), G(F(ev2), CmpEQ, upKey))
+		stD.Set(qhitF, C(2), isQuery, G(F(qhitF), CmpEQ, C(0)), G(F(ev2), CmpEQ, key))
+		key3 := stD.Register(name+".key3", 32, numUnits)
+		stD.Action(key3, SALUAction{Name: "read", True: SALUBranch{Op: OpKeep, Out: OutOld}})
+		stD.Action(key3, SALUAction{Name: "swap",
+			True: SALUBranch{Op: OpSet, Operand: F(ev2), Out: OutOld}})
+		stD.Action(key3, SALUAction{Name: "settail",
+			True: SALUBranch{Op: OpSet, Operand: F("carryK"), Out: OutOld}})
+		stD.SALU(key3, "read", idx, ev3, isQuery)
+		stD.SALU(key3, "swap", idx, ev3,
+			updGuards(G(F(opF), CmpNE, C(1)), G(F(ev2), CmpNE, upKey))...)
+		if lv > 1 {
+			stD.SALU(key3, "settail", tidx, name+".tailEvK", tailGuards()...)
+		}
+
+		// Stage E: hit-at-3 detection + the state register. Update path
+		// transitions; query and tail paths read.
+		stE := b.Stage()
+		stE.Set(opF, C(3), updGuards(G(F(opF), CmpEQ, C(0)), G(F(ev3), CmpEQ, upKey))...)
+		stE.Set(qhitF, C(3), isQuery, G(F(qhitF), CmpEQ, C(0)), G(F(ev3), CmpEQ, key))
+		state := stE.Register(name+".state", 8, numUnits)
+		stE.Action(state, SALUAction{Name: "read", True: SALUBranch{Op: OpKeep, Out: OutOld}})
+		stE.Action(state, SALUAction{Name: "op2",
+			Pred:  &SALUPred{Op: CmpGE, Operand: C(4)},
+			True:  SALUBranch{Op: OpXor, Operand: C(1), Out: OutNew},
+			False: SALUBranch{Op: OpXor, Operand: C(3), Out: OutNew}})
+		stE.Action(state, SALUAction{Name: "op3",
+			Pred:  &SALUPred{Op: CmpGE, Operand: C(2)},
+			True:  SALUBranch{Op: OpSub, Operand: C(2), Out: OutNew},
+			False: SALUBranch{Op: OpAdd, Operand: C(4), Out: OutNew}})
+		stE.SALU(state, "read", idx, stateF, isQuery)
+		stE.SALU(state, "read", idx, stateF, updGuards(G(F(opF), CmpEQ, C(1)))...) // op1 = no change
+		stE.SALU(state, "op2", idx, stateF, updGuards(G(F(opF), CmpEQ, C(2)))...)
+		stE.SALU(state, "op3", idx, stateF,
+			updGuards(G(F(opF), CmpNE, C(1)), G(F(opF), CmpNE, C(2)))...)
+		if lv > 1 {
+			stE.SALU(state, "read", tidx, stateF, tailGuards()...)
+		}
+
+		// Stage F: decode inputs. Query: pos = match position − 1; update:
+		// pos = 0 (slot of the new MRU key under the transitioned state);
+		// tail: pos = 2 (the LRU slot). The three writers are guard-disjoint.
+		stF := b.Stage()
+		stF.ALU(name+".code", F(stateF), OpShl, C(2))
+		stF.ALU(name+".pos", F(qhitF), OpSub, C(1), isQuery, G(F(qhitF), CmpNE, C(0)))
+		stF.Set(name+".pos", C(0), updGuards()...)
+		stF.Set(name+".pos", C(2), tailGuards()...)
+		stF2 := b.Stage()
+		stF2.ALU(name+".codepos", F(name+".code"), OpOr, F(name+".pos"))
+		stF3 := b.Stage()
+		stF3.Table(slotF, F(name+".codepos"), state3Slot, 0)
+
+		// Stages G/H/I: the three value registers, selected by slot.
+		for v := 0; v < 3; v++ {
+			stV := b.Stage()
+			r := stV.Register(fmt.Sprintf("%s.val%d", name, v+1), 48, numUnits)
+			sel := G(F(slotF), CmpEQ, C(uint64(v)))
+			stV.Action(r, SALUAction{Name: "read", True: SALUBranch{Op: OpKeep, Out: OutOld}})
+			stV.Action(r, SALUAction{Name: "write",
+				True: SALUBranch{Op: OpSet, Operand: F(FieldVal), Out: OutOld}})
+			stV.Action(r, SALUAction{Name: "settail",
+				True: SALUBranch{Op: OpSet, Operand: F("carryV"), Out: OutOld}})
+			// Query read (only when this level matched).
+			stV.SALU(r, "read", idx, name+".qval", sel, isQuery, G(F(qhitF), CmpNE, C(0)))
+			// Update write: hit updates in place, miss overwrites the
+			// evicted slot — both are OpSet with the packet value.
+			stV.SALU(r, "write", idx, name+".evval", append(updGuards(), sel)...)
+			if lv > 1 {
+				stV.SALU(r, "settail", tidx, name+".tailEvV", append(tailGuards(), sel)...)
+			}
+		}
+
+		// Stage J: header rewrite (query path) and demotion carry
+		// (miss-reply path).
+		stJ := b.Stage()
+		stJ.Set(FieldFlag, C(uint64(lv)), isQuery,
+			G(F(FieldFlag), CmpEQ, C(0)), G(F(qhitF), CmpNE, C(0)))
+		stJ.Set(FieldIndex, F(name+".qval"), isQuery,
+			G(F(FieldFlag), CmpEQ, C(0)), G(F(qhitF), CmpNE, C(0)))
+		if lv == 1 {
+			// The entry rotated out of level 1 (key 0 when the unit had a
+			// free slot — the carryK != 0 guards downstream skip those).
+			stJ.Set("carryK", F(ev3), isReply, G(F(FieldFlag), CmpEQ, C(0)),
+				G(F(opF), CmpEQ, C(0)))
+			stJ.Set("carryV", F(name+".evval"), isReply, G(F(FieldFlag), CmpEQ, C(0)),
+				G(F(opF), CmpEQ, C(0)))
+		} else {
+			stJ.Set("carryK", F(name+".tailEvK"), tailGuards()...)
+			stJ.Set("carryV", F(name+".tailEvV"), tailGuards()...)
+		}
+
+		// Control-plane init: identity cache state.
+		for i := 0; i < numUnits; i++ {
+			state.SetCell(i, state3Initial)
+		}
+	}
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &IndexDataplane{prog: prog, levels: levels, units: numUnits}, nil
+}
+
+// Program exposes the underlying program.
+func (d *IndexDataplane) Program() *Program { return d.prog }
+
+// Query pushes a query packet (read-only) and returns the header rewrite.
+func (d *IndexDataplane) Query(key uint64) (QueryOutcome, error) {
+	phv := NewPHV(map[string]uint64{FieldKey: key, FieldPType: 0})
+	if err := d.prog.Run(phv); err != nil {
+		return QueryOutcome{}, err
+	}
+	return QueryOutcome{
+		Flag:  int(phv.Get(FieldFlag)),
+		Index: phv.Get(FieldIndex),
+	}, nil
+}
+
+// Reply pushes a reply packet carrying the resolved index `val` and the
+// cached_flag from the matching query.
+func (d *IndexDataplane) Reply(key, val uint64, flag int) error {
+	phv := NewPHV(map[string]uint64{
+		FieldKey:   key,
+		FieldVal:   val,
+		FieldPType: 1,
+		FieldFlag:  uint64(flag),
+	})
+	return d.prog.Run(phv)
+}

@@ -1,0 +1,244 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/p4lru/p4lru/internal/lru"
+)
+
+// TestIndexDataplaneSingleLevelExact: with one level the tail path never
+// fires, so the data plane must match lru.Series(levels=1) exactly once the
+// usual zero-key warmup discrepancy is accounted for (misses that "evict"
+// key 0 are fills on the Go side).
+func TestIndexDataplaneSingleLevelExact(t *testing.T) {
+	const units = 32
+	dp, err := BuildLruIndexDataplane(1, units, 7, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lru.NewSeries3[uint64](1, units, 7, nil)
+
+	r := rand.New(rand.NewSource(1))
+	for step := 0; step < 60000; step++ {
+		k := uint64(r.Intn(250) + 1)
+		q, err := dp.Query(k)
+		if err != nil {
+			t.Fatalf("step %d query: %v", step, err)
+		}
+		rv, rlevel, rok := ref.Query(k)
+		if (q.Flag != 0) != rok || q.Flag != rlevel {
+			t.Fatalf("step %d key %d: flag %d vs level %d (ok=%v)", step, k, q.Flag, rlevel, rok)
+		}
+		if rok && q.Index != rv {
+			t.Fatalf("step %d key %d: index %d vs %d", step, k, q.Index, rv)
+		}
+		v := uint64(step + 1)
+		if err := dp.Reply(k, v, q.Flag); err != nil {
+			t.Fatalf("step %d reply: %v", step, err)
+		}
+		ref.Reply(k, v, rlevel)
+	}
+}
+
+// TestIndexDataplaneSelfConsistency: across any number of levels, a query
+// hit must return exactly the value most recently stored for that key — the
+// key↔value mapping survives every rotation, transition, and demotion.
+func TestIndexDataplaneSelfConsistency(t *testing.T) {
+	for _, levels := range []int{2, 3, 4} {
+		dp, err := BuildLruIndexDataplane(levels, 16, 3, TofinoBudget)
+		if err != nil {
+			t.Fatalf("levels=%d: %v", levels, err)
+		}
+		stored := map[uint64]uint64{}
+		r := rand.New(rand.NewSource(int64(levels)))
+		for step := 0; step < 60000; step++ {
+			k := uint64(r.Intn(400) + 1)
+			q, err := dp.Query(k)
+			if err != nil {
+				t.Fatalf("levels=%d step %d query: %v", levels, step, err)
+			}
+			if q.Flag != 0 {
+				want, ok := stored[k]
+				if !ok {
+					t.Fatalf("levels=%d step %d: hit on never-stored key %d", levels, step, k)
+				}
+				if q.Index != want {
+					t.Fatalf("levels=%d step %d key %d: index %d, want %d — mapping corrupted",
+						levels, step, k, q.Index, want)
+				}
+			}
+			v := uint64(step)<<16 | k // distinctive value per (step, key)
+			if err := dp.Reply(k, v, q.Flag); err != nil {
+				t.Fatalf("levels=%d step %d reply: %v", levels, step, err)
+			}
+			stored[k] = v
+		}
+	}
+}
+
+// TestIndexDataplaneHitRateMatchesSeries: aggregate behaviour tracks the Go
+// series closely (states can diverge transiently through the hardware's
+// tail-replacement on non-full units, but hit rates must agree).
+func TestIndexDataplaneHitRateMatchesSeries(t *testing.T) {
+	const levels, units = 4, 32
+	dp, err := BuildLruIndexDataplane(levels, units, 9, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lru.NewSeries3[uint64](levels, units, 9, nil)
+
+	zipf := rand.NewZipf(rand.New(rand.NewSource(2)), 1.1, 1, 4000)
+	dpHits, refHits := 0, 0
+	const steps = 80000
+	for step := 0; step < steps; step++ {
+		k := zipf.Uint64() + 1
+		q, err := dp.Query(k)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if q.Flag != 0 {
+			dpHits++
+		}
+		_, rlevel, rok := ref.Query(k)
+		if rok {
+			refHits++
+		}
+		v := uint64(step + 1)
+		if err := dp.Reply(k, v, q.Flag); err != nil {
+			t.Fatalf("step %d reply: %v", step, err)
+		}
+		ref.Reply(k, v, rlevel)
+	}
+	dpRate := float64(dpHits) / steps
+	refRate := float64(refHits) / steps
+	if diff := dpRate - refRate; diff < -0.02 || diff > 0.02 {
+		t.Errorf("hit rates diverge: dataplane %.4f vs series %.4f", dpRate, refRate)
+	}
+	if dpHits == 0 {
+		t.Error("dataplane never hit")
+	}
+}
+
+// TestIndexDataplaneDemotion: a key pushed out of level 1 must become
+// retrievable at level 2 with its value intact.
+func TestIndexDataplaneDemotion(t *testing.T) {
+	// One unit per level so placement is deterministic.
+	dp, err := BuildLruIndexDataplane(2, 1, 5, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(k, v uint64) {
+		q, err := dp.Query(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dp.Reply(k, v, q.Flag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fill level 1's single unit (3 entries) and push one more.
+	insert(1, 101)
+	insert(2, 102)
+	insert(3, 103)
+	insert(4, 104) // demotes key 1 to level 2's tail
+	q, err := dp.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Flag != 2 {
+		t.Fatalf("demoted key at flag %d, want level 2", q.Flag)
+	}
+	if q.Index != 101 {
+		t.Fatalf("demoted value %d, want 101", q.Index)
+	}
+	// Keys 2–4 stay at level 1.
+	for k := uint64(2); k <= 4; k++ {
+		q, _ := dp.Query(k)
+		if q.Flag != 1 || q.Index != 100+k {
+			t.Errorf("key %d: flag=%d index=%d", k, q.Flag, q.Index)
+		}
+	}
+}
+
+// TestIndexDataplaneQueryIsReadOnly: queries never change subsequent
+// outcomes.
+func TestIndexDataplaneQueryIsReadOnly(t *testing.T) {
+	dp, err := BuildLruIndexDataplane(2, 4, 11, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 10; k++ {
+		q, _ := dp.Query(k)
+		_ = dp.Reply(k, k*7, q.Flag)
+	}
+	// Hammer queries; outcomes must be stable.
+	first := map[uint64]QueryOutcome{}
+	for round := 0; round < 50; round++ {
+		for k := uint64(1); k <= 10; k++ {
+			q, err := dp.Query(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round == 0 {
+				first[k] = q
+				continue
+			}
+			if q != first[k] {
+				t.Fatalf("query outcome for %d drifted: %+v vs %+v", k, q, first[k])
+			}
+		}
+	}
+}
+
+func TestIndexDataplaneResources(t *testing.T) {
+	dp, err := BuildLruIndexDataplane(4, 1<<16, 1, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := dp.Program().Resources()
+	if res.Stages > TofinoBudget.Stages*4 {
+		t.Errorf("stages %d exceed 4-pipe budget", res.Stages)
+	}
+	if res.Registers != 4*7 {
+		t.Errorf("registers = %d, want 28 (7 per level)", res.Registers)
+	}
+	if res.TableEntries != 4*18 {
+		t.Errorf("table entries = %d, want 72 (18-entry decode per level)", res.TableEntries)
+	}
+}
+
+func TestIndexDataplaneValidation(t *testing.T) {
+	if _, err := BuildLruIndexDataplane(0, 4, 1, TofinoBudget); err == nil {
+		t.Error("0 levels accepted")
+	}
+	if _, err := BuildLruIndexDataplane(5, 4, 1, TofinoBudget); err == nil {
+		t.Error("5 levels accepted")
+	}
+	if _, err := BuildLruIndexDataplane(2, 0, 1, TofinoBudget); err == nil {
+		t.Error("0 units accepted")
+	}
+}
+
+func BenchmarkIndexDataplaneQueryReply(b *testing.B) {
+	dp, err := BuildLruIndexDataplane(4, 1<<12, 1, TofinoBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(1)), 1.1, 1, 1<<16)
+	keys := make([]uint64, 1<<14)
+	for i := range keys {
+		keys[i] = zipf.Uint64() + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(1<<14-1)]
+		q, err := dp.Query(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dp.Reply(k, uint64(i), q.Flag); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

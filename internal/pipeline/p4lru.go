@@ -1,0 +1,336 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+)
+
+// Mode selects the value-update discipline of a P4LRU cache-array program.
+type Mode int
+
+// Cache modes.
+const (
+	// ModeWrite is the LruMon discipline: a hit accumulates the incoming
+	// value into the cached one (val[p1] += v).
+	ModeWrite Mode = iota
+	// ModeRead is the LruTable/LruIndex discipline: a hit returns the
+	// cached value untouched unless the packet is a reply (ptype=1), in
+	// which case the cached value is overwritten (placeholder fill).
+	ModeRead
+)
+
+// Global PHV input fields shared by all P4LRU programs. Callers populate
+// them before Run; each cache array writes its outputs under its own name
+// prefix (see arrayPorts).
+const (
+	FieldKey   = "key"
+	FieldVal   = "val"
+	FieldPType = "ptype" // 0 = query/data packet, 1 = reply carrying a value
+)
+
+// arrayPorts names the per-array output fields.
+type arrayPorts struct {
+	Op     string // 0 = miss, i = hit at key[i]
+	State  string // post-transition cache state code
+	EvKey  string // key leaving the unit on a miss
+	ValOut string // branch output of the value SALU
+}
+
+func portsFor(name string) arrayPorts {
+	return arrayPorts{
+		Op:     name + ".op",
+		State:  name + ".state",
+		EvKey:  name + ".evk3",
+		ValOut: name + ".valout",
+	}
+}
+
+// state3Decode mirrors Table 1: code → 0-based value slot of key[1]
+// (p1 = S(1)). Kept in sync with internal/lru by the differential tests.
+var state3Decode = map[uint64]uint64{0: 1, 1: 0, 2: 2, 3: 2, 4: 0, 5: 1}
+
+// state3Initial is the Table 1 code of the identity permutation. Data-plane
+// registers power up zeroed; the control plane writes this code into every
+// state cell at configuration time (addCacheArray3 does so before returning).
+const state3Initial = 4
+
+// arrayRegs exposes a cache array's registers for control-plane readout
+// (Lookup/Range on CacheArray3). The data plane itself never touches them
+// outside SALU steps.
+type arrayRegs struct {
+	keys  [3]*Register
+	state *Register
+	vals  [3]*Register
+}
+
+// addCacheArray3 appends the 9-stage P4LRU3 cache-array program to b: per
+// unit, three 32-bit key registers, one 8-bit state register carrying the
+// three §2.3.2 arithmetic actions, and three 32-bit value registers. It
+// returns the output ports and registers. Composable: LruIndex appends it
+// four times.
+func addCacheArray3(b *Builder, name string, numUnits int, seed uint64, mode Mode) (arrayPorts, arrayRegs) {
+	p := portsFor(name)
+	key := F(FieldKey)
+	idxF := name + ".idx"
+	evk1 := name + ".evk1"
+	evk2 := name + ".evk2"
+	p1F := name + ".p1"
+	idx := F(idxF)
+
+	// Stage 0: index hash + metadata defaults.
+	st0 := b.Stage()
+	st0.HashIndex(idxF, key, numUnits, seed)
+	st0.Set(p.Op, C(0))
+
+	var regs arrayRegs
+
+	// Stage 1: unconditional swap of key[1].
+	st1 := b.Stage()
+	key1 := st1.Register(name+".key1", 32, numUnits)
+	regs.keys[0] = key1
+	st1.Action(key1, SALUAction{
+		Name: "swap",
+		True: SALUBranch{Op: OpSet, Operand: key, Out: OutOld},
+	})
+	st1.SALU(key1, "swap", idx, evk1)
+
+	// Stage 2: hit-at-1 detection; conditional swap of key[2] with the key
+	// evicted from stage 1.
+	st2 := b.Stage()
+	st2.Set(p.Op, C(1), G(F(evk1), CmpEQ, key))
+	key2 := st2.Register(name+".key2", 32, numUnits)
+	regs.keys[1] = key2
+	st2.Action(key2, SALUAction{
+		Name: "swap",
+		True: SALUBranch{Op: OpSet, Operand: F(evk1), Out: OutOld},
+	})
+	st2.SALU(key2, "swap", idx, evk2, G(F(evk1), CmpNE, key))
+
+	// Stage 3: hit-at-2 detection; conditional swap of key[3].
+	st3 := b.Stage()
+	st3.Set(p.Op, C(2), G(F(p.Op), CmpNE, C(1)), G(F(evk2), CmpEQ, key))
+	key3 := st3.Register(name+".key3", 32, numUnits)
+	regs.keys[2] = key3
+	st3.Action(key3, SALUAction{
+		Name: "swap",
+		True: SALUBranch{Op: OpSet, Operand: F(evk2), Out: OutOld},
+	})
+	st3.SALU(key3, "swap", idx, p.EvKey,
+		G(F(p.Op), CmpNE, C(1)), G(F(evk2), CmpNE, key))
+
+	// Stage 4: hit-at-3 detection; the cache-state DFA — three register
+	// actions carrying exactly the §2.3.2 stateful-ALU arithmetic.
+	st4 := b.Stage()
+	st4.Set(p.Op, C(3),
+		G(F(p.Op), CmpEQ, C(0)), G(F(p.EvKey), CmpEQ, key))
+	state := st4.Register(name+".state", 8, numUnits)
+	regs.state = state
+	st4.Action(state, SALUAction{ // Operation 1: no change
+		Name: "op1",
+		True: SALUBranch{Op: OpKeep, Out: OutNew},
+	})
+	st4.Action(state, SALUAction{ // Operation 2: S^1 if S≥4 else S^3
+		Name:  "op2",
+		Pred:  &SALUPred{Op: CmpGE, Operand: C(4)},
+		True:  SALUBranch{Op: OpXor, Operand: C(1), Out: OutNew},
+		False: SALUBranch{Op: OpXor, Operand: C(3), Out: OutNew},
+	})
+	st4.Action(state, SALUAction{ // Operation 3: S-2 if S≥2 else S+4
+		Name:  "op3",
+		Pred:  &SALUPred{Op: CmpGE, Operand: C(2)},
+		True:  SALUBranch{Op: OpSub, Operand: C(2), Out: OutNew},
+		False: SALUBranch{Op: OpAdd, Operand: C(4), Out: OutNew},
+	})
+	st4.SALU(state, "op1", idx, p.State, G(F(p.Op), CmpEQ, C(1)))
+	st4.SALU(state, "op2", idx, p.State, G(F(p.Op), CmpEQ, C(2)))
+	st4.SALU(state, "op3", idx, p.State,
+		G(F(p.Op), CmpNE, C(1)), G(F(p.Op), CmpNE, C(2)))
+
+	// Stage 5: decode p1 = S(1) through a 6-entry match table.
+	st5 := b.Stage()
+	st5.Table(p1F, F(p.State), state3Decode, 0)
+
+	// Stages 6–8: the three value registers; p1 selects which one.
+	for i := 0; i < 3; i++ {
+		st := b.Stage()
+		r := st.Register(fmt.Sprintf("%s.val%d", name, i+1), 32, numUnits)
+		regs.vals[i] = r
+		pi := G(F(p1F), CmpEQ, C(uint64(i)))
+		hit := G(F(p.Op), CmpNE, C(0))
+		miss := G(F(p.Op), CmpEQ, C(0))
+		switch mode {
+		case ModeWrite:
+			st.Action(r, SALUAction{
+				Name: "merge",
+				True: SALUBranch{Op: OpAdd, Operand: F(FieldVal), Out: OutNew},
+			})
+			st.SALU(r, "merge", idx, p.ValOut, pi, hit)
+		case ModeRead:
+			st.Action(r, SALUAction{
+				Name: "read",
+				True: SALUBranch{Op: OpKeep, Out: OutOld},
+			})
+			st.Action(r, SALUAction{
+				Name: "write",
+				True: SALUBranch{Op: OpSet, Operand: F(FieldVal), Out: OutNew},
+			})
+			st.SALU(r, "read", idx, p.ValOut, pi, hit, G(F(FieldPType), CmpEQ, C(0)))
+			st.SALU(r, "write", idx, p.ValOut, pi, hit, G(F(FieldPType), CmpEQ, C(1)))
+		}
+		st.Action(r, SALUAction{
+			Name: "insert",
+			True: SALUBranch{Op: OpSet, Operand: F(FieldVal), Out: OutOld},
+		})
+		st.SALU(r, "insert", idx, p.ValOut, pi, miss)
+	}
+
+	// Control-plane initialization: every unit starts in the identity
+	// cache state (Table 1 code 4).
+	for i := 0; i < numUnits; i++ {
+		state.SetCell(i, state3Initial)
+	}
+	return p, regs
+}
+
+// CacheArray3 is a parallel-connected array of P4LRU3 units realized as a
+// pipeline program.
+type CacheArray3 struct {
+	prog  *Program
+	ports arrayPorts
+	regs  arrayRegs
+	hash  hashing.Hash
+	units int
+	mode  Mode
+}
+
+// UpdateResult is the observable outcome of one packet.
+type UpdateResult struct {
+	// Hit is true when the key was present (op != 0).
+	Hit bool
+	// HitPos is the 1-based key position on a hit (the paper's i).
+	HitPos int
+	// EvictedKey/EvictedValue leave the cache on a miss. The pipeline has
+	// no fill counter — like the hardware, a "miss" in a not-yet-full unit
+	// evicts a zero key (an empty slot), which callers treat as no
+	// eviction.
+	EvictedKey   uint64
+	EvictedValue uint64
+	// Value is the post-update cached value on a hit (ModeWrite: the new
+	// accumulated total; ModeRead: the cached value, or the written value
+	// for a reply packet).
+	Value uint64
+}
+
+// BuildCacheArray3 assembles and validates a standalone cache-array program.
+// numUnits is the paper's 2^16/2^17 array width; seed selects the index hash
+// (matching lru.NewArray3 with the same seed, which the differential tests
+// rely on).
+func BuildCacheArray3(name string, numUnits int, seed uint64, mode Mode, budget Budget) (*CacheArray3, error) {
+	if numUnits < 1 {
+		return nil, fmt.Errorf("pipeline: cache array with %d units", numUnits)
+	}
+	if mode != ModeWrite && mode != ModeRead {
+		return nil, fmt.Errorf("pipeline: unknown mode %d", mode)
+	}
+	b := NewBuilder(name, budget, 1)
+	ports, regs := addCacheArray3(b, name, numUnits, seed, mode)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &CacheArray3{
+		prog: prog, ports: ports, regs: regs,
+		hash: hashing.New(seed), units: numUnits, mode: mode,
+	}, nil
+}
+
+// Program exposes the underlying pipeline program (resource reports).
+func (c *CacheArray3) Program() *Program { return c.prog }
+
+// Units returns the array width.
+func (c *CacheArray3) Units() int { return c.units }
+
+// Update pushes one packet through the pipeline. In ModeRead, reply marks
+// the packet as carrying a value to install (ptype=1).
+func (c *CacheArray3) Update(key, val uint64, reply bool) (UpdateResult, error) {
+	pt := uint64(0)
+	if reply {
+		pt = 1
+	}
+	phv := NewPHV(map[string]uint64{FieldKey: key, FieldVal: val, FieldPType: pt})
+	if err := c.prog.Run(phv); err != nil {
+		return UpdateResult{}, err
+	}
+	op := phv.Get(c.ports.Op)
+	res := UpdateResult{Hit: op != 0, HitPos: int(op), Value: phv.Get(c.ports.ValOut)}
+	if op == 0 {
+		res.EvictedKey = phv.Get(c.ports.EvKey)
+		res.EvictedValue = phv.Get(c.ports.ValOut)
+	}
+	return res, nil
+}
+
+// Lookup is a control-plane readout: it inspects the registers of the unit
+// addressed by key and returns the cached value. Unlike Update it is not a
+// packet and is exempt from the per-packet access discipline (the control
+// plane reads registers freely). Key 0 denotes an empty slot.
+func (c *CacheArray3) Lookup(key uint64) (uint64, bool) {
+	if key == 0 {
+		return 0, false
+	}
+	idx := c.hash.Index(key, c.units)
+	state := c.regs.state.Cell(idx)
+	perm, ok := state3DecodeFull(state)
+	if !ok {
+		return 0, false
+	}
+	for pos := 0; pos < 3; pos++ {
+		if c.regs.keys[pos].Cell(idx) == key {
+			return c.regs.vals[perm[pos]].Cell(idx), true
+		}
+	}
+	return 0, false
+}
+
+// Range iterates all resident (key, value) pairs by control-plane readout
+// until fn returns false.
+func (c *CacheArray3) Range(fn func(k, v uint64) bool) {
+	for idx := 0; idx < c.units; idx++ {
+		perm, ok := state3DecodeFull(c.regs.state.Cell(idx))
+		if !ok {
+			continue
+		}
+		for pos := 0; pos < 3; pos++ {
+			k := c.regs.keys[pos].Cell(idx)
+			if k == 0 {
+				continue
+			}
+			if !fn(k, c.regs.vals[perm[pos]].Cell(idx)) {
+				return
+			}
+		}
+	}
+}
+
+// Len counts resident entries (nonzero keys) by control-plane readout.
+func (c *CacheArray3) Len() int {
+	n := 0
+	for idx := 0; idx < c.units; idx++ {
+		for pos := 0; pos < 3; pos++ {
+			if c.regs.keys[pos].Cell(idx) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// state3DecodeFull returns the full Table 1 permutation for a state code.
+func state3DecodeFull(code uint64) ([3]int, bool) {
+	if code > 5 {
+		return [3]int{}, false
+	}
+	t := state3PermTable[code]
+	return [3]int{int(t[0]), int(t[1]), int(t[2])}, true
+}

@@ -1,0 +1,110 @@
+package pipeline
+
+import "fmt"
+
+// CacheArray2 is the P4LRU2 deployment of §2.3.1: two key registers, a
+// one-bit state register whose single SALU action covers both transition
+// branches (S and S^1 — one stateful ALU suffices, as the paper notes), and
+// two value registers, in 6 stages.
+type CacheArray2 struct {
+	prog  *Program
+	ports arrayPorts
+	units int
+}
+
+// BuildCacheArray2 assembles and validates a P4LRU2 cache-array program
+// (write-cache discipline). Seeds match lru.NewArray with Unit2 units.
+func BuildCacheArray2(name string, numUnits int, seed uint64, budget Budget) (*CacheArray2, error) {
+	if numUnits < 1 {
+		return nil, fmt.Errorf("pipeline: cache array with %d units", numUnits)
+	}
+	b := NewBuilder(name, budget, 1)
+	p := portsFor(name)
+	key := F(FieldKey)
+	idxF := name + ".idx"
+	idx := F(idxF)
+	evk1 := name + ".evk1"
+
+	// Stage 0: index hash + defaults.
+	st0 := b.Stage()
+	st0.HashIndex(idxF, key, numUnits, seed)
+	st0.Set(p.Op, C(0))
+
+	// Stage 1: unconditional swap of key[1].
+	st1 := b.Stage()
+	key1 := st1.Register(name+".key1", 32, numUnits)
+	st1.Action(key1, SALUAction{
+		Name: "swap",
+		True: SALUBranch{Op: OpSet, Operand: key, Out: OutOld},
+	})
+	st1.SALU(key1, "swap", idx, evk1)
+
+	// Stage 2: hit-at-1 detection + conditional swap of key[2].
+	st2 := b.Stage()
+	st2.Set(p.Op, C(1), G(F(evk1), CmpEQ, key))
+	key2 := st2.Register(name+".key2", 32, numUnits)
+	st2.Action(key2, SALUAction{
+		Name: "swap",
+		True: SALUBranch{Op: OpSet, Operand: F(evk1), Out: OutOld},
+	})
+	st2.SALU(key2, "swap", idx, p.EvKey, G(F(evk1), CmpNE, key))
+
+	// Stage 3: hit-at-2 detection + the one-bit state DFA. §2.3.1: hit at
+	// key[1] keeps S; hit at key[2] or a miss flips it — both transitions
+	// fit a single register action pair on one SALU.
+	st3 := b.Stage()
+	st3.Set(p.Op, C(2), G(F(p.Op), CmpNE, C(1)), G(F(p.EvKey), CmpEQ, key))
+	state := st3.Register(name+".state", 1, numUnits)
+	st3.Action(state, SALUAction{
+		Name: "keep",
+		True: SALUBranch{Op: OpKeep, Out: OutNew},
+	})
+	st3.Action(state, SALUAction{
+		Name: "flip",
+		True: SALUBranch{Op: OpXor, Operand: C(1), Out: OutNew},
+	})
+	st3.SALU(state, "keep", idx, p.State, G(F(p.Op), CmpEQ, C(1)))
+	st3.SALU(state, "flip", idx, p.State, G(F(p.Op), CmpNE, C(1)))
+
+	// Stage 4/5: the two value registers; the new MRU key's slot is
+	// val[S'(1)] = S' itself for n=2 (state 0 → slot 0, state 1 → slot 1).
+	for i := 0; i < 2; i++ {
+		st := b.Stage()
+		r := st.Register(fmt.Sprintf("%s.val%d", name, i+1), 32, numUnits)
+		sel := G(F(p.State), CmpEQ, C(uint64(i)))
+		st.Action(r, SALUAction{
+			Name: "merge",
+			True: SALUBranch{Op: OpAdd, Operand: F(FieldVal), Out: OutNew},
+		})
+		st.Action(r, SALUAction{
+			Name: "insert",
+			True: SALUBranch{Op: OpSet, Operand: F(FieldVal), Out: OutOld},
+		})
+		st.SALU(r, "merge", idx, p.ValOut, sel, G(F(p.Op), CmpNE, C(0)))
+		st.SALU(r, "insert", idx, p.ValOut, sel, G(F(p.Op), CmpEQ, C(0)))
+	}
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &CacheArray2{prog: prog, ports: p, units: numUnits}, nil
+}
+
+// Program exposes the underlying program.
+func (c *CacheArray2) Program() *Program { return c.prog }
+
+// Update pushes one write-cache packet through the pipeline.
+func (c *CacheArray2) Update(key, val uint64) (UpdateResult, error) {
+	phv := NewPHV(map[string]uint64{FieldKey: key, FieldVal: val})
+	if err := c.prog.Run(phv); err != nil {
+		return UpdateResult{}, err
+	}
+	op := phv.Get(c.ports.Op)
+	res := UpdateResult{Hit: op != 0, HitPos: int(op), Value: phv.Get(c.ports.ValOut)}
+	if op == 0 {
+		res.EvictedKey = phv.Get(c.ports.EvKey)
+		res.EvictedValue = phv.Get(c.ports.ValOut)
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/p4lru/p4lru/internal/lru"
+)
+
+// TestCacheArray2Differential: the P4LRU2 pipeline program matches the
+// plain-Go Unit2 array (zero-key warmup discrepancy aside).
+func TestCacheArray2Differential(t *testing.T) {
+	const units = 64
+	const seed = 5
+	add := func(old, in uint64) uint64 { return old + in }
+	pipe, err := BuildCacheArray2("t2", units, seed, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lru.NewArray(units, seed, func() lru.UnitCache[uint64] {
+		return lru.NewUnit2[uint64](add)
+	})
+
+	r := rand.New(rand.NewSource(1))
+	for step := 0; step < 150000; step++ {
+		k := uint64(r.Intn(250) + 1)
+		v := uint64(r.Intn(900) + 1)
+		pr, err := pipe.Update(k, v)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		rr := ref.Update(k, v)
+		if pr.Hit != rr.Hit {
+			t.Fatalf("step %d key %d: hit %v vs %v", step, k, pr.Hit, rr.Hit)
+		}
+		if pr.Hit {
+			rv, _ := ref.Lookup(k)
+			if pr.Value != rv {
+				t.Fatalf("step %d key %d: value %d vs %d", step, k, pr.Value, rv)
+			}
+			continue
+		}
+		if pr.EvictedKey == 0 {
+			if rr.Evicted {
+				t.Fatalf("step %d: phantom fill but Go evicted %d", step, rr.EvictedKey)
+			}
+			continue
+		}
+		if !rr.Evicted || rr.EvictedKey != pr.EvictedKey || rr.EvictedValue != pr.EvictedValue {
+			t.Fatalf("step %d: evicted (%d,%d) vs (%d,%d,%v)",
+				step, pr.EvictedKey, pr.EvictedValue, rr.EvictedKey, rr.EvictedValue, rr.Evicted)
+		}
+	}
+}
+
+// TestCacheArray2Resources: §2.3.1 — one SALU covers the whole state DFA;
+// five registers total.
+func TestCacheArray2Resources(t *testing.T) {
+	pipe, err := BuildCacheArray2("t2", 1<<16, 1, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pipe.Program().Resources()
+	if res.Registers != 5 {
+		t.Errorf("registers = %d, want 5 (2 keys + state + 2 vals)", res.Registers)
+	}
+	if res.SALUs != 5 {
+		t.Errorf("SALUs = %d, want 5", res.SALUs)
+	}
+	if res.Stages != 6 {
+		t.Errorf("stages = %d, want 6", res.Stages)
+	}
+	// The state register is a single bit per unit.
+	wantSRAM := 2*32*(1<<16) + 1*(1<<16) + 2*32*(1<<16)
+	if res.SRAMBits != wantSRAM {
+		t.Errorf("SRAM = %d, want %d", res.SRAMBits, wantSRAM)
+	}
+}
+
+func TestCacheArray2Validation(t *testing.T) {
+	if _, err := BuildCacheArray2("t2", 0, 1, TofinoBudget); err == nil {
+		t.Error("0 units accepted")
+	}
+}
+
+func BenchmarkCacheArray2Pipeline(b *testing.B) {
+	pipe, err := BuildCacheArray2("b2", 1<<16, 1, TofinoBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(1)), 1.1, 1, 1<<20)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = zipf.Uint64() + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Update(keys[i&(1<<16-1)], 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

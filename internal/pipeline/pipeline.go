@@ -1,0 +1,407 @@
+// Package pipeline models a Tofino-style RMT (Reconfigurable Match Table)
+// packet-processing pipeline precisely enough to *validate* the data-plane
+// constraints the paper's design revolves around (§2.1, §2.3):
+//
+//   - a packet traverses the stages strictly in order;
+//   - each register array can be accessed at most once per packet — the
+//     "no second data traversal" rule that rules out classical LRU;
+//   - register state can only be mutated by a stateful ALU (SALU) whose
+//     program is one predicate over the stored value plus two arithmetic
+//     branches (±/XOR/assign with a constant or a header field), mirroring
+//     Tofino's register action model ("read register – lookup table – write
+//     register" is inexpressible, exactly as §2.3 notes);
+//   - PHV writes made in a stage become visible only in later stages
+//     (intra-stage steps execute on the stage-entry view);
+//   - per-stage and per-pipeline resource budgets (stages, SALUs, SRAM,
+//     hash bits) are enforced at build time and reported like Table 2.
+//
+// The P4LRU programs in this package are differentially tested against the
+// plain-Go implementations in internal/lru: same hash placement, same
+// observable behaviour. Where internal/lru tracks an explicit fill count,
+// the pipeline — like the real switch — starts from zeroed registers and
+// treats key 0 as an ordinary resident entry; the differential tests account
+// for exactly that discrepancy and nothing else.
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+)
+
+// CmpOp is a comparison operator usable in guards and SALU predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (op CmpOp) eval(a, b uint64) bool {
+	switch op {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	}
+	panic(fmt.Sprintf("pipeline: bad CmpOp %d", op))
+}
+
+// ALUOp is an arithmetic operation available to SALU branches and VLIW
+// steps. The set matches what a Tofino SALU/action can do in one pass:
+// assignment, add/sub/xor/and/or, and constant shifts; no multiplies, no
+// loops, no indirect table lookups.
+type ALUOp int
+
+// ALU operations.
+const (
+	OpKeep ALUOp = iota // leave the destination unchanged
+	OpSet               // dst = operand
+	OpAdd               // dst = dst + operand
+	OpSub               // dst = dst - operand
+	OpXor               // dst = dst ^ operand
+	OpAnd               // dst = dst & operand
+	OpOr                // dst = dst | operand
+	OpShl               // dst = dst << operand
+	OpShr               // dst = dst >> operand
+)
+
+func (op ALUOp) eval(old, operand uint64) uint64 {
+	switch op {
+	case OpKeep:
+		return old
+	case OpSet:
+		return operand
+	case OpAdd:
+		return old + operand
+	case OpSub:
+		return old - operand
+	case OpXor:
+		return old ^ operand
+	case OpAnd:
+		return old & operand
+	case OpOr:
+		return old | operand
+	case OpShl:
+		return old << (operand & 63)
+	case OpShr:
+		return old >> (operand & 63)
+	}
+	panic(fmt.Sprintf("pipeline: bad ALUOp %d", op))
+}
+
+// Operand is a constant or a PHV field reference.
+type Operand struct {
+	field   string
+	constV  uint64
+	isConst bool
+}
+
+// F references a PHV field.
+func F(name string) Operand { return Operand{field: name} }
+
+// C is a constant operand.
+func C(v uint64) Operand { return Operand{constV: v, isConst: true} }
+
+func (o Operand) value(phv *PHV) uint64 {
+	if o.isConst {
+		return o.constV
+	}
+	return phv.Get(o.field)
+}
+
+// Guard is one conjunct of a step guard: A op B, where A and B may both be
+// PHV fields (Tofino gateways compare header fields). A step runs only if
+// every guard term holds on the stage-entry PHV view.
+type Guard struct {
+	A  Operand
+	Op CmpOp
+	B  Operand
+}
+
+// G builds a guard term.
+func G(a Operand, op CmpOp, b Operand) Guard { return Guard{A: a, Op: op, B: b} }
+
+func guardsHold(gs []Guard, phv *PHV) bool {
+	for _, g := range gs {
+		if !g.Op.eval(g.A.value(phv), g.B.value(phv)) {
+			return false
+		}
+	}
+	return true
+}
+
+// PHV is the packet header vector: the named fields a packet carries through
+// the pipeline. Writes are staged and committed at stage boundaries.
+type PHV struct {
+	cur     map[string]uint64
+	pending map[string]uint64
+	written map[string]bool // VLIW conflict detection within a stage
+}
+
+// NewPHV builds a PHV with the given initial fields.
+func NewPHV(fields map[string]uint64) *PHV {
+	p := &PHV{
+		cur:     make(map[string]uint64, len(fields)+8),
+		pending: make(map[string]uint64, 8),
+		written: make(map[string]bool, 8),
+	}
+	for k, v := range fields {
+		p.cur[k] = v
+	}
+	return p
+}
+
+// Get returns the stage-entry value of a field (0 if never written).
+func (p *PHV) Get(name string) uint64 { return p.cur[name] }
+
+// set stages a write; it becomes visible at the next stage boundary.
+func (p *PHV) set(name string, v uint64) error {
+	if p.written[name] {
+		return fmt.Errorf("pipeline: field %q written twice in one stage (VLIW conflict)", name)
+	}
+	p.written[name] = true
+	p.pending[name] = v
+	return nil
+}
+
+// commit applies pending writes (stage boundary).
+func (p *PHV) commit() {
+	for k, v := range p.pending {
+		p.cur[k] = v
+		delete(p.pending, k)
+	}
+	for k := range p.written {
+		delete(p.written, k)
+	}
+}
+
+// Register is a stateful register array living in one stage.
+type Register struct {
+	name    string
+	width   int // bits per cell (≤ 64)
+	cells   []uint64
+	stage   int
+	actions map[string]*SALUAction
+}
+
+// Name returns the register name.
+func (r *Register) Name() string { return r.name }
+
+// Cell reads cell i directly (tests and diagnostics only — the data plane
+// itself can only go through SALU actions).
+func (r *Register) Cell(i int) uint64 { return r.cells[i] }
+
+// SetCell writes cell i directly (control-plane style initialization).
+func (r *Register) SetCell(i int, v uint64) { r.cells[i] = v & r.mask() }
+
+func (r *Register) mask() uint64 {
+	if r.width == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(r.width) - 1
+}
+
+// SALUPred is the single predicate a SALU evaluates against the stored
+// value: `reg <op> operand`.
+type SALUPred struct {
+	Op      CmpOp
+	Operand Operand
+}
+
+// OutSel selects what a SALU branch emits to the PHV.
+type OutSel int
+
+// Output selections.
+const (
+	OutOld OutSel = iota // the value before the update
+	OutNew               // the value after the update
+)
+
+// SALUBranch is one of the two arithmetic branches of a register action.
+type SALUBranch struct {
+	Op      ALUOp
+	Operand Operand
+	Out     OutSel
+}
+
+// SALUAction is one register action: a predicate over the stored value
+// selecting between two branches. Each action consumes one stateful ALU.
+type SALUAction struct {
+	Name  string
+	Pred  *SALUPred // nil ⇒ always take True
+	True  SALUBranch
+	False SALUBranch
+}
+
+// Step is one primitive operation inside a stage.
+type step interface {
+	run(phv *PHV, pkt *packetCtx) error
+}
+
+// saluStep invokes one named action on a register, at the cell selected by
+// Index, writing the branch output to OutField (if non-empty).
+type saluStep struct {
+	guards   []Guard
+	reg      *Register
+	action   string
+	index    Operand
+	outField string
+}
+
+func (s *saluStep) run(phv *PHV, pkt *packetCtx) error {
+	if !guardsHold(s.guards, phv) {
+		return nil
+	}
+	if pkt.accessed[s.reg] {
+		return fmt.Errorf("pipeline: register %q accessed twice by one packet (second data traversal)", s.reg.name)
+	}
+	pkt.accessed[s.reg] = true
+
+	idx := int(s.index.value(phv))
+	if idx < 0 || idx >= len(s.reg.cells) {
+		return fmt.Errorf("pipeline: register %q index %d out of range [0,%d)", s.reg.name, idx, len(s.reg.cells))
+	}
+	act := s.reg.actions[s.action]
+	if act == nil {
+		return fmt.Errorf("pipeline: register %q has no action %q", s.reg.name, s.action)
+	}
+
+	old := s.reg.cells[idx]
+	branch := act.True
+	if act.Pred != nil && !act.Pred.Op.eval(old, act.Pred.Operand.value(phv)) {
+		branch = act.False
+	}
+	newV := branch.Op.eval(old, branch.Operand.value(phv)) & s.reg.mask()
+	s.reg.cells[idx] = newV
+
+	if s.outField != "" {
+		out := old
+		if branch.Out == OutNew {
+			out = newV
+		}
+		return phv.set(s.outField, out)
+	}
+	return nil
+}
+
+// aluStep is a VLIW instruction: dst = a <op> b on PHV fields.
+type aluStep struct {
+	guards []Guard
+	dst    string
+	a      Operand
+	op     ALUOp
+	b      Operand
+}
+
+func (s *aluStep) run(phv *PHV, pkt *packetCtx) error {
+	if !guardsHold(s.guards, phv) {
+		return nil
+	}
+	return phv.set(s.dst, s.op.eval(s.a.value(phv), s.b.value(phv)))
+}
+
+// hashStep computes a hash of a PHV field into dst using bits output bits.
+type hashStep struct {
+	guards []Guard
+	dst    string
+	src    Operand
+	bits   int
+	hash   hashing.Hash
+	mod    int // when >0, index into [0, mod) instead of bit mask
+}
+
+func (s *hashStep) run(phv *PHV, pkt *packetCtx) error {
+	if !guardsHold(s.guards, phv) {
+		return nil
+	}
+	v := s.src.value(phv)
+	var out uint64
+	if s.mod > 0 {
+		out = uint64(s.hash.Index(v, s.mod))
+	} else {
+		out = s.hash.Uint64(v) & (1<<uint(s.bits) - 1)
+	}
+	return phv.set(s.dst, out)
+}
+
+// tableStep is an exact-match MAU table: dst = table[key], or Default on
+// miss. Sized tables model both the tiny SALU-adjacent tables (≤16 entries)
+// and ordinary match tables.
+type tableStep struct {
+	guards  []Guard
+	dst     string
+	key     Operand
+	entries map[uint64]uint64
+	deflt   uint64
+}
+
+func (s *tableStep) run(phv *PHV, pkt *packetCtx) error {
+	if !guardsHold(s.guards, phv) {
+		return nil
+	}
+	v, ok := s.entries[s.key.value(phv)]
+	if !ok {
+		v = s.deflt
+	}
+	return phv.set(s.dst, v)
+}
+
+// packetCtx tracks per-packet constraint state.
+type packetCtx struct {
+	accessed map[*Register]bool
+}
+
+// Stage is an ordered list of steps sharing one stage-entry PHV view.
+type Stage struct {
+	index int
+	steps []step
+	// resource accounting
+	registers []*Register
+	saluCount int
+	hashBits  int
+	vliw      int
+	tableEnts int
+}
+
+// Program is a built, validated pipeline program.
+type Program struct {
+	name   string
+	stages []*Stage
+	budget Budget
+	pipes  int
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// Run pushes one packet (its PHV) through the pipeline, enforcing the
+// data-plane constraints. On constraint violation it returns an error and
+// the packet is considered dropped; register state may be partially updated
+// (as it would be on hardware — the compiler is supposed to reject such
+// programs, and the tests assert we never hit one at runtime).
+func (p *Program) Run(phv *PHV) error {
+	pkt := &packetCtx{accessed: make(map[*Register]bool, 8)}
+	for _, st := range p.stages {
+		for _, s := range st.steps {
+			if err := s.run(phv, pkt); err != nil {
+				return fmt.Errorf("stage %d: %w", st.index, err)
+			}
+		}
+		phv.commit()
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildOneRegProgram makes a minimal program: one counter register with an
+// "inc" action, plus optionally a second step touching the same register.
+func buildOneRegProgram(t *testing.T, doubleAccess bool) *Program {
+	t.Helper()
+	b := NewBuilder("test", TofinoBudget, 1)
+	st := b.Stage()
+	r := st.Register("ctr", 32, 16)
+	st.Action(r, SALUAction{Name: "inc", True: SALUBranch{Op: OpAdd, Operand: C(1), Out: OutNew}})
+	st.SALU(r, "inc", F("idx"), "out")
+	if doubleAccess {
+		st.SALU(r, "inc", F("idx"), "out2")
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestSALUBasics(t *testing.T) {
+	p := buildOneRegProgram(t, false)
+	for i := 1; i <= 3; i++ {
+		phv := NewPHV(map[string]uint64{"idx": 5})
+		if err := p.Run(phv); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got := phv.Get("out"); got != uint64(i) {
+			t.Errorf("run %d: out = %d", i, got)
+		}
+	}
+}
+
+// TestSecondDataTraversalRejected: the central §2.1 constraint — touching
+// the same register twice in one packet is a violation.
+func TestSecondDataTraversalRejected(t *testing.T) {
+	p := buildOneRegProgram(t, true)
+	err := p.Run(NewPHV(map[string]uint64{"idx": 0}))
+	if err == nil || !strings.Contains(err.Error(), "second data traversal") {
+		t.Fatalf("double register access not rejected: %v", err)
+	}
+}
+
+// TestGuardedSecondAccessAllowed: two steps on one register whose guards are
+// disjoint never both execute, so the program is legal per packet.
+func TestGuardedSecondAccessAllowed(t *testing.T) {
+	b := NewBuilder("test", TofinoBudget, 1)
+	st := b.Stage()
+	r := st.Register("ctr", 32, 4)
+	st.Action(r, SALUAction{Name: "inc", True: SALUBranch{Op: OpAdd, Operand: C(1), Out: OutNew}})
+	st.Action(r, SALUAction{Name: "dec", True: SALUBranch{Op: OpSub, Operand: C(1), Out: OutNew}})
+	st.SALU(r, "inc", F("idx"), "out", G(F("sel"), CmpEQ, C(0)))
+	st.SALU(r, "dec", F("idx"), "out", G(F("sel"), CmpNE, C(0)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(NewPHV(map[string]uint64{"idx": 1, "sel": 0})); err != nil {
+		t.Fatalf("inc path: %v", err)
+	}
+	if err := p.Run(NewPHV(map[string]uint64{"idx": 1, "sel": 1})); err != nil {
+		t.Fatalf("dec path: %v", err)
+	}
+	if got := r.Cell(1); got != 0 {
+		t.Errorf("cell = %d, want 0 after inc+dec", got)
+	}
+}
+
+// TestStageVisibility: PHV writes are invisible within their own stage and
+// visible in the next — the pipeline property that forces P4LRU's layout.
+func TestStageVisibility(t *testing.T) {
+	b := NewBuilder("test", TofinoBudget, 1)
+	st0 := b.Stage()
+	st0.Set("x", C(7))
+	st0.ALU("sameStage", F("x"), OpAdd, C(0)) // reads stage-entry x (0)
+	st1 := b.Stage()
+	st1.ALU("nextStage", F("x"), OpAdd, C(0)) // reads committed x (7)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phv := NewPHV(nil)
+	if err := p.Run(phv); err != nil {
+		t.Fatal(err)
+	}
+	if got := phv.Get("sameStage"); got != 0 {
+		t.Errorf("same-stage read = %d, want 0 (stage-entry view)", got)
+	}
+	if got := phv.Get("nextStage"); got != 7 {
+		t.Errorf("next-stage read = %d, want 7", got)
+	}
+}
+
+func TestVLIWConflictRejected(t *testing.T) {
+	b := NewBuilder("test", TofinoBudget, 1)
+	st := b.Stage()
+	st.Set("x", C(1))
+	st.Set("x", C(2))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Run(NewPHV(nil))
+	if err == nil || !strings.Contains(err.Error(), "VLIW conflict") {
+		t.Fatalf("double field write not rejected: %v", err)
+	}
+}
+
+func TestRegisterWidthMasking(t *testing.T) {
+	b := NewBuilder("test", TofinoBudget, 1)
+	st := b.Stage()
+	r := st.Register("st8", 8, 2)
+	st.Action(r, SALUAction{Name: "add", True: SALUBranch{Op: OpAdd, Operand: F("d"), Out: OutNew}})
+	st.SALU(r, "add", C(0), "out")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phv := NewPHV(map[string]uint64{"d": 300})
+	if err := p.Run(phv); err != nil {
+		t.Fatal(err)
+	}
+	if got := phv.Get("out"); got != 300&0xff {
+		t.Errorf("8-bit register value = %d, want %d", got, 300&0xff)
+	}
+}
+
+func TestIndexOutOfRange(t *testing.T) {
+	p := buildOneRegProgram(t, false)
+	if err := p.Run(NewPHV(map[string]uint64{"idx": 99})); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestSALUPredicateBranches(t *testing.T) {
+	// Reproduce the op3 arithmetic: S-2 if S≥2 else S+4, and check both
+	// branches fire correctly.
+	b := NewBuilder("test", TofinoBudget, 1)
+	st := b.Stage()
+	r := st.Register("state", 8, 1)
+	st.Action(r, SALUAction{
+		Name:  "op3",
+		Pred:  &SALUPred{Op: CmpGE, Operand: C(2)},
+		True:  SALUBranch{Op: OpSub, Operand: C(2), Out: OutNew},
+		False: SALUBranch{Op: OpAdd, Operand: C(4), Out: OutNew},
+	})
+	st.SALU(r, "op3", C(0), "s")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCell(0, 4)
+	want := []uint64{2, 0, 4, 2, 0, 4} // the C3 cycle of Figure 5
+	for i, w := range want {
+		phv := NewPHV(nil)
+		if err := p.Run(phv); err != nil {
+			t.Fatal(err)
+		}
+		if got := phv.Get("s"); got != w {
+			t.Fatalf("step %d: state %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestBudgetViolations(t *testing.T) {
+	tiny := Budget{Stages: 2, SALUsPerStage: 1, SRAMBitsPerStage: 1024, HashBitsPerStage: 8, VLIWPerStage: 1}
+
+	// Too many stages.
+	b := NewBuilder("stages", tiny, 1)
+	for i := 0; i < 3; i++ {
+		b.Stage()
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("stage overflow accepted")
+	}
+
+	// Too many SALUs in one stage.
+	b = NewBuilder("salus", tiny, 1)
+	st := b.Stage()
+	r1 := st.Register("a", 8, 4)
+	r2 := st.Register("b", 8, 4)
+	st.Action(r1, SALUAction{Name: "x", True: SALUBranch{Op: OpKeep}})
+	st.Action(r2, SALUAction{Name: "x", True: SALUBranch{Op: OpKeep}})
+	if _, err := b.Build(); err == nil {
+		t.Error("SALU overflow accepted")
+	}
+
+	// SRAM overflow.
+	b = NewBuilder("sram", tiny, 1)
+	b.Stage().Register("big", 32, 1024)
+	if _, err := b.Build(); err == nil {
+		t.Error("SRAM overflow accepted")
+	}
+
+	// Hash bits overflow.
+	b = NewBuilder("hash", tiny, 1)
+	b.Stage().HashBits("h", F("k"), 32, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("hash overflow accepted")
+	}
+
+	// VLIW overflow.
+	b = NewBuilder("vliw", tiny, 1)
+	st = b.Stage()
+	st.Set("a", C(1))
+	st.Set("b", C(2))
+	if _, err := b.Build(); err == nil {
+		t.Error("VLIW overflow accepted")
+	}
+
+	// Too many actions on one register.
+	b = NewBuilder("actions", TofinoBudget, 1)
+	st = b.Stage()
+	r := st.Register("r", 8, 4)
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		st.Action(r, SALUAction{Name: n, True: SALUBranch{Op: OpKeep}})
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("5 register actions accepted (SALU holds 4)")
+	}
+
+	// Duplicate register name.
+	b = NewBuilder("dup", TofinoBudget, 1)
+	st = b.Stage()
+	st.Register("r", 8, 4)
+	b.Stage().Register("r", 8, 4)
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate register accepted")
+	}
+}
+
+func TestTableStep(t *testing.T) {
+	b := NewBuilder("table", TofinoBudget, 1)
+	st := b.Stage()
+	st.Table("out", F("in"), map[uint64]uint64{1: 10, 2: 20}, 99)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for in, want := range map[uint64]uint64{1: 10, 2: 20, 3: 99} {
+		phv := NewPHV(map[string]uint64{"in": in})
+		if err := p.Run(phv); err != nil {
+			t.Fatal(err)
+		}
+		if got := phv.Get("out"); got != want {
+			t.Errorf("table[%d] = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestHashIndexDeterministicAndBounded(t *testing.T) {
+	b := NewBuilder("hash", TofinoBudget, 1)
+	b.Stage().HashIndex("i", F("k"), 100, 42)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]uint64{}
+	for k := uint64(0); k < 1000; k++ {
+		phv := NewPHV(map[string]uint64{"k": k})
+		if err := p.Run(phv); err != nil {
+			t.Fatal(err)
+		}
+		i := phv.Get("i")
+		if i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+		seen[k] = i
+	}
+	// Re-run: same mapping.
+	for k, want := range seen {
+		phv := NewPHV(map[string]uint64{"k": k})
+		_ = p.Run(phv)
+		if phv.Get("i") != want {
+			t.Fatal("hash index not deterministic")
+		}
+	}
+}
+
+func TestFieldToFieldGuards(t *testing.T) {
+	b := NewBuilder("guards", TofinoBudget, 1)
+	st := b.Stage()
+	st.Set("eq", C(1), G(F("a"), CmpEQ, F("b")))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phv := NewPHV(map[string]uint64{"a": 5, "b": 5})
+	_ = p.Run(phv)
+	if phv.Get("eq") != 1 {
+		t.Error("field==field guard did not fire")
+	}
+	phv = NewPHV(map[string]uint64{"a": 5, "b": 6})
+	_ = p.Run(phv)
+	if phv.Get("eq") != 0 {
+		t.Error("field==field guard fired spuriously")
+	}
+}

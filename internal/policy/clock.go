@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is the CLOCK approximation of LRU that MemC3 uses on CPUs (§1.1 of
+// the paper): entries sit in a ring with one reference bit each; a hit sets
+// the bit, and the eviction hand sweeps the ring clearing bits until it
+// finds a cleared one. It needs an unbounded sweep per miss — fine on a CPU,
+// impossible in a switch pipeline — so it serves here as a software
+// reference point between the ideal LRU and the deployable P4LRU.
+type Clock struct {
+	keys  []uint64
+	vals  []uint64
+	ref   []bool
+	used  []bool
+	index map[uint64]int
+	hand  int
+	merge MergeFunc
+}
+
+// NewClock builds a CLOCK cache with the given capacity.
+func NewClock(capacity int, merge MergeFunc) *Clock {
+	if capacity < 1 {
+		panic(fmt.Sprintf("policy: clock capacity %d", capacity))
+	}
+	return &Clock{
+		keys:  make([]uint64, capacity),
+		vals:  make([]uint64, capacity),
+		ref:   make([]bool, capacity),
+		used:  make([]bool, capacity),
+		index: make(map[uint64]int, capacity),
+		merge: merge,
+	}
+}
+
+// Name implements Cache.
+func (c *Clock) Name() string { return "clock" }
+
+// Query implements Cache.
+func (c *Clock) Query(k uint64) (uint64, int, bool) {
+	if i, ok := c.index[k]; ok {
+		return c.vals[i], 0, true
+	}
+	return 0, 0, false
+}
+
+// Update implements Cache.
+func (c *Clock) Update(k, v uint64, _ int, _ time.Duration) Result {
+	var res Result
+	if i, ok := c.index[k]; ok {
+		res.Hit = true
+		c.ref[i] = true
+		if c.merge != nil {
+			c.vals[i] = c.merge(c.vals[i], v)
+		} else {
+			c.vals[i] = v
+		}
+		return res
+	}
+	res.Admitted = true
+
+	// Find a victim slot: first unused, else sweep the hand.
+	slot := -1
+	if len(c.index) < len(c.keys) {
+		for i, used := range c.used {
+			if !used {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		for {
+			if !c.ref[c.hand] {
+				slot = c.hand
+				c.hand = (c.hand + 1) % len(c.keys)
+				break
+			}
+			c.ref[c.hand] = false
+			c.hand = (c.hand + 1) % len(c.keys)
+		}
+		res.Evicted = true
+		res.EvictedKey = c.keys[slot]
+		res.EvictedValue = c.vals[slot]
+		delete(c.index, c.keys[slot])
+	}
+
+	c.used[slot] = true
+	c.keys[slot], c.vals[slot] = k, v
+	c.ref[slot] = false // inserted cold, as CLOCK does
+	c.index[k] = slot
+	return res
+}
+
+// Len implements Cache.
+func (c *Clock) Len() int { return len(c.index) }
+
+// Capacity implements Cache.
+func (c *Clock) Capacity() int { return len(c.keys) }
+
+// Range implements Cache.
+func (c *Clock) Range(fn func(k, v uint64) bool) {
+	for i, used := range c.used {
+		if used {
+			if _, live := c.index[c.keys[i]]; live && !fn(c.keys[i], c.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+var _ Cache = (*Clock)(nil)

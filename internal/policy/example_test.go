@@ -1,0 +1,37 @@
+package policy_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// Every replacement policy hides behind the same Cache interface; sizing by
+// memory keeps comparisons fair.
+func ExampleNewForMemory() {
+	for _, kind := range []policy.Kind{policy.KindP4LRU3, policy.KindP4LRU1, policy.KindTimeout} {
+		c := policy.NewForMemory(kind, 10_000, policy.Options{Seed: 1})
+		fmt.Printf("%-8s %d entries\n", c.Name(), c.Capacity())
+	}
+	// Output:
+	// p4lru3   1200 entries
+	// p4lru1   1250 entries
+	// timeout  833 entries
+}
+
+// The timeout policy admits a colliding key only once the resident entry's
+// timestamp has expired — the Beaucoup/NetSeer discipline.
+func ExampleTimeout() {
+	c := policy.NewTimeout(1, 100*time.Millisecond, 1, nil)
+	c.Update(1, 10, 0, 0)
+
+	fresh := c.Update(2, 20, 0, 50*time.Millisecond)
+	fmt.Println("while fresh, admitted:", fresh.Admitted)
+
+	expired := c.Update(2, 20, 0, 200*time.Millisecond)
+	fmt.Println("after expiry, admitted:", expired.Admitted, "evicted:", expired.EvictedKey)
+	// Output:
+	// while fresh, admitted: false
+	// after expiry, admitted: true evicted: 1
+}

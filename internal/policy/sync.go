@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"sync"
+	"time"
+)
+
+// Synchronized wraps a Cache with a mutex. The simulators are
+// single-goroutine by design (a pipeline serializes packets), but servers
+// embedding a cache across connection handlers — like the netproto switch —
+// need the locked form.
+type Synchronized struct {
+	mu    sync.Mutex
+	inner Cache
+}
+
+// Synchronize returns a goroutine-safe view of c. All access must then go
+// through the wrapper.
+func Synchronize(c Cache) *Synchronized {
+	if c == nil {
+		panic("policy: Synchronize(nil)")
+	}
+	return &Synchronized{inner: c}
+}
+
+// Name implements Cache.
+func (s *Synchronized) Name() string { return s.inner.Name() }
+
+// Query implements Cache.
+func (s *Synchronized) Query(k uint64) (uint64, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Query(k)
+}
+
+// Update implements Cache.
+func (s *Synchronized) Update(k, v uint64, flag int, now time.Duration) Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Update(k, v, flag, now)
+}
+
+// Len implements Cache.
+func (s *Synchronized) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Len()
+}
+
+// Capacity implements Cache.
+func (s *Synchronized) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Capacity()
+}
+
+// Range implements Cache. fn runs under the lock; it must not call back into
+// the wrapper.
+func (s *Synchronized) Range(fn func(k, v uint64) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Range(fn)
+}
+
+var _ Cache = (*Synchronized)(nil)

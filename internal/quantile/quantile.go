@@ -1,0 +1,123 @@
+// Package quantile implements the P² (piecewise-parabolic) streaming
+// quantile estimator of Jain & Chlamtac (1985): constant memory, one pass,
+// no stored samples. The simulators use it to report median and tail
+// latencies without retaining millions of samples.
+package quantile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Estimator tracks a single quantile q of a stream.
+type Estimator struct {
+	q       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired positions
+	incr    [5]float64 // desired-position increments
+	initial []float64  // first five observations
+}
+
+// New returns an estimator for quantile q ∈ (0, 1).
+func New(q float64) *Estimator {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("quantile: q %v out of (0,1)", q))
+	}
+	e := &Estimator{q: q, initial: make([]float64, 0, 5)}
+	e.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	e.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return e
+}
+
+// Count returns the number of observations.
+func (e *Estimator) Count() int { return e.n }
+
+// Add feeds one observation.
+func (e *Estimator) Add(x float64) {
+	e.n++
+	if len(e.initial) < 5 {
+		e.initial = append(e.initial, x)
+		if len(e.initial) == 5 {
+			sort.Float64s(e.initial)
+			for i := 0; i < 5; i++ {
+				e.heights[i] = e.initial[i]
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+
+	// Find the cell k containing x and clamp extremes.
+	var k int
+	switch {
+	case x < e.heights[0]:
+		e.heights[0] = x
+		k = 0
+	case x >= e.heights[4]:
+		e.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.incr[i]
+	}
+
+	// Adjust the three interior markers.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			// Piecewise-parabolic prediction.
+			h := e.parabolic(i, sign)
+			if e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+func (e *Estimator) parabolic(i int, d float64) float64 {
+	return e.heights[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.heights[i+1]-e.heights[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.heights[i]-e.heights[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *Estimator) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.heights[i] + d*(e.heights[j]-e.heights[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current estimate. With fewer than five observations it
+// falls back to the exact order statistic of what was seen (0 when empty).
+func (e *Estimator) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if len(e.initial) < 5 {
+		s := append([]float64(nil), e.initial...)
+		sort.Float64s(s)
+		idx := int(e.q * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return e.heights[2]
+}

@@ -1,0 +1,126 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exact(data []float64, q float64) float64 {
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func TestEmptyAndSmall(t *testing.T) {
+	e := New(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Errorf("empty: value=%v count=%d", e.Value(), e.Count())
+	}
+	e.Add(3)
+	e.Add(1)
+	if e.Count() != 2 {
+		t.Errorf("count = %d", e.Count())
+	}
+	if v := e.Value(); v != 3 { // exact order statistic of {1,3} at q=0.5
+		t.Errorf("small-sample median = %v", v)
+	}
+}
+
+func TestPanicsOnBadQ(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", q)
+				}
+			}()
+			New(q)
+		}()
+	}
+}
+
+func TestUniformAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		e := New(q)
+		data := make([]float64, 0, 100000)
+		for i := 0; i < 100000; i++ {
+			x := r.Float64() * 1000
+			e.Add(x)
+			data = append(data, x)
+		}
+		got, want := e.Value(), exact(data, q)
+		if math.Abs(got-want) > 10 { // 1% of the range
+			t.Errorf("q=%v: estimate %v, exact %v", q, got, want)
+		}
+	}
+}
+
+func TestSkewedAccuracy(t *testing.T) {
+	// Exponential-ish latencies: heavy right tail.
+	r := rand.New(rand.NewSource(2))
+	e50, e99 := New(0.5), New(0.99)
+	data := make([]float64, 0, 200000)
+	for i := 0; i < 200000; i++ {
+		x := r.ExpFloat64() * 100
+		e50.Add(x)
+		e99.Add(x)
+		data = append(data, x)
+	}
+	w50, w99 := exact(data, 0.5), exact(data, 0.99)
+	if math.Abs(e50.Value()-w50)/w50 > 0.05 {
+		t.Errorf("p50: %v vs exact %v", e50.Value(), w50)
+	}
+	if math.Abs(e99.Value()-w99)/w99 > 0.10 {
+		t.Errorf("p99: %v vs exact %v", e99.Value(), w99)
+	}
+	if e99.Value() <= e50.Value() {
+		t.Error("p99 not above p50")
+	}
+}
+
+func TestSortedInputs(t *testing.T) {
+	// Monotone streams are a classic P² stress case.
+	for name, gen := range map[string]func(i int) float64{
+		"ascending":  func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(100000 - i) },
+	} {
+		e := New(0.9)
+		for i := 0; i < 100000; i++ {
+			e.Add(gen(i))
+		}
+		got := e.Value()
+		if got < 80000 || got > 100000 {
+			t.Errorf("%s: p90 = %v, want ≈90000", name, got)
+		}
+	}
+}
+
+func TestConstantStream(t *testing.T) {
+	e := New(0.99)
+	for i := 0; i < 1000; i++ {
+		e.Add(42)
+	}
+	if e.Value() != 42 {
+		t.Errorf("constant stream p99 = %v", e.Value())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	e := New(0.99)
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Add(xs[i&4095])
+	}
+}

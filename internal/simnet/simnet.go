@@ -1,0 +1,102 @@
+// Package simnet is a small deterministic discrete-event engine used by the
+// system simulators: LruTable's slow-path round trips, LruIndex's query/reply
+// latencies, and LruMon's upload stream all schedule future events against a
+// virtual clock instead of wall time, replacing the paper's DPDK testbed with
+// a reproducible latency model.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a deterministic discrete-event executor. Events fire in
+// (time, scheduling-order) order; callbacks may schedule further events.
+// Not safe for concurrent use — simulations are single-goroutine by design.
+type Engine struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	do  func()
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs do after delay (≥ 0) of virtual time.
+func (e *Engine) Schedule(delay time.Duration, do func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v", delay))
+	}
+	e.At(e.now+delay, do)
+}
+
+// At runs do at absolute virtual time t (≥ Now).
+func (e *Engine) At(t time.Duration, do func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("simnet: schedule at %v before now %v", t, e.now))
+	}
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, do: do})
+	e.seq++
+}
+
+// Step fires the earliest event. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	ev.do()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires all events scheduled at or before t, then advances the
+// clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// eventHeap orders by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

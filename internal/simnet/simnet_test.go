@@ -1,0 +1,129 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if count != 5 {
+		t.Errorf("ticks = %d", count)
+	}
+	if e.Now() != 4*time.Millisecond {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	e.RunUntil(5 * time.Millisecond)
+	if fired != 5 {
+		t.Errorf("fired = %d, want 5", fired)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Errorf("now = %v", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	// RunUntil advances the clock even with no events in range.
+	e.RunUntil(5500 * time.Microsecond)
+	if e.Now() != 5500*time.Microsecond {
+		t.Errorf("now after idle advance = %v", e.Now())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	e := New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative delay did not panic")
+			}
+		}()
+		e.Schedule(-time.Second, func() {})
+	}()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("past At did not panic")
+			}
+		}()
+		e.At(time.Millisecond, func() {})
+	}()
+}
+
+func TestZeroDelay(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(0, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Errorf("zero-delay: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

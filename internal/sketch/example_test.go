@@ -1,0 +1,28 @@
+package sketch_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/sketch"
+)
+
+// The Tower filter estimates per-interval flow bytes; counters lazily reset
+// each period, so mouse traffic never accumulates past the threshold.
+func ExampleTower() {
+	reset := 10 * time.Millisecond
+	tw := sketch.NewTowerDefault(0.01, reset, 1)
+
+	// An elephant sends ten full-size packets in one interval.
+	var est uint32
+	for i := 0; i < 10; i++ {
+		est = tw.Add(0xe1e, 1500, 0)
+	}
+	fmt.Println("elephant estimate:", est, "≥ threshold:", est >= 1500)
+
+	// Next interval: the counter starts over.
+	fmt.Println("after reset:", tw.Add(0xe1e, 1500, reset+time.Millisecond))
+	// Output:
+	// elephant estimate: 15000 ≥ threshold: true
+	// after reset: 1500
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/pipeline"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+// TestLruMonOnPipelineDataplane: the full telemetry system produces the same
+// aggregate results whether the write-cache is the plain-Go array or the
+// pipeline-realized P4LRU3 program.
+func TestLruMonOnPipelineDataplane(t *testing.T) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Packets:   100_000,
+		BaseFlows: 8_000,
+		Segments:  10,
+		Duration:  time.Second,
+		Seed:      33,
+	})
+	const units = 1 << 10
+	const seed = 55
+	reset := 10 * time.Millisecond
+	cfg := func(c policy.Cache) Config {
+		return Config{
+			Filter:    sketch.NewTowerDefault(0.01, reset, 9),
+			Cache:     c,
+			Threshold: 1500,
+		}
+	}
+
+	plain, plainAn := Run(tr, cfg(policy.NewP4LRU(3, units, seed, Merge)), reset)
+
+	arr, err := pipeline.BuildCacheArray3("mondp", units, seed, pipeline.ModeWrite, pipeline.TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, pipedAn := Run(tr, cfg(arr.AsPolicyCache()), reset)
+
+	if plain != piped {
+		t.Fatalf("system results diverge:\nplain: %+v\npipeline: %+v", plain, piped)
+	}
+	// The analyzers must agree flow by flow.
+	if len(plainAn.TLen) != len(pipedAn.TLen) {
+		t.Fatalf("analyzer flow counts diverge: %d vs %d", len(plainAn.TLen), len(pipedAn.TLen))
+	}
+	for f, v := range plainAn.TLen {
+		if pipedAn.TLen[f] != v {
+			t.Fatalf("flow %d measured %d on plain, %d on pipeline", f, v, pipedAn.TLen[f])
+		}
+	}
+	if piped.Uploads == 0 {
+		t.Error("pipeline run degenerate (no uploads)")
+	}
+}

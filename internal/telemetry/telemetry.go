@@ -1,0 +1,213 @@
+// Package telemetry implements LruMon (§3.3): a data-plane network telemetry
+// system that measures per-flow byte counts with no per-flow overestimation
+// while minimizing the volume uploaded to the remote analyzer.
+//
+// Per packet ⟨f, len⟩:
+//
+//  1. Tower filter — two counter arrays with per-counter reset timestamps
+//     estimate the flow's bytes within the current reset interval; packets
+//     of flows under the threshold L are filtered out (mouse traffic).
+//  2. Cache array — elephant packets enter a P4LRU3 write-cache keyed by a
+//     32-bit fingerprint fp(f): a hit accumulates len; a miss inserts
+//     ⟨fp(f), len⟩, evicts ⟨fp', len'⟩, and uploads ⟨f, fp', len'⟩.
+//  3. Remote analyzer — keeps T_fp (flow → fingerprint) and T_len (flow →
+//     measured bytes), crediting evicted lengths to the flows owning the
+//     evicted fingerprints.
+//
+// Because every byte that passes the filter is eventually uploaded (or
+// flushed from the cache at the end of the run), cache quality never changes
+// *accuracy*, only the upload volume — the property §3.3 highlights and the
+// tests verify.
+package telemetry
+
+import (
+	"time"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Filter is the pre-filter (tower/cm/cu). nil disables filtering
+	// (every packet is treated as an elephant).
+	Filter sketch.Filter
+	// Cache is the write-cache (construct with merge = addition).
+	Cache policy.Cache
+	// Threshold is the filter threshold L in bytes.
+	Threshold uint32
+	// FingerprintSeed selects fp(·).
+	FingerprintSeed uint64
+}
+
+// Merge is the write-cache accumulation discipline.
+func Merge(old, incoming uint64) uint64 { return old + incoming }
+
+// Analyzer is the remote analyzer: T_fp and T_len, plus the reverse
+// fingerprint map it derives (first flow to claim a fingerprint wins; 32-bit
+// fingerprints make collisions negligible at the paper's scales).
+type Analyzer struct {
+	TFP      map[uint64]uint32 // flow → fingerprint
+	TLen     map[uint64]uint64 // flow → measured bytes
+	fpToFlow map[uint32]uint64
+	// Collisions counts fingerprint claims that clashed with another flow.
+	Collisions int
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		TFP:      make(map[uint64]uint32),
+		TLen:     make(map[uint64]uint64),
+		fpToFlow: make(map[uint32]uint64),
+	}
+}
+
+// register makes sure flow f with fingerprint fp is present in both tables.
+func (a *Analyzer) register(f uint64, fp uint32) {
+	if _, ok := a.TFP[f]; ok {
+		return
+	}
+	a.TFP[f] = fp
+	a.TLen[f] += 0
+	if owner, taken := a.fpToFlow[fp]; taken {
+		if owner != f {
+			a.Collisions++
+		}
+		return
+	}
+	a.fpToFlow[fp] = f
+}
+
+// creditFP adds bytes to the flow owning fingerprint fp.
+func (a *Analyzer) creditFP(fp uint32, bytes uint64) {
+	if f, ok := a.fpToFlow[fp]; ok {
+		a.TLen[f] += bytes
+	}
+}
+
+// Upload processes one data-plane entry ⟨f, fp(f), fp', len'⟩.
+func (a *Analyzer) Upload(f uint64, fpF, fpEvicted uint32, lenEvicted uint64) {
+	a.register(f, fpF)
+	if fpEvicted != 0 {
+		a.creditFP(fpEvicted, lenEvicted)
+	}
+}
+
+// Result aggregates a run.
+type Result struct {
+	Packets    int
+	TotalBytes uint64
+	// Filtered counts mouse packets dropped by the filter; FilteredBytes
+	// their bytes (the system's only source of undercount).
+	Filtered      int
+	FilteredBytes uint64
+	// CacheHits / CacheMisses split the elephant packets.
+	CacheHits   int
+	CacheMisses int
+	// Uploads is the number of entries pushed to the analyzer during the
+	// run (the paper's upload volume); UploadRatePPS normalizes by trace
+	// duration.
+	Uploads       int
+	UploadRatePPS float64
+	// TotalErrorRate = FilteredBytes / TotalBytes (total underestimation
+	// ratio, Figure 17a).
+	TotalErrorRate float64
+	// MaxFlowError is the largest per-flow undercount within one reset
+	// interval (Figure 17d; provably below the threshold).
+	MaxFlowError uint64
+	// AnalyzerFlows is how many flows the analyzer tracked; Collisions the
+	// fingerprint clashes it observed.
+	AnalyzerFlows int
+	Collisions    int
+}
+
+// Run replays the trace through the system and returns both the aggregate
+// result and the analyzer state (for accuracy verification).
+func Run(tr *trace.Trace, cfg Config, resetPeriod time.Duration) (Result, *Analyzer) {
+	if cfg.Cache == nil {
+		panic("telemetry: Config.Cache is nil")
+	}
+	fpHash := hashing.New(cfg.FingerprintSeed ^ 0xf1a9)
+	an := NewAnalyzer()
+	var res Result
+
+	// Per-flow undercount within the current reset interval.
+	type intervalErr struct {
+		interval int64
+		bytes    uint64
+	}
+	errs := make(map[uint64]*intervalErr)
+
+	for _, pkt := range tr.Packets {
+		res.Packets++
+		res.TotalBytes += uint64(pkt.Size)
+		f := pkt.Flow
+		l := uint32(pkt.Size)
+
+		if cfg.Filter != nil {
+			est := cfg.Filter.Add(f, l, pkt.Time)
+			if est < cfg.Threshold {
+				res.Filtered++
+				res.FilteredBytes += uint64(l)
+				iv := int64(0)
+				if resetPeriod > 0 {
+					iv = int64(pkt.Time / resetPeriod)
+				}
+				e := errs[f]
+				if e == nil {
+					e = &intervalErr{interval: iv}
+					errs[f] = e
+				}
+				if e.interval != iv {
+					e.interval, e.bytes = iv, 0
+				}
+				e.bytes += uint64(l)
+				if e.bytes > res.MaxFlowError {
+					res.MaxFlowError = e.bytes
+				}
+				continue
+			}
+		}
+
+		fp := uint64(fpHash.Fingerprint(f))
+		r := cfg.Cache.Update(fp, uint64(l), 0, pkt.Time)
+		switch {
+		case r.Hit:
+			res.CacheHits++
+		case r.Admitted:
+			res.CacheMisses++
+			res.Uploads++
+			an.Upload(f, uint32(fp), uint32(r.EvictedKey), r.EvictedValue)
+		default:
+			// The policy declined to admit (timeout/elastic/coco): the
+			// packet's bytes upload directly so no measurement is lost.
+			res.CacheMisses++
+			res.Uploads++
+			an.Upload(f, uint32(fp), uint32(fp), uint64(l))
+		}
+	}
+
+	// End of run: the analyzer collects the cache residue (control-plane
+	// readout, not counted as upload traffic).
+	cfg.Cache.Range(func(k, v uint64) bool {
+		an.creditFP(uint32(k), v)
+		return true
+	})
+
+	if res.TotalBytes > 0 {
+		res.TotalErrorRate = float64(res.FilteredBytes) / float64(res.TotalBytes)
+	}
+	dur := time.Duration(0)
+	if n := len(tr.Packets); n > 0 {
+		dur = tr.Packets[n-1].Time
+	}
+	if dur > 0 {
+		res.UploadRatePPS = float64(res.Uploads) / dur.Seconds()
+	}
+	res.AnalyzerFlows = len(an.TFP)
+	res.Collisions = an.Collisions
+	return res, an
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/sketch"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+func testTrace(segments, packets int) *trace.Trace {
+	return trace.Synthesize(trace.SynthConfig{
+		Packets:   packets,
+		BaseFlows: packets / 20,
+		Segments:  segments,
+		Duration:  time.Second,
+		Seed:      11,
+	})
+}
+
+func cacheFor(kind policy.Kind, mem int) policy.Cache {
+	return policy.NewForMemory(kind, mem, policy.Options{
+		Seed:             2,
+		Merge:            Merge,
+		TimeoutThreshold: 20 * time.Millisecond,
+	})
+}
+
+func cfgWith(cache policy.Cache, threshold uint32, reset time.Duration) Config {
+	return Config{
+		Filter:    sketch.NewTowerDefault(0.05, reset, 3),
+		Cache:     cache,
+		Threshold: threshold,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	tr := testTrace(1, 60000)
+	reset := 10 * time.Millisecond
+	res, an := Run(tr, cfgWith(cacheFor(policy.KindP4LRU3, 64*1024), 1500, reset), reset)
+	if res.Packets != len(tr.Packets) {
+		t.Fatalf("packets = %d", res.Packets)
+	}
+	if res.Filtered+res.CacheHits+res.CacheMisses != res.Packets {
+		t.Fatalf("accounting broken: %d+%d+%d != %d",
+			res.Filtered, res.CacheHits, res.CacheMisses, res.Packets)
+	}
+	if res.Filtered == 0 {
+		t.Error("filter dropped nothing — mouse flows should be filtered")
+	}
+	if res.CacheHits == 0 {
+		t.Error("no cache hits — elephants should repeat")
+	}
+	if res.Uploads != res.CacheMisses {
+		t.Errorf("uploads %d != misses %d for an always-admitting cache", res.Uploads, res.CacheMisses)
+	}
+	if res.UploadRatePPS <= 0 {
+		t.Error("zero upload rate")
+	}
+	if len(an.TFP) == 0 {
+		t.Error("analyzer registered no flows")
+	}
+}
+
+// TestNoPerFlowOverestimation: the headline accuracy guarantee — the
+// analyzer never over-reports a flow (absent fingerprint collisions), and
+// under-reports only filtered bytes.
+func TestNoPerFlowOverestimation(t *testing.T) {
+	tr := testTrace(4, 80000)
+	reset := 10 * time.Millisecond
+	res, an := Run(tr, cfgWith(cacheFor(policy.KindP4LRU3, 64*1024), 1500, reset), reset)
+	if res.Collisions > 0 {
+		t.Skipf("fingerprint collision in synthetic trace (%d) — guarantee holds only without collisions", res.Collisions)
+	}
+	truth := map[uint64]uint64{}
+	for _, p := range tr.Packets {
+		truth[p.Flow] += uint64(p.Size)
+	}
+	var measuredTotal uint64
+	for f, m := range an.TLen {
+		if m > truth[f] {
+			t.Fatalf("flow %d over-reported: measured %d > true %d", f, m, truth[f])
+		}
+		measuredTotal += m
+	}
+	if got := res.TotalBytes - measuredTotal; got != res.FilteredBytes {
+		t.Errorf("unmeasured bytes %d != filtered bytes %d", got, res.FilteredBytes)
+	}
+}
+
+// TestMaxFlowErrorBelowThreshold reproduces Figure 17(d): the per-flow
+// per-interval undercount never exceeds the filter threshold.
+func TestMaxFlowErrorBelowThreshold(t *testing.T) {
+	tr := testTrace(2, 60000)
+	for _, thr := range []uint32{1000, 3000, 8000} {
+		reset := 10 * time.Millisecond
+		res, _ := Run(tr, cfgWith(cacheFor(policy.KindP4LRU3, 64*1024), thr, reset), reset)
+		if res.MaxFlowError >= uint64(thr) {
+			t.Errorf("threshold %d: max flow error %d not below threshold", thr, res.MaxFlowError)
+		}
+		if res.MaxFlowError == 0 {
+			t.Errorf("threshold %d: zero max error (filter inert?)", thr)
+		}
+	}
+}
+
+// TestUploadDropsWithBetterCache reproduces the Figure 11/14 ordering: the
+// P4LRU3 cache uploads less than the hash-table baseline, while accuracy is
+// unchanged.
+func TestUploadDropsWithBetterCache(t *testing.T) {
+	tr := testTrace(30, 120000)
+	reset := 10 * time.Millisecond
+	run := func(kind policy.Kind) Result {
+		res, _ := Run(tr, cfgWith(cacheFor(kind, 48*1024), 1500, reset), reset)
+		return res
+	}
+	p3 := run(policy.KindP4LRU3)
+	p1 := run(policy.KindP4LRU1)
+	if p3.Uploads >= p1.Uploads {
+		t.Errorf("p4lru3 uploads %d not below baseline %d", p3.Uploads, p1.Uploads)
+	}
+	if p3.TotalErrorRate != p1.TotalErrorRate {
+		t.Errorf("cache changed accuracy: %.6f vs %.6f — filter alone must set error",
+			p3.TotalErrorRate, p1.TotalErrorRate)
+	}
+}
+
+// TestThresholdTradeoff reproduces Figure 11(b)/17(b): raising the filter
+// threshold lowers upload volume and raises total error.
+func TestThresholdTradeoff(t *testing.T) {
+	tr := testTrace(10, 80000)
+	reset := 10 * time.Millisecond
+	var prevUploads int
+	var prevErr float64
+	first := true
+	for _, thr := range []uint32{500, 1500, 4500} {
+		res, _ := Run(tr, cfgWith(cacheFor(policy.KindP4LRU3, 48*1024), thr, reset), reset)
+		if !first {
+			if res.Uploads >= prevUploads {
+				t.Errorf("threshold %d: uploads %d did not drop from %d", thr, res.Uploads, prevUploads)
+			}
+			if res.TotalErrorRate <= prevErr {
+				t.Errorf("threshold %d: error %.5f did not rise from %.5f", thr, res.TotalErrorRate, prevErr)
+			}
+		}
+		prevUploads, prevErr, first = res.Uploads, res.TotalErrorRate, false
+	}
+}
+
+// TestNonAdmittingCachePreservesAccuracy: even when the policy declines
+// admissions (timeout), every passed byte reaches the analyzer.
+func TestNonAdmittingCachePreservesAccuracy(t *testing.T) {
+	tr := testTrace(4, 50000)
+	reset := 10 * time.Millisecond
+	res, an := Run(tr, cfgWith(cacheFor(policy.KindTimeout, 32*1024), 1500, reset), reset)
+	if res.Collisions > 0 {
+		t.Skip("fingerprint collision — skip exact accounting")
+	}
+	var measured uint64
+	for _, m := range an.TLen {
+		measured += m
+	}
+	if measured+res.FilteredBytes != res.TotalBytes {
+		t.Errorf("measured %d + filtered %d != total %d",
+			measured, res.FilteredBytes, res.TotalBytes)
+	}
+}
+
+func TestNoFilterMeansNoError(t *testing.T) {
+	tr := testTrace(1, 30000)
+	res, _ := Run(tr, Config{Cache: cacheFor(policy.KindP4LRU3, 64*1024)}, 0)
+	if res.Filtered != 0 || res.TotalErrorRate != 0 || res.MaxFlowError != 0 {
+		t.Errorf("filterless run shows error: %+v", res)
+	}
+}
+
+func TestCMAndCUFilters(t *testing.T) {
+	tr := testTrace(4, 50000)
+	reset := 10 * time.Millisecond
+	for _, f := range []sketch.Filter{
+		sketch.NewCountMin(2, 1<<14, reset, 5),
+		sketch.NewCU(2, 1<<14, reset, 5),
+	} {
+		res, _ := Run(tr, Config{Filter: f, Cache: cacheFor(policy.KindP4LRU3, 64*1024), Threshold: 1500}, reset)
+		if res.Filtered == 0 {
+			t.Errorf("%s filter dropped nothing", f.Name())
+		}
+		if res.MaxFlowError >= 1500 {
+			t.Errorf("%s: max error %d ≥ threshold", f.Name(), res.MaxFlowError)
+		}
+	}
+}
+
+func TestRunPanicsWithoutCache(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil cache accepted")
+		}
+	}()
+	Run(&trace.Trace{}, Config{}, 0)
+}
+
+func TestAnalyzerCollisionCounting(t *testing.T) {
+	an := NewAnalyzer()
+	an.Upload(1, 0xabc, 0, 0)
+	an.Upload(2, 0xabc, 0, 0) // same fingerprint, different flow
+	if an.Collisions != 1 {
+		t.Errorf("collisions = %d, want 1", an.Collisions)
+	}
+	// Credit goes to the first owner.
+	an.creditFP(0xabc, 100)
+	if an.TLen[1] != 100 || an.TLen[2] != 0 {
+		t.Errorf("credit misrouted: %v", an.TLen)
+	}
+}

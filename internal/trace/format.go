@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary trace format ("P4LT"):
+//
+//	header : magic "P4LT" | uint16 version | uint16 reserved | uint64 count
+//	record : varint Δtime(ns) | varint flow | varint size
+//
+// Times are delta-encoded (the stream is sorted by time), which shrinks
+// typical traces to a few bytes per packet.
+
+const (
+	formatMagic   = "P4LT"
+	formatVersion = 1
+)
+
+// ErrBadFormat is returned when a stream does not carry a valid trace.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write serializes the trace to w.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(tr.Packets)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [3 * binary.MaxVarintLen64]byte
+	var prev time.Duration
+	for i, p := range tr.Packets {
+		if p.Time < prev {
+			return fmt.Errorf("trace: packet %d out of order (%v after %v)", i, p.Time, prev)
+		}
+		n := binary.PutUvarint(buf[:], uint64(p.Time-prev))
+		n += binary.PutUvarint(buf[n:], p.Flow)
+		n += binary.PutUvarint(buf[n:], uint64(p.Size))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = p.Time
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+12)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if string(head[:4]) != formatMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	const maxPackets = 1 << 31
+	if count > maxPackets {
+		return nil, fmt.Errorf("%w: implausible packet count %d", ErrBadFormat, count)
+	}
+
+	tr := &Trace{Packets: make([]Packet, 0, count)}
+	var now time.Duration
+	for i := uint64(0); i < count; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d time: %v", ErrBadFormat, i, err)
+		}
+		flow, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d flow: %v", ErrBadFormat, i, err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d size: %v", ErrBadFormat, i, err)
+		}
+		if size > 0xffff {
+			return nil, fmt.Errorf("%w: record %d size %d exceeds 16 bits", ErrBadFormat, i, size)
+		}
+		now += time.Duration(dt)
+		tr.Packets = append(tr.Packets, Packet{Time: now, Flow: flow, Size: uint16(size)})
+	}
+	return tr, nil
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead drives the trace decoder with arbitrary bytes: it must never
+// panic and never return both a trace and an error.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid tiny trace, a truncation of it, and junk.
+	tr := Synthesize(SynthConfig{Packets: 50, BaseFlows: 10, Seed: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("P4LT garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		if err == nil {
+			// A decoded trace must re-encode cleanly.
+			var out bytes.Buffer
+			if werr := Write(&out, got); werr != nil {
+				t.Fatalf("decoded trace fails to encode: %v", werr)
+			}
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package trace provides the workloads of the paper's evaluation: a seeded
+// synthetic substitute for the CAIDA 2018 anonymized traces (including the
+// CAIDA_n concurrency-scaling construction of §4) and the Zipf-distributed
+// query workloads used by LruIndex (YCSB-style, α = 0.9).
+//
+// The real CAIDA traces are licensed data we cannot ship; the experiments
+// depend on two properties the generator reproduces explicitly: heavy-tailed
+// flow sizes (a few elephant flows carry most packets) and a tunable number
+// of concurrent flows (the CAIDA_n construction splices 1/n minutes from n
+// distinct one-minute segments, so the flow population turns over n times
+// within the trace).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Packet is one trace record. Flow identifies the 5-tuple (already hashed to
+// 64 bits, as a data plane would after parsing); Size is the wire length in
+// bytes; Time is an offset from the trace start.
+type Packet struct {
+	Time time.Duration
+	Flow uint64
+	Size uint16
+}
+
+// Trace is an ordered packet sequence.
+type Trace struct {
+	Packets []Packet
+}
+
+// SynthConfig parameterizes Synthesize.
+type SynthConfig struct {
+	// Packets is the total packet budget (the paper's datasets hold ≈2.6e7;
+	// simulations here default to less and scale linearly).
+	Packets int
+	// BaseFlows is the flow population of a single segment (CAIDA_1).
+	BaseFlows int
+	// Segments is the CAIDA_n parameter n ≥ 1: the trace is the
+	// concatenation of n equal slices, each drawn from an independent flow
+	// population, so higher n means faster working-set turnover and more
+	// distinct flows overall.
+	Segments int
+	// Duration is the total trace duration (CAIDA_n always spans one
+	// minute in the paper; §4.2 rescales it to one second — set whatever
+	// the experiment needs).
+	Duration time.Duration
+	// ZipfSkew shapes the flow-size distribution (s > 1; the heavy tail
+	// that makes caching worthwhile). 0 selects the default 1.05.
+	ZipfSkew float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+func (c *SynthConfig) withDefaults() SynthConfig {
+	out := *c
+	if out.Packets <= 0 {
+		out.Packets = 1_000_000
+	}
+	if out.BaseFlows <= 0 {
+		out.BaseFlows = 50_000
+	}
+	if out.Segments <= 0 {
+		out.Segments = 1
+	}
+	if out.Duration <= 0 {
+		out.Duration = time.Minute
+	}
+	if out.ZipfSkew == 0 {
+		out.ZipfSkew = 1.05
+	}
+	return out
+}
+
+// Synthesize builds a CAIDA_n-like trace. Deterministic for a given config.
+//
+// Construction, mirroring §4's description: the trace is split into
+// cfg.Segments equal time slices. Slice i draws a fresh flow population
+// (flow IDs never repeat across slices) whose size follows the paper's
+// observation that total flows grow sub-linearly with n (≈ n^0.15: CAIDA_1
+// has 1.3e6 flows, CAIDA_60 2.4e6). Within a slice, flow sizes are Zipf
+// distributed, each flow is active over a contiguous sub-interval, and its
+// packets arrive uniformly within that interval.
+func Synthesize(cfg SynthConfig) *Trace {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Total flows across the trace ≈ BaseFlows × n^0.15, split evenly.
+	totalFlows := int(float64(c.BaseFlows) * math.Pow(float64(c.Segments), 0.15))
+	if totalFlows < c.Segments {
+		totalFlows = c.Segments
+	}
+	flowsPerSeg := totalFlows / c.Segments
+	if flowsPerSeg < 1 {
+		flowsPerSeg = 1
+	}
+	pktsPerSeg := c.Packets / c.Segments
+	segDur := c.Duration / time.Duration(c.Segments)
+
+	packets := make([]Packet, 0, c.Packets)
+	var nextFlowID uint64 = 1
+
+	for seg := 0; seg < c.Segments; seg++ {
+		segStart := time.Duration(seg) * segDur
+
+		// Zipf flow weights. rand.Zipf draws flow *indices* with the
+		// heavy-tailed popularity; we invert that into per-flow packet
+		// counts by sampling which flow each packet belongs to.
+		zipf := rand.NewZipf(rng, c.ZipfSkew, 1, uint64(flowsPerSeg-1))
+		counts := make([]int, flowsPerSeg)
+		for p := 0; p < pktsPerSeg; p++ {
+			counts[zipf.Uint64()]++
+		}
+
+		for f := 0; f < flowsPerSeg; f++ {
+			n := counts[f]
+			if n == 0 {
+				continue
+			}
+			id := nextFlowID
+			nextFlowID++
+
+			// Flows persist across much of their slice (CAIDA flows span
+			// seconds even after the §4.2 rescale); elephants longer than
+			// mice. Active fraction grows with log size.
+			frac := 0.25 + 0.55*math.Log1p(float64(n))/math.Log1p(float64(pktsPerSeg))
+			if frac > 1 {
+				frac = 1
+			}
+			active := time.Duration(float64(segDur) * frac)
+			if active < time.Microsecond {
+				active = time.Microsecond
+			}
+			var start time.Duration
+			if segDur > active {
+				start = time.Duration(rng.Int63n(int64(segDur - active)))
+			}
+
+			size := packetSize(rng, n)
+			for p := 0; p < n; p++ {
+				t := segStart + start + time.Duration(rng.Int63n(int64(active)))
+				packets = append(packets, Packet{Time: t, Flow: id, Size: size(p)})
+			}
+		}
+	}
+
+	sort.Slice(packets, func(i, j int) bool {
+		if packets[i].Time != packets[j].Time {
+			return packets[i].Time < packets[j].Time
+		}
+		return packets[i].Flow < packets[j].Flow
+	})
+	return &Trace{Packets: packets}
+}
+
+// packetSize returns a per-packet size generator for a flow of n packets:
+// bulk (elephant) flows run mostly full-size frames, small flows mostly
+// minimum-size ones — the bimodal mix of real internet traffic.
+func packetSize(rng *rand.Rand, n int) func(i int) uint16 {
+	bulky := n >= 16
+	r := rand.New(rand.NewSource(rng.Int63()))
+	return func(i int) uint16 {
+		switch {
+		case bulky && r.Intn(10) < 7:
+			return 1500
+		case !bulky && r.Intn(10) < 6:
+			return 64
+		default:
+			return uint16(64 + r.Intn(1437))
+		}
+	}
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Packets       int
+	Flows         int
+	TotalBytes    int64
+	Duration      time.Duration
+	MaxConcurrent int // peak number of flows active within a 100ms window
+}
+
+// ComputeStats scans the trace once. "Concurrent" counts flows with at least
+// one packet inside a sliding 100ms window, matching the paper's use of
+// concurrency as the count of simultaneously live flows.
+func ComputeStats(tr *Trace) Stats {
+	var s Stats
+	s.Packets = len(tr.Packets)
+	flows := make(map[uint64]struct{})
+	for _, p := range tr.Packets {
+		flows[p.Flow] = struct{}{}
+		s.TotalBytes += int64(p.Size)
+		if p.Time > s.Duration {
+			s.Duration = p.Time
+		}
+	}
+	s.Flows = len(flows)
+
+	const window = 100 * time.Millisecond
+	active := make(map[uint64]time.Duration) // flow → last seen
+	lo := 0
+	for hi, p := range tr.Packets {
+		active[p.Flow] = p.Time
+		for lo < hi && tr.Packets[lo].Time < p.Time-window {
+			old := tr.Packets[lo]
+			if last, ok := active[old.Flow]; ok && last < p.Time-window {
+				delete(active, old.Flow)
+			}
+			lo++
+		}
+		if len(active) > s.MaxConcurrent {
+			s.MaxConcurrent = len(active)
+		}
+	}
+	return s
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("packets=%d flows=%d bytes=%d duration=%v maxConcurrent=%d",
+		s.Packets, s.Flows, s.TotalBytes, s.Duration, s.MaxConcurrent)
+}
+
+// ZipfKeys draws count keys from a Zipf(skew) distribution over [0, items) —
+// the LruIndex query workload. The paper generates queries with YCSB's Zipf
+// at skewness α = 0.9; math/rand's Zipf requires s > 1, so callers pass the
+// closest admissible skew (the experiments use 1.1, which matches YCSB's
+// observed head concentration closely). Deterministic per seed.
+func ZipfKeys(items int, skew float64, count int, seed int64) []uint64 {
+	if items < 2 {
+		panic(fmt.Sprintf("trace: ZipfKeys with %d items", items))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, skew, 1, uint64(items-1))
+	keys := make([]uint64, count)
+	for i := range keys {
+		keys[i] = z.Uint64()
+	}
+	return keys
+}

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SynthConfig{Packets: 20000, BaseFlows: 2000, Segments: 4, Seed: 1}
+	a := Synthesize(cfg)
+	b := Synthesize(cfg)
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Packets), len(b.Packets))
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a.Packets[i], b.Packets[i])
+		}
+	}
+}
+
+func TestSynthesizeSeedsDiffer(t *testing.T) {
+	a := Synthesize(SynthConfig{Packets: 5000, BaseFlows: 500, Seed: 1})
+	b := Synthesize(SynthConfig{Packets: 5000, BaseFlows: 500, Seed: 2})
+	same := 0
+	for i := range a.Packets {
+		if i < len(b.Packets) && a.Packets[i] == b.Packets[i] {
+			same++
+		}
+	}
+	if same > len(a.Packets)/10 {
+		t.Errorf("different seeds share %d/%d identical packets", same, len(a.Packets))
+	}
+}
+
+func TestSynthesizeSorted(t *testing.T) {
+	tr := Synthesize(SynthConfig{Packets: 30000, BaseFlows: 3000, Segments: 6, Seed: 3})
+	if !sort.SliceIsSorted(tr.Packets, func(i, j int) bool {
+		return tr.Packets[i].Time < tr.Packets[j].Time
+	}) {
+		t.Error("trace not sorted by time")
+	}
+	last := tr.Packets[len(tr.Packets)-1].Time
+	if last > time.Minute {
+		t.Errorf("last packet at %v exceeds default duration", last)
+	}
+}
+
+func TestSynthesizePacketBudget(t *testing.T) {
+	for _, segs := range []int{1, 4, 60} {
+		tr := Synthesize(SynthConfig{Packets: 60000, BaseFlows: 5000, Segments: segs, Seed: 4})
+		got := len(tr.Packets)
+		if got < 59000 || got > 61000 {
+			t.Errorf("segments=%d: %d packets, want ≈60000", segs, got)
+		}
+	}
+}
+
+// TestCAIDAnProperties reproduces the two documented CAIDA_n trends: total
+// flows grow sub-linearly with n, and the flow population turns over faster
+// (more flows in the same duration with the same packet budget).
+func TestCAIDAnProperties(t *testing.T) {
+	stats := map[int]Stats{}
+	for _, n := range []int{1, 15, 60} {
+		tr := Synthesize(SynthConfig{Packets: 200000, BaseFlows: 10000, Segments: n, Seed: 5})
+		stats[n] = ComputeStats(tr)
+	}
+	if !(stats[60].Flows > stats[15].Flows && stats[15].Flows > stats[1].Flows) {
+		t.Errorf("flow counts not increasing with n: %d, %d, %d",
+			stats[1].Flows, stats[15].Flows, stats[60].Flows)
+	}
+	ratio := float64(stats[60].Flows) / float64(stats[1].Flows)
+	// Paper: 1.3e6 → 2.4e6 (≈1.85×). Sub-linear: far below 60×.
+	if ratio < 1.3 || ratio > 4 {
+		t.Errorf("flow growth CAIDA_60/CAIDA_1 = %.2f, want ≈1.5–3", ratio)
+	}
+}
+
+// TestHeavyTail: the top 1% of flows must carry a large share of packets.
+func TestHeavyTail(t *testing.T) {
+	tr := Synthesize(SynthConfig{Packets: 100000, BaseFlows: 10000, Seed: 6})
+	counts := map[uint64]int{}
+	for _, p := range tr.Packets {
+		counts[p.Flow]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	top := len(sizes) / 100
+	if top == 0 {
+		top = 1
+	}
+	topPkts := 0
+	for _, c := range sizes[:top] {
+		topPkts += c
+	}
+	share := float64(topPkts) / float64(len(tr.Packets))
+	if share < 0.3 {
+		t.Errorf("top 1%% of flows carry %.1f%% of packets, want ≥30%% (heavy tail)", share*100)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := &Trace{Packets: []Packet{
+		{Time: 0, Flow: 1, Size: 100},
+		{Time: time.Millisecond, Flow: 2, Size: 200},
+		{Time: 2 * time.Millisecond, Flow: 1, Size: 300},
+	}}
+	s := ComputeStats(tr)
+	if s.Packets != 3 || s.Flows != 2 || s.TotalBytes != 600 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxConcurrent != 2 {
+		t.Errorf("maxConcurrent = %d, want 2", s.MaxConcurrent)
+	}
+	if s.Duration != 2*time.Millisecond {
+		t.Errorf("duration = %v", s.Duration)
+	}
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	keys := ZipfKeys(100000, 1.1, 50000, 7)
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	if counts[0] < counts[50] {
+		t.Errorf("key 0 (%d) not hotter than key 50 (%d)", counts[0], counts[50])
+	}
+	// Deterministic.
+	again := ZipfKeys(100000, 1.1, 50000, 7)
+	for i := range keys {
+		if keys[i] != again[i] {
+			t.Fatal("ZipfKeys not deterministic")
+		}
+	}
+}
+
+func TestZipfKeysPanicsOnFewItems(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ZipfKeys(1, ...) did not panic")
+		}
+	}()
+	ZipfKeys(1, 1.1, 10, 1)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := Synthesize(SynthConfig{Packets: 10000, BaseFlows: 1000, Segments: 3, Seed: 8})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("count %d vs %d", len(got.Packets), len(tr.Packets))
+	}
+	for i := range tr.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d: %+v vs %+v", i, got.Packets[i], tr.Packets[i])
+		}
+	}
+	// Compression sanity: varint+delta should be well under 20 bytes/pkt.
+	if perPkt := float64(buf.Len()) / float64(len(tr.Packets)); perPkt > 16 {
+		t.Errorf("encoded size %.1f bytes/packet", perPkt)
+	}
+}
+
+func TestWriteRejectsUnsorted(t *testing.T) {
+	tr := &Trace{Packets: []Packet{
+		{Time: time.Second, Flow: 1, Size: 1},
+		{Time: 0, Flow: 2, Size: 1},
+	}}
+	if err := Write(&bytes.Buffer{}, tr); err == nil {
+		t.Error("Write accepted an unsorted trace")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("XXXX0000000000000000"),
+		append([]byte("P4LT"), []byte{9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}...), // bad version
+	}
+	for i, b := range cases {
+		if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: err = %v, want ErrBadFormat", i, err)
+		}
+	}
+}
+
+func TestReadTruncatedBody(t *testing.T) {
+	tr := Synthesize(SynthConfig{Packets: 1000, BaseFlows: 100, Seed: 9})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Error("Read accepted truncated stream")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Packets: 1, Flows: 2, TotalBytes: 3, Duration: time.Second, MaxConcurrent: 4}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestPacketSizesPlausible(t *testing.T) {
+	tr := Synthesize(SynthConfig{Packets: 50000, BaseFlows: 5000, Seed: 10})
+	var sum float64
+	for _, p := range tr.Packets {
+		if p.Size < 64 || p.Size > 1500 {
+			t.Fatalf("packet size %d out of [64,1500]", p.Size)
+		}
+		sum += float64(p.Size)
+	}
+	mean := sum / float64(len(tr.Packets))
+	if mean < 200 || mean > 1400 {
+		t.Errorf("mean packet size %.0f implausible", mean)
+	}
+	if math.IsNaN(mean) {
+		t.Error("NaN mean")
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Synthesize(SynthConfig{Packets: 100000, BaseFlows: 10000, Segments: 10, Seed: int64(i)})
+	}
+}
