@@ -6,6 +6,11 @@
 //
 //	lruindex [-items N] [-threads T] [-queries N] [-levels L] [-mem bytes]
 //	         [-policy series|p4lru1|timeout|elastic|coco|ideal|none] [-cores C]
+//	         [-metrics :addr] [-trace-events N]
+//
+// -metrics serves /metrics, /metrics.json and /debug/pprof on addr while the
+// simulation runs; -trace-events keeps the last N simulator events (query
+// completions) in a ring and dumps them, virtual-time-stamped, at exit.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 
 	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
 )
 
@@ -26,7 +32,24 @@ func main() {
 	pol := flag.String("policy", "series", "cache policy (series = P4LRU3 series connection; none = naive)")
 	cores := flag.Int("cores", 4, "server cores")
 	seed := flag.Int64("seed", 1, "seed")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and pprof on this address during the run")
+	traceEvents := flag.Int("trace-events", 0, "ring-buffer the last N simulator events and dump them at exit")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		addr, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lruindex:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
+	var tracer *obs.Tracer
+	if *traceEvents > 0 {
+		tracer = obs.NewTracer(*traceEvents)
+	}
 
 	var cache policy.Cache
 	switch *pol {
@@ -49,7 +72,13 @@ func main() {
 		Seed:        *seed,
 		Cache:       cache,
 		ServerCores: *cores,
+		Obs:         reg,
+		Tracer:      tracer,
 	})
+	if tracer != nil {
+		fmt.Fprintf(os.Stderr, "-- last %d of %d events --\n", tracer.Len(), tracer.Total())
+		tracer.Dump(os.Stderr)
+	}
 	if res.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "lruindex: %d value errors (stale cached index?)\n", res.Errors)
 		os.Exit(1)

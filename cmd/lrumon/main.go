@@ -7,6 +7,11 @@
 //	lrumon [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
 //	       [-filter tower|cm|cu|none] [-threshold 1500] [-reset 10ms]
 //	       [-policy p4lru3|p4lru1|...] [-mem bytes]
+//	       [-metrics :addr] [-trace-events N]
+//
+// -metrics serves /metrics, /metrics.json and /debug/pprof on addr while the
+// simulation runs; -trace-events keeps the last N upload events in a ring and
+// dumps them, packet-time-stamped, at exit.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/sketch"
 	"github.com/p4lru/p4lru/internal/telemetry"
@@ -32,12 +38,29 @@ func main() {
 	reset := flag.Duration("reset", 10*time.Millisecond, "counter reset period")
 	pol := flag.String("policy", "p4lru3", "cache replacement policy")
 	mem := flag.Int("mem", 400*1024, "cache memory (bytes)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and pprof on this address during the run")
+	traceEvents := flag.Int("trace-events", 0, "ring-buffer the last N upload events and dump them at exit")
 	flag.Parse()
 
 	tr, err := loadTrace(*traceFile, *packets, *flows, *segments, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lrumon:", err)
 		os.Exit(1)
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		addr, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lrumon:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
+	var tracer *obs.Tracer
+	if *traceEvents > 0 {
+		tracer = obs.NewTracer(*traceEvents)
 	}
 
 	scale := float64(*packets) / 25 / float64(1<<20)
@@ -64,7 +87,13 @@ func main() {
 		Filter:    filter,
 		Cache:     cache,
 		Threshold: uint32(*threshold),
+		Obs:       reg,
+		Tracer:    tracer,
 	}, *reset)
+	if tracer != nil {
+		fmt.Fprintf(os.Stderr, "-- last %d of %d events --\n", tracer.Len(), tracer.Total())
+		tracer.Dump(os.Stderr)
+	}
 
 	fmt.Printf("filter=%s threshold=%dB reset=%v policy=%s entries=%d\n",
 		*filterName, *threshold, *reset, cache.Name(), cache.Capacity())

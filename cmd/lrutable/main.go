@@ -7,6 +7,11 @@
 //	lrutable [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
 //	         [-policy p4lru3|p4lru1|p4lru2|p4lru4|ideal|timeout|elastic|coco]
 //	         [-mem bytes] [-delta 1ms] [-timeout 100ms] [-similarity]
+//	         [-metrics :addr] [-trace-events N]
+//
+// -metrics serves /metrics, /metrics.json and /debug/pprof on addr while the
+// simulation runs; -trace-events keeps the last N simulator events (slow-path
+// issues/installs) in a ring and dumps them, virtual-time-stamped, at exit.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/nat"
+	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/trace"
 )
@@ -31,12 +37,29 @@ func main() {
 	delta := flag.Duration("delta", time.Millisecond, "slow-path latency ΔT")
 	timeout := flag.Duration("timeout", 100*time.Millisecond, "timeout policy threshold")
 	similarity := flag.Bool("similarity", false, "track LRU similarity")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and pprof on this address during the run")
+	traceEvents := flag.Int("trace-events", 0, "ring-buffer the last N simulator events and dump them at exit")
 	flag.Parse()
 
 	tr, err := loadTrace(*traceFile, *packets, *flows, *segments, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lrutable:", err)
 		os.Exit(1)
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		addr, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lrutable:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
+	var tracer *obs.Tracer
+	if *traceEvents > 0 {
+		tracer = obs.NewTracer(*traceEvents)
 	}
 
 	cache := policy.NewForMemory(policy.Kind(*pol), *mem, policy.Options{
@@ -48,6 +71,8 @@ func main() {
 		Cache:           cache,
 		SlowPathDelay:   *delta,
 		TrackSimilarity: *similarity,
+		Obs:             reg,
+		Tracer:          tracer,
 	})
 
 	fmt.Printf("policy=%s mem=%dB entries=%d ΔT=%v\n", cache.Name(), *mem, cache.Capacity(), *delta)
@@ -57,6 +82,10 @@ func main() {
 		res.MissRate, float64(res.SlowPathTrips)/float64(res.Packets), res.AvgAddedLatency)
 	if *similarity {
 		fmt.Printf("lruSimilarity=%.4f\n", res.Similarity)
+	}
+	if tracer != nil {
+		fmt.Fprintf(os.Stderr, "-- last %d of %d events --\n", tracer.Len(), tracer.Total())
+		tracer.Dump(os.Stderr)
 	}
 }
 

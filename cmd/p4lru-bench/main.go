@@ -3,24 +3,35 @@
 // Usage:
 //
 //	p4lru-bench list
-//	p4lru-bench run    [-scale small|default] [-csv] [-plot] [-o dir] <id>... | all
-//	p4lru-bench verify [-scale small|default]
+//	p4lru-bench run    [-scale small|default] [-csv] [-json] [-plot] [-o dir]
+//	                   [-metrics :addr] [-progress=false] <id>... | all
+//	p4lru-bench verify [-scale small|default] [-metrics :addr]
 //
 // Each experiment prints the same rows/series the paper reports (§4); -csv
-// additionally writes one CSV per panel into -o, -plot renders terminal
-// charts, and verify re-checks the paper's headline claims (exit 1 on any
-// failure) — the artifact-evaluation entry point.
+// additionally writes one CSV per panel into -o, -json one JSON object per
+// panel (machine-readable bench trajectory), -plot renders terminal charts,
+// and verify re-checks the paper's headline claims (exit 1 on any failure)
+// — the artifact-evaluation entry point.
+//
+// -metrics serves live run counters on the given address while experiments
+// execute: /metrics (Prometheus text), /metrics.json (JSON snapshot),
+// /debug/vars (expvar) and /debug/pprof. A progress line (experiments done,
+// packets simulated, packets/sec) is printed to stderr every two seconds
+// during multi-experiment runs; -progress=false silences it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"github.com/p4lru/p4lru/internal/asciiplot"
 	"github.com/p4lru/p4lru/internal/experiments"
+	"github.com/p4lru/p4lru/internal/obs"
 )
 
 func main() {
@@ -52,16 +63,44 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   p4lru-bench list
-  p4lru-bench run    [-scale small|default] [-csv] [-plot] [-o dir] <id>... | all
-  p4lru-bench verify [-scale small|default]`)
+  p4lru-bench run    [-scale small|default] [-csv] [-json] [-plot] [-o dir]
+                     [-metrics :addr] [-progress=false] <id>... | all
+  p4lru-bench verify [-scale small|default] [-metrics :addr]`)
+}
+
+// serveMetrics wires the default registry into the experiment runs and, when
+// addr is non-empty, serves it over HTTP. It returns the registry.
+func serveMetrics(addr string) (*obs.Registry, error) {
+	reg := obs.Default()
+	experiments.Instrument(reg)
+	if addr == "" {
+		return reg, nil
+	}
+	resolved, _, err := obs.Serve(addr, reg)
+	if err != nil {
+		return nil, fmt.Errorf("serving metrics: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (json: /metrics.json, pprof: /debug/pprof)\n", resolved)
+	return reg, nil
+}
+
+// packetsSimulated sums the per-system work counters: one unit per simulated
+// NAT packet, telemetry packet, or completed query.
+func packetsSimulated(reg *obs.Registry) uint64 {
+	return reg.CounterValue("nat_packets_total") +
+		reg.CounterValue("telemetry_packets_total") +
+		reg.CounterValue("kvindex_queries_total")
 }
 
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	scaleName := fs.String("scale", "default", "experiment scale: small or default")
 	csv := fs.Bool("csv", false, "also write CSV files")
+	jsonOut := fs.Bool("json", false, "also write one JSON file per panel")
 	plot := fs.Bool("plot", false, "render terminal charts")
-	outDir := fs.String("o", ".", "directory for CSV output")
+	outDir := fs.String("o", ".", "directory for CSV/JSON output")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and pprof on this address during the run")
+	progress := fs.Bool("progress", true, "print a periodic progress line to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,10 +126,53 @@ func runCmd(args []string) error {
 		}
 	}
 
+	reg, err := serveMetrics(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer experiments.Instrument(nil)
+
+	// Progress reporter: experiments completed, packets simulated,
+	// packets/sec over the last tick.
+	var done atomic.Int64
+	var current atomic.Value // string: the experiment now running
+	stopProgress := func() {}
+	if *progress && len(runners) > 1 {
+		const tick = 2 * time.Second
+		stop := make(chan struct{})
+		stopped := make(chan struct{})
+		go func() {
+			defer close(stopped)
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			last := packetsSimulated(reg)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					now := packetsSimulated(reg)
+					id, _ := current.Load().(string)
+					fmt.Fprintf(os.Stderr, "progress: %d/%d experiments (%s) · %.2fM packets · %.0fk pkt/s\n",
+						done.Load(), len(runners), id,
+						float64(now)/1e6, float64(now-last)/tick.Seconds()/1e3)
+					last = now
+				}
+			}
+		}()
+		stopProgress = func() { close(stop); <-stopped }
+	}
+	defer stopProgress()
+
 	for _, r := range runners {
+		current.Store(r.ID)
+		packetsBefore := packetsSimulated(reg)
 		start := time.Now()
 		figs := r.Run(scale)
-		fmt.Printf("== %s (%s) — %v\n\n", r.ID, r.Description, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		packets := packetsSimulated(reg) - packetsBefore
+		done.Add(1)
+		fmt.Printf("== %s (%s) — %v\n\n", r.ID, r.Description, wall.Round(time.Millisecond))
 		for _, f := range figs {
 			fmt.Println(f.Format())
 			if *plot {
@@ -103,7 +185,63 @@ func runCmd(args []string) error {
 				}
 				fmt.Printf("(csv written to %s)\n\n", path)
 			}
+			if *jsonOut {
+				path := filepath.Join(*outDir, f.ID+".json")
+				if err := writePanelJSON(path, r, f, wall, packets); err != nil {
+					return err
+				}
+				fmt.Printf("(json written to %s)\n\n", path)
+			}
 		}
+	}
+	return nil
+}
+
+// panelJSON is the machine-readable per-panel result record the bench
+// trajectory tracks across PRs.
+type panelJSON struct {
+	Experiment    string       `json:"experiment"`
+	ID            string       `json:"id"`
+	Title         string       `json:"title"`
+	XLabel        string       `json:"x_label"`
+	YLabel        string       `json:"y_label"`
+	Rows          int          `json:"rows"`
+	Series        []seriesJSON `json:"series"`
+	WallMS        float64      `json:"wall_ms"`
+	PacketsPerSec float64      `json:"packets_per_sec"`
+}
+
+type seriesJSON struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
+func writePanelJSON(path string, r experiments.Runner, f experiments.Figure, wall time.Duration, packets uint64) error {
+	p := panelJSON{
+		Experiment: r.ID,
+		ID:         f.ID,
+		Title:      f.Title,
+		XLabel:     f.XLabel,
+		YLabel:     f.YLabel,
+		Rows:       f.Rows(),
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+	}
+	if wall > 0 {
+		p.PacketsPerSec = float64(packets) / wall.Seconds()
+	}
+	for _, s := range f.Series {
+		sj := seriesJSON{Name: s.Name, Points: make([][2]float64, 0, len(s.Points))}
+		for _, pt := range s.Points {
+			sj.Points = append(sj.Points, [2]float64{pt.X, pt.Y})
+		}
+		p.Series = append(p.Series, sj)
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	return nil
 }
@@ -160,6 +298,7 @@ func plotFigure(f experiments.Figure) string {
 func verifyCmd(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	scaleName := fs.String("scale", "default", "experiment scale: small or default")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -167,6 +306,10 @@ func verifyCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	if _, err := serveMetrics(*metricsAddr); err != nil {
+		return err
+	}
+	defer experiments.Instrument(nil)
 
 	start := time.Now()
 	claims := experiments.Verify(scale)

@@ -81,6 +81,7 @@ func AblationP4LRU4(s Scale) []Figure {
 			res := nat.Run(tr, nat.Config{
 				Cache:         natCache(kind, mem, uint64(s.Seed), 0),
 				SlowPathDelay: time.Millisecond,
+				Obs:           registry(),
 			})
 			ser.Points = append(ser.Points, Point{X: float64(mem), Y: slowPathRate(res)})
 		}
@@ -105,6 +106,7 @@ func AblationClock(s Scale) []Figure {
 			res := nat.Run(tr, nat.Config{
 				Cache:         natCache(kind, mem, uint64(s.Seed), 0),
 				SlowPathDelay: time.Millisecond,
+				Obs:           registry(),
 			})
 			ser.Points = append(ser.Points, Point{X: float64(mem), Y: slowPathRate(res)})
 		}

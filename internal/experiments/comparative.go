@@ -81,6 +81,7 @@ func Fig12(s Scale) []Figure {
 		res := nat.Run(tr, nat.Config{
 			Cache:         natCache(kind, mem, uint64(s.Seed), timeout),
 			SlowPathDelay: dt,
+			Obs:           registry(),
 		})
 		return slowPathRate(res)
 	}
@@ -132,6 +133,7 @@ func Fig13(s Scale) []Figure {
 			Cache:     indexCacheFor(kind, mem, uint64(s.Seed), timeout),
 			ArenaTime: arena,
 			NodeTime:  arena / 2,
+			Obs:       registry(),
 		})
 		return 1 - res.HitRate
 	}
@@ -170,6 +172,7 @@ func Fig14(s Scale) []Figure {
 			Filter:    sketch.NewTowerDefault(towerScaleFor(s), reset, uint64(s.Seed)+3),
 			Cache:     monCache(kind, mem, uint64(s.Seed), timeout),
 			Threshold: threshold,
+			Obs:       registry(),
 		}, reset)
 		total := res.CacheHits + res.CacheMisses
 		if total == 0 {

@@ -107,6 +107,10 @@ func (s Series) at(x float64) (float64, bool) {
 	return 0, false
 }
 
+// Rows returns the number of x rows Format and CSV render (the union of x
+// values across series).
+func (f Figure) Rows() int { return len(f.xs()) }
+
 // Get returns the named series, or nil.
 func (f Figure) Get(name string) *Series {
 	for i := range f.Series {

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+// obsReg is the registry every experiment run reports into (nil = off).
+// Stored atomically because sweeps read it from worker goroutines.
+var obsReg atomic.Pointer[obs.Registry]
+
+// Instrument routes the live counters of every subsequent experiment run
+// (nat_*, kvindex_*, telemetry_* metric families) into r, so a metrics
+// endpoint can watch a sweep progress packet by packet. Pass nil to detach.
+// The registry is shared across concurrent experiment points — counters are
+// atomic, so the totals stay exact.
+func Instrument(r *obs.Registry) {
+	obsReg.Store(r)
+}
+
+// registry returns the installed registry (nil when uninstrumented).
+func registry() *obs.Registry { return obsReg.Load() }

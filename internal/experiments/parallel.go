@@ -1,41 +1,89 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PointPanic is the error value parallelFor re-panics with when an
+// experiment point panics inside a worker goroutine: it carries the failing
+// point index and the original panic value plus stack, instead of letting a
+// bare goroutine panic kill the process with no indication of which sweep
+// cell failed.
+type PointPanic struct {
+	Index int    // the parallelFor point that panicked
+	Value any    // the original panic value
+	Stack []byte // the worker's stack at panic time
+}
+
+func (p *PointPanic) Error() string {
+	return fmt.Sprintf("experiments: point %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *PointPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // parallelFor runs job(0..n-1) concurrently, bounded by the CPU count. Each
 // experiment point is an independent simulation over shared *read-only*
 // inputs (the synthesized trace), so sweeps parallelize safely; results are
 // written into pre-indexed slots, keeping output order deterministic.
+//
+// A panicking point does not crash the whole sweep from inside a goroutine:
+// the first panic is captured (workers keep draining so nothing deadlocks),
+// and after every worker finishes it is re-raised on the caller as a
+// *PointPanic carrying the failing index.
 func parallelFor(n int, job func(i int)) {
+	var (
+		panicOnce sync.Once
+		captured  *PointPanic
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() {
+					captured = &PointPanic{Index: i, Value: r, Stack: debug.Stack()}
+				})
+			}
+		}()
+		job(i)
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			run(i)
 		}
-		return
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					run(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job(i)
-			}
-		}()
+	if captured != nil {
+		panic(captured)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // sweep evaluates y = eval(x) for every x concurrently and returns the

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCompletes(t *testing.T) {
+	const n = 100
+	var done [n]atomic.Bool
+	parallelFor(n, func(i int) { done[i].Store(true) })
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("point %d never ran", i)
+		}
+	}
+}
+
+// TestParallelForPanic: a panicking point must surface on the caller as a
+// *PointPanic naming the failing index, after the other points completed.
+func TestParallelForPanic(t *testing.T) {
+	const n = 50
+	const bad = 17
+	sentinel := errors.New("cell blew up")
+	var completed atomic.Int64
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		pp, ok := r.(*PointPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PointPanic", r, r)
+		}
+		if pp.Index != bad {
+			t.Errorf("Index = %d, want %d", pp.Index, bad)
+		}
+		if !errors.Is(pp.Unwrap(), sentinel) {
+			t.Errorf("Unwrap = %v, want %v", pp.Unwrap(), sentinel)
+		}
+		if !strings.Contains(pp.Error(), "point 17 panicked") {
+			t.Errorf("Error() = %q", pp.Error())
+		}
+		if len(pp.Stack) == 0 {
+			t.Error("no stack captured")
+		}
+		// Workers drained the remaining points instead of deadlocking.
+		if got := completed.Load(); got != n-1 {
+			t.Errorf("%d points completed, want %d", got, n-1)
+		}
+	}()
+
+	parallelFor(n, func(i int) {
+		if i == bad {
+			panic(sentinel)
+		}
+		completed.Add(1)
+	})
+	t.Fatal("parallelFor returned normally")
+}
+
+// TestParallelForPanicSequential covers the single-worker path (n == 1).
+func TestParallelForPanicSequential(t *testing.T) {
+	defer func() {
+		pp, ok := recover().(*PointPanic)
+		if !ok || pp.Index != 0 || pp.Value != "boom" {
+			t.Fatalf("recovered %+v", pp)
+		}
+	}()
+	parallelFor(1, func(int) { panic("boom") })
+}
+
+// TestPointPanicUnwrapNonError: non-error panic values unwrap to nil.
+func TestPointPanicUnwrapNonError(t *testing.T) {
+	pp := &PointPanic{Index: 3, Value: "not an error"}
+	if pp.Unwrap() != nil {
+		t.Fatalf("Unwrap = %v, want nil", pp.Unwrap())
+	}
+}

@@ -25,6 +25,7 @@ func Fig15(s Scale) []Figure {
 			Cache:           natCache(kind, mem, uint64(s.Seed), 0),
 			SlowPathDelay:   dt,
 			TrackSimilarity: true,
+			Obs:             registry(),
 		})
 	}
 	names := kindNames(parameterKinds)
@@ -94,6 +95,7 @@ func Fig16(s Scale) []Figure {
 			Seed:            s.Seed,
 			Cache:           cache,
 			TrackSimilarity: true,
+			Obs:             registry(),
 		}
 		if arena > 0 {
 			cfg.ArenaTime = arena
@@ -203,6 +205,7 @@ func Fig17(s Scale) []Figure {
 			Filter:    sketch.NewTowerDefault(towerScaleFor(s), reset, uint64(s.Seed)+5),
 			Cache:     monCache(policy.KindP4LRU3, mem, uint64(s.Seed), 0),
 			Threshold: thr,
+			Obs:       registry(),
 		}, reset)
 		samples[ri][bi] = sample{bw: bw, threshold: thr, res: res}
 	})

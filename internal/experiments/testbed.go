@@ -34,8 +34,25 @@ func p4lru3MemoryBytes(s Scale) int { return s.Units * 25 }
 // Table2 regenerates the hardware resource usage table from the pipeline
 // programs of the three systems at the paper's deployment sizes. X encodes
 // the resource: 0=hash bits, 1=SRAM, 2=stateful ALUs, 3=VLIW, 4=stages.
-func Table2(Scale) []Figure {
+//
+// When the bench harness instruments the experiments (-metrics), Table2 also
+// pushes a short Zipf workload through an instrumented pipeline array: the
+// dynamic complement of the static rows, so per-stage SALU access/branch and
+// cache hit/miss/evict counters are live on /metrics during `run all`.
+func Table2(s Scale) []Figure {
 	budget := pipeline.TofinoBudget
+	if r := registry(); r != nil {
+		arr, err := pipeline.BuildCacheArray3("lrutable", 1<<12, 1, pipeline.ModeWrite, budget)
+		if err != nil {
+			panic(err)
+		}
+		arr.Instrument(r)
+		for i, k := range trace.ZipfKeys(1<<14, 1.1, s.Queries, s.Seed) {
+			if _, err := arr.Update(k+1, uint64(i)+1, false); err != nil {
+				panic(err)
+			}
+		}
+	}
 	lt, err := pipeline.BuildLruTableSystem(1<<16, 1, budget)
 	if err != nil {
 		panic(err)
@@ -107,6 +124,7 @@ func Fig9(s Scale) []Figure {
 		results[si][ti] = nat.Run(traces[ti], nat.Config{
 			Cache:         natCache(systems[si].kind, mem, uint64(s.Seed), 0),
 			SlowPathDelay: slowPath,
+			Obs:           registry(),
 		})
 	})
 	for si, sys := range systems {
@@ -149,6 +167,7 @@ func Fig10(s Scale) []Figure {
 			Items:   s.Items,
 			Queries: s.Queries,
 			Seed:    s.Seed,
+			Obs:     registry(),
 		}
 	}
 
@@ -232,6 +251,7 @@ func Fig11(s Scale) []Figure {
 			Filter:    sketch.NewCountMin(2, cmWidth/2, reset, uint64(s.Seed)+7),
 			Cache:     monCache(kind, mem, uint64(s.Seed), 0),
 			Threshold: threshold,
+			Obs:       registry(),
 		}, reset)
 		return res
 	}

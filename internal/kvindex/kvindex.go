@@ -26,6 +26,7 @@ import (
 
 	"github.com/p4lru/p4lru/internal/btree"
 	"github.com/p4lru/p4lru/internal/lru"
+	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/quantile"
 	"github.com/p4lru/p4lru/internal/simnet"
@@ -114,6 +115,30 @@ type Config struct {
 	// TrackSimilarity enables the §4.2 LRU-similarity metric over the
 	// cache's admissions and evictions.
 	TrackSimilarity bool
+	// Obs, when non-nil, receives live run counters (kvindex_queries_total,
+	// kvindex_hits_total, kvindex_nodes_walked_total) and a query-latency
+	// histogram (kvindex_query_latency_seconds). nil costs nothing.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records each completed query as a virtual-time
+	// event (kvindex.query.done, payload = round-trip latency in ns).
+	Tracer *obs.Tracer
+}
+
+// metrics holds the pre-resolved handles of one run; the zero value is a
+// no-op (nil-safe obs methods).
+type metrics struct {
+	queries, hits, nodesWalked *obs.Counter
+	latency                    *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		queries:     r.Counter("kvindex_queries_total"),
+		hits:        r.Counter("kvindex_hits_total"),
+		nodesWalked: r.Counter("kvindex_nodes_walked_total"),
+		// 1 µs .. ~4 ms in ×2 steps, covering RTT through deep-tree walks.
+		latency: r.Histogram("kvindex_query_latency_seconds", obs.ExponentialBuckets(1e-6, 2, 12)),
+	}
 }
 
 func (c *Config) withDefaults() Config {
@@ -165,6 +190,11 @@ type Result struct {
 func Run(cfg Config) Result {
 	c := cfg.withDefaults()
 	eng := simnet.New()
+	eng.SetTracer(c.Tracer)
+	var m metrics
+	if c.Obs != nil {
+		m = newMetrics(c.Obs)
+	}
 	srv := NewServer(c.Items)
 	rng := rand.New(rand.NewSource(c.Seed))
 	zipf := rand.NewZipf(rng, c.ZipfSkew, 1, uint64(c.Items-1))
@@ -224,7 +254,9 @@ func Run(cfg Config) Result {
 		}
 		if hit {
 			res.Hits++
+			m.hits.Inc()
 		}
+		m.nodesWalked.Add(uint64(nodes))
 
 		// Reply traverses the switch (cache mutation) and reaches the
 		// client after the other half RTT.
@@ -247,6 +279,9 @@ func Run(cfg Config) Result {
 			totalLatency += lat
 			p50.Add(float64(lat))
 			p99.Add(float64(lat))
+			m.queries.Inc()
+			m.latency.Observe(lat.Seconds())
+			eng.Trace("kvindex.query.done", uint64(lat))
 			issue() // closed loop: this thread issues its next query
 		})
 	}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/p4lru/p4lru/internal/hashing"
 	"github.com/p4lru/p4lru/internal/lru"
+	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/simnet"
 	"github.com/p4lru/p4lru/internal/trace"
@@ -53,6 +54,32 @@ type Config struct {
 	FastPathLatency time.Duration
 	// TrackSimilarity enables the §4.2 LRU-similarity metric (costs time).
 	TrackSimilarity bool
+	// Obs, when non-nil, receives live run counters (nat_packets_total,
+	// nat_hits_total, nat_misses_total, nat_evictions_total, …) so a metrics
+	// endpoint can watch the run progress. nil costs nothing.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records slow-path round trips as virtual-time
+	// events (nat.slowpath.issue / nat.slowpath.install, payload = the
+	// virtual address).
+	Tracer *obs.Tracer
+}
+
+// metrics holds the pre-resolved counter handles of one run. The zero value
+// holds nil counters, whose methods are no-ops — so the uninstrumented run
+// increments unconditionally at the cost of one nil check per counter.
+type metrics struct {
+	packets, hits, placeholderHits, misses, evictions, slowPath *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		packets:         r.Counter("nat_packets_total"),
+		hits:            r.Counter("nat_hits_total"),
+		placeholderHits: r.Counter("nat_placeholder_hits_total"),
+		misses:          r.Counter("nat_misses_total"),
+		evictions:       r.Counter("nat_evictions_total"),
+		slowPath:        r.Counter("nat_slowpath_trips_total"),
+	}
 }
 
 // Result aggregates a run.
@@ -91,7 +118,13 @@ func Run(tr *trace.Trace, cfg Config) Result {
 		cfg.FastPathLatency = 100 * time.Nanosecond
 	}
 	eng := simnet.New()
+	eng.SetTracer(cfg.Tracer)
 	tbl := table{h: hashing.New(0x7ab1e)}
+
+	var m metrics
+	if cfg.Obs != nil {
+		m = newMetrics(cfg.Obs)
+	}
 
 	var res Result
 	var totalLatency time.Duration
@@ -114,25 +147,36 @@ func Run(tr *trace.Trace, cfg Config) Result {
 				tracker.Evict(r.EvictedKey)
 			}
 		}
+		m.packets.Inc()
+		if r.Evicted {
+			m.evictions.Inc()
+		}
 
 		switch {
 		case r.Hit:
 			if v, _, _ := cfg.Cache.Query(va); v != Placeholder {
 				res.Hits++
 				totalLatency += cfg.FastPathLatency
+				m.hits.Inc()
 			} else {
 				// Placeholder hit: slow path, but no cache re-traversal.
 				res.PlaceholderHits++
 				res.SlowPathTrips++
 				totalLatency += cfg.SlowPathDelay + cfg.FastPathLatency
+				m.placeholderHits.Inc()
+				m.slowPath.Inc()
 			}
 		default:
 			res.Misses++
 			res.SlowPathTrips++
 			totalLatency += cfg.SlowPathDelay + cfg.FastPathLatency
+			m.misses.Inc()
+			m.slowPath.Inc()
+			eng.Trace("nat.slowpath.issue", va)
 			// The reply re-traverses the data plane after ΔT, carrying the
 			// real translation.
 			eng.Schedule(cfg.SlowPathDelay, func() {
+				eng.Trace("nat.slowpath.install", va)
 				rr := cfg.Cache.Update(va, tbl.realAddr(va), 0, eng.Now())
 				if tracker != nil {
 					if rr.Hit || rr.Admitted {
@@ -141,6 +185,9 @@ func Run(tr *trace.Trace, cfg Config) Result {
 					if rr.Evicted {
 						tracker.Evict(rr.EvictedKey)
 					}
+				}
+				if rr.Evicted {
+					m.evictions.Inc()
 				}
 			})
 		}

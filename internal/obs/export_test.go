@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(`pipeline_cache_hits_total{array="nat"}`).Add(7)
+	r.Counter(`pipeline_cache_misses_total{array="nat"}`).Add(2)
+	r.Gauge("occupancy").Set(3.5)
+	r.GaugeFunc("derived", func() float64 { return 9 })
+	h := r.Histogram(`latency_seconds{sys="kv"}`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := testRegistry()
+	want := r.Snapshot()
+
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch\n got: %+v\nwant: %+v", got, want)
+	}
+	if got.Gauges["derived"] != 9 {
+		t.Fatalf("function gauge not folded in: %+v", got.Gauges)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf strings.Builder
+	if err := testRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	want := []string{
+		"# TYPE pipeline_cache_hits_total counter",
+		`pipeline_cache_hits_total{array="nat"} 7`,
+		`pipeline_cache_misses_total{array="nat"} 2`,
+		"# TYPE occupancy gauge",
+		"occupancy 3.5",
+		"derived 9",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{sys="kv",le="0.1"} 1`,
+		`latency_seconds_bucket{sys="kv",le="1"} 2`, // cumulative
+		`latency_seconds_bucket{sys="kv",le="+Inf"} 3`,
+		`latency_seconds_sum{sys="kv"} 5.55`,
+		`latency_seconds_count{sys="kv"} 3`,
+	}
+	for _, line := range want {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing line %q in output:\n%s", line, got)
+		}
+	}
+	// Exactly one TYPE line per family even with multiple labeled series.
+	if n := strings.Count(got, "# TYPE pipeline_cache_hits_total"); n != 1 {
+		t.Errorf("%d TYPE lines for pipeline_cache_hits_total, want 1", n)
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	cases := []struct{ in, base, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x_total{a="b"}`, "x_total", `a="b"`},
+		{`x_total{a="b",c="d"}`, "x_total", `a="b",c="d"`},
+		{"weird{", "weird{", ""}, // unterminated: left alone
+	}
+	for _, tc := range cases {
+		base, labels := splitName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("splitName(%q) = (%q, %q), want (%q, %q)",
+				tc.in, base, labels, tc.base, tc.labels)
+		}
+	}
+	if got := withLabel("m", `a="b"`, `le="5"`); got != `m{a="b",le="5"}` {
+		t.Errorf("withLabel = %q", got)
+	}
+	if got := withLabel("m", "", ""); got != "m" {
+		t.Errorf("withLabel bare = %q", got)
+	}
+}
+
+func TestNilRegistrySnapshot(t *testing.T) {
+	var r *Registry
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := testRegistry()
+	r.PublishExpvar("obs_test_reg")
+	r.PublishExpvar("obs_test_reg") // second publish must not panic
+	v := expvar.Get("obs_test_reg")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar value is not a JSON snapshot: %v", err)
+	}
+	if s.Counters[`pipeline_cache_hits_total{array="nat"}`] != 7 {
+		t.Fatalf("expvar snapshot wrong: %+v", s)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(testRegistry().Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, `pipeline_cache_hits_total{array="nat"} 7`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, ct = get("/metrics.json")
+	if ct != "application/json" {
+		t.Errorf("/metrics.json content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+
+	// A nil counter is a valid no-op handle.
+	var nilC *Counter
+	nilC.Inc()
+	nilC.Add(7)
+	if got := nilC.Value(); got != 0 {
+		t.Fatalf("nil Value = %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("Value = %v, want 2.5", got)
+	}
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("Value = %v, want 1", got)
+	}
+
+	var nilG *Gauge
+	nilG.Set(3)
+	nilG.Add(1)
+	if got := nilG.Value(); got != 0 {
+		t.Fatalf("nil Value = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 556.5 {
+		t.Fatalf("Sum = %v, want 556.5", got)
+	}
+	bounds, counts := h.snapshot()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("snapshot shape: %d bounds, %d counts", len(bounds), len(counts))
+	}
+	// Bucket semantics: le=1 gets {0.5, 1}, le=10 gets {5}, le=100 gets
+	// {50}, overflow gets {500}.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram should be a no-op")
+	}
+}
+
+func TestHistogramSortsBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{100, 1, 10})
+	h.Observe(5)
+	bounds, counts := h.snapshot()
+	if bounds[0] != 1 || bounds[1] != 10 || bounds[2] != 100 {
+		t.Fatalf("bounds not sorted: %v", bounds)
+	}
+	if counts[1] != 1 {
+		t.Fatalf("5 should land in le=10, counts %v", counts)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExponentialBuckets(0, 2, 3) should panic")
+		}
+	}()
+	ExponentialBuckets(0, 2, 3)
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("Counter should return the same handle for the same name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge should return the same handle for the same name")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{5, 6, 7}) // bounds fixed at first registration
+	if h1 != h2 {
+		t.Fatal("Histogram should return the same handle for the same name")
+	}
+	bounds, _ := h2.snapshot()
+	if len(bounds) != 2 || bounds[0] != 1 {
+		t.Fatalf("bounds changed on re-registration: %v", bounds)
+	}
+
+	// A nil registry hands out nil (no-op) handles.
+	var nilR *Registry
+	if nilR.Counter("c") != nil || nilR.Gauge("g") != nil || nilR.Histogram("h", nil) != nil {
+		t.Fatal("nil registry should return nil handles")
+	}
+	nilR.GaugeFunc("f", func() float64 { return 1 })
+	if nilR.CounterValue("c") != 0 || nilR.SumCounters("") != 0 {
+		t.Fatal("nil registry reads should be 0")
+	}
+}
+
+func TestCounterValueAndSum(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`nat_hits_total`).Add(3)
+	r.Counter(`nat_misses_total`).Add(4)
+	r.Counter(`telemetry_packets_total`).Add(100)
+	if got := r.CounterValue("nat_hits_total"); got != 3 {
+		t.Fatalf("CounterValue = %d, want 3", got)
+	}
+	if got := r.CounterValue("absent_total"); got != 0 {
+		t.Fatalf("CounterValue(absent) = %d, want 0", got)
+	}
+	if got := r.SumCounters("nat_"); got != 7 {
+		t.Fatalf("SumCounters(nat_) = %d, want 7", got)
+	}
+	if got := r.SumCounters(""); got != 107 {
+		t.Fatalf("SumCounters(\"\") = %d, want 107", got)
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from GOMAXPROCS goroutines; run
+// under -race it checks the lock-free hot path and the get-or-create lock.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 10_000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_gauge")
+			h := r.Histogram("hammer_hist", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) / 4)
+				if i%1000 == 0 { // exercise concurrent readers too
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := uint64(workers * perWorker)
+	if got := r.CounterValue("hammer_total"); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("hammer_gauge").Value(); got != float64(want) {
+		t.Fatalf("gauge = %v, want %d", got, want)
+	}
+	if got := r.Histogram("hammer_hist", nil).Count(); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestHotPathAllocs pins the zero-allocation guarantee of the instrumented
+// hot path: resolved handles must not allocate on update, including the nil
+// (uninstrumented) handles.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2, 4, 8})
+	var nilC *Counter
+	var nilH *Histogram
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1) }},
+		{"Histogram.Observe", func() { h.Observe(3) }},
+		{"nil Counter.Inc", func() { nilC.Inc() }},
+		{"nil Histogram.Observe", func() { nilH.Observe(3) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", ExponentialBuckets(1e-6, 2, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-4)
+	}
+}

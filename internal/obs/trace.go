@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one traced occurrence at a virtual-time instant: the simulators
+// stamp events with the discrete-event clock (internal/simnet), not wall
+// time, so traces are deterministic across runs.
+type Event struct {
+	VTime   time.Duration `json:"vtime"`
+	Kind    string        `json:"kind"`
+	Payload uint64        `json:"payload"`
+}
+
+// Tracer is a fixed-capacity ring buffer of events: recording never
+// allocates after construction and never blocks a simulation on I/O; when
+// the buffer wraps, the oldest events are overwritten. A nil *Tracer is a
+// valid no-op recorder, so call sites need no nil checks.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // write cursor
+	total uint64 // events ever recorded (≥ len(buf) once wrapped)
+}
+
+// NewTracer returns a tracer holding the last `capacity` events.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event. Safe on a nil tracer (no-op).
+func (t *Tracer) Record(vt time.Duration, kind string, payload uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, Event{VTime: vt, Kind: kind, Payload: payload})
+	} else {
+		t.buf[t.next] = Event{VTime: vt, Kind: kind, Payload: payload}
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including overwritten
+// ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Len returns how many events are currently buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) { // wrapped: oldest is at the write cursor
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Dump writes the buffered events as one line each: `vtime kind payload`.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, ev := range t.Events() {
+		if _, err := fmt.Fprintf(w, "%12v  %-28s %d\n", ev.VTime, ev.Kind, ev.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

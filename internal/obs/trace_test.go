@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerBasic(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(1*time.Microsecond, "a", 1)
+	tr.Record(2*time.Microsecond, "b", 2)
+	if tr.Len() != 2 || tr.Total() != 2 {
+		t.Fatalf("Len=%d Total=%d, want 2, 2", tr.Len(), tr.Total())
+	}
+	evs := tr.Events()
+	if evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Fatalf("order wrong: %+v", evs)
+	}
+}
+
+func TestTracerWrap(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(time.Duration(i)*time.Millisecond, "ev", uint64(i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", tr.Total())
+	}
+	evs := tr.Events()
+	// After wrapping, the buffer holds the last 3 events oldest-first.
+	for i, want := range []uint64{2, 3, 4} {
+		if evs[i].Payload != want {
+			t.Fatalf("Events() = %+v, want payloads [2 3 4]", evs)
+		}
+	}
+}
+
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Record(time.Second, "x", 1) // must not panic
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should be a no-op")
+	}
+	if err := tr.Dump(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerDump(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(1500*time.Microsecond, "nat.slowpath.issue", 42)
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "1.5ms") || !strings.Contains(out, "nat.slowpath.issue") || !strings.Contains(out, "42") {
+		t.Fatalf("Dump output missing fields:\n%s", out)
+	}
+}
+
+func TestTracerMinCapacity(t *testing.T) {
+	tr := NewTracer(0) // clamps to 1
+	tr.Record(0, "a", 0)
+	tr.Record(0, "b", 0)
+	if tr.Len() != 1 || tr.Events()[0].Kind != "b" {
+		t.Fatalf("capacity-1 tracer should keep only the newest event: %+v", tr.Events())
+	}
+}

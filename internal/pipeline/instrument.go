@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+// This file is the pipeline side of the observability layer: Instrument
+// attaches obs counters to a built program so every SALU access and branch
+// decision is countable per stage and per register array, the way the
+// paper's Table 2 discussion reasons about SALU activity. Instrumentation is
+// strictly opt-in and attached after Build: the uninstrumented hot path pays
+// one nil check per SALU step and nothing else (BenchmarkPipeline and the
+// allocation tests pin this).
+
+// regMetrics are the per-register-array counters.
+type regMetrics struct {
+	accesses    *obs.Counter // SALU invocations on this array
+	branchTrue  *obs.Counter // predicate selected the True branch
+	branchFalse *obs.Counter // predicate selected the False branch
+}
+
+// progMetrics are the per-program counters.
+type progMetrics struct {
+	packets *obs.Counter // packets pushed through Run
+	drops   *obs.Counter // constraint-violating packets (must stay 0)
+}
+
+// Instrument attaches counters for this program and every register array to
+// the registry. Metric names embed the program, stage and register as
+// Prometheus labels:
+//
+//	pipeline_packets_total{program="lrutable"}
+//	pipeline_drops_total{program="lrutable"}
+//	pipeline_register_accesses_total{program="lrutable",stage="1",register="nat.key1"}
+//	pipeline_salu_branch_total{program="lrutable",stage="4",register="nat.state",branch="true"}
+//
+// Instrumenting twice (or with the same registry) is idempotent in effect:
+// the same named counters are reattached.
+func (p *Program) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p.m = &progMetrics{
+		packets: r.Counter(fmt.Sprintf("pipeline_packets_total{program=%q}", p.name)),
+		drops:   r.Counter(fmt.Sprintf("pipeline_drops_total{program=%q}", p.name)),
+	}
+	for _, st := range p.stages {
+		for _, reg := range st.registers {
+			label := fmt.Sprintf("program=%q,stage=\"%d\",register=%q", p.name, st.index, reg.name)
+			reg.m = &regMetrics{
+				accesses:    r.Counter("pipeline_register_accesses_total{" + label + "}"),
+				branchTrue:  r.Counter("pipeline_salu_branch_total{" + label + ",branch=\"true\"}"),
+				branchFalse: r.Counter("pipeline_salu_branch_total{" + label + ",branch=\"false\"}"),
+			}
+		}
+	}
+}
+
+// Uninstrument detaches all counters, restoring the zero-cost path.
+func (p *Program) Uninstrument() {
+	p.m = nil
+	for _, st := range p.stages {
+		for _, reg := range st.registers {
+			reg.m = nil
+		}
+	}
+}
+
+// arrayMetrics are the cache-level hit/miss/evict counters of a CacheArray3.
+type arrayMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter // nonzero keys pushed out (empty-slot fills excluded)
+}
+
+// Instrument attaches both the program-level counters and cache-level
+// hit/miss/evict counters plus an occupancy gauge (evaluated at export time
+// by control-plane readout, so the packet path never pays for it):
+//
+//	pipeline_cache_hits_total{array="nat"}
+//	pipeline_cache_misses_total{array="nat"}
+//	pipeline_cache_evictions_total{array="nat"}
+//	pipeline_cache_occupancy{array="nat"}
+func (c *CacheArray3) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.prog.Instrument(r)
+	label := fmt.Sprintf("array=%q", c.prog.name)
+	c.m = &arrayMetrics{
+		hits:      r.Counter("pipeline_cache_hits_total{" + label + "}"),
+		misses:    r.Counter("pipeline_cache_misses_total{" + label + "}"),
+		evictions: r.Counter("pipeline_cache_evictions_total{" + label + "}"),
+	}
+	arr := c
+	r.GaugeFunc("pipeline_cache_occupancy{"+label+"}", func() float64 {
+		return float64(arr.Len())
+	})
+}

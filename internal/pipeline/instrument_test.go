@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+// TestCacheArray3Instrument drives an instrumented array and checks that the
+// obs counters agree exactly with the results Update reported.
+func TestCacheArray3Instrument(t *testing.T) {
+	const units = 64
+	pipe, err := BuildCacheArray3("nat", units, 7, ModeWrite, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pipe.Instrument(reg)
+
+	var hits, misses, evictions, packets uint64
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		res, err := pipe.Update(uint64(r.Intn(500)+1), 64, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packets++
+		if res.Hit {
+			hits++
+		} else {
+			misses++
+			if res.EvictedKey != 0 {
+				evictions++
+			}
+		}
+	}
+
+	check := func(name string, want uint64) {
+		t.Helper()
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check(`pipeline_cache_hits_total{array="nat"}`, hits)
+	check(`pipeline_cache_misses_total{array="nat"}`, misses)
+	check(`pipeline_cache_evictions_total{array="nat"}`, evictions)
+	check(`pipeline_packets_total{program="nat"}`, packets)
+	check(`pipeline_drops_total{program="nat"}`, 0)
+
+	// The first key probe and the state SALU are unguarded — exactly one
+	// access per packet each; the later probes short-circuit after a hit and
+	// the value SALUs are guard-gated, so those fire less than once per
+	// packet.
+	snap := reg.Snapshot()
+	for _, name := range []string{"nat.key1", "nat.state"} {
+		sum := uint64(0)
+		for label, v := range snap.Counters {
+			if strings.HasPrefix(label, "pipeline_register_accesses_total{") &&
+				strings.Contains(label, `register="`+name+`"`) {
+				sum += v
+			}
+		}
+		if sum != packets {
+			t.Errorf("%s accesses = %d, want %d", name, sum, packets)
+		}
+	}
+	accesses := reg.SumCounters("pipeline_register_accesses_total")
+	if accesses < 2*packets || accesses > 7*packets {
+		t.Errorf("register accesses = %d, want within [%d, %d]", accesses, 2*packets, 7*packets)
+	}
+	// Each access resolves its predicate to exactly one branch.
+	if got := reg.SumCounters("pipeline_salu_branch_total"); got != accesses {
+		t.Errorf("branch total = %d, want %d (one branch per access)", got, accesses)
+	}
+
+	// The occupancy gauge is a function gauge evaluated at snapshot time.
+	snap = reg.Snapshot()
+	occ, ok := snap.Gauges[`pipeline_cache_occupancy{array="nat"}`]
+	if !ok {
+		t.Fatalf("occupancy gauge missing from snapshot: %v", snap.Gauges)
+	}
+	if want := float64(pipe.Len()); occ != want {
+		t.Errorf("occupancy = %v, want %v", occ, want)
+	}
+	if occ <= 0 || occ > units*3 {
+		t.Errorf("occupancy %v outside (0, %d]", occ, units*3)
+	}
+}
+
+// TestUninstrument confirms the counters stop moving once detached.
+func TestUninstrument(t *testing.T) {
+	pipe, err := BuildCacheArray3("u", 16, 1, ModeWrite, TofinoBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pipe.Instrument(reg)
+	if _, err := pipe.Update(1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.CounterValue(`pipeline_packets_total{program="u"}`)
+	if before != 1 {
+		t.Fatalf("instrumented packet not counted: %d", before)
+	}
+
+	pipe.Program().Uninstrument()
+	if _, err := pipe.Update(2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue(`pipeline_packets_total{program="u"}`); got != before {
+		t.Fatalf("uninstrumented packet still counted: %d", got)
+	}
+}
+
+// benchKeys builds the shared Zipf key set for the pipeline benchmarks.
+func benchKeys() []uint64 {
+	zipf := rand.NewZipf(rand.New(rand.NewSource(1)), 1.1, 1, 1<<20)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = zipf.Uint64() + 1
+	}
+	return keys
+}
+
+// BenchmarkPipeline is the uninstrumented hot path — the baseline the
+// observability layer must not perturb (no allocations, ≤2% throughput).
+func BenchmarkPipeline(b *testing.B) {
+	pipe, err := BuildCacheArray3("b", 1<<16, 1, ModeWrite, TofinoBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Update(keys[i&(1<<16-1)], 64, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineInstrumented is the same workload with live counters.
+func BenchmarkPipelineInstrumented(b *testing.B) {
+	pipe, err := BuildCacheArray3("b", 1<<16, 1, ModeWrite, TofinoBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe.Instrument(obs.NewRegistry())
+	keys := benchKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Update(keys[i&(1<<16-1)], 64, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

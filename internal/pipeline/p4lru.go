@@ -202,6 +202,9 @@ type CacheArray3 struct {
 	hash  hashing.Hash
 	units int
 	mode  Mode
+	// m carries hit/miss/evict counters when Instrument attached them; nil
+	// (the default) keeps Update metric-free.
+	m *arrayMetrics
 }
 
 // UpdateResult is the observable outcome of one packet.
@@ -267,6 +270,16 @@ func (c *CacheArray3) Update(key, val uint64, reply bool) (UpdateResult, error) 
 	if op == 0 {
 		res.EvictedKey = phv.Get(c.ports.EvKey)
 		res.EvictedValue = phv.Get(c.ports.ValOut)
+	}
+	if m := c.m; m != nil {
+		if res.Hit {
+			m.hits.Inc()
+		} else {
+			m.misses.Inc()
+			if res.EvictedKey != 0 {
+				m.evictions.Inc()
+			}
+		}
 	}
 	return res, nil
 }

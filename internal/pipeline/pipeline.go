@@ -196,6 +196,10 @@ type Register struct {
 	cells   []uint64
 	stage   int
 	actions map[string]*SALUAction
+	// m carries the per-register-array instrumentation counters, attached by
+	// Program.Instrument. nil (the default) keeps the hot path free of any
+	// metric work beyond one predictable branch.
+	m *regMetrics
 }
 
 // Name returns the register name.
@@ -281,12 +285,22 @@ func (s *saluStep) run(phv *PHV, pkt *packetCtx) error {
 	}
 
 	old := s.reg.cells[idx]
+	takeTrue := act.Pred == nil || act.Pred.Op.eval(old, act.Pred.Operand.value(phv))
 	branch := act.True
-	if act.Pred != nil && !act.Pred.Op.eval(old, act.Pred.Operand.value(phv)) {
+	if !takeTrue {
 		branch = act.False
 	}
 	newV := branch.Op.eval(old, branch.Operand.value(phv)) & s.reg.mask()
 	s.reg.cells[idx] = newV
+
+	if m := s.reg.m; m != nil {
+		m.accesses.Inc()
+		if takeTrue {
+			m.branchTrue.Inc()
+		} else {
+			m.branchFalse.Inc()
+		}
+	}
 
 	if s.outField != "" {
 		out := old
@@ -383,6 +397,9 @@ type Program struct {
 	stages []*Stage
 	budget Budget
 	pipes  int
+	// m carries the per-program instrumentation counters (see Instrument);
+	// nil means uninstrumented.
+	m *progMetrics
 }
 
 // Name returns the program name.
@@ -398,10 +415,17 @@ func (p *Program) Run(phv *PHV) error {
 	for _, st := range p.stages {
 		for _, s := range st.steps {
 			if err := s.run(phv, pkt); err != nil {
+				if m := p.m; m != nil {
+					m.packets.Inc()
+					m.drops.Inc()
+				}
 				return fmt.Errorf("stage %d: %w", st.index, err)
 			}
 		}
 		phv.commit()
+	}
+	if m := p.m; m != nil {
+		m.packets.Inc()
 	}
 	return nil
 }

@@ -9,15 +9,18 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
 )
 
 // Engine is a deterministic discrete-event executor. Events fire in
 // (time, scheduling-order) order; callbacks may schedule further events.
 // Not safe for concurrent use — simulations are single-goroutine by design.
 type Engine struct {
-	now time.Duration
-	pq  eventHeap
-	seq uint64
+	now    time.Duration
+	pq     eventHeap
+	seq    uint64
+	tracer *obs.Tracer
 }
 
 type event struct {
@@ -34,6 +37,20 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.pq) }
+
+// SetTracer installs a virtual-time event tracer; Trace calls record into
+// it stamped with the engine clock. nil detaches (and Trace becomes free).
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// Tracer returns the installed tracer (nil when untraced).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Trace records an event at the current virtual time. Without an installed
+// tracer this is a no-op (obs.Tracer methods are nil-safe), so simulation
+// code can trace unconditionally.
+func (e *Engine) Trace(kind string, payload uint64) {
+	e.tracer.Record(e.now, kind, payload)
+}
 
 // Schedule runs do after delay (≥ 0) of virtual time.
 func (e *Engine) Schedule(delay time.Duration, do func()) {

@@ -1,0 +1,54 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+// TestTrace checks that engine events are stamped with the virtual clock at
+// the instant they fire, not wall time or schedule time.
+func TestTrace(t *testing.T) {
+	e := New()
+	tr := obs.NewTracer(16)
+	e.SetTracer(tr)
+	if e.Tracer() != tr {
+		t.Fatal("Tracer() should return the attached tracer")
+	}
+
+	e.Schedule(2*time.Millisecond, func() { e.Trace("second", 2) })
+	e.Schedule(1*time.Millisecond, func() {
+		e.Trace("first", 1)
+		e.Schedule(5*time.Millisecond, func() { e.Trace("third", 3) })
+	})
+	e.Run()
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	want := []struct {
+		vt   time.Duration
+		kind string
+	}{
+		{1 * time.Millisecond, "first"},
+		{2 * time.Millisecond, "second"},
+		{6 * time.Millisecond, "third"},
+	}
+	for i, w := range want {
+		if evs[i].VTime != w.vt || evs[i].Kind != w.kind {
+			t.Errorf("event %d = %+v, want %v %q", i, evs[i], w.vt, w.kind)
+		}
+	}
+}
+
+// TestTraceWithoutTracer: an engine without a tracer ignores Trace calls.
+func TestTraceWithoutTracer(t *testing.T) {
+	e := New()
+	e.Schedule(time.Millisecond, func() { e.Trace("ignored", 0) })
+	e.Run() // must not panic
+	if e.Tracer() != nil {
+		t.Fatal("tracer should be nil by default")
+	}
+}

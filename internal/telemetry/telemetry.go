@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/hashing"
+	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/sketch"
 	"github.com/p4lru/p4lru/internal/trace"
@@ -40,6 +41,31 @@ type Config struct {
 	Threshold uint32
 	// FingerprintSeed selects fp(·).
 	FingerprintSeed uint64
+	// Obs, when non-nil, receives live run counters (telemetry_packets_total,
+	// telemetry_filtered_total, telemetry_cache_hits_total,
+	// telemetry_cache_misses_total, telemetry_uploads_total). nil costs
+	// nothing.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records each analyzer upload as a virtual-time
+	// event (lrumon.upload, payload = the evicted fingerprint) stamped with
+	// the packet's trace timestamp.
+	Tracer *obs.Tracer
+}
+
+// metrics holds the pre-resolved handles of one run; the zero value is a
+// no-op (nil-safe obs methods).
+type metrics struct {
+	packets, filtered, cacheHits, cacheMisses, uploads *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		packets:     r.Counter("telemetry_packets_total"),
+		filtered:    r.Counter("telemetry_filtered_total"),
+		cacheHits:   r.Counter("telemetry_cache_hits_total"),
+		cacheMisses: r.Counter("telemetry_cache_misses_total"),
+		uploads:     r.Counter("telemetry_uploads_total"),
+	}
 }
 
 // Merge is the write-cache accumulation discipline.
@@ -133,6 +159,10 @@ func Run(tr *trace.Trace, cfg Config, resetPeriod time.Duration) (Result, *Analy
 	fpHash := hashing.New(cfg.FingerprintSeed ^ 0xf1a9)
 	an := NewAnalyzer()
 	var res Result
+	var m metrics
+	if cfg.Obs != nil {
+		m = newMetrics(cfg.Obs)
+	}
 
 	// Per-flow undercount within the current reset interval.
 	type intervalErr struct {
@@ -143,6 +173,7 @@ func Run(tr *trace.Trace, cfg Config, resetPeriod time.Duration) (Result, *Analy
 
 	for _, pkt := range tr.Packets {
 		res.Packets++
+		m.packets.Inc()
 		res.TotalBytes += uint64(pkt.Size)
 		f := pkt.Flow
 		l := uint32(pkt.Size)
@@ -151,6 +182,7 @@ func Run(tr *trace.Trace, cfg Config, resetPeriod time.Duration) (Result, *Analy
 			est := cfg.Filter.Add(f, l, pkt.Time)
 			if est < cfg.Threshold {
 				res.Filtered++
+				m.filtered.Inc()
 				res.FilteredBytes += uint64(l)
 				iv := int64(0)
 				if resetPeriod > 0 {
@@ -177,15 +209,22 @@ func Run(tr *trace.Trace, cfg Config, resetPeriod time.Duration) (Result, *Analy
 		switch {
 		case r.Hit:
 			res.CacheHits++
+			m.cacheHits.Inc()
 		case r.Admitted:
 			res.CacheMisses++
 			res.Uploads++
+			m.cacheMisses.Inc()
+			m.uploads.Inc()
+			cfg.Tracer.Record(pkt.Time, "lrumon.upload", r.EvictedKey)
 			an.Upload(f, uint32(fp), uint32(r.EvictedKey), r.EvictedValue)
 		default:
 			// The policy declined to admit (timeout/elastic/coco): the
 			// packet's bytes upload directly so no measurement is lost.
 			res.CacheMisses++
 			res.Uploads++
+			m.cacheMisses.Inc()
+			m.uploads.Inc()
+			cfg.Tracer.Record(pkt.Time, "lrumon.upload", fp)
 			an.Upload(f, uint32(fp), uint32(fp), uint64(l))
 		}
 	}
