@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/netproto/ ./internal/policy/ ./internal/obs/
+	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

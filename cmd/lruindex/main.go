@@ -5,8 +5,13 @@
 // Usage:
 //
 //	lruindex [-items N] [-threads T] [-queries N] [-levels L] [-mem bytes]
-//	         [-policy series|p4lru1|timeout|elastic|coco|ideal|none] [-cores C]
+//	         [-policy spec|none] [-cores C]
 //	         [-metrics :addr] [-trace-events N]
+//
+// -policy takes a policy spec (policy.ParseSpec), e.g. "series:levels=4",
+// "series:levels=2,mem=1MiB", "p4lru1", "timeout:timeout=50ms", or "none"
+// for the Naive Solution (no cache). The -mem/-seed/-levels flags fill
+// fields the spec string leaves unset.
 //
 // -metrics serves /metrics, /metrics.json and /debug/pprof on addr while the
 // simulation runs; -trace-events keeps the last N simulator events (query
@@ -52,17 +57,27 @@ func main() {
 	}
 
 	var cache policy.Cache
-	switch *pol {
-	case "none":
-		cache = nil
-	case "series":
-		units := *mem / *levels / 25
-		if units < 1 {
-			units = 1
+	if *pol != "none" {
+		spec, err := policy.ParseSpec(*pol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lruindex:", err)
+			os.Exit(2)
 		}
-		cache = policy.NewSeries(*levels, units, uint64(*seed), nil)
-	default:
-		cache = policy.NewForMemory(policy.Kind(*pol), *mem, policy.Options{Seed: uint64(*seed)})
+		// Flags fill whatever the spec string left unset.
+		if spec.MemBytes == 0 {
+			spec.MemBytes = *mem
+		}
+		if spec.Seed == 0 {
+			spec.Seed = uint64(*seed)
+		}
+		if spec.Kind == policy.KindSeries && spec.Levels == 0 {
+			spec.Levels = *levels
+		}
+		cache, err = policy.NewFromSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lruindex:", err)
+			os.Exit(2)
+		}
 	}
 
 	res := kvindex.Run(kvindex.Config{

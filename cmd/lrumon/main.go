@@ -6,8 +6,12 @@
 //
 //	lrumon [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
 //	       [-filter tower|cm|cu|none] [-threshold 1500] [-reset 10ms]
-//	       [-policy p4lru3|p4lru1|...] [-mem bytes]
+//	       [-policy spec] [-mem bytes]
 //	       [-metrics :addr] [-trace-events N]
+//
+// -policy takes a policy spec (policy.ParseSpec), e.g. "p4lru3" or
+// "p4lru3:mem=1MiB,seed=7"; the -mem/-seed flags fill fields the spec
+// string leaves unset.
 //
 // -metrics serves /metrics, /metrics.json and /debug/pprof on addr while the
 // simulation runs; -trace-events keeps the last N upload events in a ring and
@@ -79,10 +83,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	cache := policy.NewForMemory(policy.Kind(*pol), *mem, policy.Options{
-		Seed:  uint64(*seed),
-		Merge: telemetry.Merge,
-	})
+	spec, err := policy.ParseSpec(*pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrumon:", err)
+		os.Exit(2)
+	}
+	// Flags fill whatever the spec string left unset.
+	if spec.MemBytes == 0 {
+		spec.MemBytes = *mem
+	}
+	if spec.Seed == 0 {
+		spec.Seed = uint64(*seed)
+	}
+	spec.Merge = telemetry.Merge
+	cache, err := policy.NewFromSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrumon:", err)
+		os.Exit(2)
+	}
 	res, an := telemetry.Run(tr, telemetry.Config{
 		Filter:    filter,
 		Cache:     cache,

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	lrutable [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
-//	         [-policy p4lru3|p4lru1|p4lru2|p4lru4|ideal|timeout|elastic|coco]
-//	         [-mem bytes] [-delta 1ms] [-timeout 100ms] [-similarity]
-//	         [-metrics :addr] [-trace-events N]
+//	         [-policy spec] [-mem bytes] [-delta 1ms] [-timeout 100ms]
+//	         [-similarity] [-metrics :addr] [-trace-events N]
+//
+// -policy takes a policy spec: a kind (p4lru3, p4lru1, p4lru2, p4lru4,
+// ideal, timeout, elastic, coco, clock, series) optionally followed by
+// parameters, e.g. "p4lru3:mem=1MiB,seed=7" — see policy.ParseSpec. The
+// -mem/-seed/-timeout flags fill fields the spec string leaves unset.
 //
 // -metrics serves /metrics, /metrics.json and /debug/pprof on addr while the
 // simulation runs; -trace-events keeps the last N simulator events (slow-path
@@ -32,7 +36,7 @@ func main() {
 	flows := flag.Int("flows", 50_000, "synthesized base flows")
 	segments := flag.Int("segments", 60, "CAIDA_n segments")
 	seed := flag.Int64("seed", 1, "seed")
-	pol := flag.String("policy", "p4lru3", "replacement policy")
+	pol := flag.String("policy", "p4lru3", "replacement policy spec (kind[:key=value,...])")
 	mem := flag.Int("mem", 400*1024, "cache memory (bytes)")
 	delta := flag.Duration("delta", time.Millisecond, "slow-path latency ΔT")
 	timeout := flag.Duration("timeout", 100*time.Millisecond, "timeout policy threshold")
@@ -62,11 +66,27 @@ func main() {
 		tracer = obs.NewTracer(*traceEvents)
 	}
 
-	cache := policy.NewForMemory(policy.Kind(*pol), *mem, policy.Options{
-		Seed:             uint64(*seed),
-		Merge:            nat.MergeNAT,
-		TimeoutThreshold: *timeout,
-	})
+	spec, err := policy.ParseSpec(*pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrutable:", err)
+		os.Exit(2)
+	}
+	// Flags fill whatever the spec string left unset.
+	if spec.MemBytes == 0 {
+		spec.MemBytes = *mem
+	}
+	if spec.Seed == 0 {
+		spec.Seed = uint64(*seed)
+	}
+	if spec.TimeoutThreshold == 0 {
+		spec.TimeoutThreshold = *timeout
+	}
+	spec.Merge = nat.MergeNAT
+	cache, err := policy.NewFromSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrutable:", err)
+		os.Exit(2)
+	}
 	res := nat.Run(tr, nat.Config{
 		Cache:           cache,
 		SlowPathDelay:   *delta,
@@ -75,7 +95,7 @@ func main() {
 		Tracer:          tracer,
 	})
 
-	fmt.Printf("policy=%s mem=%dB entries=%d ΔT=%v\n", cache.Name(), *mem, cache.Capacity(), *delta)
+	fmt.Printf("policy=%s mem=%dB entries=%d ΔT=%v\n", cache.Name(), spec.MemBytes, cache.Capacity(), *delta)
 	fmt.Printf("packets=%d hits=%d placeholderHits=%d misses=%d\n",
 		res.Packets, res.Hits, res.PlaceholderHits, res.Misses)
 	fmt.Printf("missRate=%.4f slowPathRate=%.4f avgAddedLatency=%v\n",

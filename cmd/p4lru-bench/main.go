@@ -6,12 +6,19 @@
 //	p4lru-bench run    [-scale small|default] [-csv] [-json] [-plot] [-o dir]
 //	                   [-metrics :addr] [-progress=false] <id>... | all
 //	p4lru-bench verify [-scale small|default] [-metrics :addr]
+//	p4lru-bench replay [-trace file.p4lt] [-policy spec] [-shards N]
+//	                   [-parallel N] ...
 //
 // Each experiment prints the same rows/series the paper reports (§4); -csv
 // additionally writes one CSV per panel into -o, -json one JSON object per
 // panel (machine-readable bench trajectory), -plot renders terminal charts,
 // and verify re-checks the paper's headline claims (exit 1 on any failure)
 // — the artifact-evaluation entry point.
+//
+// replay pushes a packet trace through the sharded serving engine
+// (internal/engine) from -parallel concurrent goroutines and reports
+// throughput, hit rate and per-shard accounting — the concurrency
+// counterpart of the single-threaded policy experiments.
 //
 // -metrics serves live run counters on the given address while experiments
 // execute: /metrics (Prometheus text), /metrics.json (JSON snapshot),
@@ -54,6 +61,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
 			os.Exit(1)
 		}
+	case "replay":
+		if err := replayCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -65,7 +77,10 @@ func usage() {
   p4lru-bench list
   p4lru-bench run    [-scale small|default] [-csv] [-json] [-plot] [-o dir]
                      [-metrics :addr] [-progress=false] <id>... | all
-  p4lru-bench verify [-scale small|default] [-metrics :addr]`)
+  p4lru-bench verify [-scale small|default] [-metrics :addr]
+  p4lru-bench replay [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
+                     [-policy spec] [-mem bytes] [-shards N] [-parallel N]
+                     [-batch N] [-queue N] [-block] [-metrics :addr]`)
 }
 
 // serveMetrics wires the default registry into the experiment runs and, when

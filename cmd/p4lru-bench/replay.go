@@ -1,0 +1,150 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/engine"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/trace"
+)
+
+// replayCmd drives the sharded serving engine with a packet trace from N
+// concurrent replay goroutines: the throughput counterpart of `run`, which
+// measures policy quality single-threaded. Each goroutine owns a stride
+// partition of the trace and a batching Submitter; queries go through the
+// engine's read path and misses are submitted as updates, so the workload
+// exercises both sides of the single-writer-per-shard design.
+func replayCmd(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "trace file (P4LT); synthesized when empty")
+	packets := fs.Int("packets", 2_000_000, "synthesized packets")
+	flows := fs.Int("flows", 50_000, "synthesized base flows")
+	segments := fs.Int("segments", 60, "CAIDA_n segments")
+	seed := fs.Int64("seed", 1, "seed")
+	pol := fs.String("policy", "p4lru3", "policy spec (kind[:key=value,...])")
+	mem := fs.Int("mem", 400*1024, "total cache memory (bytes)")
+	shards := fs.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replay goroutines")
+	batch := fs.Int("batch", 0, "submit batch size (0 = engine default)")
+	queue := fs.Int("queue", 0, "per-shard queue depth in batches (0 = engine default)")
+	block := fs.Bool("block", false, "block on full queues instead of dropping")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and pprof on this address during the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be ≥ 1")
+	}
+
+	spec, err := policy.ParseSpec(*pol)
+	if err != nil {
+		return err
+	}
+	if spec.MemBytes == 0 {
+		spec.MemBytes = *mem
+	}
+	if spec.Seed == 0 {
+		spec.Seed = uint64(*seed)
+	}
+
+	// Serve metrics before the (potentially slow) trace load so the
+	// endpoint is scrapeable for the whole run.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		addr, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
+
+	tr, err := loadReplayTrace(*traceFile, *packets, *flows, *segments, *seed)
+	if err != nil {
+		return err
+	}
+	if len(tr.Packets) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	eng, err := engine.NewFromSpec(spec, engine.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		BatchSize:  *batch,
+		Seed:       uint64(*seed),
+		Block:      *block,
+		Obs:        reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// Stride-partition the trace: worker w replays packets w, w+P, w+2P, …
+	// so every worker sees the same mix of hot and cold flows and all of
+	// them hit every shard — the adversarial case for shard routing.
+	var hits, queries atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *parallel; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := eng.NewSubmitter()
+			defer sub.Flush()
+			var localHits, localQueries uint64
+			for i := w; i < len(tr.Packets); i += *parallel {
+				p := tr.Packets[i]
+				_, tok, ok := eng.Query(p.Flow)
+				localQueries++
+				if ok {
+					localHits++
+				}
+				sub.Submit(engine.Op{Key: p.Flow, Value: uint64(p.Size), Token: tok, Now: p.Time})
+			}
+			hits.Add(localHits)
+			queries.Add(localQueries)
+		}(w)
+	}
+	wg.Wait()
+	eng.Flush()
+	wall := time.Since(start)
+
+	q := queries.Load()
+	fmt.Printf("engine=%s shards=%d parallel=%d mem=%dB entries=%d\n",
+		eng.Name(), eng.Shards(), *parallel, spec.MemBytes, eng.Capacity())
+	fmt.Printf("packets=%d wall=%v throughput=%.2fM pkt/s\n",
+		q, wall.Round(time.Millisecond), float64(q)/wall.Seconds()/1e6)
+	fmt.Printf("hitRate=%.4f dropped=%d occupancy=%d\n",
+		float64(hits.Load())/float64(q), eng.Dropped(), eng.Len())
+	for i, s := range eng.Stats() {
+		fmt.Printf("shard %2d: submitted=%d applied=%d dropped=%d len=%d\n",
+			i, s.Submitted, s.Applied, s.Dropped, s.Len)
+	}
+	return nil
+}
+
+func loadReplayTrace(file string, packets, flows, segments int, seed int64) (*trace.Trace, error) {
+	if file == "" {
+		return trace.Synthesize(trace.SynthConfig{
+			Packets:   packets,
+			BaseFlows: flows,
+			Segments:  segments,
+			Duration:  time.Second,
+			Seed:      seed,
+		}), nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}

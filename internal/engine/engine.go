@@ -1,0 +1,478 @@
+// Package engine is the sharded, concurrency-safe serving layer that turns
+// any policy.Cache into a multi-core engine.
+//
+// The paper's parallel connection (§1.2) makes line-rate caching possible by
+// giving every flow-key hash bucket an independent P4LRU unit: units never
+// interact, so the pipeline can process one packet per clock regardless of
+// how many units exist. This package is the software transplant of that
+// observation: the key space is split across N shards by the same seeded
+// flow-key hash family (internal/hashing), each shard owns a private
+// policy.Cache, and cross-shard coordination is never needed because no key
+// can live in two shards.
+//
+// Concurrency model, per shard:
+//
+//   - One single-writer goroutine applies all replacement-state mutations,
+//     fed by a bounded queue of fixed-size op batches (batching amortizes
+//     channel overhead; the queue bound gives explicit backpressure). With
+//     Block=false a full queue drops the batch and counts it — the
+//     data-plane behaviour, where a congested pipe sheds load rather than
+//     stall the line. With Block=true Submit blocks — the server behaviour.
+//   - Query takes the shard's read lock, so readers of different shards
+//     never interact and readers of the same shard run concurrently with
+//     each other; they serialize only against that shard's writer, and only
+//     for the duration of one batch. If the shard's policy declares itself
+//     safe for concurrent reads (policy.ConcurrentReader), Query skips the
+//     lock entirely.
+//   - Apply performs one synchronous mutation under the shard write lock,
+//     bypassing the queue — for reply paths that must observe their own
+//     write (the netproto switch) and for tests.
+//
+// The engine deliberately does not implement policy.Cache: Update's
+// synchronous Result has no meaning once mutations are queued. Callers that
+// need the Result use Apply.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// routeSalt decorrelates the shard-routing hash from the per-shard cache
+// index hashes, which are seeded from the same base seed.
+const routeSalt = 0x5ead1e55c0ffee
+
+// Op is one queued mutation: the (key, value, token, time) quadruple of
+// policy.Cache.Update.
+type Op struct {
+	Key, Value uint64
+	Token      policy.Token
+	Now        time.Duration
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Shards is the number of independent cache shards (0 = GOMAXPROCS).
+	Shards int
+	// QueueDepth bounds each shard's submission queue, measured in batches
+	// (0 = 256).
+	QueueDepth int
+	// BatchSize is the number of ops a Submitter accumulates before handing
+	// the batch to the shard (0 = 64). The shard writer also applies a whole
+	// batch per lock acquisition, so BatchSize bounds writer lock hold time.
+	BatchSize int
+	// Seed seeds the shard-routing hash (and, by convention, the per-shard
+	// caches built by NewCache).
+	Seed uint64
+	// NewCache builds the cache owned by shard i. Required. The engine owns
+	// the returned caches; nothing else may touch them.
+	NewCache func(shard int) policy.Cache
+	// Block selects backpressure semantics when a shard queue is full:
+	// true blocks the submitter, false drops the batch and counts it.
+	Block bool
+	// Obs, when non-nil, receives per-shard counters and gauges
+	// (engine_ops_total, engine_drops_total, engine_occupancy,
+	// engine_queue_depth), global query counters and the batch-size
+	// histogram. nil costs nothing on the hot path.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// shard is one independent serving unit: a private cache, its lock, and the
+// bounded batch queue its writer goroutine consumes.
+type shard struct {
+	mu       sync.RWMutex
+	cache    policy.Cache
+	lockFree bool // cache is a policy.ConcurrentReader
+
+	queue     chan []Op
+	submitted atomic.Uint64 // ops handed to the queue
+	applied   atomic.Uint64 // ops the writer has applied
+	drops     atomic.Uint64 // ops shed on a full queue
+
+	ops     *obs.Counter
+	dropped *obs.Counter
+}
+
+// Engine routes every key to its home shard by flow-key hash.
+type Engine struct {
+	cfg    Config
+	route  hashing.Hash
+	shards []*shard
+	pool   sync.Pool // []Op batch buffers, cap = BatchSize
+
+	lifeMu sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	queries   *obs.Counter
+	hits      *obs.Counter
+	batchSize *obs.Histogram
+}
+
+// New builds and starts an engine: cfg.Shards caches, one writer goroutine
+// each. The engine serves until Close.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NewCache == nil {
+		return nil, fmt.Errorf("engine: Config.NewCache is required")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		route:  hashing.New(cfg.Seed ^ routeSalt),
+		shards: make([]*shard, cfg.Shards),
+	}
+	e.pool.New = func() any { return make([]Op, 0, cfg.BatchSize) }
+	if r := cfg.Obs; r != nil {
+		e.queries = r.Counter("engine_queries_total")
+		e.hits = r.Counter("engine_hits_total")
+		e.batchSize = r.Histogram("engine_batch_ops", batchBuckets(cfg.BatchSize))
+		r.GaugeFunc("engine_shards", func() float64 { return float64(cfg.Shards) })
+	}
+	for i := range e.shards {
+		c := cfg.NewCache(i)
+		if c == nil {
+			return nil, fmt.Errorf("engine: NewCache(%d) returned nil", i)
+		}
+		cr, ok := c.(policy.ConcurrentReader)
+		s := &shard{
+			cache:    c,
+			lockFree: ok && cr.ConcurrentQuery(),
+			queue:    make(chan []Op, cfg.QueueDepth),
+		}
+		if r := cfg.Obs; r != nil {
+			label := fmt.Sprintf(`{shard="%d"}`, i)
+			s.ops = r.Counter("engine_ops_total" + label)
+			s.dropped = r.Counter("engine_drops_total" + label)
+			sh := s
+			r.GaugeFunc("engine_occupancy"+label, func() float64 {
+				sh.mu.RLock()
+				defer sh.mu.RUnlock()
+				return float64(sh.cache.Len())
+			})
+			r.GaugeFunc("engine_queue_depth"+label, func() float64 {
+				return float64(len(sh.queue))
+			})
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.writer(s)
+	}
+	return e, nil
+}
+
+// NewFromSpec builds an engine whose shards split a single policy Spec's
+// memory budget evenly: an N-shard engine over "p4lru3:mem=1MiB" holds the
+// same total memory as the unsharded cache. Shard i's cache is seeded
+// spec.Seed+i so shard-internal hash functions stay independent.
+func NewFromSpec(spec policy.Spec, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if spec.MemBytes == 0 {
+		spec.MemBytes = policy.DefaultMemBytes
+	}
+	perShard := spec.MemBytes / cfg.Shards
+	if _, err := policy.NewFromSpec(spec); err != nil {
+		return nil, err // validate the spec once, before fan-out
+	}
+	cfg.Seed = spec.Seed
+	cfg.NewCache = func(i int) policy.Cache {
+		s := spec
+		s.MemBytes = perShard
+		s.Seed = spec.Seed + uint64(i)
+		return policy.MustFromSpec(s)
+	}
+	return New(cfg)
+}
+
+// batchBuckets is a ×2 ladder up to the configured batch size.
+func batchBuckets(max int) []float64 {
+	var b []float64
+	for v := 1; v < max; v *= 2 {
+		b = append(b, float64(v))
+	}
+	return append(b, float64(max))
+}
+
+// writer is a shard's single mutation goroutine: it applies whole batches
+// under one write-lock acquisition and recycles their buffers.
+func (e *Engine) writer(s *shard) {
+	defer e.wg.Done()
+	for batch := range s.queue {
+		s.mu.Lock()
+		for _, op := range batch {
+			s.cache.Update(op.Key, op.Value, op.Token, op.Now)
+		}
+		s.mu.Unlock()
+		n := len(batch)
+		s.applied.Add(uint64(n))
+		s.ops.Add(uint64(n))
+		e.batchSize.Observe(float64(n))
+		e.pool.Put(batch[:0])
+	}
+}
+
+// ShardFor returns the home shard of k — deterministic for a given seed and
+// shard count, like the paper's per-packet unit index h(key).
+func (e *Engine) ShardFor(k uint64) int { return e.route.Index(k, len(e.shards)) }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Query looks k up in its home shard without modifying replacement state.
+// Reads of different shards never contend; reads of one shard share its
+// read lock (or skip it for policy.ConcurrentReader caches).
+func (e *Engine) Query(k uint64) (uint64, policy.Token, bool) {
+	s := e.shards[e.ShardFor(k)]
+	var (
+		v   uint64
+		tok policy.Token
+		ok  bool
+	)
+	if s.lockFree {
+		v, tok, ok = s.cache.Query(k)
+	} else {
+		s.mu.RLock()
+		v, tok, ok = s.cache.Query(k)
+		s.mu.RUnlock()
+	}
+	e.queries.Inc()
+	if ok {
+		e.hits.Inc()
+	}
+	return v, tok, ok
+}
+
+// Apply performs one synchronous Update on k's home shard, bypassing the
+// queue, and returns the policy's Result. Ordering against queued batches
+// in flight on the same shard is unspecified.
+func (e *Engine) Apply(op Op) policy.Result {
+	s := e.shards[e.ShardFor(op.Key)]
+	s.mu.Lock()
+	res := s.cache.Update(op.Key, op.Value, op.Token, op.Now)
+	s.mu.Unlock()
+	s.ops.Inc()
+	return res
+}
+
+// Submit enqueues a single op on its home shard (a batch of one — hot
+// producers should use a Submitter instead). It reports whether the op was
+// accepted; false means the engine is closed or the shard queue was full in
+// drop mode.
+func (e *Engine) Submit(op Op) bool {
+	buf := e.pool.Get().([]Op)
+	return e.submitBatch(e.ShardFor(op.Key), append(buf, op))
+}
+
+// submitBatch hands one batch to shard i, honouring Block/drop semantics.
+// The batch buffer is owned by the queue (and recycled by the writer) on
+// success, by the pool again on failure.
+func (e *Engine) submitBatch(i int, batch []Op) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	s := e.shards[i]
+	n := uint64(len(batch))
+
+	e.lifeMu.RLock()
+	if e.closed {
+		e.lifeMu.RUnlock()
+		s.drops.Add(n)
+		s.dropped.Add(n)
+		e.pool.Put(batch[:0])
+		return false
+	}
+	s.submitted.Add(n)
+	if e.cfg.Block {
+		s.queue <- batch
+		e.lifeMu.RUnlock()
+		return true
+	}
+	select {
+	case s.queue <- batch:
+		e.lifeMu.RUnlock()
+		return true
+	default:
+		e.lifeMu.RUnlock()
+		s.submitted.Add(^(n - 1)) // undo: the batch never entered the queue
+		s.drops.Add(n)
+		s.dropped.Add(n)
+		e.pool.Put(batch[:0])
+		return false
+	}
+}
+
+// Flush blocks until every op submitted before the call has been applied.
+// Ops submitted concurrently with Flush may or may not be covered.
+func (e *Engine) Flush() {
+	for _, s := range e.shards {
+		target := s.submitted.Load()
+		for s.applied.Load() < target {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// Close drains every queue, stops the writers and waits for them. Submit
+// after Close reports false. Close is idempotent.
+func (e *Engine) Close() {
+	e.lifeMu.Lock()
+	if e.closed {
+		e.lifeMu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.queue) // writers drain the remaining batches, then exit
+	}
+	e.lifeMu.Unlock()
+	e.wg.Wait()
+}
+
+// Len sums the shard occupancies.
+func (e *Engine) Len() int {
+	total := 0
+	for _, s := range e.shards {
+		s.mu.RLock()
+		total += s.cache.Len()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Capacity sums the shard capacities.
+func (e *Engine) Capacity() int {
+	total := 0
+	for _, s := range e.shards {
+		total += s.cache.Capacity()
+	}
+	return total
+}
+
+// Name is "<policy>×<shards>".
+func (e *Engine) Name() string {
+	return fmt.Sprintf("%s×%d", e.shards[0].cache.Name(), len(e.shards))
+}
+
+// Range iterates all cached pairs shard by shard until fn returns false.
+// Each shard is read-locked for its portion of the walk; the result is not
+// a point-in-time snapshot across shards.
+func (e *Engine) Range(fn func(k, v uint64) bool) {
+	for _, s := range e.shards {
+		more := true
+		s.mu.RLock()
+		s.cache.Range(func(k, v uint64) bool {
+			more = fn(k, v)
+			return more
+		})
+		s.mu.RUnlock()
+		if !more {
+			return
+		}
+	}
+}
+
+// ShardStats is one shard's accounting snapshot.
+type ShardStats struct {
+	Submitted uint64 // ops accepted into the queue
+	Applied   uint64 // ops the writer has applied
+	Dropped   uint64 // ops shed on a full queue (or after Close)
+	QueueLen  int    // batches waiting right now
+	Len       int    // cache occupancy
+}
+
+// Stats snapshots every shard.
+func (e *Engine) Stats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.RLock()
+		n := s.cache.Len()
+		s.mu.RUnlock()
+		out[i] = ShardStats{
+			Submitted: s.submitted.Load(),
+			Applied:   s.applied.Load(),
+			Dropped:   s.drops.Load(),
+			QueueLen:  len(s.queue),
+			Len:       n,
+		}
+	}
+	return out
+}
+
+// Dropped sums the drop counters.
+func (e *Engine) Dropped() uint64 {
+	var total uint64
+	for _, s := range e.shards {
+		total += s.drops.Load()
+	}
+	return total
+}
+
+// Submitter is a per-goroutine batching front end: ops accumulate in
+// per-shard buffers and are handed to the shard queues BatchSize at a time,
+// amortizing the channel synchronization. A Submitter is NOT safe for
+// concurrent use — give each producer goroutine its own and Flush it before
+// the goroutine exits.
+type Submitter struct {
+	e    *Engine
+	bufs [][]Op
+	// dropped counts ops this submitter shed (engine drop counters include
+	// them too; this is the producer-local view).
+	dropped uint64
+}
+
+// NewSubmitter returns a batching handle for one producer goroutine.
+func (e *Engine) NewSubmitter() *Submitter {
+	return &Submitter{e: e, bufs: make([][]Op, len(e.shards))}
+}
+
+// Submit buffers one op; the op reaches its shard when the shard's buffer
+// fills (or on Flush).
+func (s *Submitter) Submit(op Op) {
+	i := s.e.ShardFor(op.Key)
+	if s.bufs[i] == nil {
+		s.bufs[i] = s.e.pool.Get().([]Op)
+	}
+	s.bufs[i] = append(s.bufs[i], op)
+	if len(s.bufs[i]) >= s.e.cfg.BatchSize {
+		s.flushShard(i)
+	}
+}
+
+// Flush hands every partial batch to its shard.
+func (s *Submitter) Flush() {
+	for i := range s.bufs {
+		if len(s.bufs[i]) > 0 {
+			s.flushShard(i)
+		}
+	}
+}
+
+// Dropped returns the ops this submitter shed on full queues.
+func (s *Submitter) Dropped() uint64 { return s.dropped }
+
+func (s *Submitter) flushShard(i int) {
+	n := uint64(len(s.bufs[i]))
+	if !s.e.submitBatch(i, s.bufs[i]) {
+		s.dropped += n
+	}
+	s.bufs[i] = nil
+}

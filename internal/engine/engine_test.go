@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+func newTestEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	if cfg.NewCache == nil {
+		cfg.NewCache = func(i int) policy.Cache {
+			return policy.MustFromSpec(policy.Spec{
+				Kind: policy.KindP4LRU3, MemBytes: 64 * 1024, Seed: uint64(i) + 1,
+			})
+		}
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestShardRoutingDeterministic(t *testing.T) {
+	a := newTestEngine(t, Config{Shards: 8, Seed: 42})
+	b := newTestEngine(t, Config{Shards: 8, Seed: 42})
+	other := newTestEngine(t, Config{Shards: 8, Seed: 43})
+	differs := false
+	for k := uint64(0); k < 10_000; k++ {
+		sa, sb := a.ShardFor(k), b.ShardFor(k)
+		if sa != sb {
+			t.Fatalf("key %d: shard %d vs %d across identically-seeded engines", k, sa, sb)
+		}
+		if sa < 0 || sa >= 8 {
+			t.Fatalf("key %d: shard %d out of range", k, sa)
+		}
+		if other.ShardFor(k) != sa {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("routing identical under a different seed — seed is ignored")
+	}
+}
+
+func TestShardRoutingCoversAllShards(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 8, Seed: 1})
+	var counts [8]int
+	for k := uint64(0); k < 8000; k++ {
+		counts[e.ShardFor(k)]++
+	}
+	for i, c := range counts {
+		// Uniform would be 1000; require at least a quarter of that.
+		if c < 250 {
+			t.Errorf("shard %d got %d/8000 keys — routing badly skewed", i, c)
+		}
+	}
+}
+
+func TestSubmitQueryEndToEnd(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 4, Seed: 1, Block: true})
+	const n = 20_000
+	sub := e.NewSubmitter()
+	for k := uint64(1); k <= n; k++ {
+		sub.Submit(Op{Key: k, Value: k * 3})
+	}
+	sub.Flush()
+	e.Flush()
+
+	// The most recently inserted keys must be resident with their values.
+	miss := 0
+	for k := uint64(n - 100); k <= n; k++ {
+		v, _, ok := e.Query(k)
+		if !ok {
+			miss++
+			continue
+		}
+		if v != k*3 {
+			t.Fatalf("key %d: value %d, want %d", k, v, k*3)
+		}
+	}
+	if miss > 30 {
+		t.Errorf("%d/101 recent keys missing — far beyond unit-collision losses", miss)
+	}
+	if e.Len() == 0 || e.Len() > e.Capacity() {
+		t.Errorf("Len() = %d, Capacity() = %d", e.Len(), e.Capacity())
+	}
+
+	// All ops accounted: submitted == applied, nothing dropped.
+	var submitted, applied uint64
+	for _, s := range e.Stats() {
+		submitted += s.Submitted
+		applied += s.Applied
+	}
+	if submitted != n || applied != n {
+		t.Errorf("accounting: submitted=%d applied=%d, want %d", submitted, applied, n)
+	}
+	if d := e.Dropped(); d != 0 {
+		t.Errorf("%d drops in block mode", d)
+	}
+}
+
+func TestApplyIsSynchronous(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 4, Seed: 1})
+	res := e.Apply(Op{Key: 7, Value: 99})
+	if !res.Admitted {
+		t.Errorf("first Apply: %+v, want admission", res)
+	}
+	if v, _, ok := e.Query(7); !ok || v != 99 {
+		t.Fatalf("Query(7) = %d,%v immediately after Apply", v, ok)
+	}
+}
+
+// slowCache delays every Update so queue backpressure is reachable and one
+// shard's writer can be pinned mid-batch.
+type slowCache struct {
+	policy.Cache
+	delay   time.Duration
+	updates atomic.Int64
+}
+
+func (s *slowCache) Update(k, v uint64, tok policy.Token, now time.Duration) policy.Result {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.updates.Add(1)
+	return s.Cache.Update(k, v, tok, now)
+}
+
+func TestBackpressureDropAccounting(t *testing.T) {
+	slow := make([]*slowCache, 2)
+	e := newTestEngine(t, Config{
+		Shards: 2, Seed: 1, QueueDepth: 2, BatchSize: 4, Block: false,
+		NewCache: func(i int) policy.Cache {
+			slow[i] = &slowCache{
+				Cache: policy.MustFromSpec(policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 16 * 1024, Seed: uint64(i)}),
+				delay: 2 * time.Millisecond,
+			}
+			return slow[i]
+		},
+	})
+
+	const n = 4000
+	sub := e.NewSubmitter()
+	for k := uint64(0); k < n; k++ {
+		sub.Submit(Op{Key: k, Value: k})
+	}
+	sub.Flush()
+
+	if sub.Dropped() == 0 {
+		t.Fatal("no drops despite 2-deep queues over a 2ms/op cache")
+	}
+	e.Flush()
+	var applied, dropped uint64
+	for _, s := range e.Stats() {
+		applied += s.Applied
+		dropped += s.Dropped
+	}
+	if dropped != sub.Dropped() {
+		t.Errorf("engine counted %d drops, submitter %d", dropped, sub.Dropped())
+	}
+	if applied+dropped != n {
+		t.Errorf("applied %d + dropped %d != submitted %d", applied, dropped, n)
+	}
+	if got := slow[0].updates.Load() + slow[1].updates.Load(); uint64(got) != applied {
+		t.Errorf("caches saw %d updates, engine applied %d", got, applied)
+	}
+}
+
+func TestSlowShardDoesNotBlockOtherShardQueries(t *testing.T) {
+	var caches []*slowCache
+	var mu sync.Mutex
+	e := newTestEngine(t, Config{
+		Shards: 4, Seed: 1, Block: true, BatchSize: 1,
+		NewCache: func(i int) policy.Cache {
+			c := &slowCache{
+				Cache: policy.MustFromSpec(policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 16 * 1024, Seed: uint64(i)}),
+				delay: 50 * time.Millisecond,
+			}
+			mu.Lock()
+			caches = append(caches, c)
+			mu.Unlock()
+			return c
+		},
+	})
+
+	// Pin shard s0 in a slow Update, then query keys on other shards: they
+	// must complete while the victim shard is still busy.
+	victim := e.ShardFor(1)
+	e.Submit(Op{Key: 1, Value: 1})
+	time.Sleep(5 * time.Millisecond) // let the writer enter the slow Update
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := uint64(2); k < 2000; k++ {
+			if e.ShardFor(k) != victim {
+				e.Query(k)
+			}
+		}
+	}()
+	select {
+	case <-done:
+		// Other shards made progress while the victim writer slept — the
+		// global-mutex behaviour would have serialized them behind it.
+	case <-time.After(45 * time.Millisecond):
+		t.Fatal("cross-shard queries stalled behind one slow shard")
+	}
+	e.Flush()
+}
+
+func TestRaceHammer(t *testing.T) {
+	// Submit/Apply/Query/Range/Len from GOMAXPROCS goroutines; run with
+	// -race this is the engine's memory-safety proof.
+	e := newTestEngine(t, Config{Shards: 4, Seed: 3, Block: true})
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := e.NewSubmitter()
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w*perWorker + i)
+				switch i % 5 {
+				case 0, 1:
+					sub.Submit(Op{Key: k, Value: k})
+				case 2:
+					e.Query(k)
+				case 3:
+					e.Apply(Op{Key: k, Value: k ^ 0xff})
+				case 4:
+					if i%500 == 4 {
+						n := 0
+						e.Range(func(_, _ uint64) bool { n++; return n < 64 })
+						_ = e.Len()
+					} else {
+						e.Query(k / 2)
+					}
+				}
+			}
+			sub.Flush()
+		}(w)
+	}
+	wg.Wait()
+	e.Flush()
+	var applied, submitted uint64
+	for _, s := range e.Stats() {
+		applied += s.Applied
+		submitted += s.Submitted
+	}
+	if applied != submitted {
+		t.Errorf("after Flush: applied=%d submitted=%d", applied, submitted)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	e, err := New(Config{Shards: 2, Seed: 1, Block: true,
+		NewCache: func(i int) policy.Cache {
+			return policy.MustFromSpec(policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 16 * 1024, Seed: uint64(i)})
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.NewSubmitter()
+	const n = 1000
+	for k := uint64(0); k < n; k++ {
+		sub.Submit(Op{Key: k, Value: k})
+	}
+	sub.Flush()
+	e.Close()
+	e.Close() // idempotent
+
+	var applied uint64
+	for _, s := range e.Stats() {
+		applied += s.Applied
+	}
+	if applied != n {
+		t.Errorf("Close lost ops: applied %d/%d", applied, n)
+	}
+	if e.Submit(Op{Key: 1, Value: 1}) {
+		t.Error("Submit accepted after Close")
+	}
+}
+
+func TestNewFromSpecSplitsMemory(t *testing.T) {
+	spec := policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 400 * 1024, Seed: 5}
+	e, err := NewFromSpec(spec, Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	single := policy.MustFromSpec(spec)
+	// Eight shards of mem/8 ≈ one cache of mem (rounding loses <8 units).
+	if got, want := e.Capacity(), single.Capacity(); got > want || got < want*9/10 {
+		t.Errorf("sharded capacity %d vs unsharded %d", got, want)
+	}
+	if _, err := NewFromSpec(policy.Spec{Kind: "bogus"}, Config{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestObsInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, Config{Shards: 2, Seed: 1, Block: true, Obs: reg})
+	sub := e.NewSubmitter()
+	for k := uint64(0); k < 500; k++ {
+		sub.Submit(Op{Key: k, Value: k})
+	}
+	sub.Flush()
+	e.Flush()
+	for k := uint64(0); k < 100; k++ {
+		e.Query(k)
+	}
+	if got := reg.CounterValue("engine_queries_total"); got != 100 {
+		t.Errorf("engine_queries_total = %d, want 100", got)
+	}
+	perShard := reg.SumCounters("engine_ops_total")
+	if perShard != 500 {
+		t.Errorf("sum engine_ops_total{shard=*} = %d, want 500", perShard)
+	}
+	snap := reg.Snapshot()
+	foundOcc, foundDepth := false, false
+	for name := range snap.Gauges {
+		switch {
+		case name == `engine_occupancy{shard="0"}`:
+			foundOcc = true
+		case name == `engine_queue_depth{shard="1"}`:
+			foundDepth = true
+		}
+	}
+	if !foundOcc || !foundDepth {
+		t.Errorf("per-shard gauges missing from snapshot (occ=%v depth=%v)", foundOcc, foundDepth)
+	}
+}
+
+// lockFreeCache advertises concurrent-read safety (it wraps reads in its own
+// mutex so the race detector stays quiet) to exercise the lock-free path.
+type lockFreeCache struct {
+	mu sync.Mutex
+	policy.Cache
+}
+
+func (c *lockFreeCache) ConcurrentQuery() bool { return true }
+func (c *lockFreeCache) Query(k uint64) (uint64, policy.Token, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Cache.Query(k)
+}
+func (c *lockFreeCache) Update(k, v uint64, tok policy.Token, now time.Duration) policy.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Cache.Update(k, v, tok, now)
+}
+
+func TestConcurrentReaderSkipsLock(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Shards: 2, Seed: 1, Block: true,
+		NewCache: func(i int) policy.Cache {
+			return &lockFreeCache{Cache: policy.MustFromSpec(policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 16 * 1024, Seed: uint64(i)})}
+		},
+	})
+	if !e.shards[0].lockFree {
+		t.Fatal("ConcurrentReader capability not detected")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64(w*2000 + i)
+				e.Submit(Op{Key: k, Value: k})
+				e.Query(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.Flush()
+}

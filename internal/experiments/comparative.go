@@ -115,7 +115,9 @@ func indexCacheFor(kind policy.Kind, mem int, seed uint64, timeout time.Duration
 	if kind == policy.KindP4LRU3 {
 		return lruIndexSeries(4, mem, seed)
 	}
-	return policy.NewForMemory(kind, mem, policy.Options{
+	return policy.MustFromSpec(policy.Spec{
+		Kind:             kind,
+		MemBytes:         mem,
 		Seed:             seed,
 		TimeoutThreshold: timeout,
 	})

@@ -75,12 +75,13 @@ func Fig15(s Scale) []Figure {
 // seriesForUnitCap builds a series-connected cache with unit capacity c and
 // `levels` levels inside a total memory budget.
 func seriesForUnitCap(unitCap, levels, mem int, seed uint64) policy.Cache {
-	perUnit := 8*unitCap + 1
-	units := mem / levels / perUnit
-	if units < 1 {
-		units = 1
-	}
-	return policy.NewSeriesUnitCap(unitCap, levels, units, seed, nil)
+	return policy.MustFromSpec(policy.Spec{
+		Kind:     policy.KindSeries,
+		UnitCap:  unitCap,
+		Levels:   levels,
+		MemBytes: mem,
+		Seed:     seed,
+	})
 }
 
 // Fig16 is the LruIndex parameter study: miss rate (a) and LRU similarity
@@ -144,7 +145,9 @@ func Fig16(s Scale) []Figure {
 		return 1 - run(seriesForUnitCap(unitCaps[ni], 4, mems[xi], uint64(s.Seed)), 0).HitRate
 	})
 	ideal := Series{Name: "ideal", Points: sweep(intsToFloats(mems), func(x float64) float64 {
-		c := policy.NewForMemory(policy.KindIdeal, int(x), policy.Options{Seed: uint64(s.Seed)})
+		c := policy.MustFromSpec(policy.Spec{
+			Kind: policy.KindIdeal, MemBytes: int(x), Seed: uint64(s.Seed),
+		})
 		return 1 - run(c, 0).HitRate
 	})}
 	missMem.Series = append(missMem.Series, ideal)

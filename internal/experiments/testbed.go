@@ -89,10 +89,12 @@ func Table2(s Scale) []Figure {
 // natCache builds the LruTable data-plane cache for one policy at equal
 // memory.
 func natCache(kind policy.Kind, mem int, seed uint64, timeout time.Duration) policy.Cache {
-	return policy.NewForMemory(kind, mem, policy.Options{
+	return policy.MustFromSpec(policy.Spec{
+		Kind:             kind,
+		MemBytes:         mem,
 		Seed:             seed,
-		Merge:            nat.MergeNAT,
 		TimeoutThreshold: timeout,
+		Merge:            nat.MergeNAT,
 	})
 }
 
@@ -151,11 +153,12 @@ func slowPathRate(r nat.Result) float64 {
 // lruIndexSeries builds the two-pipe (two-level) LruIndex cache used by the
 // testbed figures, sized to `mem` bytes total.
 func lruIndexSeries(levels, mem int, seed uint64) policy.Cache {
-	units := mem / levels / 25
-	if units < 1 {
-		units = 1
-	}
-	return policy.NewSeries(levels, units, seed, nil)
+	return policy.MustFromSpec(policy.Spec{
+		Kind:     policy.KindSeries,
+		Levels:   levels,
+		MemBytes: mem,
+		Seed:     seed,
+	})
 }
 
 // Fig10 is the LruIndex testbed experiment: query throughput against thread
@@ -179,7 +182,9 @@ func Fig10(s Scale) []Figure {
 	}{
 		{"p4lru3", func() policy.Cache { return lruIndexSeries(2, mem, uint64(s.Seed)) }},
 		{"baseline", func() policy.Cache {
-			return policy.NewForMemory(policy.KindP4LRU1, mem, policy.Options{Seed: uint64(s.Seed)})
+			return policy.MustFromSpec(policy.Spec{
+				Kind: policy.KindP4LRU1, MemBytes: mem, Seed: uint64(s.Seed),
+			})
 		}},
 		{"naive", func() policy.Cache { return nil }},
 	}
@@ -219,10 +224,12 @@ func Fig10(s Scale) []Figure {
 
 // monCache builds the LruMon write-cache for one policy at equal memory.
 func monCache(kind policy.Kind, mem int, seed uint64, timeout time.Duration) policy.Cache {
-	return policy.NewForMemory(kind, mem, policy.Options{
+	return policy.MustFromSpec(policy.Spec{
+		Kind:             kind,
+		MemBytes:         mem,
 		Seed:             seed,
-		Merge:            telemetry.Merge,
 		TimeoutThreshold: timeout,
+		Merge:            telemetry.Merge,
 	})
 }
 

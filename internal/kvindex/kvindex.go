@@ -221,14 +221,14 @@ func Run(cfg Config) Result {
 		key := zipf.Uint64() + 1 // stored keys are 1-based
 		start := eng.Now()
 
-		// Switch, query direction: read-only cache consult. flag carries
-		// the series level (cached_flag); hit is the residency signal for
-		// every cache shape.
+		// Switch, query direction: read-only cache consult. The token
+		// carries the series level (cached_flag); hit is the residency
+		// signal for every cache shape.
 		var cachedIdx uint64
-		flag := 0
+		tok := policy.NoToken
 		hit := false
 		if c.Cache != nil {
-			cachedIdx, flag, hit = c.Cache.Query(key)
+			cachedIdx, tok, hit = c.Cache.Query(key)
 		}
 
 		// Arrive at the server after half an RTT; wait for a core.
@@ -262,7 +262,7 @@ func Run(cfg Config) Result {
 		// client after the other half RTT.
 		eng.At(finish, func() {
 			if c.Cache != nil {
-				r := c.Cache.Update(key, idx, flag, eng.Now())
+				r := c.Cache.Update(key, idx, tok, eng.Now())
 				if tracker != nil {
 					if r.Hit || r.Admitted {
 						tracker.Touch(key)

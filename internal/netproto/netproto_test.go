@@ -192,6 +192,70 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestConcurrentClientsShardedProgress is the regression test for the old
+// global-mutex hot path: with the engine in place, concurrent clients are
+// served from independent shards instead of serializing on one lock. It
+// pins a 4-shard engine (regardless of GOMAXPROCS), drives it from two
+// clients at once, and checks that both make full progress and that the
+// traffic actually spread across shards — the structural property the
+// global mutex could not provide.
+func TestConcurrentClientsShardedProgress(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), 2, 256, 1, WithShards(4), WithReaders(4))
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sw.Close()
+		srv.Close()
+	})
+	if got := sw.Engine().Shards(); got != 4 {
+		t.Fatalf("engine has %d shards, want 4", got)
+	}
+
+	const per = 400
+	var wg sync.WaitGroup
+	stats := make([]RunStats, 2)
+	for i := range stats {
+		cl, err := NewClient(sw.Addr(), 4000, 1.2, int64(i)+10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			stats[i] = cl.Run(per)
+		}(i, cl)
+	}
+	wg.Wait()
+
+	for i, st := range stats {
+		if st.Queries < per*9/10 {
+			t.Errorf("client %d completed only %d/%d queries", i, st.Queries, per)
+		}
+		if st.Invalid != 0 {
+			t.Errorf("client %d saw %d invalid values", i, st.Invalid)
+		}
+	}
+
+	// The cache population must be spread across shards, proving queries
+	// and replies were served by per-shard state, not one locked cache.
+	active := 0
+	for _, s := range sw.Engine().Stats() {
+		if s.Len > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Errorf("only %d/4 shards hold cache entries — serving is not sharded", active)
+	}
+}
+
 func TestCloseIsIdempotentAndUnblocks(t *testing.T) {
 	srv, err := NewServer("127.0.0.1:0", 100)
 	if err != nil {

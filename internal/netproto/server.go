@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -28,7 +29,9 @@ type Server struct {
 }
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0") over a database of
-// `items` keys.
+// `items` keys. The database is read-only after load, so several loop
+// goroutines answer queries concurrently — the server no longer serializes
+// behind one reader.
 func NewServer(addr string, items int) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -39,8 +42,17 @@ func NewServer(addr string, items int) (*Server, error) {
 		return nil, fmt.Errorf("netproto: listen: %w", err)
 	}
 	s := &Server{conn: conn, db: kvindex.NewServer(items)}
-	s.wg.Add(1)
-	go s.loop()
+	readers := runtime.GOMAXPROCS(0)
+	if readers < 2 {
+		readers = 2
+	}
+	if readers > 8 {
+		readers = 8
+	}
+	s.wg.Add(readers)
+	for i := 0; i < readers; i++ {
+		go s.loop()
+	}
 	return s, nil
 }
 

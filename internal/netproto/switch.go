@@ -4,10 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"github.com/p4lru/p4lru/internal/lru"
+	"github.com/p4lru/p4lru/internal/engine"
+	"github.com/p4lru/p4lru/internal/hashing"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/policy"
 )
 
 // Switch is the in-network middlebox: a UDP proxy between clients and the
@@ -15,30 +19,87 @@ import (
 // consult the cache read-only and stamp cached_flag/cached_index; reply
 // packets perform the only cache mutations (§3.2's query/update separation).
 //
-// A hardware pipeline serializes packets; this software stand-in uses a
-// mutex around the cache instead, and a peer table to route replies back to
-// the querying client (the role the network's addressing plays on a real
-// switch path).
+// A hardware pipeline serializes packets per stage but processes one packet
+// per clock because every P4LRU unit is independent (§1.2). This software
+// stand-in gets the same independence from the sharded serving engine: the
+// cache is split across engine shards by flow-key hash, packets for
+// different shards never contend, and each direction is drained by several
+// reader goroutines so multiple cores can carry traffic at once. The old
+// single global mutex is gone.
 type Switch struct {
 	clientConn *net.UDPConn // faces clients
 	serverConn *net.UDPConn // faces the server
 	serverAddr *net.UDPAddr
 
-	mu    sync.Mutex
-	cache *lru.Series[uint64]
-	peers map[uint64]*net.UDPAddr // key → last querying client
+	eng *engine.Engine
 
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	// peers routes replies back to the querying client (the role the
+	// network's addressing plays on a real switch path). Striped so
+	// concurrent readers touching different keys don't share a lock.
+	peers     [peerStripes]peerStripe
+	peerHash  hashing.Hash
+	readers   int
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    atomic.Bool
 
 	// Stats.
 	queries atomic.Int64
 	hits    atomic.Int64
 }
 
+const peerStripes = 64
+
+type peerStripe struct {
+	mu sync.Mutex
+	m  map[uint64]*net.UDPAddr
+}
+
+// Option tunes a Switch beyond the required topology parameters.
+type Option func(*switchConfig)
+
+type switchConfig struct {
+	shards  int
+	readers int
+	obs     *obs.Registry
+}
+
+// WithShards fixes the engine shard count (default: GOMAXPROCS, capped so
+// every shard keeps at least one cache unit per level).
+func WithShards(n int) Option { return func(c *switchConfig) { c.shards = n } }
+
+// WithReaders fixes the per-direction reader goroutine count (default:
+// GOMAXPROCS, at least 2, at most 8).
+func WithReaders(n int) Option { return func(c *switchConfig) { c.readers = n } }
+
+// WithObs instruments the switch's engine (per-shard occupancy, queue
+// depth, ops) on the given registry.
+func WithObs(r *obs.Registry) Option { return func(c *switchConfig) { c.obs = r } }
+
 // NewSwitch starts a switch listening on listenAddr, forwarding to
-// serverAddr, with a `levels`-deep series of P4LRU3 arrays of numUnits units.
-func NewSwitch(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int, seed uint64) (*Switch, error) {
+// serverAddr, with a `levels`-deep series of P4LRU3 arrays of numUnits
+// total units split across the engine's shards.
+func NewSwitch(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int, seed uint64, opts ...Option) (*Switch, error) {
+	cfg := switchConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.shards > numUnits {
+		cfg.shards = numUnits // ≥1 unit per shard and level
+	}
+	if cfg.readers <= 0 {
+		cfg.readers = runtime.GOMAXPROCS(0)
+		if cfg.readers < 2 {
+			cfg.readers = 2
+		}
+		if cfg.readers > 8 {
+			cfg.readers = 8
+		}
+	}
+
 	la, err := net.ResolveUDPAddr("udp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: resolve %q: %w", listenAddr, err)
@@ -52,47 +113,83 @@ func NewSwitch(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int,
 		clientConn.Close()
 		return nil, fmt.Errorf("netproto: listen server side: %w", err)
 	}
+
+	unitsPerShard := numUnits / cfg.shards
+	if unitsPerShard < 1 {
+		unitsPerShard = 1
+	}
+	eng, err := engine.New(engine.Config{
+		Shards: cfg.shards,
+		Seed:   seed,
+		Obs:    cfg.obs,
+		NewCache: func(i int) policy.Cache {
+			// Independent per-shard hash functions, like distinct pipes.
+			return policy.NewSeries(levels, unitsPerShard, seed+uint64(i), nil)
+		},
+	})
+	if err != nil {
+		clientConn.Close()
+		serverConn.Close()
+		return nil, fmt.Errorf("netproto: engine: %w", err)
+	}
+
 	sw := &Switch{
 		clientConn: clientConn,
 		serverConn: serverConn,
 		serverAddr: serverAddr,
-		cache:      lru.NewSeries3[uint64](levels, numUnits, seed, nil),
-		peers:      make(map[uint64]*net.UDPAddr),
+		eng:        eng,
+		peerHash:   hashing.New(seed ^ 0x9ee2),
+		readers:    cfg.readers,
 	}
-	sw.wg.Add(2)
-	go sw.clientLoop()
-	go sw.serverLoop()
+	for i := range sw.peers {
+		sw.peers[i].m = make(map[uint64]*net.UDPAddr)
+	}
+	sw.wg.Add(2 * cfg.readers)
+	for i := 0; i < cfg.readers; i++ {
+		go sw.clientLoop()
+		go sw.serverLoop()
+	}
 	return sw, nil
 }
 
 // Addr returns the client-facing address.
 func (sw *Switch) Addr() *net.UDPAddr { return sw.clientConn.LocalAddr().(*net.UDPAddr) }
 
+// Engine exposes the serving engine (shard routing and stats, for tests and
+// observability wiring).
+func (sw *Switch) Engine() *engine.Engine { return sw.eng }
+
 // Stats returns (queries seen, cache hits).
 func (sw *Switch) Stats() (queries, hits int64) {
 	return sw.queries.Load(), sw.hits.Load()
 }
 
-// CacheLen returns the number of cached indexes.
-func (sw *Switch) CacheLen() int {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	return sw.cache.Len()
-}
+// CacheLen returns the number of cached indexes across all shards.
+func (sw *Switch) CacheLen() int { return sw.eng.Len() }
 
-// Close stops both proxy directions.
+// Close stops both proxy directions and the engine.
 func (sw *Switch) Close() error {
-	sw.closed.Store(true)
-	err1 := sw.clientConn.Close()
-	err2 := sw.serverConn.Close()
-	sw.wg.Wait()
+	var err1, err2 error
+	sw.closeOnce.Do(func() {
+		sw.closed.Store(true)
+		err1 = sw.clientConn.Close()
+		err2 = sw.serverConn.Close()
+		sw.wg.Wait()
+		sw.eng.Close()
+	})
 	if err1 != nil {
 		return err1
 	}
 	return err2
 }
 
+func (sw *Switch) peerStripeFor(key uint64) *peerStripe {
+	return &sw.peers[sw.peerHash.Index(key, peerStripes)]
+}
+
 // clientLoop handles the query direction: client → (cache lookup) → server.
+// Several loops run concurrently; the kernel fans incoming datagrams out
+// across them, and the engine keeps lookups for different shards disjoint.
 func (sw *Switch) clientLoop() {
 	defer sw.wg.Done()
 	buf := make([]byte, 64*1024)
@@ -110,14 +207,16 @@ func (sw *Switch) clientLoop() {
 		}
 		sw.queries.Add(1)
 
-		// Read-only cache consult; stamp the header fields.
-		sw.mu.Lock()
-		idx, level, ok := sw.cache.Query(msg.Key)
-		sw.peers[msg.Key] = peer
-		sw.mu.Unlock()
+		// Read-only cache consult on the key's home shard; stamp the
+		// header fields.
+		idx, tok, ok := sw.eng.Query(msg.Key)
+		st := sw.peerStripeFor(msg.Key)
+		st.mu.Lock()
+		st.m[msg.Key] = peer
+		st.mu.Unlock()
 		if ok {
 			sw.hits.Add(1)
-			msg.CachedFlag = uint8(level)
+			msg.CachedFlag = uint8(tok.Level())
 			msg.CachedIndex = idx
 		} else {
 			msg.CachedFlag = 0
@@ -148,11 +247,18 @@ func (sw *Switch) serverLoop() {
 		}
 
 		// The reply path performs the only cache mutation: promote the key
-		// at its level, or insert at level 1 and cascade demotions.
-		sw.mu.Lock()
-		sw.cache.Reply(msg.Key, msg.CachedIndex, int(msg.CachedFlag))
-		peer := sw.peers[msg.Key]
-		sw.mu.Unlock()
+		// at its level, or insert at level 1 and cascade demotions. Apply
+		// is synchronous so the reply leaves the switch only after the
+		// mutation — the same ordering the reply pipeline pass guarantees.
+		sw.eng.Apply(engine.Op{
+			Key:   msg.Key,
+			Value: msg.CachedIndex,
+			Token: policy.Token(msg.CachedFlag),
+		})
+		st := sw.peerStripeFor(msg.Key)
+		st.mu.Lock()
+		peer := st.m[msg.Key]
+		st.mu.Unlock()
 		if peer == nil {
 			continue
 		}

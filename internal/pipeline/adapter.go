@@ -30,13 +30,13 @@ func (c *CacheArray3) AsPolicyCache() *PolicyCache { return &PolicyCache{arr: c}
 func (p *PolicyCache) Name() string { return "p4lru3-pipeline" }
 
 // Query implements policy.Cache (control-plane readout).
-func (p *PolicyCache) Query(k uint64) (uint64, int, bool) {
+func (p *PolicyCache) Query(k uint64) (uint64, policy.Token, bool) {
 	v, ok := p.arr.Lookup(k)
-	return v, 0, ok
+	return v, policy.NoToken, ok
 }
 
 // Update implements policy.Cache by pushing a packet through the program.
-func (p *PolicyCache) Update(k, v uint64, _ int, _ time.Duration) policy.Result {
+func (p *PolicyCache) Update(k, v uint64, _ policy.Token, _ time.Duration) policy.Result {
 	reply := p.arr.mode == ModeRead && v != 0
 	res, err := p.arr.Update(k, v, reply)
 	if err != nil {

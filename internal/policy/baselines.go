@@ -46,7 +46,7 @@ func NewTimeout(buckets int, threshold time.Duration, seed uint64, merge MergeFu
 func (c *Timeout) Name() string { return "timeout" }
 
 // Query implements Cache.
-func (c *Timeout) Query(k uint64) (uint64, int, bool) {
+func (c *Timeout) Query(k uint64) (uint64, Token, bool) {
 	i := c.hash.index(k, len(c.keys))
 	if c.used[i] && c.keys[i] == k {
 		return c.vals[i], 0, true
@@ -55,7 +55,7 @@ func (c *Timeout) Query(k uint64) (uint64, int, bool) {
 }
 
 // Update implements Cache.
-func (c *Timeout) Update(k, v uint64, _ int, now time.Duration) Result {
+func (c *Timeout) Update(k, v uint64, _ Token, now time.Duration) Result {
 	var res Result
 	i := c.hash.index(k, len(c.keys))
 	switch {
@@ -145,7 +145,7 @@ func NewElastic(buckets int, lambda uint32, seed uint64, merge MergeFunc) *Elast
 func (c *Elastic) Name() string { return "elastic" }
 
 // Query implements Cache.
-func (c *Elastic) Query(k uint64) (uint64, int, bool) {
+func (c *Elastic) Query(k uint64) (uint64, Token, bool) {
 	i := c.hash.index(k, len(c.keys))
 	if c.used[i] && c.keys[i] == k {
 		return c.vals[i], 0, true
@@ -154,7 +154,7 @@ func (c *Elastic) Query(k uint64) (uint64, int, bool) {
 }
 
 // Update implements Cache.
-func (c *Elastic) Update(k, v uint64, _ int, _ time.Duration) Result {
+func (c *Elastic) Update(k, v uint64, _ Token, _ time.Duration) Result {
 	var res Result
 	i := c.hash.index(k, len(c.keys))
 	switch {
@@ -239,7 +239,7 @@ func NewCoco(buckets int, seed uint64, merge MergeFunc) *Coco {
 func (c *Coco) Name() string { return "coco" }
 
 // Query implements Cache.
-func (c *Coco) Query(k uint64) (uint64, int, bool) {
+func (c *Coco) Query(k uint64) (uint64, Token, bool) {
 	i := c.hash.index(k, len(c.keys))
 	if c.used[i] && c.keys[i] == k {
 		return c.vals[i], 0, true
@@ -248,7 +248,7 @@ func (c *Coco) Query(k uint64) (uint64, int, bool) {
 }
 
 // Update implements Cache.
-func (c *Coco) Update(k, v uint64, _ int, _ time.Duration) Result {
+func (c *Coco) Update(k, v uint64, _ Token, _ time.Duration) Result {
 	var res Result
 	i := c.hash.index(k, len(c.keys))
 	switch {

@@ -40,15 +40,15 @@ func NewClock(capacity int, merge MergeFunc) *Clock {
 func (c *Clock) Name() string { return "clock" }
 
 // Query implements Cache.
-func (c *Clock) Query(k uint64) (uint64, int, bool) {
+func (c *Clock) Query(k uint64) (uint64, Token, bool) {
 	if i, ok := c.index[k]; ok {
-		return c.vals[i], 0, true
+		return c.vals[i], NoToken, true
 	}
-	return 0, 0, false
+	return 0, NoToken, false
 }
 
 // Update implements Cache.
-func (c *Clock) Update(k, v uint64, _ int, _ time.Duration) Result {
+func (c *Clock) Update(k, v uint64, _ Token, _ time.Duration) Result {
 	var res Result
 	if i, ok := c.index[k]; ok {
 		res.Hit = true

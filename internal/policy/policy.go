@@ -50,21 +50,32 @@ type MergeFunc = lru.MergeFunc[uint64]
 type Cache interface {
 	// Name identifies the policy in experiment output ("p4lru3", "timeout", ...).
 	Name() string
-	// Query looks k up without modifying replacement state. flag is an
-	// opaque token to pass to a subsequent Update for the same key (the
-	// series-connected P4LRU uses it to carry the cached_flag level;
-	// everything else returns 0).
-	Query(k uint64) (v uint64, flag int, ok bool)
+	// Query looks k up without modifying replacement state. The returned
+	// Token must be passed to the subsequent Update for the same key; see
+	// Token for the series-connection contract it carries (the
+	// series-connected P4LRU encodes the cached_flag level; everything
+	// else returns NoToken).
+	Query(k uint64) (v uint64, tok Token, ok bool)
 	// Update performs a replacement-state-modifying access: promote on hit,
 	// admit (possibly evicting) on miss — or decline to admit, for policies
-	// that do (timeout, elastic, coco).
-	Update(k, v uint64, flag int, now time.Duration) Result
+	// that do (timeout, elastic, coco). tok is the Token the matching Query
+	// returned (NoToken for blind updates).
+	Update(k, v uint64, tok Token, now time.Duration) Result
 	// Len is the number of cached entries; Capacity the maximum.
 	Len() int
 	Capacity() int
 	// Range iterates all cached (key, value) pairs until fn returns false
 	// (control-plane style readout; LruMon's end-of-run flush uses it).
 	Range(fn func(k, v uint64) bool)
+}
+
+// ConcurrentReader is an optional Cache capability: a policy whose Query is
+// safe to run concurrently with Update (e.g. one that reads its buckets
+// atomically) returns true, and the serving engine then skips its per-shard
+// read lock on the query path. The plain-Go policies in this package mutate
+// multi-word buckets non-atomically and do not implement it.
+type ConcurrentReader interface {
+	ConcurrentQuery() bool
 }
 
 // ---------------------------------------------------------------------------
@@ -100,13 +111,13 @@ func NewP4LRU(unitCap, numUnits int, seed uint64, merge MergeFunc) *P4LRU {
 func (p *P4LRU) Name() string { return fmt.Sprintf("p4lru%d", p.unitCap) }
 
 // Query implements Cache.
-func (p *P4LRU) Query(k uint64) (uint64, int, bool) {
+func (p *P4LRU) Query(k uint64) (uint64, Token, bool) {
 	v, ok := p.arr.Lookup(k)
-	return v, 0, ok
+	return v, NoToken, ok
 }
 
 // Update implements Cache. P4LRU always admits.
-func (p *P4LRU) Update(k, v uint64, _ int, _ time.Duration) Result {
+func (p *P4LRU) Update(k, v uint64, _ Token, _ time.Duration) Result {
 	return fromLRU(p.arr.Update(k, v))
 }
 
@@ -153,12 +164,15 @@ func NewSeriesUnitCap(unitCap, levels, numUnits int, seed uint64, merge MergeFun
 // Name implements Cache.
 func (c *Series) Name() string { return fmt.Sprintf("series%d", c.s.Levels()) }
 
-// Query implements Cache.
-func (c *Series) Query(k uint64) (uint64, int, bool) { return c.s.Query(k) }
+// Query implements Cache: the token is the 1-based series level.
+func (c *Series) Query(k uint64) (uint64, Token, bool) {
+	v, level, ok := c.s.Query(k)
+	return v, Token(level), ok
+}
 
-// Update implements Cache: flag is the level from the matching Query.
-func (c *Series) Update(k, v uint64, flag int, _ time.Duration) Result {
-	return fromLRU(c.s.Reply(k, v, flag))
+// Update implements Cache: tok is the level token from the matching Query.
+func (c *Series) Update(k, v uint64, tok Token, _ time.Duration) Result {
+	return fromLRU(c.s.Reply(k, v, tok.Level()))
 }
 
 // Len implements Cache.
@@ -187,13 +201,13 @@ func NewIdeal(capacity int, merge MergeFunc) *Ideal {
 func (c *Ideal) Name() string { return "ideal" }
 
 // Query implements Cache.
-func (c *Ideal) Query(k uint64) (uint64, int, bool) {
+func (c *Ideal) Query(k uint64) (uint64, Token, bool) {
 	v, ok := c.c.Lookup(k)
-	return v, 0, ok
+	return v, NoToken, ok
 }
 
 // Update implements Cache.
-func (c *Ideal) Update(k, v uint64, _ int, _ time.Duration) Result {
+func (c *Ideal) Update(k, v uint64, _ Token, _ time.Duration) Result {
 	return fromLRU(c.c.Update(k, v))
 }
 

@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// eqSpec compares every string-representable field (Merge is a func and
+// never set by ParseSpec).
+func eqSpec(a, b Spec) bool {
+	return a.Kind == b.Kind && a.MemBytes == b.MemBytes && a.Levels == b.Levels &&
+		a.UnitCap == b.UnitCap && a.Seed == b.Seed &&
+		a.TimeoutThreshold == b.TimeoutThreshold && a.ElasticLambda == b.ElasticLambda
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"p4lru3", Spec{Kind: KindP4LRU3}},
+		{"p4lru3:mem=1MiB,seed=7", Spec{Kind: KindP4LRU3, MemBytes: 1 << 20, Seed: 7}},
+		{"series:levels=4,mem=400KiB", Spec{Kind: KindSeries, Levels: 4, MemBytes: 400 << 10}},
+		{"series:levels=2,unitcap=4,mem=65536", Spec{Kind: KindSeries, Levels: 2, UnitCap: 4, MemBytes: 65536}},
+		{"timeout:timeout=50ms,mem=256KiB", Spec{Kind: KindTimeout, TimeoutThreshold: 50 * time.Millisecond, MemBytes: 256 << 10}},
+		{"elastic:lambda=16", Spec{Kind: KindElastic, ElasticLambda: 16}},
+		{" ideal : mem = 2GiB ", Spec{Kind: KindIdeal, MemBytes: 2 << 30}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if !eqSpec(got, c.want) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"p4lru3:mem",         // no value
+		"p4lru3:mem=oops",    // bad size
+		"p4lru3:bogus=1",     // unknown key
+		"p4lru3:mem=-4KiB",   // negative
+		"timeout:timeout=5x", // bad duration
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindP4LRU3},
+		{Kind: KindP4LRU3, MemBytes: 1 << 20, Seed: 7},
+		{Kind: KindSeries, Levels: 4, MemBytes: 400 << 10},
+		{Kind: KindSeries, Levels: 2, UnitCap: 4, MemBytes: 12345},
+		{Kind: KindTimeout, TimeoutThreshold: 50 * time.Millisecond, ElasticLambda: 3},
+	}
+	for _, s := range specs {
+		got, err := ParseSpec(s.String())
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", s.String(), err)
+			continue
+		}
+		if !eqSpec(got, s) {
+			t.Errorf("round trip via %q = %+v, want %+v", s.String(), got, s)
+		}
+	}
+}
+
+func TestNewFromSpecMatchesNewForMemory(t *testing.T) {
+	// A spec-built cache must be behaviourally identical to the
+	// NewForMemory-built one at equal parameters.
+	for _, kind := range []Kind{KindP4LRU1, KindP4LRU3, KindTimeout, KindElastic, KindCoco, KindIdeal, KindClock} {
+		a := MustFromSpec(Spec{Kind: kind, MemBytes: 32 * 1024, Seed: 9})
+		b := NewForMemory(kind, 32*1024, Options{Seed: 9})
+		if a.Name() != b.Name() || a.Capacity() != b.Capacity() {
+			t.Errorf("%s: spec cache (%s, cap %d) != NewForMemory cache (%s, cap %d)",
+				kind, a.Name(), a.Capacity(), b.Name(), b.Capacity())
+		}
+		for i := uint64(0); i < 5000; i++ {
+			ra := a.Update(i%701, i, 0, time.Duration(i))
+			rb := b.Update(i%701, i, 0, time.Duration(i))
+			if ra != rb {
+				t.Fatalf("%s: update %d diverged: %+v vs %+v", kind, i, ra, rb)
+			}
+		}
+	}
+}
+
+func TestNewFromSpecSeries(t *testing.T) {
+	c := MustFromSpec(Spec{Kind: KindSeries, Levels: 4, MemBytes: 400 << 10, Seed: 1})
+	// Same sizing rule the LruIndex deployment always used: mem/levels/25
+	// units per level, 3 entries per unit, 4 levels.
+	wantUnits := 400 << 10 / 4 / 25
+	if got := c.Capacity(); got != wantUnits*3*4 {
+		t.Errorf("series capacity = %d, want %d", got, wantUnits*3*4)
+	}
+	if c.Name() != "series4" {
+		t.Errorf("series name = %q", c.Name())
+	}
+
+	// Token round trip through the series contract.
+	c.Update(42, 100, NoToken, 0)
+	_, tok, ok := c.Query(42)
+	if !ok || !tok.Cached() || tok.Level() != 1 {
+		t.Fatalf("query after insert: ok=%v tok=%v", ok, tok)
+	}
+	if res := c.Update(42, 100, tok, 0); !res.Hit {
+		t.Error("tokened update did not hit")
+	}
+}
+
+func TestNewFromSpecErrors(t *testing.T) {
+	for _, s := range []Spec{
+		{},                              // no kind
+		{Kind: "bogus"},                 // unknown kind
+		{Kind: KindP4LRU3, MemBytes: 8}, // too small
+		{Kind: KindP4LRU3, Levels: 4},   // levels on a non-series kind
+		{Kind: KindSeries, Levels: -1},  // bad shape
+		{Kind: KindTimeout, UnitCap: 3}, // unitcap on a non-series kind
+	} {
+		if _, err := NewFromSpec(s); err == nil {
+			t.Errorf("NewFromSpec(%+v) succeeded, want error", s)
+		}
+	}
+}
+
+func TestDefaultMemBytes(t *testing.T) {
+	c := MustFromSpec(Spec{Kind: KindP4LRU1})
+	want := NewForMemory(KindP4LRU1, DefaultMemBytes, Options{})
+	if c.Capacity() != want.Capacity() {
+		t.Errorf("default-mem capacity = %d, want %d", c.Capacity(), want.Capacity())
+	}
+	if !strings.HasPrefix(c.Name(), "p4lru1") {
+		t.Errorf("name = %q", c.Name())
+	}
+}

@@ -27,17 +27,17 @@ func Synchronize(c Cache) *Synchronized {
 func (s *Synchronized) Name() string { return s.inner.Name() }
 
 // Query implements Cache.
-func (s *Synchronized) Query(k uint64) (uint64, int, bool) {
+func (s *Synchronized) Query(k uint64) (uint64, Token, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.inner.Query(k)
 }
 
 // Update implements Cache.
-func (s *Synchronized) Update(k, v uint64, flag int, now time.Duration) Result {
+func (s *Synchronized) Update(k, v uint64, tok Token, now time.Duration) Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.inner.Update(k, v, flag, now)
+	return s.inner.Update(k, v, tok, now)
 }
 
 // Len implements Cache.
