@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench verify examples fmt vet clean
+# The committed perf-trajectory record `make bench` writes; bump the suffix
+# when a PR re-baselines the ladder.
+BENCH_OUT ?= BENCH_3.json
+# Fixed iteration counts so runs are comparable across commits.
+BENCH_TIME ?= 2000000x
+
+.PHONY: all build test race bench bench-all verify examples fmt vet clean
 
 all: build test
 
@@ -13,7 +19,20 @@ test:
 race:
 	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/
 
+# bench runs the core benchmark ladder (flat vs generic P4LRU3 array, flat
+# query paths, engine shard scaling) at a fixed iteration count, writes the
+# machine-readable result to $(BENCH_OUT), and fails if the flat core is not
+# faster than the generic one.
 bench:
+	$(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine' -benchmem \
+		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
+		-faster 'FlatVsGeneric/core=flat<FlatVsGeneric/core=generic' \
+		-faster 'FlatVsGeneric/core=flat-batch<FlatVsGeneric/core=generic' \
+		-faster 'FlatQuery/core=flat<FlatQuery/core=generic'
+
+# bench-all is the exhaustive one-iteration smoke over every benchmark.
+bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 verify:

@@ -1,0 +1,186 @@
+// Command benchjson converts `go test -bench` output into a JSON record and
+// optionally enforces orderings between benchmarks — the tooling behind
+// `make bench` (which commits the result as BENCH_<n>.json, the repo's perf
+// trajectory) and the CI bench-smoke step (which fails the build when the
+// flat P4LRU core is slower than the generic one).
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchjson [-o out.json] [-faster A<B ...]
+//
+// Each -faster constraint names two benchmark substrings: the (unique)
+// benchmark matching A must have strictly lower ns/op than the one matching
+// B, or benchjson exits 1. Matching is by substring over the full benchmark
+// name (e.g. "core=flat-batch<core=generic").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the JSON document benchjson writes.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+	// Speedups records every -faster constraint as A, B and the measured
+	// ratio nsB/nsA (>1 means A is faster).
+	Speedups []Speedup `json:"speedups,omitempty"`
+}
+
+// Speedup is one verified ordering.
+type Speedup struct {
+	Fast  string  `json:"fast"`
+	Slow  string  `json:"slow"`
+	Ratio float64 `json:"ratio"`
+}
+
+// benchLine matches "BenchmarkName-8  123  45.6 ns/op[  7 B/op  0 allocs/op]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+type fasterList []string
+
+func (f *fasterList) String() string     { return strings.Join(*f, " ") }
+func (f *fasterList) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	var constraints fasterList
+	flag.Var(&constraints, "faster", "constraint A<B: benchmark matching A must beat the one matching B (repeatable)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, c := range constraints {
+		fast, slow, ok := strings.Cut(c, "<")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -faster %q (want A<B)\n", c)
+			os.Exit(2)
+		}
+		fb, err1 := rep.find(fast)
+		sb, err2 := rep.find(slow)
+		if err1 != nil || err2 != nil {
+			for _, e := range []error{err1, err2} {
+				if e != nil {
+					fmt.Fprintln(os.Stderr, "benchjson:", e)
+				}
+			}
+			os.Exit(2)
+		}
+		ratio := sb.NsPerOp / fb.NsPerOp
+		rep.Speedups = append(rep.Speedups, Speedup{Fast: fb.Name, Slow: sb.Name, Ratio: ratio})
+		if fb.NsPerOp >= sb.NsPerOp {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s (%.2f ns/op) is not faster than %s (%.2f ns/op)\n",
+				fb.Name, fb.NsPerOp, sb.Name, sb.NsPerOp)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s is %.2fx faster than %s\n", fb.Name, ratio, sb.Name)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// find returns the single benchmark whose name contains substr. An exact
+// name match (with or without the Benchmark prefix) wins outright, so
+// "X/core=flat" stays unambiguous next to "X/core=flat-batch".
+func (r *Report) find(substr string) (Result, error) {
+	var hit Result
+	n := 0
+	for _, b := range r.Benchmarks {
+		if b.Name == substr || b.Name == "Benchmark"+substr {
+			return b, nil
+		}
+		if strings.Contains(b.Name, substr) {
+			hit = b
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return hit, fmt.Errorf("no benchmark matches %q", substr)
+	case 1:
+		return hit, nil
+	default:
+		return hit, fmt.Errorf("%d benchmarks match %q; be more specific", n, substr)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		b := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		rest := m[4]
+		if mb := regexp.MustCompile(`([\d.]+) MB/s`).FindStringSubmatch(rest); mb != nil {
+			b.MBPerSec, _ = strconv.ParseFloat(mb[1], 64)
+		}
+		if bo := regexp.MustCompile(`(\d+) B/op`).FindStringSubmatch(rest); bo != nil {
+			b.BytesPerOp, _ = strconv.ParseInt(bo[1], 10, 64)
+		}
+		if ao := regexp.MustCompile(`(\d+) allocs/op`).FindStringSubmatch(rest); ao != nil {
+			b.AllocsPerOp, _ = strconv.ParseInt(ao[1], 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}

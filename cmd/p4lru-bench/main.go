@@ -25,6 +25,10 @@
 // /debug/vars (expvar) and /debug/pprof. A progress line (experiments done,
 // packets simulated, packets/sec) is printed to stderr every two seconds
 // during multi-experiment runs; -progress=false silences it.
+//
+// -cpuprofile/-memprofile (on run and replay) write whole-run pprof files
+// for offline diffing across commits — the complement of the live -metrics
+// pprof server for diagnosing hot-path regressions.
 package main
 
 import (
@@ -76,11 +80,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   p4lru-bench list
   p4lru-bench run    [-scale small|default] [-csv] [-json] [-plot] [-o dir]
-                     [-metrics :addr] [-progress=false] <id>... | all
+                     [-metrics :addr] [-progress=false]
+                     [-cpuprofile f] [-memprofile f] <id>... | all
   p4lru-bench verify [-scale small|default] [-metrics :addr]
   p4lru-bench replay [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
                      [-policy spec] [-mem bytes] [-shards N] [-parallel N]
-                     [-batch N] [-queue N] [-block] [-metrics :addr]`)
+                     [-batch N] [-queue N] [-block] [-metrics :addr]
+                     [-cpuprofile f] [-memprofile f]`)
 }
 
 // serveMetrics wires the default registry into the experiment runs and, when
@@ -116,12 +122,23 @@ func runCmd(args []string) error {
 	outDir := fs.String("o", ".", "directory for CSV/JSON output")
 	metricsAddr := fs.String("metrics", "", "serve /metrics and pprof on this address during the run")
 	progress := fs.Bool("progress", true, "print a periodic progress line to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("no experiment ids given (try 'all' or 'p4lru-bench list')")
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench:", perr)
+		}
+	}()
 
 	scale, err := scaleByName(*scaleName)
 	if err != nil {

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles starts offline profiling for a run: a CPU profile recording
+// immediately (when cpuFile is non-empty) and a heap profile written at
+// stop time (when memFile is non-empty). The returned stop function must be
+// called exactly once after the measured work, and is safe to call when
+// neither profile was requested.
+//
+// This complements the live -metrics pprof server: -cpuprofile/-memprofile
+// capture a whole run in files that `go tool pprof` can diff across
+// commits, so hot-path regressions are diagnosable offline.
+func startProfiles(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("closing cpu profile: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", cpuFile)
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("creating mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retention, not noise
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("writing mem profile: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "mem profile written to %s\n", memFile)
+		}
+		return nil
+	}, nil
+}

@@ -36,12 +36,23 @@ func replayCmd(args []string) error {
 	queue := fs.Int("queue", 0, "per-shard queue depth in batches (0 = engine default)")
 	block := fs.Bool("block", false, "block on full queues instead of dropping")
 	metricsAddr := fs.String("metrics", "", "serve /metrics and pprof on this address during the run")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the replay to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be ≥ 1")
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench:", perr)
+		}
+	}()
 
 	spec, err := policy.ParseSpec(*pol)
 	if err != nil {

@@ -50,12 +50,9 @@ import (
 const routeSalt = 0x5ead1e55c0ffee
 
 // Op is one queued mutation: the (key, value, token, time) quadruple of
-// policy.Cache.Update.
-type Op struct {
-	Key, Value uint64
-	Token      policy.Token
-	Now        time.Duration
-}
+// policy.Cache.Update. It is policy.Op itself, so a queued batch can be
+// handed to a policy.BatchUpdater cache without conversion or copying.
+type Op = policy.Op
 
 // Config parameterizes New.
 type Config struct {
@@ -102,7 +99,8 @@ func (c Config) withDefaults() Config {
 type shard struct {
 	mu       sync.RWMutex
 	cache    policy.Cache
-	lockFree bool // cache is a policy.ConcurrentReader
+	batch    policy.BatchUpdater // non-nil when cache applies whole batches
+	lockFree bool                // cache is a policy.ConcurrentReader
 
 	queue     chan []Op
 	submitted atomic.Uint64 // ops handed to the queue
@@ -154,8 +152,10 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("engine: NewCache(%d) returned nil", i)
 		}
 		cr, ok := c.(policy.ConcurrentReader)
+		bu, _ := c.(policy.BatchUpdater)
 		s := &shard{
 			cache:    c,
+			batch:    bu,
 			lockFree: ok && cr.ConcurrentQuery(),
 			queue:    make(chan []Op, cfg.QueueDepth),
 		}
@@ -217,17 +217,30 @@ func batchBuckets(max int) []float64 {
 func (e *Engine) writer(s *shard) {
 	defer e.wg.Done()
 	for batch := range s.queue {
-		s.mu.Lock()
-		for _, op := range batch {
-			s.cache.Update(op.Key, op.Value, op.Token, op.Now)
-		}
-		s.mu.Unlock()
+		e.applyBatch(s, batch)
 		n := len(batch)
 		s.applied.Add(uint64(n))
 		s.ops.Add(uint64(n))
 		e.batchSize.Observe(float64(n))
 		e.pool.Put(batch[:0])
 	}
+}
+
+// applyBatch applies one op batch under the shard write lock. A cache that
+// implements policy.BatchUpdater (the flat P4LRU3 core) consumes the queued
+// batch directly — ops are policy.Op, so no conversion happens and the
+// whole apply loop allocates nothing; anything else gets the per-op Update
+// loop.
+func (e *Engine) applyBatch(s *shard, batch []Op) {
+	s.mu.Lock()
+	if s.batch != nil {
+		s.batch.UpdateBatch(batch)
+	} else {
+		for _, op := range batch {
+			s.cache.Update(op.Key, op.Value, op.Token, op.Now)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // ShardFor returns the home shard of k — deterministic for a given seed and

@@ -1,0 +1,345 @@
+package lru
+
+import (
+	"fmt"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+)
+
+// FlatArray3 is the parallel-connection array of P4LRU3 units (§1.2) in a
+// struct-of-arrays layout: instead of m heap-allocated *Unit3 values behind
+// an interface, the state of all units lives in three contiguous slabs
+//
+//	keys : []uint64, 3 per unit  — the key registers of stages 1–3
+//	vals : []V,      3 per unit  — the value registers of stages 1–3
+//	meta : []uint8,  1 per unit  — the packed cache state (bits 0–2, the
+//	                               Table 1 code) and occupancy (bits 3–4)
+//
+// indexed by unit number. This is the memory model of the hardware itself:
+// on Tofino each stage owns one register array indexed by h(key), and a
+// packet's unit index addresses the same row of every array ("Packet
+// Transactions" formalizes exactly this per-stage register-array
+// discipline). In software the layout removes the per-access interface
+// dispatch and pointer chase of Array — a unit's address is computed
+// arithmetically from slab bases already in registers, so the key/value
+// line loads issue in parallel instead of serializing behind an interface
+// data-pointer load — and shrinks the footprint of 2^16 units from ~6MB of
+// scattered heap objects to ~4MB of slabs.
+//
+// FlatArray3 is behaviourally identical to NewArray3 with the same seed:
+// same index hash, same key rotation, same Table 1 state arithmetic, same
+// value-slot placement. The differential tests pin this equivalence, so the
+// generic Array remains the readable oracle while FlatArray3 is the serving
+// core. Update, Lookup, InsertTail and the batch walks perform zero heap
+// allocations.
+//
+// A FlatArray3 is not safe for concurrent use; the serving engine gives
+// each shard a private one behind its single writer.
+type FlatArray3[V any] struct {
+	keys  []uint64 // len 3·units, keys[3u..3u+2] in LRU order (0 = MRU)
+	vals  []V      // len 3·units, fixed slots permuted by the unit state
+	meta  []uint8  // len units, state3 code | size<<flatSizeShift
+	hash  hashing.Hash
+	merge MergeFunc[V]
+
+	// batchUnits is the reusable scratch of the batch walks: unit indexes
+	// are hashed up front so the apply pass streams through the slabs with
+	// the next units' lines already warming (see UpdateBatch).
+	batchUnits []int32
+	// touched is a sink for the lookahead line touches, so the loads cannot
+	// be discarded as dead.
+	touched uint64
+}
+
+const (
+	flatStateMask = 0x07 // bits 0–2: State3 code (0–5)
+	flatSizeShift = 3    // bits 3–4: occupancy (0–3)
+)
+
+// batchLookahead is how many ops ahead of the apply cursor the batch walks
+// touch the target unit's key line. Far enough to cover a main
+// memory load, near enough that the lines survive until use.
+const batchLookahead = 8
+
+// NewFlatArray3 builds a flat array of numUnits empty P4LRU3 units. seed
+// selects the index-hash family member exactly as NewArray3 does, so a
+// FlatArray3 and a NewArray3 with equal seeds place every key in the same
+// unit. merge may be nil for replace-on-hit semantics.
+func NewFlatArray3[V any](numUnits int, seed uint64, merge MergeFunc[V]) *FlatArray3[V] {
+	if numUnits < 1 {
+		panic(fmt.Sprintf("lru: flat array with %d units", numUnits))
+	}
+	a := &FlatArray3[V]{
+		keys:  make([]uint64, 3*numUnits),
+		vals:  make([]V, 3*numUnits),
+		meta:  make([]uint8, numUnits),
+		hash:  hashing.New(seed),
+		merge: merge,
+	}
+	for u := range a.meta {
+		a.meta[u] = uint8(State3Initial)
+	}
+	return a
+}
+
+// Units returns the number of units.
+func (a *FlatArray3[V]) Units() int { return len(a.meta) }
+
+// Capacity returns the total entry capacity (3 per unit).
+func (a *FlatArray3[V]) Capacity() int { return 3 * len(a.meta) }
+
+// Len returns the total number of occupied entries across all units.
+func (a *FlatArray3[V]) Len() int {
+	total := 0
+	for _, m := range a.meta {
+		total += int(m >> flatSizeShift)
+	}
+	return total
+}
+
+// UnitIndex returns the unit addressed by h(k) — the paper's per-packet
+// register index.
+func (a *FlatArray3[V]) UnitIndex(k uint64) int {
+	return a.hash.Index(k, len(a.meta))
+}
+
+// UnitLen returns the occupancy of unit u.
+func (a *FlatArray3[V]) UnitLen(u int) int { return int(a.meta[u] >> flatSizeShift) }
+
+// UnitState returns the encoded cache state of unit u (a Table 1 code).
+func (a *FlatArray3[V]) UnitState(u int) State3 { return State3(a.meta[u] & flatStateMask) }
+
+// UnitKeyAt returns the i-th key of unit u in LRU order (0 = most recently
+// used). It panics if i ≥ UnitLen(u). For the differential tests and
+// debugging, mirroring UnitCache.KeyAt.
+func (a *FlatArray3[V]) UnitKeyAt(u, i int) uint64 {
+	if i < 0 || i >= a.UnitLen(u) {
+		panic(fmt.Sprintf("lru: UnitKeyAt(%d) with %d entries", i, a.UnitLen(u)))
+	}
+	return a.keys[3*u+i]
+}
+
+// Lookup returns the value for k without modifying the array.
+func (a *FlatArray3[V]) Lookup(k uint64) (V, bool) {
+	return a.lookupInUnit(a.UnitIndex(k), k)
+}
+
+func (a *FlatArray3[V]) lookupInUnit(u int, k uint64) (V, bool) {
+	base := 3 * u
+	kk := a.keys[base : base+3 : base+3]
+	m := a.meta[u]
+	size := int(m >> flatSizeShift)
+	for i := 0; i < size; i++ {
+		if kk[i] == k {
+			return a.vals[base+int(state3ValPos[m&flatStateMask][i])], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Update inserts or refreshes k in its unit: Algorithm 1 specialized to
+// n=3, operating directly on the slabs. It is step-for-step the slab form
+// of Unit3.Update.
+func (a *FlatArray3[V]) Update(k uint64, v V) Result[V] {
+	return a.updateInUnit(a.UnitIndex(k), k, v)
+}
+
+// state3NextMeta[op] maps a packed meta byte to its successor under the
+// §2.3.2 operation op — the Op1/Op2/Op3 arithmetic plus the occupancy
+// increment on insertion, folded into one table load on the hot path. Only
+// the 24 valid meta values (state ≤ 5, size ≤ 3) are populated; the tables
+// are sized 32 so a meta&0x1f index needs no bounds check.
+var state3NextMeta = func() (t [3][32]uint8) {
+	ops := [3]func(State3) State3{State3Op1, State3Op2, State3Op3}
+	for m := 0; m < 32; m++ {
+		state := State3(m & flatStateMask)
+		size := uint8(m) >> flatSizeShift
+		if state > 5 || size > 3 {
+			continue
+		}
+		for op := range ops {
+			newSize := size
+			// Update on a non-full unit with op == size is an insertion.
+			if size < 3 && op == int(size) {
+				newSize = size + 1
+			}
+			t[op][m] = uint8(ops[op](state)) | newSize<<flatSizeShift
+		}
+	}
+	return
+}()
+
+func (a *FlatArray3[V]) updateInUnit(u int, k uint64, v V) Result[V] {
+	var res Result[V]
+	base := 3 * u
+	kk := a.keys[base : base+3 : base+3]
+	m := a.meta[u]
+	size := m >> flatSizeShift
+
+	// Find the rotation endpoint: the hit position, the first free slot, or
+	// the LRU slot on a full miss.
+	var op uint8
+	switch {
+	case size > 0 && kk[0] == k:
+		res.Hit = true
+		op = 0
+	case size > 1 && kk[1] == k:
+		res.Hit = true
+		op = 1
+	case size > 2 && kk[2] == k:
+		res.Hit = true
+		op = 2
+	case size < 3:
+		op = size
+	default:
+		op = 2
+		res.Evicted = true
+		res.EvictedKey = kk[2]
+	}
+
+	// Step 1: rotate keys[0..op] forward; the incoming key takes position 0.
+	switch op {
+	case 1:
+		kk[1] = kk[0]
+	case 2:
+		kk[2] = kk[1]
+		kk[1] = kk[0]
+	}
+	kk[0] = k
+
+	// Step 2: stateful-ALU arithmetic transition (§2.3.2), with the
+	// occupancy bump folded in.
+	m = state3NextMeta[op][m&0x1f]
+	a.meta[u] = m
+
+	// Step 3: the value slot of the (new) most recently used key.
+	slot := base + int(state3ValPos[m&flatStateMask][0])
+	if res.Evicted {
+		res.EvictedValue = a.vals[slot]
+	}
+	if res.Hit && a.merge != nil {
+		a.vals[slot] = a.merge(a.vals[slot], v)
+	} else {
+		a.vals[slot] = v
+	}
+	return res
+}
+
+// InsertTail stores k as the least recently used entry of its unit without
+// a state transition (series-connection demotion, §3.2) — the slab form of
+// Unit3.InsertTail.
+func (a *FlatArray3[V]) InsertTail(k uint64, v V) Result[V] {
+	u := a.UnitIndex(k)
+	var res Result[V]
+	base := 3 * u
+	m := a.meta[u]
+	state := m & flatStateMask
+	size := m >> flatSizeShift
+
+	for i := 0; i < int(size); i++ {
+		if a.keys[base+i] == k {
+			res.Hit = true
+			a.vals[base+int(state3ValPos[state][i])] = v
+			return res
+		}
+	}
+	if size < 3 {
+		a.keys[base+int(size)] = k
+		a.vals[base+int(state3ValPos[state][size])] = v
+		a.meta[u] = m + 1<<flatSizeShift
+		return res
+	}
+	slot := base + int(state3ValPos[state][2])
+	res.Evicted = true
+	res.EvictedKey = a.keys[base+2]
+	res.EvictedValue = a.vals[slot]
+	a.keys[base+2] = k
+	a.vals[slot] = v
+	return res
+}
+
+// units ensures the batch scratch covers n ops and returns it. The scratch
+// is grown amortized, so steady-state batch walks allocate nothing.
+func (a *FlatArray3[V]) units(n int) []int32 {
+	if cap(a.batchUnits) < n {
+		a.batchUnits = make([]int32, n)
+	}
+	return a.batchUnits[:n]
+}
+
+// QueryBatch looks up every keys[i], writing the value into vals[i] and the
+// residency into oks[i]. It hashes all keys up front, then walks the units
+// in one pass with the next units' key lines touched ahead of the
+// cursor — the cache-friendly counterpart of len(keys) Lookup calls. vals
+// and oks must be at least len(keys) long. Zero heap allocations at steady
+// state.
+func (a *FlatArray3[V]) QueryBatch(keys []uint64, vals []V, oks []bool) {
+	units := a.units(len(keys))
+	for i, k := range keys {
+		units[i] = int32(a.UnitIndex(k))
+	}
+	var touched uint64
+	for i, k := range keys {
+		if j := i + batchLookahead; j < len(units) {
+			u := units[j]
+			touched += a.keys[3*u]
+		}
+		vals[i], oks[i] = a.lookupInUnit(int(units[i]), k)
+	}
+	a.touched = touched
+}
+
+// UpdateBatch applies Update(keys[i], vals[i]) for every i in order and
+// reports the hit and eviction totals. Like QueryBatch it hashes all keys
+// up front and streams through the slabs with lookahead line touches; the
+// serving engine's shard writers apply whole op batches through this walk.
+// vals must be at least len(keys) long. Zero heap allocations at steady
+// state.
+func (a *FlatArray3[V]) UpdateBatch(keys []uint64, vals []V) (hits, evictions int) {
+	units := a.units(len(keys))
+	for i, k := range keys {
+		units[i] = int32(a.UnitIndex(k))
+	}
+	var touched uint64
+	for i, k := range keys {
+		if j := i + batchLookahead; j < len(units) {
+			u := units[j]
+			touched += a.keys[3*u]
+		}
+		res := a.updateInUnit(int(units[i]), k, vals[i])
+		if res.Hit {
+			hits++
+		}
+		if res.Evicted {
+			evictions++
+		}
+	}
+	a.touched = touched
+	return hits, evictions
+}
+
+// Range calls fn for every cached (key, value) pair until fn returns false.
+// Iteration order is unit order, then LRU order within a unit — the same
+// order as Array.Range.
+func (a *FlatArray3[V]) Range(fn func(k uint64, v V) bool) {
+	for u := range a.meta {
+		m := a.meta[u]
+		base := 3 * u
+		size := int(m >> flatSizeShift)
+		for i := 0; i < size; i++ {
+			if !fn(a.keys[base+i], a.vals[base+int(state3ValPos[m&flatStateMask][i])]) {
+				return
+			}
+		}
+	}
+}
+
+// Reset empties every unit and restores the initial cache state.
+func (a *FlatArray3[V]) Reset() {
+	clear(a.keys)
+	clear(a.vals)
+	for u := range a.meta {
+		a.meta[u] = uint8(State3Initial)
+	}
+}

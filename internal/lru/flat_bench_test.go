@@ -1,0 +1,126 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// flatBenchUnits is the array size all three deployed systems use (Table 2):
+// 2^16 P4LRU3 units.
+const flatBenchUnits = 1 << 16
+
+// flatBenchKeys is a uniform random key stream: accesses spread across all
+// 2^16 units, the memory-latency-bound regime the flat layout exists for
+// (and the worst case for both cores — a skewed stream only keeps more
+// units in cache). 64-bit keys, far more distinct keys than entries, so the
+// steady state mixes inserts, hits and evictions.
+func flatBenchKeys() []uint64 {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+// BenchmarkFlatVsGeneric replays the same update stream through the generic
+// interface-based array and the struct-of-arrays core at 2^16 units:
+//
+//	core=generic    — Array of *Unit3 behind UnitCache, one Update per op
+//	                  (the old engine writer loop)
+//	core=flat       — FlatArray3 scalar Update per op
+//	core=flat-batch — FlatArray3.UpdateBatch over 256-op batches (the walk
+//	                  the engine's shard writers apply)
+//
+// The flat batch walk must be ≥2× the generic ops/sec with 0 allocs/op;
+// `make bench` records the result in BENCH_3.json and CI fails if the flat
+// core regresses below the generic one.
+func BenchmarkFlatVsGeneric(b *testing.B) {
+	keys := flatBenchKeys()
+	mask := uint64(len(keys) - 1)
+
+	b.Run("core=generic", func(b *testing.B) {
+		a := NewArray3[uint64](flatBenchUnits, 1, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[uint64(i)&mask]
+			a.Update(k, k)
+		}
+	})
+	b.Run("core=flat", func(b *testing.B) {
+		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[uint64(i)&mask]
+			a.Update(k, k)
+		}
+	})
+	b.Run("core=flat-batch", func(b *testing.B) {
+		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		const batch = 256
+		vals := make([]uint64, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			lo := uint64(i) & mask
+			end := lo + batch
+			if end > uint64(len(keys)) {
+				end = uint64(len(keys))
+			}
+			ks := keys[lo:end]
+			a.UpdateBatch(ks, vals[:len(ks)])
+		}
+	})
+}
+
+// BenchmarkFlatQuery isolates the read path of both cores over a warmed
+// array.
+func BenchmarkFlatQuery(b *testing.B) {
+	keys := flatBenchKeys()
+	mask := uint64(len(keys) - 1)
+
+	b.Run("core=generic", func(b *testing.B) {
+		a := NewArray3[uint64](flatBenchUnits, 1, nil)
+		for _, k := range keys {
+			a.Update(k, k)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Lookup(keys[uint64(i)&mask])
+		}
+	})
+	b.Run("core=flat", func(b *testing.B) {
+		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		for _, k := range keys {
+			a.Update(k, k)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Lookup(keys[uint64(i)&mask])
+		}
+	})
+	b.Run("core=flat-batch", func(b *testing.B) {
+		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		for _, k := range keys {
+			a.Update(k, k)
+		}
+		const batch = 256
+		vals := make([]uint64, batch)
+		oks := make([]bool, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			lo := uint64(i) & mask
+			end := lo + batch
+			if end > uint64(len(keys)) {
+				end = uint64(len(keys))
+			}
+			ks := keys[lo:end]
+			a.QueryBatch(ks, vals[:len(ks)], oks[:len(ks)])
+		}
+	})
+}

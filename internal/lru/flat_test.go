@@ -1,0 +1,268 @@
+package lru
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// checkFlatEquivalence asserts that a FlatArray3 and the generic oracle
+// array agree on every observable: total occupancy, per-unit occupancy,
+// per-unit LRU key order, per-unit encoded state, and the value mapping.
+func checkFlatEquivalence(t *testing.T, flat *FlatArray3[uint64], gen *Array[uint64]) {
+	t.Helper()
+	if flat.Len() != gen.Len() {
+		t.Fatalf("len diverged: flat %d generic %d", flat.Len(), gen.Len())
+	}
+	for u := 0; u < flat.Units(); u++ {
+		gu := gen.units[u].(*Unit3[uint64])
+		if flat.UnitLen(u) != gu.Len() {
+			t.Fatalf("unit %d occupancy diverged: flat %d generic %d", u, flat.UnitLen(u), gu.Len())
+		}
+		if flat.UnitState(u) != gu.State() {
+			t.Fatalf("unit %d state diverged: flat %d generic %d", u, flat.UnitState(u), gu.State())
+		}
+		for i := 0; i < gu.Len(); i++ {
+			if fk, gk := flat.UnitKeyAt(u, i), gu.KeyAt(i); fk != gk {
+				t.Fatalf("unit %d key[%d] diverged: flat %d generic %d", u, i, fk, gk)
+			}
+			k := gu.KeyAt(i)
+			fv, fok := flat.Lookup(k)
+			gv, gok := gen.Lookup(k)
+			if fok != gok || fv != gv {
+				t.Fatalf("lookup(%d) diverged: flat (%d,%v) generic (%d,%v)", k, fv, fok, gv, gok)
+			}
+		}
+	}
+}
+
+// applyDifferentialOp drives one decoded op through both arrays and fails on
+// any divergence in the returned Result.
+func applyDifferentialOp(t *testing.T, flat *FlatArray3[uint64], gen *Array[uint64], kind uint8, k, v uint64) {
+	t.Helper()
+	var fr, gr Result[uint64]
+	switch kind % 3 {
+	case 0, 1: // Update is twice as likely — it is the hot path.
+		fr = flat.Update(k, v)
+		gr = gen.Update(k, v)
+	case 2:
+		fr = flat.InsertTail(k, v)
+		gr = gen.InsertTail(k, v)
+	}
+	if fr != gr {
+		t.Fatalf("op %d on key %d diverged: flat %+v generic %+v", kind%3, k, fr, gr)
+	}
+}
+
+// TestFlatVsGenericDifferential replays long random op streams (Update,
+// InsertTail, Lookup) through FlatArray3 and the generic Array+Unit3 oracle
+// with the same seed, with and without a merge function, and requires
+// identical hit/evict results and identical unit states throughout — the
+// property that lets every figure in results/ run on the flat core
+// unchanged.
+func TestFlatVsGenericDifferential(t *testing.T) {
+	add := func(old, in uint64) uint64 { return old + in }
+	for _, tc := range []struct {
+		name  string
+		merge MergeFunc[uint64]
+	}{
+		{"replace", nil},
+		{"merge-add", add},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				const units = 64
+				flat := NewFlatArray3[uint64](units, uint64(seed), tc.merge)
+				gen := NewArray3[uint64](units, uint64(seed), tc.merge)
+				r := rand.New(rand.NewSource(seed))
+				// Few distinct keys relative to capacity so hits, merges
+				// and full-unit evictions all occur often.
+				keySpace := uint64(units * 5)
+				for step := 0; step < 50000; step++ {
+					k := uint64(r.Int63n(int64(keySpace))) + 1
+					v := uint64(step + 1)
+					applyDifferentialOp(t, flat, gen, uint8(r.Intn(3)), k, v)
+					if step%500 == 0 {
+						checkFlatEquivalence(t, flat, gen)
+					}
+				}
+				checkFlatEquivalence(t, flat, gen)
+			}
+		})
+	}
+}
+
+// FuzzFlatVsGeneric decodes the fuzz input as a stream of (op, key, value)
+// records and differentially executes it against both arrays. The fuzzer
+// explores op interleavings the random streams may miss.
+func FuzzFlatVsGeneric(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{2, 0, 0, 0, 2, 0, 0, 1, 2, 0, 0, 2, 2, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const units = 8
+		flat := NewFlatArray3[uint64](units, 7, nil)
+		gen := NewArray3[uint64](units, 7, nil)
+		for len(data) >= 3 {
+			kind := data[0]
+			k := uint64(data[1]%32) + 1 // small key space forces collisions
+			v := uint64(data[2])
+			data = data[3:]
+			if len(data) >= 8 { // occasionally take a full-width key
+				if kind&0x80 != 0 {
+					k = binary.LittleEndian.Uint64(data)%64 + 1
+					data = data[8:]
+				}
+			}
+			applyDifferentialOp(t, flat, gen, kind, k, v)
+		}
+		checkFlatEquivalence(t, flat, gen)
+	})
+}
+
+// TestFlatBatchMatchesScalar pins QueryBatch/UpdateBatch to the scalar
+// paths: a batch walk must be exactly equivalent to the loop of single-key
+// calls it replaces.
+func TestFlatBatchMatchesScalar(t *testing.T) {
+	const units = 128
+	batched := NewFlatArray3[uint64](units, 3, nil)
+	scalar := NewFlatArray3[uint64](units, 3, nil)
+	r := rand.New(rand.NewSource(9))
+
+	for round := 0; round < 50; round++ {
+		n := r.Intn(200) + 1
+		keys := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(r.Int63n(units*4)) + 1
+			vals[i] = uint64(r.Int63())
+		}
+
+		wantHits, wantEv := 0, 0
+		for i := range keys {
+			res := scalar.Update(keys[i], vals[i])
+			if res.Hit {
+				wantHits++
+			}
+			if res.Evicted {
+				wantEv++
+			}
+		}
+		hits, ev := batched.UpdateBatch(keys, vals)
+		if hits != wantHits || ev != wantEv {
+			t.Fatalf("round %d: UpdateBatch (%d hits, %d ev) != scalar (%d hits, %d ev)",
+				round, hits, ev, wantHits, wantEv)
+		}
+
+		gotV := make([]uint64, n)
+		gotOK := make([]bool, n)
+		batched.QueryBatch(keys, gotV, gotOK)
+		for i, k := range keys {
+			wv, wok := scalar.Lookup(k)
+			if gotV[i] != wv || gotOK[i] != wok {
+				t.Fatalf("round %d: QueryBatch[%d] key %d = (%d,%v), want (%d,%v)",
+					round, i, k, gotV[i], gotOK[i], wv, wok)
+			}
+		}
+	}
+
+	// Same end state.
+	for u := 0; u < units; u++ {
+		if batched.UnitState(u) != scalar.UnitState(u) || batched.UnitLen(u) != scalar.UnitLen(u) {
+			t.Fatalf("unit %d diverged after batched rounds", u)
+		}
+	}
+}
+
+// TestFlatZeroAlloc pins the zero-allocation contract of the hot paths:
+// Update, Lookup, InsertTail and the steady-state batch walks.
+func TestFlatZeroAlloc(t *testing.T) {
+	a := NewFlatArray3[uint64](1<<10, 1, nil)
+	keys := make([]uint64, 256)
+	vals := make([]uint64, 256)
+	oks := make([]bool, 256)
+	r := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = uint64(r.Int63n(1 << 12))
+	}
+
+	var k uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		k++
+		a.Update(k&0xfff, k)
+	}); n != 0 {
+		t.Errorf("Update allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		k++
+		a.Lookup(k & 0xfff)
+	}); n != 0 {
+		t.Errorf("Lookup allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		k++
+		a.InsertTail(k&0xfff, k)
+	}); n != 0 {
+		t.Errorf("InsertTail allocates %v/op, want 0", n)
+	}
+
+	a.UpdateBatch(keys, vals) // grow the batch scratch once
+	if n := testing.AllocsPerRun(100, func() {
+		a.UpdateBatch(keys, vals)
+	}); n != 0 {
+		t.Errorf("UpdateBatch allocates %v/batch, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		a.QueryBatch(keys, vals, oks)
+	}); n != 0 {
+		t.Errorf("QueryBatch allocates %v/batch, want 0", n)
+	}
+}
+
+// TestFlatInvariants runs the structural invariant checks of
+// invariants_test.go over the flat array's units.
+func TestFlatInvariants(t *testing.T) {
+	const units = 16
+	a := NewFlatArray3[uint64](units, 5, nil)
+	r := rand.New(rand.NewSource(13))
+	for step := 0; step < 20000; step++ {
+		k := uint64(r.Int63n(units*6)) + 1
+		if r.Intn(4) == 0 {
+			a.InsertTail(k, uint64(step))
+		} else {
+			a.Update(k, uint64(step))
+		}
+	}
+	total := 0
+	for u := 0; u < units; u++ {
+		size := a.UnitLen(u)
+		total += size
+		if size > 3 {
+			t.Fatalf("unit %d occupancy %d > 3", u, size)
+		}
+		if s := a.UnitState(u); s > 5 {
+			t.Fatalf("unit %d invalid state %d", u, s)
+		}
+		seen := map[uint64]bool{}
+		for i := 0; i < size; i++ {
+			k := a.UnitKeyAt(u, i)
+			if seen[k] {
+				t.Fatalf("unit %d holds duplicate key %d", u, k)
+			}
+			seen[k] = true
+			if a.UnitIndex(k) != u {
+				t.Fatalf("key %d stored in unit %d but hashes to %d", k, u, a.UnitIndex(k))
+			}
+			if _, ok := a.Lookup(k); !ok {
+				t.Fatalf("resident key %d not found by Lookup", k)
+			}
+		}
+	}
+	if total != a.Len() {
+		t.Fatalf("Len() %d != summed occupancy %d", a.Len(), total)
+	}
+	count := 0
+	a.Range(func(k, v uint64) bool { count++; return true })
+	if count != total {
+		t.Fatalf("Range visited %d pairs, want %d", count, total)
+	}
+}

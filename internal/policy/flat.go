@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"time"
+
+	"github.com/p4lru/p4lru/internal/lru"
+)
+
+// Op is one replacement-state mutation in batch form: the (key, value,
+// token, time) quadruple of Cache.Update. The serving engine queues ops in
+// this shape and BatchUpdater caches consume whole slices of them without
+// per-op conversion.
+type Op struct {
+	Key, Value uint64
+	Token      Token
+	Now        time.Duration
+}
+
+// BatchUpdater is an optional Cache capability: applying a whole op batch
+// in one call, semantically identical to calling Update(op.Key, op.Value,
+// op.Token, op.Now) for each op in order with the Results discarded.
+// Implementations use the batch to amortize per-op overhead — the flat
+// P4LRU3 core hashes all keys up front and walks its slabs in a
+// cache-friendly pass. The engine's shard writers apply each queued batch
+// through this interface when the shard's cache provides it.
+type BatchUpdater interface {
+	UpdateBatch(ops []Op)
+}
+
+// FlatP4LRU3 is the p4lru3 policy on the struct-of-arrays core
+// (lru.FlatArray3) instead of the generic interface-based array. It is
+// behaviourally identical to NewP4LRU(3, units, seed, merge) with the same
+// parameters — the differential tests pin this — while removing interface
+// dispatch and per-unit pointer chases from the hot path: Query and Update
+// are zero-allocation, and UpdateBatch applies engine op batches through
+// the core's batched slab walk.
+//
+// NewForMemory and the spec layer construct this type for KindP4LRU3, so
+// the simulators, experiments, serving engine and replay all run on the
+// flat core by default; NewP4LRU(3, ...) remains the generic oracle.
+type FlatP4LRU3 struct {
+	arr *lru.FlatArray3[uint64]
+	// keys/vals are the reusable batch scratch: UpdateBatch splits the op
+	// structs into the parallel key/value slices the core's slab walk takes.
+	keys, vals []uint64
+}
+
+var (
+	_ Cache        = (*FlatP4LRU3)(nil)
+	_ BatchUpdater = (*FlatP4LRU3)(nil)
+)
+
+// NewFlatP4LRU3 builds a flat-core p4lru3 policy with numUnits units.
+func NewFlatP4LRU3(numUnits int, seed uint64, merge MergeFunc) *FlatP4LRU3 {
+	return &FlatP4LRU3{arr: lru.NewFlatArray3[uint64](numUnits, seed, merge)}
+}
+
+// Name implements Cache. The flat core is an implementation detail: it
+// reports "p4lru3" so experiment output is identical to the generic array.
+func (p *FlatP4LRU3) Name() string { return "p4lru3" }
+
+// Query implements Cache.
+func (p *FlatP4LRU3) Query(k uint64) (uint64, Token, bool) {
+	v, ok := p.arr.Lookup(k)
+	return v, NoToken, ok
+}
+
+// Update implements Cache. P4LRU always admits.
+func (p *FlatP4LRU3) Update(k, v uint64, _ Token, _ time.Duration) Result {
+	return fromLRU(p.arr.Update(k, v))
+}
+
+// UpdateBatch implements BatchUpdater: the ops are split into parallel
+// key/value slices (reused across calls, so steady-state batches allocate
+// nothing) and applied through the core's batched slab walk. Tokens and
+// times are ignored, as in Update.
+func (p *FlatP4LRU3) UpdateBatch(ops []Op) {
+	if cap(p.keys) < len(ops) {
+		p.keys = make([]uint64, len(ops))
+		p.vals = make([]uint64, len(ops))
+	}
+	keys, vals := p.keys[:len(ops)], p.vals[:len(ops)]
+	for i := range ops {
+		keys[i] = ops[i].Key
+		vals[i] = ops[i].Value
+	}
+	p.arr.UpdateBatch(keys, vals)
+}
+
+// Len implements Cache.
+func (p *FlatP4LRU3) Len() int { return p.arr.Len() }
+
+// Capacity implements Cache.
+func (p *FlatP4LRU3) Capacity() int { return p.arr.Capacity() }
+
+// Range implements Cache.
+func (p *FlatP4LRU3) Range(fn func(k, v uint64) bool) { p.arr.Range(fn) }
+
+// Flat exposes the underlying flat array (for differential tests and the
+// pipeline programs).
+func (p *FlatP4LRU3) Flat() *lru.FlatArray3[uint64] { return p.arr }

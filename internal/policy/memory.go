@@ -80,7 +80,10 @@ func NewForMemory(kind Kind, memBytes int, opt Options) Cache {
 	case KindP4LRU2:
 		return NewP4LRU(2, atLeast1(memBytes/(2*bytesPerEntryKV+bytesPerUnitMeta)), opt.Seed, opt.Merge)
 	case KindP4LRU3:
-		return NewP4LRU(3, atLeast1(memBytes/(3*bytesPerEntryKV+bytesPerUnitMeta)), opt.Seed, opt.Merge)
+		// The deployed configuration runs on the flat struct-of-arrays core;
+		// NewP4LRU(3, ...) remains the generic oracle the differential tests
+		// compare against. Same unit count, seed and semantics.
+		return NewFlatP4LRU3(atLeast1(memBytes/(3*bytesPerEntryKV+bytesPerUnitMeta)), opt.Seed, opt.Merge)
 	case KindP4LRU4:
 		return NewP4LRU(4, atLeast1(memBytes/(4*bytesPerEntryKV+bytesPerUnitMeta)), opt.Seed, opt.Merge)
 	case KindIdeal:

@@ -25,6 +25,12 @@ const (
 // ErrBadFormat is returned when a stream does not carry a valid trace.
 var ErrBadFormat = errors.New("trace: bad format")
 
+// maxPrealloc bounds the packet-slice capacity Read allocates on the
+// strength of the header count alone (~24MiB of Packets). Every record in
+// the stream still costs at least one byte, so a header would need ~1MiB
+// of real input behind it before Read grows past this cap.
+const maxPrealloc = 1 << 20
+
 // Write serializes the trace to w.
 func Write(w io.Writer, tr *Trace) error {
 	bw := bufio.NewWriter(w)
@@ -73,7 +79,15 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("%w: implausible packet count %d", ErrBadFormat, count)
 	}
 
-	tr := &Trace{Packets: make([]Packet, 0, count)}
+	// Preallocate from the header count, but cap the upfront allocation: a
+	// corrupt header can claim up to maxPackets (a multi-GiB slice) while
+	// carrying no records, so large traces must earn their memory record by
+	// record through append's amortized growth.
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	tr := &Trace{Packets: make([]Packet, 0, prealloc)}
 	var now time.Duration
 	for i := uint64(0); i < count; i++ {
 		dt, err := binary.ReadUvarint(br)

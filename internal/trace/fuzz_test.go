@@ -2,8 +2,21 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"runtime"
 	"testing"
 )
+
+// headerWithCount builds a structurally valid P4LT header claiming count
+// records, followed by body (which may be empty or truncated) — the corrupt
+// shape that must not translate into a giant upfront allocation.
+func headerWithCount(count uint64, body []byte) []byte {
+	head := make([]byte, 4+12)
+	copy(head, "P4LT")
+	binary.LittleEndian.PutUint16(head[4:6], 1)
+	binary.LittleEndian.PutUint64(head[8:16], count)
+	return append(head, body...)
+}
 
 // FuzzRead drives the trace decoder with arbitrary bytes: it must never
 // panic and never return both a trace and an error.
@@ -19,6 +32,12 @@ func FuzzRead(f *testing.F) {
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("P4LT garbage"))
 	f.Add([]byte{})
+	// Absurd-count headers: a valid header claiming up to the 2^31 record
+	// limit with no (or one) record behind it. Read must fail on the missing
+	// records without preallocating gigabytes first.
+	f.Add(headerWithCount(1<<31, nil))
+	f.Add(headerWithCount(1<<31-1, []byte{0, 1, 1}))
+	f.Add(headerWithCount(1<<31+1, nil))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))
@@ -33,4 +52,34 @@ func FuzzRead(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestReadCapsPrealloc pins the corrupt-header defence: a header claiming
+// the maximum record count with a near-empty body must fail fast without
+// Read allocating anywhere near count×sizeof(Packet) up front.
+func TestReadCapsPrealloc(t *testing.T) {
+	for _, count := range []uint64{1 << 31, 1<<31 - 1, maxPrealloc + 1} {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := Read(bytes.NewReader(headerWithCount(count, []byte{0, 1, 1}))); err == nil {
+			t.Fatalf("count %d with one record decoded without error", count)
+		}
+		runtime.ReadMemStats(&after)
+		// The capped preallocation is ~24MiB; the uncapped one for these
+		// counts would be tens of GiB.
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+			t.Fatalf("count %d allocated %dMiB before failing", count, grew>>20)
+		}
+	}
+	tr, err := Read(bytes.NewReader(headerWithCount(3, []byte{0, 1, 1, 0, 2, 1, 0, 3, 1})))
+	if err != nil {
+		t.Fatalf("valid 3-record trace failed: %v", err)
+	}
+	if got := cap(tr.Packets); got > maxPrealloc {
+		t.Fatalf("3-record trace preallocated capacity %d", got)
+	}
+	if len(tr.Packets) != 3 {
+		t.Fatalf("decoded %d packets, want 3", len(tr.Packets))
+	}
 }
