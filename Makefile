@@ -2,7 +2,9 @@ GO ?= go
 
 # The committed perf-trajectory record `make bench` writes; bump the suffix
 # when a PR re-baselines the ladder.
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_4.json
+# The previous record, used as the regression baseline for -within gates.
+BENCH_BASE ?= BENCH_3.json
 # Fixed iteration counts so runs are comparable across commits.
 BENCH_TIME ?= 2000000x
 
@@ -17,19 +19,28 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/
+	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/ ./internal/backing/
 
 # bench runs the core benchmark ladder (flat vs generic P4LRU3 array, flat
-# query paths, engine shard scaling) at a fixed iteration count, writes the
-# machine-readable result to $(BENCH_OUT), and fails if the flat core is not
-# faster than the generic one.
+# query paths, engine shard scaling, tiered look-through hit/miss) at a fixed
+# iteration count, writes the machine-readable result to $(BENCH_OUT), and
+# fails if the flat core is not faster than the generic one, if a hit path
+# allocates, or if a hit path slowed by more than the -within factor against
+# the $(BENCH_BASE) baseline (a generous bound that absorbs CI noise while
+# catching real regressions).
 bench:
-	$(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine' -benchmem \
+	$(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine|Tiered' -benchmem \
 		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
 		-faster 'FlatVsGeneric/core=flat<FlatVsGeneric/core=generic' \
 		-faster 'FlatVsGeneric/core=flat-batch<FlatVsGeneric/core=generic' \
-		-faster 'FlatQuery/core=flat<FlatQuery/core=generic'
+		-faster 'FlatQuery/core=flat<FlatQuery/core=generic' \
+		-zeroalloc 'FlatQuery/core=flat' \
+		-zeroalloc 'Tiered/op=hit' \
+		-baseline $(BENCH_BASE) \
+		-within 'EngineQuery=3' \
+		-within 'FlatQuery/core=flat=3' \
+		-within 'Tiered/op=hit=3'
 
 # bench-all is the exhaustive one-iteration smoke over every benchmark.
 bench-all:

@@ -6,12 +6,23 @@
 //
 // Usage:
 //
-//	go test -bench ... -benchmem | benchjson [-o out.json] [-faster A<B ...]
+//	go test -bench ... -benchmem | benchjson [-o out.json]
+//	    [-faster A<B ...] [-zeroalloc P ...]
+//	    [-baseline FILE] [-within P=FACTOR ...]
 //
 // Each -faster constraint names two benchmark substrings: the (unique)
 // benchmark matching A must have strictly lower ns/op than the one matching
 // B, or benchjson exits 1. Matching is by substring over the full benchmark
 // name (e.g. "core=flat-batch<core=generic").
+//
+// -zeroalloc fails the run if the matching benchmark allocates (allocs/op
+// > 0) — the hit-path gate. -within compares against a previously committed
+// report: the matching benchmark's ns/op must be ≤ FACTOR × the same-named
+// benchmark in -baseline (a factor well above 1 absorbs CI noise while still
+// catching order-of-magnitude regressions). Custom benchmark metrics
+// (b.ReportMetric, e.g. p99-miss-ns) are parsed into each benchmark's
+// "metrics" map, and benchmarks reporting *-miss-ns metrics are summarized
+// in the report's miss_latency panel.
 package main
 
 import (
@@ -33,6 +44,9 @@ type Result struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values by unit (e.g.
+	// "p99-miss-ns": 5086).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the JSON document benchjson writes.
@@ -45,6 +59,9 @@ type Report struct {
 	// Speedups records every -faster constraint as A, B and the measured
 	// ratio nsB/nsA (>1 means A is faster).
 	Speedups []Speedup `json:"speedups,omitempty"`
+	// MissLatency summarizes every benchmark that reported *-miss-ns custom
+	// metrics — the miss-path latency panel of the perf trajectory.
+	MissLatency []MissLatency `json:"miss_latency,omitempty"`
 }
 
 // Speedup is one verified ordering.
@@ -54,18 +71,33 @@ type Speedup struct {
 	Ratio float64 `json:"ratio"`
 }
 
+// MissLatency is one benchmark's miss-latency quantile summary.
+type MissLatency struct {
+	Name  string  `json:"name"`
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+}
+
 // benchLine matches "BenchmarkName-8  123  45.6 ns/op[  7 B/op  0 allocs/op]".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
-type fasterList []string
+// metricPair matches one "<value> <unit>" pair in a benchmark line's tail,
+// covering both builtin units (B/op) and custom ReportMetric ones
+// (p99-miss-ns).
+var metricPair = regexp.MustCompile(`([\d.eE+-]+) ([\w/-]+)`)
 
-func (f *fasterList) String() string     { return strings.Join(*f, " ") }
-func (f *fasterList) Set(s string) error { *f = append(*f, s); return nil }
+type stringList []string
+
+func (f *stringList) String() string     { return strings.Join(*f, " ") }
+func (f *stringList) Set(s string) error { *f = append(*f, s); return nil }
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
-	var constraints fasterList
+	var constraints, zeroallocs, withins stringList
 	flag.Var(&constraints, "faster", "constraint A<B: benchmark matching A must beat the one matching B (repeatable)")
+	flag.Var(&zeroallocs, "zeroalloc", "benchmark matching P must report 0 allocs/op (repeatable)")
+	baseline := flag.String("baseline", "", "prior benchjson report to compare -within constraints against")
+	flag.Var(&withins, "within", "constraint P=FACTOR: benchmark matching P must run within FACTOR× its ns/op in -baseline (repeatable)")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -76,6 +108,24 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	rep.buildMissLatencyPanel()
+
+	var base *Report
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing -baseline %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
+	} else if len(withins) > 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -within requires -baseline")
+		os.Exit(2)
 	}
 
 	failed := false
@@ -106,6 +156,56 @@ func main() {
 		}
 	}
 
+	for _, p := range zeroallocs {
+		b, err := rep.find(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if b.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s allocates %d objects/op, want 0\n", b.Name, b.AllocsPerOp)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s is allocation-free\n", b.Name)
+		}
+	}
+
+	for _, c := range withins {
+		// Split on the LAST '=': benchmark names carry k=v sub-bench labels.
+		eq := strings.LastIndex(c, "=")
+		if eq < 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -within %q (want P=FACTOR)\n", c)
+			os.Exit(2)
+		}
+		pat, factorStr := c[:eq], c[eq+1:]
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || factor <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -within factor %q\n", factorStr)
+			os.Exit(2)
+		}
+		cur, err := rep.find(pat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		old, err := base.find(cur.Name)
+		if err != nil {
+			// A benchmark absent from the baseline (new this PR) cannot
+			// regress against it; report and move on.
+			fmt.Fprintf(os.Stderr, "benchjson: skip %s: not in baseline (%v)\n", cur.Name, err)
+			continue
+		}
+		limit := factor * old.NsPerOp
+		if cur.NsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s at %.2f ns/op exceeds %.1fx baseline %.2f ns/op\n",
+				cur.Name, cur.NsPerOp, factor, old.NsPerOp)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s %.2f ns/op within %.1fx of baseline %.2f ns/op\n",
+				cur.Name, cur.NsPerOp, factor, old.NsPerOp)
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -120,6 +220,19 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// buildMissLatencyPanel collects every benchmark that reported *-miss-ns
+// custom metrics into the report's miss_latency section.
+func (r *Report) buildMissLatencyPanel() {
+	for _, b := range r.Benchmarks {
+		p50, ok50 := b.Metrics["p50-miss-ns"]
+		p99, ok99 := b.Metrics["p99-miss-ns"]
+		if !ok50 && !ok99 {
+			continue
+		}
+		r.MissLatency = append(r.MissLatency, MissLatency{Name: b.Name, P50Ns: p50, P99Ns: p99})
 	}
 }
 
@@ -179,6 +292,17 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		}
 		if ao := regexp.MustCompile(`(\d+) allocs/op`).FindStringSubmatch(rest); ao != nil {
 			b.AllocsPerOp, _ = strconv.ParseInt(ao[1], 10, 64)
+		}
+		// Anything else in the tail is a custom b.ReportMetric pair.
+		for _, m := range metricPair.FindAllStringSubmatch(rest, -1) {
+			switch unit := m[2]; unit {
+			case "MB/s", "B/op", "allocs/op":
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit], _ = strconv.ParseFloat(m[1], 64)
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}

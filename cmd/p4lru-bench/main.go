@@ -18,7 +18,12 @@
 // replay pushes a packet trace through the sharded serving engine
 // (internal/engine) from -parallel concurrent goroutines and reports
 // throughput, hit rate and per-shard accounting — the concurrency
-// counterpart of the single-threaded policy experiments.
+// counterpart of the single-threaded policy experiments. With -backing the
+// replay serves look-through: misses fetch from a backing store (map, btree,
+// or remote:host:port over the wire protocol) through the miss-path loader,
+// and the report adds miss-latency quantiles plus loader/write-behind
+// accounting; -attempts, -fetch-timeout, -hedge and -inflight shape the
+// loader, -writebehind drains evictions back into the store.
 //
 // -metrics serves live run counters on the given address while experiments
 // execute: /metrics (Prometheus text), /metrics.json (JSON snapshot),
@@ -86,6 +91,8 @@ func usage() {
   p4lru-bench replay [-trace file.p4lt] [-packets N] [-flows N] [-segments n]
                      [-policy spec] [-mem bytes] [-shards N] [-parallel N]
                      [-batch N] [-queue N] [-block] [-metrics :addr]
+                     [-backing spec] [-attempts N] [-fetch-timeout d]
+                     [-hedge d] [-inflight N] [-writebehind]
                      [-cpuprofile f] [-memprofile f]`)
 }
 

@@ -1,15 +1,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/p4lru/p4lru/internal/backing"
 	"github.com/p4lru/p4lru/internal/engine"
+	"github.com/p4lru/p4lru/internal/netproto"
 	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/trace"
@@ -21,6 +26,11 @@ import (
 // partition of the trace and a batching Submitter; queries go through the
 // engine's read path and misses are submitted as updates, so the workload
 // exercises both sides of the single-writer-per-shard design.
+//
+// With -backing the replay switches to look-through serving: misses fetch
+// from the named backing store through the loader (coalesced, bounded,
+// retried, optionally hedged) and the report adds end-to-end miss-latency
+// quantiles and the loader/write-behind accounting.
 func replayCmd(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	traceFile := fs.String("trace", "", "trace file (P4LT); synthesized when empty")
@@ -38,8 +48,18 @@ func replayCmd(args []string) error {
 	metricsAddr := fs.String("metrics", "", "serve /metrics and pprof on this address during the run")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the replay to this file")
+	backingSpec := fs.String("backing", "",
+		"serve look-through against a backing store: map[:k=v,...], btree[:k=v,...], or remote:host:port")
+	attempts := fs.Int("attempts", 3, "miss-path fetch attempts per load (with -backing)")
+	fetchTimeout := fs.Duration("fetch-timeout", 100*time.Millisecond, "per-attempt fetch timeout (with -backing)")
+	hedge := fs.Duration("hedge", 0, "hedged second fetch after this delay; 0 disables (with -backing)")
+	inflight := fs.Int("inflight", 64, "max concurrent store fetches (with -backing)")
+	writeBehind := fs.Bool("writebehind", false, "drain evictions into the backing store (with -backing)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *writeBehind && *backingSpec == "" {
+		return fmt.Errorf("-writebehind requires -backing")
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be ≥ 1")
@@ -77,6 +97,12 @@ func replayCmd(args []string) error {
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
 	}
 
+	// The backing-mode report reads loader metrics back out of the registry,
+	// so look-through runs always get one even without -metrics.
+	if *backingSpec != "" && reg == nil {
+		reg = obs.Default()
+	}
+
 	tr, err := loadReplayTrace(*traceFile, *packets, *flows, *segments, *seed)
 	if err != nil {
 		return err
@@ -85,23 +111,49 @@ func replayCmd(args []string) error {
 		return fmt.Errorf("empty trace")
 	}
 
-	eng, err := engine.NewFromSpec(spec, engine.Config{
+	store, closeStore, err := buildBackingStore(*backingSpec, *parallel, *fetchTimeout)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+
+	engCfg := engine.Config{
 		Shards:     *shards,
 		QueueDepth: *queue,
 		BatchSize:  *batch,
 		Seed:       uint64(*seed),
 		Block:      *block,
 		Obs:        reg,
-	})
+	}
+	var wb *backing.WriteBehind
+	if *writeBehind {
+		wb = backing.NewWriteBehind(store, backing.WriteBehindConfig{Seed: uint64(*seed), Obs: reg})
+		defer wb.Close()
+		engCfg.OnEvict = wb.OnEvict
+	}
+
+	eng, err := engine.NewFromSpec(spec, engCfg)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 
+	var tiered *engine.Tiered
+	if store != nil {
+		tiered = engine.NewTiered(eng, store, backing.LoaderConfig{
+			Attempts:    *attempts,
+			Timeout:     *fetchTimeout,
+			Hedge:       *hedge,
+			MaxInflight: *inflight,
+			Seed:        uint64(*seed),
+			Obs:         reg,
+		})
+	}
+
 	// Stride-partition the trace: worker w replays packets w, w+P, w+2P, …
 	// so every worker sees the same mix of hot and cold flows and all of
 	// them hit every shard — the adversarial case for shard routing.
-	var hits, queries atomic.Uint64
+	var hits, queries, loadErrs atomic.Uint64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *parallel; w++ {
@@ -110,18 +162,33 @@ func replayCmd(args []string) error {
 			defer wg.Done()
 			sub := eng.NewSubmitter()
 			defer sub.Flush()
-			var localHits, localQueries uint64
+			ctx := context.Background()
+			var localHits, localQueries, localErrs uint64
 			for i := w; i < len(tr.Packets); i += *parallel {
 				p := tr.Packets[i]
-				_, tok, ok := eng.Query(p.Flow)
 				localQueries++
-				if ok {
-					localHits++
+				if tiered == nil {
+					_, tok, ok := eng.Query(p.Flow)
+					if ok {
+						localHits++
+					}
+					sub.Submit(engine.Op{Key: p.Flow, Value: uint64(p.Size), Token: tok, Now: p.Time})
+					continue
 				}
-				sub.Submit(engine.Op{Key: p.Flow, Value: uint64(p.Size), Token: tok, Now: p.Time})
+				// Look-through: hits promote with their token; misses are
+				// fetched (and installed by the loader's fill hook).
+				v, tok, hit, err := tiered.GetOrLoad(ctx, p.Flow)
+				switch {
+				case err != nil:
+					localErrs++
+				case hit:
+					localHits++
+					sub.Submit(engine.Op{Key: p.Flow, Value: v, Token: tok, Now: p.Time})
+				}
 			}
 			hits.Add(localHits)
 			queries.Add(localQueries)
+			loadErrs.Add(localErrs)
 		}(w)
 	}
 	wg.Wait()
@@ -139,7 +206,66 @@ func replayCmd(args []string) error {
 		fmt.Printf("shard %2d: submitted=%d applied=%d dropped=%d len=%d\n",
 			i, s.Submitted, s.Applied, s.Dropped, s.Len)
 	}
+	if tiered != nil {
+		reportBacking(reg, *backingSpec, loadErrs.Load(), wb)
+	}
 	return nil
+}
+
+// buildBackingStore resolves the -backing spec. "remote:host:port" dials the
+// wire protocol with one pooled client per replay goroutine; everything else
+// goes through backing.ParseStore. A nil store (empty spec) means the classic
+// query+submit replay.
+func buildBackingStore(spec string, pool int, timeout time.Duration) (backing.Store, func(), error) {
+	noop := func() {}
+	if spec == "" {
+		return nil, noop, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "remote:"); ok {
+		addr, err := net.ResolveUDPAddr("udp", rest)
+		if err != nil {
+			return nil, noop, fmt.Errorf("-backing %q: %w", spec, err)
+		}
+		// The loader's attempt budget already retries; give each wire client
+		// a single shot per loader attempt.
+		rs, err := netproto.NewRemoteStore(addr, pool, timeout, 0)
+		if err != nil {
+			return nil, noop, err
+		}
+		return rs, rs.Close, nil
+	}
+	st, err := backing.ParseStore(spec)
+	if err != nil {
+		return nil, noop, err
+	}
+	return st, noop, nil
+}
+
+// reportBacking prints the miss-path section of the replay report: hit/miss
+// split, end-to-end miss-latency quantiles from the loader histogram, and
+// the loader and write-behind accounting.
+func reportBacking(reg *obs.Registry, spec string, loadErrs uint64, wb *backing.WriteBehind) {
+	snap := reg.Snapshot()
+	h := snap.Histograms["backing_miss_latency_seconds"]
+	secs := func(q float64) time.Duration {
+		return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
+	}
+	fmt.Printf("backing=%s loadErrors=%d\n", spec, loadErrs)
+	fmt.Printf("missLatency n=%d p50=%v p90=%v p99=%v\n",
+		h.Count, secs(0.50), secs(0.90), secs(0.99))
+	fmt.Printf("loader loads=%d fetches=%d coalesced=%d retries=%d hedges=%d errors=%d\n",
+		reg.CounterValue("backing_loads_total"),
+		reg.CounterValue("backing_fetches_total"),
+		reg.CounterValue("backing_coalesced_total"),
+		reg.CounterValue("backing_retries_total"),
+		reg.CounterValue("backing_hedges_total"),
+		reg.CounterValue("backing_errors_total"))
+	if wb != nil {
+		wb.Flush()
+		offered, drained, dropped, failures := wb.Stats()
+		fmt.Printf("writeBehind offered=%d drained=%d dropped=%d failures=%d\n",
+			offered, drained, dropped, failures)
+	}
 }
 
 func loadReplayTrace(file string, packets, flows, segments int, seed int64) (*trace.Trace, error) {

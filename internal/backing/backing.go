@@ -1,0 +1,151 @@
+// Package backing is the miss-path subsystem: the second tier behind the
+// serving engine. The paper's caches are caches *in front of something* —
+// LruTable fronts a key-value store and LruIndex pre-resolves a server-side
+// B+ tree walk (§3.2) — and in-network caching only pays off if the path to
+// that backing store is robust. This package supplies it:
+//
+//   - Store is the two-method contract (Get/Put) a backing tier implements.
+//     Three implementations ship: MapStore (in-memory), BTree (the kvindex
+//     database server as a reusable store) and netproto.RemoteStore (a
+//     wire-protocol round trip; it lives in internal/netproto because the
+//     engine sits between this package and the wire).
+//   - Loader turns concurrent cache misses into disciplined fetches:
+//     same-key misses coalesce into one in-flight call (singleflight), total
+//     in-flight fetches are bounded by a semaphore, each attempt gets its
+//     own context timeout, failures retry with capped exponential backoff
+//     plus deterministic jitter, and an optional hedged second request
+//     covers tail latency.
+//   - WriteBehind drains engine evictions into the store through a bounded
+//     queue so dirty values survive replacement instead of vanishing with
+//     the cache line.
+//   - Faulty decorates any Store with injected latency, a seeded error
+//     rate and blackout windows, so tests can prove the degradation story:
+//     hits keep serving at full speed, misses fail fast after the retry
+//     budget.
+//
+// Everything reports through internal/obs (fetch/coalesce/retry/hedge
+// counters, in-flight and queue-depth gauges, a miss-latency histogram);
+// a nil registry costs one predictable branch.
+package backing
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Store is the backing tier: the thing the cache is in front of. Get
+// resolves a key to its stored uint64 (a value word, or for the LruIndex
+// deployment the database index); Put writes one back. Implementations must
+// be safe for concurrent use and must honour ctx cancellation — the Loader
+// relies on it for per-attempt timeouts.
+type Store interface {
+	Get(ctx context.Context, key uint64) (uint64, error)
+	Put(ctx context.Context, key, val uint64) error
+}
+
+// Sentinel errors a Store reports.
+var (
+	// ErrNotFound is a definitive miss: the key does not exist in the
+	// store. The Loader does not retry it.
+	ErrNotFound = errors.New("backing: key not found")
+	// ErrUnavailable is a transient failure (injected fault, blackout,
+	// lost datagram). The Loader retries it within its attempt budget.
+	ErrUnavailable = errors.New("backing: store unavailable")
+	// ErrReadOnly reports a Put against a store that cannot accept writes
+	// (the wire-protocol remote store).
+	ErrReadOnly = errors.New("backing: store is read-only")
+)
+
+// SynthSalt derives a deterministic synthetic value from a key
+// (val = key ^ SynthSalt) — the same value scheme the kvindex arena and the
+// netproto validity check use.
+const SynthSalt = 0xbadc0ffee
+
+// MapStore is the in-memory Store: a mutex-protected map. With Synth set,
+// Get on an absent key fabricates (and memoizes) key ^ SynthSalt instead of
+// returning ErrNotFound — the self-sourcing store replay and benchmarks use
+// so any synthesized flow key resolves.
+type MapStore struct {
+	// Synth, when true, turns unknown-key Gets into deterministic
+	// synthesized values instead of ErrNotFound. Set before first use.
+	Synth bool
+
+	mu sync.RWMutex
+	m  map[uint64]uint64
+}
+
+// NewMapStore returns an empty in-memory store.
+func NewMapStore() *MapStore {
+	return &MapStore{m: make(map[uint64]uint64)}
+}
+
+// Preload stores n sequential keys (1..n) with synthetic values, mirroring
+// the kvindex server's load.
+func (s *MapStore) Preload(n int) *MapStore {
+	s.mu.Lock()
+	for i := 1; i <= n; i++ {
+		s.m[uint64(i)] = uint64(i) ^ SynthSalt
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// Get implements Store.
+func (s *MapStore) Get(ctx context.Context, key uint64) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	if !s.Synth {
+		return 0, ErrNotFound
+	}
+	v = key ^ SynthSalt
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Put implements Store.
+func (s *MapStore) Put(ctx context.Context, key, val uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.m[key] = val
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of stored keys.
+func (s *MapStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// FuncStore adapts plain functions as a Store — the cheapest way for a test
+// to script store behaviour. A nil PutFn rejects writes with ErrReadOnly.
+type FuncStore struct {
+	GetFn func(ctx context.Context, key uint64) (uint64, error)
+	PutFn func(ctx context.Context, key, val uint64) error
+}
+
+// Get implements Store.
+func (s FuncStore) Get(ctx context.Context, key uint64) (uint64, error) {
+	return s.GetFn(ctx, key)
+}
+
+// Put implements Store.
+func (s FuncStore) Put(ctx context.Context, key, val uint64) error {
+	if s.PutFn == nil {
+		return ErrReadOnly
+	}
+	return s.PutFn(ctx, key, val)
+}

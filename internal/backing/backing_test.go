@@ -1,0 +1,65 @@
+package backing
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestMapStoreBasics(t *testing.T) {
+	s := NewMapStore().Preload(3)
+	ctx := context.Background()
+
+	v, err := s.Get(ctx, 2)
+	if err != nil || v != uint64(2)^SynthSalt {
+		t.Fatalf("Get(2) = %d, %v", v, err)
+	}
+	if _, err := s.Get(ctx, 99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(ctx, 99, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get(ctx, 99); err != nil || v != 42 {
+		t.Fatalf("Get after Put = %d, %v", v, err)
+	}
+	if got := s.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+}
+
+func TestMapStoreSynth(t *testing.T) {
+	s := NewMapStore()
+	s.Synth = true
+	v, err := s.Get(context.Background(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(77) ^ SynthSalt; v != want {
+		t.Fatalf("synth Get = %d, want %d", v, want)
+	}
+	if s.Len() != 1 {
+		t.Errorf("synth value not memoized: Len = %d", s.Len())
+	}
+}
+
+func TestMapStoreHonoursContext(t *testing.T) {
+	s := NewMapStore().Preload(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Get(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("Get with cancelled ctx = %v, want Canceled", err)
+	}
+	if err := s.Put(ctx, 1, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("Put with cancelled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestFuncStoreNilPut(t *testing.T) {
+	s := FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		return key, nil
+	}}
+	if err := s.Put(context.Background(), 1, 2); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put with nil PutFn = %v, want ErrReadOnly", err)
+	}
+}

@@ -1,0 +1,156 @@
+package backing
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+func TestBTreeGetReturnsIndex(t *testing.T) {
+	b := NewBTree(100)
+	ctx := context.Background()
+
+	idx, err := b.Get(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(2 * kvindex.ValueSize); idx != want {
+		t.Fatalf("Get(3) = %d, want arena offset %d", idx, want)
+	}
+	if _, err := b.Get(ctx, 1000); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	taken, skipped, nodes := b.Stats()
+	if taken != 2 || skipped != 0 || nodes == 0 {
+		t.Errorf("Stats = (%d, %d, %d), want 2 walks taken and nodes > 0", taken, skipped, nodes)
+	}
+}
+
+func TestBTreeHintSkipsWalk(t *testing.T) {
+	b := NewBTree(100)
+	ctx := context.Background()
+
+	idx, err := b.Get(ctx, 7) // full walk resolves the hint
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.GetHinted(ctx, 7, idx, true)
+	if err != nil || got != idx {
+		t.Fatalf("hinted Get = %d, %v, want %d", got, err, idx)
+	}
+	taken, skipped, nodesAfter := b.Stats()
+	if taken != 1 || skipped != 1 {
+		t.Errorf("Stats = (%d taken, %d skipped), want (1, 1)", taken, skipped)
+	}
+	// A corrupt hint falls back to the walk instead of failing.
+	got, err = b.GetHinted(ctx, 7, 1<<40, true)
+	if err != nil || got != idx {
+		t.Fatalf("corrupt-hint Get = %d, %v, want fallback to %d", got, err, idx)
+	}
+	taken2, _, nodes2 := b.Stats()
+	if taken2 != 2 || nodes2 <= nodesAfter {
+		t.Errorf("corrupt hint did not charge a walk: taken=%d nodes=%d", taken2, nodes2)
+	}
+}
+
+func TestBTreePutWritesArena(t *testing.T) {
+	b := NewBTree(100)
+	ctx := context.Background()
+	if err := b.Put(ctx, 5, 12345); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := b.Get(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, value, _, ok := b.Server().Resolve(5, idx, true)
+	if !ok {
+		t.Fatal("Resolve failed after Put")
+	}
+	var got uint64
+	for i := 7; i >= 0; i-- {
+		got = got<<8 | uint64(value[i])
+	}
+	if got != 12345 {
+		t.Errorf("arena word = %d, want 12345", got)
+	}
+	if err := b.Put(ctx, 1000, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Put(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestBTreeDifferentialVsKvindex replays the kvindex closed-loop simulation
+// (Threads=1, so query order is strict) through the backing adapter and
+// requires identical miss-cost accounting: same hit count and the same total
+// B+ tree nodes walked. This pins the adapter's GetHinted to the wire
+// server's resolution semantics.
+func TestBTreeDifferentialVsKvindex(t *testing.T) {
+	const (
+		items   = 10_000
+		queries = 20_000
+		skew    = 1.1
+		seed    = 7
+	)
+	for _, specStr := range []string{
+		"p4lru3:mem=64KiB,seed=5",
+		"series:levels=4,mem=64KiB,seed=5",
+	} {
+		t.Run(specStr, func(t *testing.T) {
+			spec, err := policy.ParseSpec(specStr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simCache := policy.MustFromSpec(spec)
+			repCache := policy.MustFromSpec(spec)
+
+			simRes := kvindex.Run(kvindex.Config{
+				Items: items, Threads: 1, Queries: queries,
+				ZipfSkew: skew, Seed: seed, Cache: simCache,
+			})
+
+			// Replica: same seeded workload, same cache construction, the
+			// adapter standing in for the server.
+			bt := NewBTree(items)
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, skew, 1, uint64(items-1))
+			ctx := context.Background()
+			hits := 0
+			for i := 0; i < queries; i++ {
+				key := zipf.Uint64() + 1
+				cachedIdx, tok, hit := repCache.Query(key)
+				if hit {
+					hits++
+				}
+				idx, err := bt.GetHinted(ctx, key, cachedIdx, hit)
+				if err != nil {
+					t.Fatalf("query %d key %d: %v", i, key, err)
+				}
+				// The P4LRU-family policies ignore the timestamp, so any
+				// monotone clock reproduces the simulator's update sequence.
+				repCache.Update(key, idx, tok, time.Duration(i))
+			}
+
+			if hits != simRes.Hits {
+				t.Errorf("replica hits = %d, simulator hits = %d", hits, simRes.Hits)
+			}
+			taken, skipped, nodes := bt.Stats()
+			if int64(nodes) != simRes.NodesWalked {
+				t.Errorf("replica walked %d nodes, simulator walked %d", nodes, simRes.NodesWalked)
+			}
+			if int(skipped) != hits {
+				t.Errorf("walks skipped = %d, want one per hit (%d)", skipped, hits)
+			}
+			if int(taken) != queries-hits {
+				t.Errorf("walks taken = %d, want %d", taken, queries-hits)
+			}
+			if simRes.Errors != 0 {
+				t.Errorf("simulator reported %d value errors", simRes.Errors)
+			}
+		})
+	}
+}

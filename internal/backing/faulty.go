@@ -1,0 +1,142 @@
+package backing
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Window is one scheduled outage: the store is dark for elapsed times in
+// [From, To), measured on the Faulty clock.
+type Window struct {
+	From, To time.Duration
+}
+
+// FaultyConfig parameterizes NewFaulty.
+type FaultyConfig struct {
+	// Latency is added to every Get/Put before it reaches the inner store
+	// (the sleep honours ctx, so attempt timeouts still bite).
+	Latency time.Duration
+	// ErrRate is the per-operation probability of ErrUnavailable,
+	// drawn from a sequence seeded by Seed (deterministic given the same
+	// operation order).
+	ErrRate float64
+	// Seed drives the error-rate draw.
+	Seed uint64
+	// Windows schedules blackouts against the clock. SetBlackout overrides
+	// them in both directions while toggled on.
+	Windows []Window
+	// Clock reports elapsed time for Windows; nil means wall time since
+	// NewFaulty. Tests inject a virtual clock here for determinism.
+	Clock func() time.Duration
+}
+
+// Faulty decorates a Store with injected latency, a seeded error rate and
+// blackout windows — the adversary the graceful-degradation tests run
+// against. During a blackout every operation fails immediately with
+// ErrUnavailable (a dark backend refuses, it does not dawdle), so callers
+// see the fail-fast behaviour the retry budget is sized for.
+type Faulty struct {
+	inner Store
+	cfg   FaultyConfig
+	start time.Time
+
+	blackout atomic.Bool
+	rngState atomic.Uint64
+
+	injected atomic.Uint64 // faults served (blackout + error rate)
+	passed   atomic.Uint64 // operations forwarded to the inner store
+}
+
+// NewFaulty wraps inner with the configured fault model.
+func NewFaulty(inner Store, cfg FaultyConfig) *Faulty {
+	if inner == nil {
+		panic("backing: NewFaulty(nil store)")
+	}
+	f := &Faulty{inner: inner, cfg: cfg, start: time.Now()}
+	f.rngState.Store(cfg.Seed*0x9e3779b97f4a7c15 + 0x8badf00d)
+	return f
+}
+
+// SetBlackout forces (or lifts) a full outage regardless of Windows.
+func (f *Faulty) SetBlackout(on bool) { f.blackout.Store(on) }
+
+// Stats returns (faults injected, operations forwarded).
+func (f *Faulty) Stats() (injected, passed uint64) {
+	return f.injected.Load(), f.passed.Load()
+}
+
+// dark reports whether the store is currently blacked out.
+func (f *Faulty) dark() bool {
+	if f.blackout.Load() {
+		return true
+	}
+	if len(f.cfg.Windows) == 0 {
+		return false
+	}
+	now := f.elapsed()
+	for _, w := range f.cfg.Windows {
+		if now >= w.From && now < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Faulty) elapsed() time.Duration {
+	if f.cfg.Clock != nil {
+		return f.cfg.Clock()
+	}
+	return time.Since(f.start)
+}
+
+// gate applies the fault model to one operation; a nil return means the
+// operation may proceed to the inner store.
+func (f *Faulty) gate(ctx context.Context) error {
+	if f.dark() {
+		f.injected.Add(1)
+		return ErrUnavailable
+	}
+	if f.cfg.Latency > 0 {
+		t := time.NewTimer(f.cfg.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if f.cfg.ErrRate > 0 && f.roll() < f.cfg.ErrRate {
+		f.injected.Add(1)
+		return ErrUnavailable
+	}
+	f.passed.Add(1)
+	return nil
+}
+
+// roll draws the next [0,1) value from the seeded splitmix64 sequence.
+func (f *Faulty) roll() float64 {
+	x := f.rngState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// Get implements Store.
+func (f *Faulty) Get(ctx context.Context, key uint64) (uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return 0, err
+	}
+	return f.inner.Get(ctx, key)
+}
+
+// Put implements Store.
+func (f *Faulty) Put(ctx context.Context, key, val uint64) error {
+	if err := f.gate(ctx); err != nil {
+		return err
+	}
+	return f.inner.Put(ctx, key, val)
+}

@@ -1,0 +1,95 @@
+package backing
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultyBlackoutToggle(t *testing.T) {
+	f := NewFaulty(NewMapStore().Preload(10), FaultyConfig{})
+	ctx := context.Background()
+
+	if _, err := f.Get(ctx, 1); err != nil {
+		t.Fatalf("healthy Get: %v", err)
+	}
+	f.SetBlackout(true)
+	start := time.Now()
+	if _, err := f.Get(ctx, 1); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("blackout Get = %v, want ErrUnavailable", err)
+	}
+	if err := f.Put(ctx, 1, 2); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("blackout Put = %v, want ErrUnavailable", err)
+	}
+	// A dark store must refuse immediately, not dawdle.
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("blackout ops took %v, want immediate refusal", elapsed)
+	}
+	f.SetBlackout(false)
+	if _, err := f.Get(ctx, 1); err != nil {
+		t.Fatalf("post-blackout Get: %v", err)
+	}
+	injected, passed := f.Stats()
+	if injected != 2 || passed != 2 {
+		t.Errorf("Stats = (%d, %d), want (2, 2)", injected, passed)
+	}
+}
+
+func TestFaultyWindows(t *testing.T) {
+	var now time.Duration
+	f := NewFaulty(NewMapStore().Preload(10), FaultyConfig{
+		Windows: []Window{{From: 10 * time.Second, To: 20 * time.Second}},
+		Clock:   func() time.Duration { return now },
+	})
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		at   time.Duration
+		dark bool
+	}{
+		{0, false},
+		{10 * time.Second, true},
+		{19 * time.Second, true},
+		{20 * time.Second, false}, // window is half-open [From, To)
+	} {
+		now = tc.at
+		_, err := f.Get(ctx, 1)
+		if dark := errors.Is(err, ErrUnavailable); dark != tc.dark {
+			t.Errorf("at %v: dark=%v, want %v (err %v)", tc.at, dark, tc.dark, err)
+		}
+	}
+}
+
+func TestFaultyErrRateDeterministic(t *testing.T) {
+	run := func() (injected uint64) {
+		f := NewFaulty(NewMapStore().Preload(1), FaultyConfig{ErrRate: 0.3, Seed: 42})
+		for i := 0; i < 1000; i++ {
+			f.Get(context.Background(), 1) //nolint:errcheck
+		}
+		injected, _ = f.Stats()
+		return injected
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault sequences: %d vs %d", a, b)
+	}
+	// ~300 expected; allow a generous band since splitmix64 is not tuned.
+	if a < 200 || a > 400 {
+		t.Errorf("injected %d/1000 faults at rate 0.3", a)
+	}
+}
+
+func TestFaultyLatencyHonoursContext(t *testing.T) {
+	f := NewFaulty(NewMapStore().Preload(1), FaultyConfig{Latency: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Get(ctx, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("latency sleep ignored ctx: took %v", elapsed)
+	}
+}

@@ -1,0 +1,283 @@
+package backing
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+// countingStore wraps a Store and counts Gets, with an optional per-Get
+// delay so flights stay open long enough to coalesce against.
+type countingStore struct {
+	inner Store
+	delay time.Duration
+	gets  atomic.Uint64
+	puts  atomic.Uint64
+}
+
+func (s *countingStore) Get(ctx context.Context, key uint64) (uint64, error) {
+	s.gets.Add(1)
+	if s.delay > 0 {
+		t := time.NewTimer(s.delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return 0, ctx.Err()
+		}
+	}
+	return s.inner.Get(ctx, key)
+}
+
+func (s *countingStore) Put(ctx context.Context, key, val uint64) error {
+	s.puts.Add(1)
+	return s.inner.Put(ctx, key, val)
+}
+
+func TestLoaderBasicGet(t *testing.T) {
+	store := NewMapStore().Preload(100)
+	l := NewLoader(store, LoaderConfig{})
+	v, err := l.Get(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(7) ^ SynthSalt; v != want {
+		t.Fatalf("Get(7) = %d, want %d", v, want)
+	}
+	if _, err := l.Get(context.Background(), 999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestLoaderSingleflightStorm is the acceptance-criteria coalescing test: a
+// 100-goroutine same-key miss storm must collapse to a handful of store
+// fetches (≥90% coalesced). Run with -race via `make race`.
+func TestLoaderSingleflightStorm(t *testing.T) {
+	store := &countingStore{inner: NewMapStore().Preload(10), delay: 20 * time.Millisecond}
+	reg := obs.NewRegistry()
+	l := NewLoader(store, LoaderConfig{MaxInflight: 8, Obs: reg})
+
+	const goroutines = 100
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := l.Get(context.Background(), 3)
+			if err != nil || v != uint64(3)^SynthSalt {
+				failures.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d/%d storm Gets failed", n, goroutines)
+	}
+	if fetches := store.gets.Load(); fetches > goroutines/10 {
+		t.Errorf("storm cost %d store fetches, want ≤ %d (≥90%% coalesced)", fetches, goroutines/10)
+	}
+	coalesced := reg.CounterValue("backing_coalesced_total")
+	if coalesced < goroutines*9/10 {
+		t.Errorf("coalesced %d/%d waiters, want ≥ 90", coalesced, goroutines)
+	}
+	if loads := reg.CounterValue("backing_loads_total"); loads != goroutines {
+		t.Errorf("backing_loads_total = %d, want %d", loads, goroutines)
+	}
+}
+
+// TestLoaderRetriesTransientErrors pins the retry loop: a store that fails
+// twice then succeeds is healed within a 3-attempt budget, and the retry
+// counter records the two re-sends.
+func TestLoaderRetriesTransientErrors(t *testing.T) {
+	var calls atomic.Uint64
+	store := FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		if calls.Add(1) <= 2 {
+			return 0, ErrUnavailable
+		}
+		return key * 10, nil
+	}}
+	reg := obs.NewRegistry()
+	l := NewLoader(store, LoaderConfig{Attempts: 3, Backoff: time.Millisecond, BackoffCap: 2 * time.Millisecond, Obs: reg})
+	v, err := l.Get(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 50 {
+		t.Fatalf("Get = %d, want 50", v)
+	}
+	if got := reg.CounterValue("backing_retries_total"); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+// TestLoaderNotFoundIsDefinitive: ErrNotFound must not burn the retry
+// budget.
+func TestLoaderNotFoundIsDefinitive(t *testing.T) {
+	var calls atomic.Uint64
+	store := FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		calls.Add(1)
+		return 0, ErrNotFound
+	}}
+	l := NewLoader(store, LoaderConfig{Attempts: 5})
+	if _, err := l.Get(context.Background(), 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("store called %d times for a definitive miss, want 1", n)
+	}
+}
+
+// TestLoaderFailFastBound is the acceptance-criteria latency bound: with
+// the store in full blackout, a miss must return within
+// attempts × timeout + attempts × backoff-cap (plus scheduling slack).
+func TestLoaderFailFastBound(t *testing.T) {
+	faulty := NewFaulty(NewMapStore().Preload(10), FaultyConfig{Seed: 1})
+	faulty.SetBlackout(true)
+	const (
+		attempts = 3
+		timeout  = 20 * time.Millisecond
+		cap      = 10 * time.Millisecond
+	)
+	l := NewLoader(faulty, LoaderConfig{
+		Attempts: attempts, Timeout: timeout, Backoff: 2 * time.Millisecond, BackoffCap: cap, Seed: 1,
+	})
+	start := time.Now()
+	_, err := l.Get(context.Background(), 3)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Get succeeded during blackout")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want wrapped ErrUnavailable", err)
+	}
+	bound := attempts*timeout + attempts*cap + 50*time.Millisecond
+	if elapsed > bound {
+		t.Errorf("blackout miss took %v, want < %v", elapsed, bound)
+	}
+	// A dark store refuses instantly, so in practice only the backoff
+	// sleeps accumulate — well under one attempt timeout each.
+	if elapsed > attempts*cap+timeout {
+		t.Logf("note: blackout miss took %v (budget %v)", elapsed, attempts*cap+timeout)
+	}
+}
+
+// TestLoaderHedging: a store whose first request hangs is rescued by the
+// hedged second request.
+func TestLoaderHedging(t *testing.T) {
+	var calls atomic.Uint64
+	store := FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // first request never answers
+			return 0, ctx.Err()
+		}
+		return key + 1, nil
+	}}
+	reg := obs.NewRegistry()
+	l := NewLoader(store, LoaderConfig{
+		Attempts: 1, Timeout: 500 * time.Millisecond, Hedge: 5 * time.Millisecond, Obs: reg,
+	})
+	start := time.Now()
+	v, err := l.Get(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 {
+		t.Fatalf("Get = %d, want 9", v)
+	}
+	if elapsed := time.Since(start); elapsed >= 500*time.Millisecond {
+		t.Errorf("hedge did not rescue the hung request (took %v)", elapsed)
+	}
+	if got := reg.CounterValue("backing_hedges_total"); got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+}
+
+// TestLoaderInflightBound: MaxInflight is a hard cap on concurrent store
+// fetches across distinct keys.
+func TestLoaderInflightBound(t *testing.T) {
+	var inflight, peak atomic.Int64
+	release := make(chan struct{})
+	store := FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		<-release
+		inflight.Add(-1)
+		return key, nil
+	}}
+	l := NewLoader(store, LoaderConfig{MaxInflight: 4, Timeout: time.Second})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Get(context.Background(), uint64(i)) //nolint:errcheck
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the pool saturate
+	close(release)
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak in-flight fetches = %d, want ≤ 4", p)
+	}
+}
+
+// TestLoaderFillRunsOncePerFetch: the install hook fires once per fetch,
+// not once per coalesced waiter.
+func TestLoaderFillRunsOncePerFetch(t *testing.T) {
+	var fills atomic.Uint64
+	store := &countingStore{inner: NewMapStore().Preload(10), delay: 10 * time.Millisecond}
+	l := NewLoader(store, LoaderConfig{
+		Fill: func(key, val uint64) { fills.Add(1) },
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Get(context.Background(), 4) //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	if f, g := fills.Load(), store.gets.Load(); f != g {
+		t.Errorf("fill ran %d times for %d fetches", f, g)
+	}
+}
+
+// TestLoaderFollowerCtxCancel: a coalesced waiter honours its own context
+// even while the shared flight is still running.
+func TestLoaderFollowerCtxCancel(t *testing.T) {
+	store := &countingStore{inner: NewMapStore().Preload(10), delay: 200 * time.Millisecond}
+	l := NewLoader(store, LoaderConfig{Timeout: time.Second})
+	leaderStarted := make(chan struct{})
+	go func() {
+		close(leaderStarted)
+		l.Get(context.Background(), 5) //nolint:errcheck
+	}()
+	<-leaderStarted
+	time.Sleep(5 * time.Millisecond) // leader holds the flight
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := l.Get(ctx, 5)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("follower waited %v past its own deadline", elapsed)
+	}
+}

@@ -1,0 +1,116 @@
+package backing
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseStore builds a Store from its declarative string form, the
+// `-backing` argument of `p4lru-bench replay`:
+//
+//	kind[:key=value,...]
+//
+// Kinds:
+//
+//	map                 in-memory map, synthesizing values for unknown keys
+//	                    (synth=false to disable, items=N to preload 1..N)
+//	btree               the kvindex B+ tree server (items=N, default 100000)
+//
+// Fault-model keys apply to every kind and wrap the store in a Faulty
+// decorator when any is present: latency (Go duration added per op), err
+// (per-op error probability), blackout (outage windows "from-to[;from-to]",
+// Go durations measured from process start), seed.
+//
+// The wire-backed remote store is constructed by the CLI itself (it needs a
+// live address and lives in internal/netproto, above this package).
+func ParseStore(spec string) (Store, error) {
+	kind, params, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	kind = strings.TrimSpace(kind)
+
+	var (
+		items  = 0
+		synth  = true
+		faulty FaultyConfig
+		wrap   bool
+	)
+	if params != "" {
+		for _, kv := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			if !ok || val == "" {
+				return nil, fmt.Errorf("backing: spec %q: bad parameter %q (want key=value)", spec, kv)
+			}
+			var err error
+			switch key {
+			case "items":
+				items, err = strconv.Atoi(val)
+			case "synth":
+				synth, err = strconv.ParseBool(val)
+			case "latency":
+				faulty.Latency, err = time.ParseDuration(val)
+				wrap = true
+			case "err":
+				faulty.ErrRate, err = strconv.ParseFloat(val, 64)
+				wrap = true
+			case "seed":
+				faulty.Seed, err = strconv.ParseUint(val, 0, 64)
+			case "blackout":
+				faulty.Windows, err = parseWindows(val)
+				wrap = true
+			default:
+				return nil, fmt.Errorf("backing: spec %q: unknown parameter %q", spec, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("backing: spec %q: parameter %q: %v", spec, key, err)
+			}
+		}
+	}
+
+	var store Store
+	switch kind {
+	case "map":
+		m := NewMapStore()
+		m.Synth = synth
+		if items > 0 {
+			m.Preload(items)
+		}
+		store = m
+	case "btree":
+		if items <= 0 {
+			items = 100_000
+		}
+		store = NewBTree(items)
+	default:
+		return nil, fmt.Errorf("backing: unknown store kind %q (want map or btree)", kind)
+	}
+	if wrap {
+		store = NewFaulty(store, faulty)
+	}
+	return store, nil
+}
+
+// parseWindows parses "from-to[;from-to]..." blackout windows.
+func parseWindows(s string) ([]Window, error) {
+	var out []Window
+	for _, part := range strings.Split(s, ";") {
+		from, to, ok := strings.Cut(part, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad window %q (want from-to)", part)
+		}
+		f, err := time.ParseDuration(strings.TrimSpace(from))
+		if err != nil {
+			return nil, err
+		}
+		t, err := time.ParseDuration(strings.TrimSpace(to))
+		if err != nil {
+			return nil, err
+		}
+		if t <= f {
+			return nil, fmt.Errorf("empty window %q", part)
+		}
+		out = append(out, Window{From: f, To: t})
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package backing
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseStoreMap(t *testing.T) {
+	s, err := ParseStore("map:items=10,synth=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.(*MapStore)
+	if !ok {
+		t.Fatalf("got %T, want *MapStore", s)
+	}
+	if m.Len() != 10 || m.Synth {
+		t.Errorf("Len=%d Synth=%v, want 10/false", m.Len(), m.Synth)
+	}
+	if _, err := m.Get(context.Background(), 999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("synth=false store fabricated a value (err %v)", err)
+	}
+}
+
+func TestParseStoreMapDefaultSynth(t *testing.T) {
+	s, err := ParseStore("map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get(context.Background(), 5); err != nil || v != uint64(5)^SynthSalt {
+		t.Errorf("default map store Get = %d, %v (want synthesized)", v, err)
+	}
+}
+
+func TestParseStoreBTree(t *testing.T) {
+	s, err := ParseStore("btree:items=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.(*BTree)
+	if !ok {
+		t.Fatalf("got %T, want *BTree", s)
+	}
+	if b.Server().Items() != 100 {
+		t.Errorf("Items = %d, want 100", b.Server().Items())
+	}
+}
+
+func TestParseStoreFaultWrap(t *testing.T) {
+	s, err := ParseStore("map:items=10,err=0.5,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := s.(*Faulty)
+	if !ok {
+		t.Fatalf("got %T, want *Faulty wrapper", s)
+	}
+	if f.cfg.ErrRate != 0.5 || f.cfg.Seed != 3 {
+		t.Errorf("cfg = %+v", f.cfg)
+	}
+}
+
+func TestParseStoreBlackoutWindows(t *testing.T) {
+	s, err := ParseStore("map:blackout=1s-2s;5s-6s,latency=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := s.(*Faulty)
+	if !ok {
+		t.Fatalf("got %T, want *Faulty wrapper", s)
+	}
+	want := []Window{{From: time.Second, To: 2 * time.Second}, {From: 5 * time.Second, To: 6 * time.Second}}
+	if len(f.cfg.Windows) != 2 || f.cfg.Windows[0] != want[0] || f.cfg.Windows[1] != want[1] {
+		t.Errorf("Windows = %v, want %v", f.cfg.Windows, want)
+	}
+	if f.cfg.Latency != time.Millisecond {
+		t.Errorf("Latency = %v", f.cfg.Latency)
+	}
+}
+
+func TestParseStoreErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"redis",
+		"map:items",
+		"map:items=x",
+		"map:wat=1",
+		"map:blackout=2s-1s",
+		"map:blackout=oops",
+	} {
+		if _, err := ParseStore(spec); err == nil {
+			t.Errorf("ParseStore(%q) accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package backing
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+func TestWriteBehindDrains(t *testing.T) {
+	store := NewMapStore()
+	reg := obs.NewRegistry()
+	w := NewWriteBehind(store, WriteBehindConfig{Obs: reg})
+	defer w.Close()
+
+	for i := uint64(1); i <= 100; i++ {
+		if !w.Offer(i, i*2) {
+			t.Fatalf("Offer(%d) rejected with an empty queue", i)
+		}
+	}
+	w.Flush()
+	if got := store.Len(); got != 100 {
+		t.Fatalf("store has %d keys after Flush, want 100", got)
+	}
+	if v, _ := store.Get(context.Background(), 7); v != 14 {
+		t.Errorf("store[7] = %d, want 14", v)
+	}
+	offered, drained, dropped, failures := w.Stats()
+	if offered != 100 || drained != 100 || dropped != 0 || failures != 0 {
+		t.Errorf("Stats = (%d, %d, %d, %d), want (100, 100, 0, 0)", offered, drained, dropped, failures)
+	}
+	if got := reg.CounterValue("backing_writebehind_puts_total"); got != 100 {
+		t.Errorf("puts counter = %d, want 100", got)
+	}
+}
+
+func TestWriteBehindShedsOnFullQueue(t *testing.T) {
+	block := make(chan struct{})
+	store := FuncStore{
+		GetFn: func(ctx context.Context, key uint64) (uint64, error) { return 0, ErrNotFound },
+		PutFn: func(ctx context.Context, key, val uint64) error {
+			<-block
+			return nil
+		},
+	}
+	w := NewWriteBehind(store, WriteBehindConfig{QueueDepth: 4, Timeout: 10 * time.Second})
+	defer w.Close()
+
+	// Saturate: 1 pair in the worker + 4 queued; everything beyond sheds.
+	accepted := 0
+	for i := uint64(0); i < 20; i++ {
+		if w.Offer(i, i) {
+			accepted++
+		}
+	}
+	if accepted > 5 {
+		t.Errorf("accepted %d pairs into a depth-4 queue", accepted)
+	}
+	_, _, dropped, _ := w.Stats()
+	if int(dropped) != 20-accepted {
+		t.Errorf("dropped = %d, want %d", dropped, 20-accepted)
+	}
+	close(block)
+}
+
+func TestWriteBehindRetriesThenGivesUp(t *testing.T) {
+	var mu sync.Mutex
+	calls := map[uint64]int{}
+	store := FuncStore{
+		GetFn: func(ctx context.Context, key uint64) (uint64, error) { return 0, ErrNotFound },
+		PutFn: func(ctx context.Context, key, val uint64) error {
+			mu.Lock()
+			defer mu.Unlock()
+			calls[key]++
+			if key == 1 && calls[key] < 3 {
+				return ErrUnavailable // heals on the third attempt
+			}
+			if key == 2 {
+				return ErrUnavailable // never heals
+			}
+			return nil
+		},
+	}
+	w := NewWriteBehind(store, WriteBehindConfig{
+		Attempts: 3, Backoff: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+	w.Offer(1, 10)
+	w.Offer(2, 20)
+	w.Flush()
+	w.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if calls[1] != 3 {
+		t.Errorf("key 1 Put attempts = %d, want 3 (healed)", calls[1])
+	}
+	if calls[2] != 3 {
+		t.Errorf("key 2 Put attempts = %d, want 3 (budget spent)", calls[2])
+	}
+	_, _, _, failures := w.Stats()
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1", failures)
+	}
+}
+
+// TestWriteBehindOfferAfterCloseNoPanic pins the lifecycle contract: Offer
+// racing Close never panics on the closed queue, it just reports false.
+func TestWriteBehindOfferAfterCloseNoPanic(t *testing.T) {
+	w := NewWriteBehind(NewMapStore(), WriteBehindConfig{})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 1000; i++ {
+				w.Offer(uint64(g*1000+i), 1)
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	w.Close()
+	wg.Wait()
+	w.Close() // idempotent
+	if !t.Failed() {
+		offered, drained, dropped, _ := w.Stats()
+		if drained != offered {
+			t.Errorf("drained %d of %d offered", drained, offered)
+		}
+		if offered+dropped != 8000 {
+			t.Errorf("offered %d + dropped %d != 8000", offered, dropped)
+		}
+	}
+}

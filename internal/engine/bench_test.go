@@ -1,13 +1,17 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"github.com/p4lru/p4lru/internal/backing"
 	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/quantile"
 )
 
 // benchKeys is a shared Zipf-ish key stream: heavy-tailed like the traces,
@@ -87,6 +91,85 @@ func BenchmarkEngineQuery(b *testing.B) {
 		for pb.Next() {
 			e.Query(keys[i&uint64(len(keys)-1)])
 			i++
+		}
+	})
+}
+
+// BenchmarkTiered measures the look-through pair. op=hit is the acceptance
+// gate: serving a resident key through GetOrLoad must stay allocation-free
+// and within a small factor of the bare Query path (benchjson enforces both
+// against the committed baseline). op=miss drives every iteration through
+// the loader against an in-memory store and reports end-to-end miss-latency
+// p50/p99 as custom metrics, which benchjson folds into the miss-latency
+// panel of BENCH_<n>.json.
+func BenchmarkTiered(b *testing.B) {
+	newTiered := func(b *testing.B) *Tiered {
+		e, err := NewFromSpec(
+			policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 1 << 20, Seed: 1},
+			Config{Shards: runtime.GOMAXPROCS(0), Block: true},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(e.Close)
+		store := backing.NewMapStore()
+		store.Synth = true
+		return NewTiered(e, store, backing.LoaderConfig{MaxInflight: 256})
+	}
+
+	b.Run("op=hit", func(b *testing.B) {
+		t := newTiered(b)
+		keys := benchKeys()
+		for _, k := range keys {
+			t.Apply(Op{Key: k, Value: k})
+		}
+		var resident []uint64
+		for _, k := range keys {
+			if _, _, ok := t.Query(k); ok {
+				resident = append(resident, k)
+			}
+		}
+		if len(resident) == 0 {
+			b.Fatal("no resident keys after warmup")
+		}
+		ctx := context.Background()
+		var cursor atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := cursor.Add(1 << 40)
+			for pb.Next() {
+				k := resident[i%uint64(len(resident))]
+				i++
+				if _, _, hit, err := t.GetOrLoad(ctx, k); err != nil || !hit {
+					b.Errorf("resident key %d: hit=%v err=%v", k, hit, err)
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("op=miss", func(b *testing.B) {
+		t := newTiered(b)
+		ctx := context.Background()
+		// Serial on purpose: the per-op latency stream feeds one P²
+		// estimator, and a fresh key per iteration keeps every op a miss.
+		p50, p99 := quantile.New(0.5), quantile.New(0.99)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := uint64(1<<40) + uint64(i)
+			start := time.Now()
+			if _, _, _, err := t.GetOrLoad(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+			ns := float64(time.Since(start).Nanoseconds())
+			p50.Add(ns)
+			p99.Add(ns)
+		}
+		b.StopTimer()
+		if p50.Count() > 0 {
+			b.ReportMetric(p50.Value(), "p50-miss-ns")
+			b.ReportMetric(p99.Value(), "p99-miss-ns")
 		}
 	})
 }

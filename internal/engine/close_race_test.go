@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// TestSubmitRacesClose pins the shutdown contract: producers hammering
+// Submit and Submitter.Flush while Close runs concurrently must never panic
+// on the closed queues, and every op must be accounted — applied by a writer
+// or counted in Dropped(). Run with -race via `make race`.
+func TestSubmitRacesClose(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		block bool
+	}{
+		{"drop", false},
+		{"block", true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			e, err := NewFromSpec(
+				policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 64 * 1024, Seed: 1},
+				Config{Shards: 4, QueueDepth: 8, BatchSize: 16, Block: mode.block},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const (
+				producers   = 8
+				perProducer = 10_000
+			)
+			var produced atomic.Uint64
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					sub := e.NewSubmitter()
+					<-start
+					for i := 0; i < perProducer; i++ {
+						sub.Submit(Op{Key: uint64(p*perProducer + i), Value: 1, Token: policy.NoToken})
+						produced.Add(1)
+					}
+					sub.Flush()
+				}(p)
+			}
+			// Half the producers also use the single-op path concurrently.
+			for p := 0; p < producers/2; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					<-start
+					for i := 0; i < perProducer; i++ {
+						e.Submit(Op{Key: uint64(1<<32 + p*perProducer + i), Value: 2, Token: policy.NoToken})
+						produced.Add(1)
+					}
+				}(p)
+			}
+
+			close(start)
+			time.Sleep(time.Millisecond) // let the queues heat up mid-stream
+			e.Close()
+			wg.Wait()
+			e.Close() // idempotent
+
+			var applied uint64
+			for _, s := range e.Stats() {
+				applied += s.Applied
+			}
+			if got, want := applied+e.Dropped(), produced.Load(); got != want {
+				t.Errorf("applied %d + dropped %d = %d, want %d produced",
+					applied, e.Dropped(), got, want)
+			}
+			// Late ops must be rejected, not silently accepted.
+			if e.Submit(Op{Key: 1, Value: 1, Token: policy.NoToken}) {
+				t.Error("Submit accepted after Close")
+			}
+		})
+	}
+}

@@ -74,6 +74,15 @@ type Config struct {
 	// Block selects backpressure semantics when a shard queue is full:
 	// true blocks the submitter, false drops the batch and counts it.
 	Block bool
+	// OnEvict, when non-nil, is invoked for every eviction a queued batch
+	// or Apply performs — the hook the write-behind drain hangs off. It
+	// runs on the shard writer goroutine (or the Apply caller) under the
+	// shard write lock, so it must be fast and non-blocking
+	// (backing.WriteBehind.Offer qualifies: bounded queue, sheds on
+	// overflow). Setting it routes batches through the cache's
+	// policy.EvictBatchUpdater when available, else a per-op Update loop —
+	// evictions cannot be observed through the eviction-blind batch walk.
+	OnEvict func(key, val uint64)
 	// Obs, when non-nil, receives per-shard counters and gauges
 	// (engine_ops_total, engine_drops_total, engine_occupancy,
 	// engine_queue_depth), global query counters and the batch-size
@@ -97,10 +106,11 @@ func (c Config) withDefaults() Config {
 // shard is one independent serving unit: a private cache, its lock, and the
 // bounded batch queue its writer goroutine consumes.
 type shard struct {
-	mu       sync.RWMutex
-	cache    policy.Cache
-	batch    policy.BatchUpdater // non-nil when cache applies whole batches
-	lockFree bool                // cache is a policy.ConcurrentReader
+	mu         sync.RWMutex
+	cache      policy.Cache
+	batch      policy.BatchUpdater      // non-nil when cache applies whole batches
+	evictBatch policy.EvictBatchUpdater // non-nil when batches can report evictions
+	lockFree   bool                     // cache is a policy.ConcurrentReader
 
 	queue     chan []Op
 	submitted atomic.Uint64 // ops handed to the queue
@@ -153,11 +163,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 		cr, ok := c.(policy.ConcurrentReader)
 		bu, _ := c.(policy.BatchUpdater)
+		ebu, _ := c.(policy.EvictBatchUpdater)
 		s := &shard{
-			cache:    c,
-			batch:    bu,
-			lockFree: ok && cr.ConcurrentQuery(),
-			queue:    make(chan []Op, cfg.QueueDepth),
+			cache:      c,
+			batch:      bu,
+			evictBatch: ebu,
+			lockFree:   ok && cr.ConcurrentQuery(),
+			queue:      make(chan []Op, cfg.QueueDepth),
 		}
 		if r := cfg.Obs; r != nil {
 			label := fmt.Sprintf(`{shard="%d"}`, i)
@@ -230,12 +242,26 @@ func (e *Engine) writer(s *shard) {
 // implements policy.BatchUpdater (the flat P4LRU3 core) consumes the queued
 // batch directly — ops are policy.Op, so no conversion happens and the
 // whole apply loop allocates nothing; anything else gets the per-op Update
-// loop.
+// loop. With an eviction hook configured the batch goes through
+// policy.EvictBatchUpdater (or the per-op loop), since the eviction-blind
+// batch walk cannot feed the hook.
 func (e *Engine) applyBatch(s *shard, batch []Op) {
 	s.mu.Lock()
-	if s.batch != nil {
+	switch {
+	case e.cfg.OnEvict != nil:
+		if s.evictBatch != nil {
+			s.evictBatch.UpdateBatchEvict(batch, e.cfg.OnEvict)
+		} else {
+			for _, op := range batch {
+				res := s.cache.Update(op.Key, op.Value, op.Token, op.Now)
+				if res.Evicted {
+					e.cfg.OnEvict(res.EvictedKey, res.EvictedValue)
+				}
+			}
+		}
+	case s.batch != nil:
 		s.batch.UpdateBatch(batch)
-	} else {
+	default:
 		for _, op := range batch {
 			s.cache.Update(op.Key, op.Value, op.Token, op.Now)
 		}
@@ -281,6 +307,9 @@ func (e *Engine) Apply(op Op) policy.Result {
 	s := e.shards[e.ShardFor(op.Key)]
 	s.mu.Lock()
 	res := s.cache.Update(op.Key, op.Value, op.Token, op.Now)
+	if res.Evicted && e.cfg.OnEvict != nil {
+		e.cfg.OnEvict(res.EvictedKey, res.EvictedValue)
+	}
 	s.mu.Unlock()
 	s.ops.Inc()
 	return res

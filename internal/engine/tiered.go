@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/backing"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// Tiered couples an Engine with a backing.Loader into a look-through
+// serving pair: Query hits serve from the cache tier at full speed (the
+// zero-alloc engine read path, untouched), and misses go to the backing
+// store through the loader — coalesced, bounded, retried — with successful
+// fetches installed back into the engine via the batch path.
+//
+// The division of labour mirrors the paper's deployments: the engine is the
+// switch (fast, bounded, never blocks on the backend) and the Store is the
+// server behind it. When the store degrades, the engine keeps answering
+// hits; only misses pay, and they fail fast once the loader's retry budget
+// is spent.
+//
+// Write-behind is wired at engine construction, not here: build the engine
+// with Config.OnEvict = (*backing.WriteBehind).OnEvict so evictions drain
+// into the store.
+type Tiered struct {
+	*Engine
+	loader *backing.Loader
+	epoch  time.Time
+}
+
+// NewTiered builds the pairing. cfg.Fill is chained, not replaced: the
+// loader first installs each fetched value into the engine (Submit through
+// the batch path, tolerating drop-mode shedding), then calls any
+// caller-supplied Fill.
+func NewTiered(e *Engine, store backing.Store, cfg backing.LoaderConfig) *Tiered {
+	t := &Tiered{Engine: e, epoch: time.Now()}
+	userFill := cfg.Fill
+	cfg.Fill = func(key, val uint64) {
+		t.Engine.Submit(Op{Key: key, Value: val, Token: policy.NoToken, Now: time.Since(t.epoch)})
+		if userFill != nil {
+			userFill(key, val)
+		}
+	}
+	t.loader = backing.NewLoader(store, cfg)
+	return t
+}
+
+// Loader exposes the miss path (for stats and direct loads).
+func (t *Tiered) Loader() *backing.Loader { return t.loader }
+
+// GetOrLoad serves key look-through: a cache hit returns immediately with
+// hit=true and the policy's token (callers that promote on hit pass it back
+// via Submit); a miss fetches through the loader, installs on success and
+// returns the fetched value with hit=false. The error is the loader's —
+// backing.ErrNotFound for definitive misses, a retry-budget failure when
+// the store is down, or ctx's error.
+func (t *Tiered) GetOrLoad(ctx context.Context, key uint64) (val uint64, tok policy.Token, hit bool, err error) {
+	if v, tok, ok := t.Engine.Query(key); ok {
+		return v, tok, true, nil
+	}
+	v, err := t.loader.Get(ctx, key)
+	return v, policy.NoToken, false, err
+}

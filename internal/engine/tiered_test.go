@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/backing"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+func TestTieredLookThrough(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	store := backing.NewMapStore().Preload(1000)
+	tiered := NewTiered(e, store, backing.LoaderConfig{})
+
+	// First access misses and fetches through the store.
+	v, _, hit, err := tiered.GetOrLoad(context.Background(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold key reported as hit")
+	}
+	if want := uint64(42) ^ backing.SynthSalt; v != want {
+		t.Fatalf("miss value = %d, want %d", v, want)
+	}
+
+	// The fetch installed via Submit; once applied, the key serves as a hit.
+	e.Flush()
+	v, _, hit, err = tiered.GetOrLoad(context.Background(), 42)
+	if err != nil || !hit {
+		t.Fatalf("after install: hit=%v err=%v", hit, err)
+	}
+	if want := uint64(42) ^ backing.SynthSalt; v != want {
+		t.Fatalf("hit value = %d, want %d", v, want)
+	}
+	if _, _, _, err := tiered.GetOrLoad(context.Background(), 99_999); !errors.Is(err, backing.ErrNotFound) {
+		t.Fatalf("absent key err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestTieredBlackoutGracefulDegradation is the acceptance-criteria fault
+// test: with the backing store fully dark, resident keys keep serving
+// correct, allocation-free hits while misses fail fast within the loader's
+// budget — the engine-as-switch never degrades with its backend.
+func TestTieredBlackoutGracefulDegradation(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	faulty := backing.NewFaulty(backing.NewMapStore().Preload(10_000), backing.FaultyConfig{Seed: 3})
+	const (
+		attempts   = 3
+		timeout    = 50 * time.Millisecond
+		backoffCap = 20 * time.Millisecond
+	)
+	tiered := NewTiered(e, faulty, backing.LoaderConfig{
+		Attempts: attempts, Timeout: timeout,
+		Backoff: 2 * time.Millisecond, BackoffCap: backoffCap, Seed: 3,
+	})
+
+	// Warm the cache synchronously, then find keys that stayed resident.
+	for k := uint64(1); k <= 2000; k++ {
+		e.Apply(Op{Key: k, Value: k ^ backing.SynthSalt, Token: policy.NoToken})
+	}
+	var resident []uint64
+	for k := uint64(1); k <= 2000 && len(resident) < 16; k++ {
+		if _, _, ok := e.Query(k); ok {
+			resident = append(resident, k)
+		}
+	}
+	if len(resident) == 0 {
+		t.Fatal("no keys resident after warmup")
+	}
+
+	faulty.SetBlackout(true)
+
+	// Hits: correct and allocation-free, store untouched.
+	for _, k := range resident {
+		v, _, hit, err := tiered.GetOrLoad(context.Background(), k)
+		if err != nil || !hit || v != k^backing.SynthSalt {
+			t.Fatalf("blackout hit on %d: v=%d hit=%v err=%v", k, v, hit, err)
+		}
+	}
+	k := resident[0]
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := e.Query(k); !ok {
+			t.Error("resident key vanished")
+		}
+	}); allocs != 0 {
+		t.Errorf("hit Query allocates %.1f objects/op during blackout, want 0", allocs)
+	}
+
+	// Misses: fail with the transient error, within the retry budget's bound.
+	start := time.Now()
+	_, _, _, err := tiered.GetOrLoad(context.Background(), 999_999_999)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("miss succeeded against a dark store")
+	}
+	if !errors.Is(err, backing.ErrUnavailable) {
+		t.Fatalf("miss err = %v, want wrapped ErrUnavailable", err)
+	}
+	if bound := attempts*timeout + attempts*backoffCap + 100*time.Millisecond; elapsed > bound {
+		t.Errorf("blackout miss took %v, want < %v", elapsed, bound)
+	}
+
+	// Recovery: lifting the blackout restores the miss path.
+	faulty.SetBlackout(false)
+	if _, _, _, err := tiered.GetOrLoad(context.Background(), 3_333); err != nil {
+		t.Fatalf("post-blackout miss: %v", err)
+	}
+}
+
+// TestTieredWriteBehindDrain wires the eviction hook to a write-behind
+// drainer and checks evicted pairs land in the store.
+func TestTieredWriteBehindDrain(t *testing.T) {
+	store := backing.NewMapStore()
+	wb := backing.NewWriteBehind(store, backing.WriteBehindConfig{QueueDepth: 4096})
+	defer wb.Close()
+
+	e := newTestEngine(t, Config{Shards: 2, Block: true, OnEvict: wb.OnEvict})
+	sub := e.NewSubmitter()
+	// Far more keys than capacity: most inserts evict a predecessor.
+	const keys = 50_000
+	for k := uint64(1); k <= keys; k++ {
+		sub.Submit(Op{Key: k, Value: k * 3, Token: policy.NoToken})
+	}
+	sub.Flush()
+	e.Flush()
+	wb.Flush()
+
+	offered, drained, _, failures := wb.Stats()
+	if offered == 0 {
+		t.Fatal("no evictions reached the write-behind queue")
+	}
+	if drained != offered || failures != 0 {
+		t.Fatalf("drained %d of %d offered (%d failures)", drained, offered, failures)
+	}
+	// Every drained pair must carry the value it was cached with.
+	checked := 0
+	for k := uint64(1); k <= keys && checked < 1000; k++ {
+		v, err := store.Get(context.Background(), k)
+		if errors.Is(err, backing.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != k*3 {
+			t.Fatalf("store[%d] = %d, want %d", k, v, k*3)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no evicted pairs found in the store")
+	}
+}
+
+// TestTieredMissStormCoalesces: the engine-level view of the singleflight
+// acceptance test — a same-key storm through GetOrLoad costs few fetches and
+// installs the key exactly once per fetch.
+func TestTieredMissStormCoalesces(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	var fetches atomic.Uint64
+	store := backing.FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		fetches.Add(1)
+		time.Sleep(10 * time.Millisecond)
+		return key ^ backing.SynthSalt, nil
+	}}
+	tiered := NewTiered(e, store, backing.LoaderConfig{})
+
+	const goroutines = 100
+	var wg sync.WaitGroup
+	var bad atomic.Uint64
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, _, err := tiered.GetOrLoad(context.Background(), 5)
+			if err != nil || v != uint64(5)^backing.SynthSalt {
+				bad.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d/%d storm calls failed", n, goroutines)
+	}
+	if f := fetches.Load(); f > goroutines/10 {
+		t.Errorf("storm cost %d fetches, want ≤ %d", f, goroutines/10)
+	}
+	e.Flush()
+	if _, _, ok := e.Query(5); !ok {
+		t.Error("stormed key not installed")
+	}
+}

@@ -72,6 +72,20 @@ func (s *Server) Resolve(key uint64, cachedIndex uint64, cached bool) (idx uint6
 	return idx, s.arena[idx : idx+ValueSize], nodes, true
 }
 
+// Write stores an 8-byte value word at key's arena slot, returning the B+
+// tree walk cost of locating it — the server-side write a write-behind
+// drain performs. It is not safe to call concurrently with reads of the
+// same slot; callers that mix the two (the backing-store adapter) serialize
+// around it.
+func (s *Server) Write(key, val uint64) (nodes int, ok bool) {
+	off, nodes, ok := s.index.Get(key)
+	if !ok {
+		return nodes, false
+	}
+	binary.LittleEndian.PutUint64(s.arena[off:], val)
+	return nodes, true
+}
+
 // lookup resolves a key: via the cached index if provided (nodes = 0), else
 // through the B+ tree. It returns the index, the first value word, and the
 // node count of the walk.

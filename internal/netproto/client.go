@@ -1,21 +1,44 @@
 package netproto
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
 // Client issues point queries through the switch and validates replies.
+//
+// UDP loses datagrams, so a round trip is an attempt, not a guarantee: each
+// attempt waits Timeout for a matching reply, and a lost packet costs one
+// attempt instead of failing the whole query — the request is re-sent up to
+// Retries more times with capped exponential backoff plus jitter. Queries
+// are idempotent reads and replies carry the key, so duplicate or stale
+// replies from earlier attempts are filtered, never mismatched.
 type Client struct {
 	conn *net.UDPConn
 	rng  *rand.Rand
 	zipf *rand.Zipf
 
-	// Timeout bounds each round trip (lost datagrams count as failures).
+	// Timeout bounds each attempt's wait for a reply (default 500ms).
 	Timeout time.Duration
+	// Retries is how many times a timed-out attempt is re-sent (default 3;
+	// 0 restores single-shot behaviour).
+	Retries int
+	// Backoff is the delay before the first re-send; it doubles per retry
+	// up to BackoffCap (defaults 10ms and 200ms).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+
+	// jitterRng drives backoff jitter; kept separate from the workload rng
+	// so retries do not perturb the Zipf key sequence. Guarded by no lock:
+	// Client is single-goroutine, like the workload rng.
+	jitterRng *rand.Rand
+
+	resends atomic.Int64
 }
 
 // NewClient dials the switch. items bounds the key space (keys 1..items);
@@ -27,33 +50,87 @@ func NewClient(switchAddr *net.UDPAddr, items int, skew float64, seed int64) (*C
 	}
 	rng := rand.New(rand.NewSource(seed))
 	return &Client{
-		conn:    conn,
-		rng:     rng,
-		zipf:    rand.NewZipf(rng, skew, 1, uint64(items-1)),
-		Timeout: 2 * time.Second,
+		conn:       conn,
+		rng:        rng,
+		zipf:       rand.NewZipf(rng, skew, 1, uint64(items-1)),
+		Timeout:    500 * time.Millisecond,
+		Retries:    3,
+		Backoff:    10 * time.Millisecond,
+		BackoffCap: 200 * time.Millisecond,
+		jitterRng:  rand.New(rand.NewSource(seed ^ 0x6a177e12)),
 	}, nil
 }
 
 // Close releases the socket.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Resends returns the number of re-sent requests (attempts beyond each
+// query's first).
+func (c *Client) Resends() int64 { return c.resends.Load() }
+
 // QueryResult is one completed round trip.
 type QueryResult struct {
 	Key     uint64
+	Index   uint64 // the resolved database index the reply carried
 	Latency time.Duration
 	Cached  bool // the switch resolved the index
 	Valid   bool // the value matched the expected contents
 }
 
-// Query performs one synchronous round trip for key.
+// Query performs one synchronous query for key, retrying lost datagrams.
 func (c *Client) Query(key uint64) (QueryResult, error) {
+	return c.QueryContext(context.Background(), key)
+}
+
+// QueryContext is Query bounded by ctx: cancellation is checked between
+// attempts and caps each attempt's read deadline.
+func (c *Client) QueryContext(ctx context.Context, key uint64) (QueryResult, error) {
 	start := time.Now()
+	backoff := c.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			c.resends.Add(1)
+			d := backoff
+			if d > 1 {
+				d = d/2 + time.Duration(c.jitterRng.Int63n(int64(d/2)+1))
+			}
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return QueryResult{}, ctx.Err()
+			}
+			backoff *= 2
+			if backoff > c.BackoffCap {
+				backoff = c.BackoffCap
+			}
+		}
+		res, err := c.attempt(ctx, key, start)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return QueryResult{}, ctx.Err()
+		}
+	}
+	return QueryResult{}, fmt.Errorf("netproto: query %d failed after %d attempts: %w",
+		key, c.Retries+1, lastErr)
+}
+
+// attempt sends the request once and waits up to Timeout (clamped by ctx's
+// deadline) for a matching reply.
+func (c *Client) attempt(ctx context.Context, key uint64, start time.Time) (QueryResult, error) {
 	req := Message{Type: MsgQuery, Key: key}
 	if _, err := c.conn.Write(req.Marshal()); err != nil {
 		return QueryResult{}, fmt.Errorf("netproto: send: %w", err)
 	}
 
-	if err := c.conn.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+	deadline := time.Now().Add(c.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := c.conn.SetReadDeadline(deadline); err != nil {
 		return QueryResult{}, err
 	}
 	buf := make([]byte, 64*1024)
@@ -73,6 +150,7 @@ func (c *Client) Query(key uint64) (QueryResult, error) {
 			binary.LittleEndian.Uint64(msg.Value) == key^0xbadc0ffee
 		return QueryResult{
 			Key:     key,
+			Index:   msg.CachedIndex,
 			Latency: time.Since(start),
 			Cached:  msg.CachedFlag != 0,
 			Valid:   valid,

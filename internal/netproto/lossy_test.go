@@ -1,0 +1,202 @@
+package netproto
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// lossyProxy is a deliberately unreliable UDP hop between a client and a
+// server: it drops request datagrams according to dropFn (deterministic, so
+// the test controls exactly which attempts are lost). Replies always pass.
+type lossyProxy struct {
+	front    *net.UDPConn // client-facing
+	back     *net.UDPConn // server-facing
+	reqCount atomic.Int64
+	dropped  atomic.Int64
+	dropFn   func(n int64) bool
+}
+
+func newLossyProxy(t *testing.T, server *net.UDPAddr, dropFn func(n int64) bool) *lossyProxy {
+	t.Helper()
+	front, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := net.DialUDP("udp", nil, server)
+	if err != nil {
+		front.Close()
+		t.Fatal(err)
+	}
+	p := &lossyProxy{front: front, back: back, dropFn: dropFn}
+	t.Cleanup(func() { front.Close(); back.Close() })
+
+	var client atomic.Pointer[net.UDPAddr]
+	go func() { // requests: client → (maybe) server
+		buf := make([]byte, 64*1024)
+		for {
+			n, addr, err := front.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			client.Store(addr)
+			seq := p.reqCount.Add(1)
+			if p.dropFn(seq) {
+				p.dropped.Add(1)
+				continue
+			}
+			back.Write(buf[:n]) //nolint:errcheck
+		}
+	}()
+	go func() { // replies: server → client, never dropped
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := back.Read(buf)
+			if err != nil {
+				return
+			}
+			if addr := client.Load(); addr != nil {
+				front.WriteToUDP(buf[:n], addr) //nolint:errcheck
+			}
+		}
+	}()
+	return p
+}
+
+func (p *lossyProxy) Addr() *net.UDPAddr { return p.front.LocalAddr().(*net.UDPAddr) }
+
+// TestClientRetriesLossyPath pins the retry loop against real datagram loss:
+// every odd-numbered request is dropped, so each query's first attempt dies
+// and the re-send succeeds. All queries must complete and the resend counter
+// must show the recovery work.
+func TestClientRetriesLossyPath(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy := newLossyProxy(t, srv.Addr(), func(n int64) bool { return n%2 == 1 })
+
+	cl, err := NewClient(proxy.Addr(), 1000, 1.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 100 * time.Millisecond
+	cl.Retries = 3
+	cl.Backoff = time.Millisecond
+	cl.BackoffCap = 5 * time.Millisecond
+
+	const queries = 10
+	for key := uint64(1); key <= queries; key++ {
+		res, err := cl.Query(key)
+		if err != nil {
+			t.Fatalf("query %d through lossy path: %v", key, err)
+		}
+		if !res.Valid {
+			t.Errorf("query %d returned an invalid value", key)
+		}
+	}
+	if re := cl.Resends(); re < queries {
+		t.Errorf("Resends = %d, want ≥ %d (first attempt of every query dropped)", re, queries)
+	}
+	if d := proxy.dropped.Load(); d < queries {
+		t.Errorf("proxy dropped %d datagrams, want ≥ %d", d, queries)
+	}
+}
+
+// TestClientExhaustsRetryBudget: against total loss the query fails after
+// exactly Retries+1 attempts, within the attempt-budget time bound.
+func TestClientExhaustsRetryBudget(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy := newLossyProxy(t, srv.Addr(), func(int64) bool { return true })
+
+	cl, err := NewClient(proxy.Addr(), 1000, 1.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 30 * time.Millisecond
+	cl.Retries = 2
+	cl.Backoff = time.Millisecond
+	cl.BackoffCap = 2 * time.Millisecond
+
+	start := time.Now()
+	_, err = cl.Query(7)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("query succeeded through a black-hole proxy")
+	}
+	if got := proxy.reqCount.Load(); got != 3 {
+		t.Errorf("proxy saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if bound := 3*cl.Timeout + 3*cl.BackoffCap + 100*time.Millisecond; elapsed > bound {
+		t.Errorf("budget exhaustion took %v, want < %v", elapsed, bound)
+	}
+}
+
+// TestClientQueryContextCancel: a cancelled context cuts the retry loop
+// short instead of running out the full budget.
+func TestClientQueryContextCancel(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy := newLossyProxy(t, srv.Addr(), func(int64) bool { return true })
+
+	cl, err := NewClient(proxy.Addr(), 1000, 1.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 10 * time.Second // would dominate without ctx
+	cl.Retries = 5
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl.QueryContext(ctx, 7); err == nil {
+		t.Fatal("query succeeded through a black-hole proxy")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled query took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestRemoteStoreGet: the backing.Store adapter resolves indexes end to end,
+// surviving datagram loss via the pooled clients' retry budget.
+func TestRemoteStoreGet(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy := newLossyProxy(t, srv.Addr(), func(n int64) bool { return n%3 == 1 })
+
+	rs, err := NewRemoteStore(proxy.Addr(), 2, 100*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	for key := uint64(1); key <= 5; key++ {
+		idx, err := rs.Get(context.Background(), key)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", key, err)
+		}
+		// The server stores sequential keys, so the index is the arena slot.
+		if want := (key - 1) * 64; idx != want {
+			t.Errorf("Get(%d) = %d, want %d", key, idx, want)
+		}
+	}
+	if err := rs.Put(context.Background(), 1, 2); err == nil {
+		t.Error("Put on the wire store succeeded, want ErrReadOnly")
+	}
+}

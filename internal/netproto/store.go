@@ -1,0 +1,88 @@
+package netproto
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/backing"
+)
+
+// RemoteStore adapts the wire protocol as a backing.Store: Get issues a
+// MsgQuery round trip (straight to a Server, or through a Switch) and
+// returns the resolved database index — the uint64 the LruIndex deployment
+// caches. A small pool of clients carries concurrent fetches; each inherits
+// the configured per-attempt timeout and retry budget, so a lost datagram
+// costs one attempt, not the fetch.
+//
+// The protocol has no write message, so Put reports backing.ErrReadOnly;
+// run write-behind against a local store or leave it disabled.
+type RemoteStore struct {
+	pool chan *Client
+}
+
+var _ backing.Store = (*RemoteStore)(nil)
+
+// NewRemoteStore dials addr with a pool of `pool` clients (0 = 4). timeout
+// is the per-attempt reply wait and retries the re-send budget per query
+// (0s and 0 keep the client defaults).
+func NewRemoteStore(addr *net.UDPAddr, pool int, timeout time.Duration, retries int) (*RemoteStore, error) {
+	if pool <= 0 {
+		pool = 4
+	}
+	r := &RemoteStore{pool: make(chan *Client, pool)}
+	for i := 0; i < pool; i++ {
+		// Key space/skew are irrelevant: the store never draws workload
+		// keys, only serves explicit Gets.
+		cl, err := NewClient(addr, 2, 1.1, int64(i)+1)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("netproto: remote store client %d: %w", i, err)
+		}
+		if timeout > 0 {
+			cl.Timeout = timeout
+		}
+		if retries >= 0 {
+			cl.Retries = retries
+		}
+		r.pool <- cl
+	}
+	return r, nil
+}
+
+// Get implements backing.Store.
+func (r *RemoteStore) Get(ctx context.Context, key uint64) (uint64, error) {
+	var cl *Client
+	select {
+	case cl = <-r.pool:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	res, err := cl.QueryContext(ctx, key)
+	r.pool <- cl
+	if err != nil {
+		// The server drops unknown keys, so a miss and a lost reply look
+		// identical here: both surface as the client's attempt-budget
+		// error, which the Loader treats as transient.
+		return 0, err
+	}
+	return res.Index, nil
+}
+
+// Put implements backing.Store.
+func (r *RemoteStore) Put(ctx context.Context, key, val uint64) error {
+	return backing.ErrReadOnly
+}
+
+// Close releases the pooled sockets.
+func (r *RemoteStore) Close() {
+	for {
+		select {
+		case cl := <-r.pool:
+			cl.Close()
+		default:
+			return
+		}
+	}
+}

@@ -20,6 +20,41 @@ type HistogramSnapshot struct {
 	Counts []uint64  `json:"counts"`
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the recorded
+// distribution by linear interpolation inside the containing bucket —
+// Prometheus's histogram_quantile. The overflow bucket has no upper edge,
+// so a quantile landing there reports the largest finite bound (a known
+// underestimate). An empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	for i, n := range h.Counts {
+		prev := cum
+		cum += float64(n)
+		if cum < target || n == 0 {
+			continue
+		}
+		if i == len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		return lo + (h.Bounds[i]-lo)*(target-prev)/float64(n)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of a registry, the payload of the JSON
 // exporter and the expvar publisher. Function gauges are evaluated at
 // snapshot time and folded into Gauges.

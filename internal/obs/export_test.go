@@ -171,3 +171,39 @@ func TestHandler(t *testing.T) {
 		t.Error("/debug/pprof/cmdline empty")
 	}
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 20, 40, 80})
+	// 10 samples in (10,20], 10 in (20,40].
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+		h.Observe(30)
+	}
+	snap := r.Snapshot().Histograms["q"]
+
+	if got := snap.Quantile(0.5); got != 20 {
+		t.Errorf("Quantile(0.5) = %v, want 20 (bucket edge)", got)
+	}
+	if got := snap.Quantile(0.25); got != 15 {
+		t.Errorf("Quantile(0.25) = %v, want 15 (interpolated)", got)
+	}
+	if got := snap.Quantile(0.75); got != 30 {
+		t.Errorf("Quantile(0.75) = %v, want 30 (interpolated)", got)
+	}
+	if got := snap.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) = %v, want 40", got)
+	}
+
+	// Quantiles landing in the overflow bucket report the largest finite
+	// bound rather than inventing an upper edge.
+	h.Observe(1000)
+	snap = r.Snapshot().Histograms["q"]
+	if got := snap.Quantile(0.999); got != 80 {
+		t.Errorf("overflow Quantile = %v, want 80", got)
+	}
+
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}

@@ -27,6 +27,17 @@ type BatchUpdater interface {
 	UpdateBatch(ops []Op)
 }
 
+// EvictBatchUpdater is an optional Cache capability layered on BatchUpdater:
+// apply a whole op batch AND report every eviction to onEvict, in op order.
+// The serving engine prefers this interface when an eviction hook (the
+// write-behind drain) is configured, so a cache can keep a fast batch path
+// even while its replacements are being observed — the flat P4LRU3 core
+// applies per-op flat updates (no interface dispatch, no allocation) instead
+// of its eviction-blind slab walk.
+type EvictBatchUpdater interface {
+	UpdateBatchEvict(ops []Op, onEvict func(key, val uint64))
+}
+
 // FlatP4LRU3 is the p4lru3 policy on the struct-of-arrays core
 // (lru.FlatArray3) instead of the generic interface-based array. It is
 // behaviourally identical to NewP4LRU(3, units, seed, merge) with the same
@@ -46,8 +57,9 @@ type FlatP4LRU3 struct {
 }
 
 var (
-	_ Cache        = (*FlatP4LRU3)(nil)
-	_ BatchUpdater = (*FlatP4LRU3)(nil)
+	_ Cache             = (*FlatP4LRU3)(nil)
+	_ BatchUpdater      = (*FlatP4LRU3)(nil)
+	_ EvictBatchUpdater = (*FlatP4LRU3)(nil)
 )
 
 // NewFlatP4LRU3 builds a flat-core p4lru3 policy with numUnits units.
@@ -85,6 +97,19 @@ func (p *FlatP4LRU3) UpdateBatch(ops []Op) {
 		vals[i] = ops[i].Value
 	}
 	p.arr.UpdateBatch(keys, vals)
+}
+
+// UpdateBatchEvict implements EvictBatchUpdater: per-op updates on the flat
+// core (each returns its Result, so evictions are visible) instead of the
+// batched slab walk, which discards them. Still zero-allocation and free of
+// interface dispatch; the price is losing the batch's hash-ahead locality.
+func (p *FlatP4LRU3) UpdateBatchEvict(ops []Op, onEvict func(key, val uint64)) {
+	for i := range ops {
+		r := p.arr.Update(ops[i].Key, ops[i].Value)
+		if r.Evicted {
+			onEvict(r.EvictedKey, r.EvictedValue)
+		}
+	}
 }
 
 // Len implements Cache.
