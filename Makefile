@@ -8,7 +8,7 @@ BENCH_BASE ?= BENCH_3.json
 # Fixed iteration counts so runs are comparable across commits.
 BENCH_TIME ?= 2000000x
 
-.PHONY: all build test race bench bench-all verify examples fmt vet clean
+.PHONY: all build test race chaos bench bench-all verify examples fmt vet clean
 
 all: build test
 
@@ -19,7 +19,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/ ./internal/backing/
+	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/ ./internal/backing/ ./internal/resilience/
+
+# chaos runs the failure-injection suite (backing blackouts, writer panics,
+# overload shedding) under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/resilience/ ./internal/engine/
 
 # bench runs the core benchmark ladder (flat vs generic P4LRU3 array, flat
 # query paths, engine shard scaling, tiered look-through hit/miss) at a fixed
@@ -29,14 +34,16 @@ race:
 # the $(BENCH_BASE) baseline (a generous bound that absorbs CI noise while
 # catching real regressions).
 bench:
-	$(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine|Tiered' -benchmem \
-		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ \
+	$(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine|Tiered|Breaker|Shedder' -benchmem \
+		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ ./internal/resilience/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
 		-faster 'FlatVsGeneric/core=flat<FlatVsGeneric/core=generic' \
 		-faster 'FlatVsGeneric/core=flat-batch<FlatVsGeneric/core=generic' \
 		-faster 'FlatQuery/core=flat<FlatQuery/core=generic' \
 		-zeroalloc 'FlatQuery/core=flat' \
 		-zeroalloc 'Tiered/op=hit' \
+		-zeroalloc 'BreakerAllow' \
+		-zeroalloc 'ShedderAdmit' \
 		-baseline $(BENCH_BASE) \
 		-within 'EngineQuery=3' \
 		-within 'FlatQuery/core=flat=3' \

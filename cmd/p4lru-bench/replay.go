@@ -2,14 +2,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/p4lru/p4lru/internal/backing"
@@ -17,6 +21,7 @@ import (
 	"github.com/p4lru/p4lru/internal/netproto"
 	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/resilience"
 	"github.com/p4lru/p4lru/internal/trace"
 )
 
@@ -55,15 +60,32 @@ func replayCmd(args []string) error {
 	hedge := fs.Duration("hedge", 0, "hedged second fetch after this delay; 0 disables (with -backing)")
 	inflight := fs.Int("inflight", 64, "max concurrent store fetches (with -backing)")
 	writeBehind := fs.Bool("writebehind", false, "drain evictions into the backing store (with -backing)")
+	snapshotPath := fs.String("snapshot", "",
+		"snapshot file: restored at start when present, written on exit (warm restarts across SIGTERM)")
+	shedTarget := fs.Duration("shed-target", 0,
+		"enable load shedding with this EWMA latency target; 0 disables")
+	useBreaker := fs.Bool("breaker", false,
+		"wrap backing fetches in a circuit breaker so a blacked-out store fails fast (with -backing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *writeBehind && *backingSpec == "" {
 		return fmt.Errorf("-writebehind requires -backing")
 	}
+	if *useBreaker && *backingSpec == "" {
+		return fmt.Errorf("-breaker requires -backing")
+	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be ≥ 1")
 	}
+	// SIGINT/SIGTERM interrupts the replay instead of killing it: workers
+	// stop at the next checkpoint, the engine drains, and the report (and
+	// snapshot, if requested) covers the completed prefix. Installed before
+	// the slow pieces (trace load, store dial) so a signal at any point
+	// gets the graceful path.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -86,21 +108,29 @@ func replayCmd(args []string) error {
 	}
 
 	// Serve metrics before the (potentially slow) trace load so the
-	// endpoint is scrapeable for the whole run.
+	// endpoint is scrapeable for the whole run. Health checks register as
+	// the pieces come up, so /readyz starts strict and relaxes into ready.
+	health := resilience.NewHealth()
 	var reg *obs.Registry
 	if *metricsAddr != "" {
 		reg = obs.Default()
-		addr, _, err := obs.Serve(*metricsAddr, reg)
+		addr, err := serveOps(*metricsAddr, reg, health)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics  ready: http://%s/readyz\n", addr, addr)
 	}
 
 	// The backing-mode report reads loader metrics back out of the registry,
 	// so look-through runs always get one even without -metrics.
 	if *backingSpec != "" && reg == nil {
 		reg = obs.Default()
+	}
+
+	var shedder *resilience.Shedder
+	if *shedTarget > 0 {
+		shedder = resilience.NewShedder(resilience.ShedderConfig{TargetLatency: *shedTarget, Obs: reg})
+		health.Register("shedder", shedder.Check)
 	}
 
 	tr, err := loadReplayTrace(*traceFile, *packets, *flows, *segments, *seed)
@@ -124,6 +154,7 @@ func replayCmd(args []string) error {
 		Seed:       uint64(*seed),
 		Block:      *block,
 		Obs:        reg,
+		Shedder:    shedder,
 	}
 	var wb *backing.WriteBehind
 	if *writeBehind {
@@ -137,9 +168,29 @@ func replayCmd(args []string) error {
 		return err
 	}
 	defer eng.Close()
+	health.Register("engine", eng.Healthy)
+
+	if *snapshotPath != "" {
+		if f, err := os.Open(*snapshotPath); err == nil {
+			n, rerr := eng.RestoreSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "p4lru-bench: snapshot restore: %v (starting cold)\n", rerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "snapshot: restored %d entries from %s\n", n, *snapshotPath)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
 
 	var tiered *engine.Tiered
 	if store != nil {
+		var breaker *resilience.Breaker
+		if *useBreaker {
+			breaker = resilience.NewBreaker(resilience.BreakerConfig{Name: "backing", Obs: reg})
+			health.Register("breaker", breaker.Check)
+		}
 		tiered = engine.NewTiered(eng, store, backing.LoaderConfig{
 			Attempts:    *attempts,
 			Timeout:     *fetchTimeout,
@@ -147,6 +198,7 @@ func replayCmd(args []string) error {
 			MaxInflight: *inflight,
 			Seed:        uint64(*seed),
 			Obs:         reg,
+			Breaker:     breaker,
 		})
 	}
 
@@ -162,9 +214,12 @@ func replayCmd(args []string) error {
 			defer wg.Done()
 			sub := eng.NewSubmitter()
 			defer sub.Flush()
-			ctx := context.Background()
+			ctx := runCtx
 			var localHits, localQueries, localErrs uint64
-			for i := w; i < len(tr.Packets); i += *parallel {
+			for i, n := w, 0; i < len(tr.Packets); i, n = i+*parallel, n+1 {
+				if n&0xfff == 0 && runCtx.Err() != nil {
+					break
+				}
 				p := tr.Packets[i]
 				localQueries++
 				if tiered == nil {
@@ -192,16 +247,32 @@ func replayCmd(args []string) error {
 		}(w)
 	}
 	wg.Wait()
-	eng.Flush()
+	interrupted := runCtx.Err() != nil
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "p4lru-bench: interrupted — draining engine")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if derr := eng.Drain(drainCtx); derr != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench: drain:", derr)
+		}
+		cancel()
+	} else {
+		eng.Flush()
+	}
 	wall := time.Since(start)
 
 	q := queries.Load()
+	if interrupted {
+		fmt.Printf("interrupted=true completedPrefix=%d of %d\n", q, len(tr.Packets))
+	}
 	fmt.Printf("engine=%s shards=%d parallel=%d mem=%dB entries=%d\n",
 		eng.Name(), eng.Shards(), *parallel, spec.MemBytes, eng.Capacity())
 	fmt.Printf("packets=%d wall=%v throughput=%.2fM pkt/s\n",
 		q, wall.Round(time.Millisecond), float64(q)/wall.Seconds()/1e6)
-	fmt.Printf("hitRate=%.4f dropped=%d occupancy=%d\n",
-		float64(hits.Load())/float64(q), eng.Dropped(), eng.Len())
+	hitRate := 0.0
+	if q > 0 {
+		hitRate = float64(hits.Load()) / float64(q)
+	}
+	fmt.Printf("hitRate=%.4f dropped=%d occupancy=%d\n", hitRate, eng.Dropped(), eng.Len())
 	for i, s := range eng.Stats() {
 		fmt.Printf("shard %2d: submitted=%d applied=%d dropped=%d len=%d\n",
 			i, s.Submitted, s.Applied, s.Dropped, s.Len)
@@ -209,7 +280,52 @@ func replayCmd(args []string) error {
 	if tiered != nil {
 		reportBacking(reg, *backingSpec, loadErrs.Load(), wb)
 	}
+	if *snapshotPath != "" {
+		if err := writeSnapshot(eng, *snapshotPath); err != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench: snapshot:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "snapshot: wrote %d entries to %s\n", eng.Len(), *snapshotPath)
+		}
+	}
 	return nil
+}
+
+// serveOps serves the registry plus health probes on one listener: the obs
+// handler at its usual paths, the resilience aggregator on /healthz and
+// /readyz.
+func serveOps(addr string, reg *obs.Registry, health *resilience.Health) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	reg.PublishExpvar("p4lru")
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
+	mux.Handle("/healthz", health)
+	mux.Handle("/readyz", health)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// writeSnapshot writes the engine snapshot atomically (tmp file + rename) so
+// a crash mid-write can't clobber the previous good image.
+func writeSnapshot(eng *engine.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // buildBackingStore resolves the -backing spec. "remote:host:port" dials the

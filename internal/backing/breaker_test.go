@@ -1,0 +1,112 @@
+package backing
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/resilience"
+)
+
+func TestLoaderBreakerFailsFast(t *testing.T) {
+	inner := NewMapStore().Preload(100)
+	faulty := NewFaulty(inner, FaultyConfig{})
+	br := resilience.NewBreaker(resilience.BreakerConfig{
+		ConsecutiveFailures: 3, OpenFor: 50 * time.Millisecond, HalfOpenProbes: 1,
+	})
+	reg := obs.NewRegistry()
+	l := NewLoader(faulty, LoaderConfig{
+		Attempts: 3, Timeout: 50 * time.Millisecond,
+		Backoff: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+		Breaker: br, Obs: reg,
+	})
+	ctx := context.Background()
+
+	// Healthy store: fetches succeed, circuit stays closed.
+	if v, err := l.Get(ctx, 1); err != nil || v != 1^SynthSalt {
+		t.Fatalf("healthy Get = (%d, %v)", v, err)
+	}
+	if br.State() != resilience.Closed {
+		t.Fatalf("breaker state = %v, want Closed", br.State())
+	}
+
+	// Blackout: the first Get burns its retry budget and trips the circuit.
+	faulty.SetBlackout(true)
+	if _, err := l.Get(ctx, 2); err == nil {
+		t.Fatal("Get succeeded during blackout")
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker state after blackout Get = %v, want Open", br.State())
+	}
+
+	// Subsequent misses fail in one Allow() check — no attempts, no
+	// backoff. Bound: far less than a single attempt timeout.
+	fetchesBefore := reg.CounterValue("backing_fetches_total")
+	start := time.Now()
+	_, err := l.Get(ctx, 3)
+	if !errors.Is(err, ErrCircuitOpen) || !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("open-circuit Get = %v, want ErrCircuitOpen", err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("open-circuit Get took %v — not failing fast", d)
+	}
+	if got := reg.CounterValue("backing_fetches_total"); got != fetchesBefore {
+		t.Fatalf("open circuit still reached the store: fetches %d → %d", fetchesBefore, got)
+	}
+
+	// Recovery: after the cool-down a half-open probe closes the circuit.
+	faulty.SetBlackout(false)
+	time.Sleep(60 * time.Millisecond)
+	if v, err := l.Get(ctx, 4); err != nil || v != 4^SynthSalt {
+		t.Fatalf("post-recovery Get = (%d, %v)", v, err)
+	}
+	if br.State() != resilience.Closed {
+		t.Fatalf("breaker state after probe success = %v, want Closed", br.State())
+	}
+}
+
+func TestLoaderBreakerNotFoundIsSuccess(t *testing.T) {
+	br := resilience.NewBreaker(resilience.BreakerConfig{ConsecutiveFailures: 2})
+	l := NewLoader(NewMapStore(), LoaderConfig{Attempts: 1, Breaker: br})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Get(context.Background(), uint64(i+1)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get = %v, want ErrNotFound", err)
+		}
+	}
+	if br.State() != resilience.Closed {
+		t.Fatalf("definitive misses tripped the breaker (state %v)", br.State())
+	}
+}
+
+func TestLoaderBreakerCallerCancelIsNeutral(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	st := FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		select {
+		case <-block:
+			return key, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}}
+	br := resilience.NewBreaker(resilience.BreakerConfig{ConsecutiveFailures: 1, OpenFor: time.Hour})
+	l := NewLoader(st, LoaderConfig{Attempts: 3, Timeout: time.Hour, Breaker: br})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Get(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Get = %v", err)
+	}
+	// The caller gave up; the store was never proven sick.
+	if br.State() != resilience.Closed {
+		t.Fatalf("caller cancellation tripped the breaker (state %v)", br.State())
+	}
+}

@@ -9,7 +9,13 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/resilience"
 )
+
+// ErrCircuitOpen reports a Get rejected by the loader's circuit breaker
+// without touching the store: the backend is known-dark and the miss fails
+// fast instead of burning the retry budget. It wraps resilience.ErrOpen.
+var ErrCircuitOpen = fmt.Errorf("backing: miss rejected: %w", resilience.ErrOpen)
 
 // LoaderConfig parameterizes NewLoader. The zero value gets sane defaults.
 type LoaderConfig struct {
@@ -36,6 +42,13 @@ type LoaderConfig struct {
 	// (by the singleflight leader, before waiters are released) — the hook
 	// the tiered engine uses to install the value via its batch path.
 	Fill func(key, val uint64)
+	// Breaker, when non-nil, wraps the store in a circuit: every attempt
+	// asks Allow first and records its outcome (a definitive ErrNotFound
+	// counts as success — the store answered). While the circuit is open,
+	// Get fails immediately with ErrCircuitOpen instead of spending
+	// attempts against a dark backend; half-open probes ride the normal
+	// attempt path. nil disables the circuit.
+	Breaker *resilience.Breaker
 	// Obs, when non-nil, receives the loader metrics: backing_loads_total,
 	// backing_fetches_total, backing_coalesced_total, backing_retries_total,
 	// backing_hedges_total, backing_errors_total, backing_inflight and the
@@ -189,17 +202,34 @@ func (l *Loader) lead(ctx context.Context, key uint64) (uint64, error) {
 				backoff = l.cfg.BackoffCap
 			}
 		}
+		// The circuit gate: while open, fail the whole Get immediately —
+		// no attempts, no backoff sleeps — so a dark backend costs one
+		// check instead of the full retry budget. Checked per attempt, not
+		// just on entry, so a circuit tripped by concurrent fetches stops
+		// this one's remaining retries too.
+		if !l.cfg.Breaker.Allow() {
+			if lastErr != nil {
+				return 0, fmt.Errorf("%w (after %d attempts, last: %v)", ErrCircuitOpen, attempt, lastErr)
+			}
+			return 0, ErrCircuitOpen
+		}
 		v, err := l.attempt(ctx, key)
-		if err == nil {
+		switch {
+		case err == nil:
+			l.cfg.Breaker.Record(true)
 			return v, nil
+		case errors.Is(err, ErrNotFound):
+			// A definitive miss proves the store answered: circuit success.
+			l.cfg.Breaker.Record(true)
+			return 0, err
+		case ctx.Err() != nil:
+			// The caller gave up; that proves nothing about the store.
+			l.cfg.Breaker.Cancel()
+			return 0, ctx.Err()
+		default:
+			l.cfg.Breaker.Record(false)
 		}
 		lastErr = err
-		if errors.Is(err, ErrNotFound) {
-			return 0, err // definitive miss: retrying cannot help
-		}
-		if ctx.Err() != nil {
-			return 0, ctx.Err()
-		}
 	}
 	return 0, fmt.Errorf("backing: %d attempts failed: %w", l.cfg.Attempts, lastErr)
 }

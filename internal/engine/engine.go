@@ -28,12 +28,23 @@
 //     bypassing the queue — for reply paths that must observe their own
 //     write (the netproto switch) and for tests.
 //
+// Resilience (the software analogue of a pipeline that never stalls, §2):
+// shard writers are supervised — a panic inside a batch apply is recovered,
+// counted, and the writer keeps consuming its queue, so one poisoned op
+// cannot deadlock Submit or take the shard dark. A watchdog flags shards
+// whose queue holds work the writer hasn't advanced within a stall window.
+// An optional resilience.Shedder gates admission by queue fullness and
+// latency pressure, shedding lowest-priority work first. Drain stops intake
+// and flushes the writers; Snapshot/RestoreSnapshot round-trip the cache
+// contents so a restart does not mean a cold cache.
+//
 // The engine deliberately does not implement policy.Cache: Update's
 // synchronous Result has no meaning once mutations are queued. Callers that
 // need the Result use Apply.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -43,6 +54,7 @@ import (
 	"github.com/p4lru/p4lru/internal/hashing"
 	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/resilience"
 )
 
 // routeSalt decorrelates the shard-routing hash from the per-shard cache
@@ -88,6 +100,16 @@ type Config struct {
 	// engine_queue_depth), global query counters and the batch-size
 	// histogram. nil costs nothing on the hot path.
 	Obs *obs.Registry
+	// Shedder, when non-nil, gates admission on the submit path: each batch
+	// asks Admit with its priority and the destination shard's queue
+	// fraction, and a shed batch is dropped and counted (per-priority in the
+	// shedder, per-shard in the engine drop counters). nil admits everything.
+	Shedder *resilience.Shedder
+	// StallWindow tunes the shard watchdog: a shard whose queue holds work
+	// but whose writer has not applied anything for this long is flagged
+	// stalled (obs gauge engine_shard_stalled, Stats.Stalled, Healthy).
+	// 0 = 2s; negative disables the watchdog.
+	StallWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 64
+	}
+	if c.StallWindow == 0 {
+		c.StallWindow = 2 * time.Second
 	}
 	return c
 }
@@ -115,10 +140,15 @@ type shard struct {
 	queue     chan []Op
 	submitted atomic.Uint64 // ops handed to the queue
 	applied   atomic.Uint64 // ops the writer has applied
-	drops     atomic.Uint64 // ops shed on a full queue
+	drops     atomic.Uint64 // ops shed on a full queue, by the shedder, or lost to a panic
+	failed    atomic.Uint64 // ops lost to recovered writer panics (subset of drops)
+	panics    atomic.Uint64 // writer panics recovered
+	stalled   atomic.Bool   // watchdog verdict: queued work, writer not advancing
 
-	ops     *obs.Counter
-	dropped *obs.Counter
+	ops        *obs.Counter
+	dropped    *obs.Counter
+	panicCount *obs.Counter
+	stallGauge *obs.Gauge
 }
 
 // Engine routes every key to its home shard by flow-key hash.
@@ -128,9 +158,13 @@ type Engine struct {
 	shards []*shard
 	pool   sync.Pool // []Op batch buffers, cap = BatchSize
 
-	lifeMu sync.RWMutex
-	closed bool
-	wg     sync.WaitGroup
+	lifeMu   sync.RWMutex
+	closed   bool
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	watchdogStop chan struct{}
+	watchdogDone chan struct{}
 
 	queries   *obs.Counter
 	hits      *obs.Counter
@@ -175,6 +209,8 @@ func New(cfg Config) (*Engine, error) {
 			label := fmt.Sprintf(`{shard="%d"}`, i)
 			s.ops = r.Counter("engine_ops_total" + label)
 			s.dropped = r.Counter("engine_drops_total" + label)
+			s.panicCount = r.Counter("engine_writer_panics_total" + label)
+			s.stallGauge = r.Gauge("engine_shard_stalled" + label)
 			sh := s
 			r.GaugeFunc("engine_occupancy"+label, func() float64 {
 				sh.mu.RLock()
@@ -188,6 +224,11 @@ func New(cfg Config) (*Engine, error) {
 		e.shards[i] = s
 		e.wg.Add(1)
 		go e.writer(s)
+	}
+	if cfg.StallWindow > 0 {
+		e.watchdogStop = make(chan struct{})
+		e.watchdogDone = make(chan struct{})
+		go e.watchdog(cfg.StallWindow)
 	}
 	return e, nil
 }
@@ -225,17 +266,42 @@ func batchBuckets(max int) []float64 {
 }
 
 // writer is a shard's single mutation goroutine: it applies whole batches
-// under one write-lock acquisition and recycles their buffers.
+// under one write-lock acquisition and recycles their buffers. It is
+// supervised: a panic inside one batch apply is recovered and accounted, and
+// the loop keeps consuming — equivalent to restarting the writer with its
+// queue intact, so Submit never deadlocks behind a dead consumer.
 func (e *Engine) writer(s *shard) {
 	defer e.wg.Done()
 	for batch := range s.queue {
-		e.applyBatch(s, batch)
-		n := len(batch)
-		s.applied.Add(uint64(n))
-		s.ops.Add(uint64(n))
+		n := uint64(len(batch))
+		if e.safeApply(s, batch) {
+			s.applied.Add(n)
+			s.ops.Add(n)
+		} else {
+			// The batch's effect on the cache is undefined (it panicked
+			// part-way); account every op as shed so produced stays equal
+			// to applied + dropped.
+			s.failed.Add(n)
+			s.drops.Add(n)
+			s.dropped.Add(n)
+		}
 		e.batchSize.Observe(float64(n))
 		e.pool.Put(batch[:0])
 	}
+}
+
+// safeApply applies one batch, converting a panic in the policy code into a
+// counted, recovered fault. Returns false when the batch panicked.
+func (e *Engine) safeApply(s *shard, batch []Op) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.panicCount.Inc()
+			ok = false
+		}
+	}()
+	e.applyBatch(s, batch)
+	return true
 }
 
 // applyBatch applies one op batch under the shard write lock. A cache that
@@ -247,6 +313,9 @@ func (e *Engine) writer(s *shard) {
 // batch walk cannot feed the hook.
 func (e *Engine) applyBatch(s *shard, batch []Op) {
 	s.mu.Lock()
+	// Deferred so a panicking policy cannot strand the shard write lock —
+	// the supervisor recovers the panic and the shard keeps serving.
+	defer s.mu.Unlock()
 	switch {
 	case e.cfg.OnEvict != nil:
 		if s.evictBatch != nil {
@@ -266,7 +335,6 @@ func (e *Engine) applyBatch(s *shard, batch []Op) {
 			s.cache.Update(op.Key, op.Value, op.Token, op.Now)
 		}
 	}
-	s.mu.Unlock()
 }
 
 // ShardFor returns the home shard of k — deterministic for a given seed and
@@ -317,17 +385,24 @@ func (e *Engine) Apply(op Op) policy.Result {
 
 // Submit enqueues a single op on its home shard (a batch of one — hot
 // producers should use a Submitter instead). It reports whether the op was
-// accepted; false means the engine is closed or the shard queue was full in
-// drop mode.
+// accepted; false means the engine is closed or draining, the shard queue
+// was full in drop mode, or the shedder declined it at normal priority.
 func (e *Engine) Submit(op Op) bool {
-	buf := e.pool.Get().([]Op)
-	return e.submitBatch(e.ShardFor(op.Key), append(buf, op))
+	return e.SubmitPriority(op, resilience.PriNormal)
 }
 
-// submitBatch hands one batch to shard i, honouring Block/drop semantics.
-// The batch buffer is owned by the queue (and recycled by the writer) on
-// success, by the pool again on failure.
-func (e *Engine) submitBatch(i int, batch []Op) bool {
+// SubmitPriority is Submit with an explicit shedding priority: under
+// pressure the configured shedder drops PriLow work first and PriHigh last.
+// Without a shedder the priority is ignored.
+func (e *Engine) SubmitPriority(op Op, pri resilience.Priority) bool {
+	buf := e.pool.Get().([]Op)
+	return e.submitBatch(e.ShardFor(op.Key), append(buf, op), pri)
+}
+
+// submitBatch hands one batch to shard i, honouring Block/drop semantics and
+// the shedder's admission verdict. The batch buffer is owned by the queue
+// (and recycled by the writer) on success, by the pool again on failure.
+func (e *Engine) submitBatch(i int, batch []Op, pri resilience.Priority) bool {
 	if len(batch) == 0 {
 		return true
 	}
@@ -335,12 +410,22 @@ func (e *Engine) submitBatch(i int, batch []Op) bool {
 	n := uint64(len(batch))
 
 	e.lifeMu.RLock()
-	if e.closed {
+	if e.closed || e.draining.Load() {
 		e.lifeMu.RUnlock()
 		s.drops.Add(n)
 		s.dropped.Add(n)
 		e.pool.Put(batch[:0])
 		return false
+	}
+	if sh := e.cfg.Shedder; sh != nil {
+		frac := float64(len(s.queue)) / float64(cap(s.queue))
+		if !sh.Admit(pri, frac) {
+			e.lifeMu.RUnlock()
+			s.drops.Add(n)
+			s.dropped.Add(n)
+			e.pool.Put(batch[:0])
+			return false
+		}
 	}
 	s.submitted.Add(n)
 	if e.cfg.Block {
@@ -362,19 +447,40 @@ func (e *Engine) submitBatch(i int, batch []Op) bool {
 	}
 }
 
-// Flush blocks until every op submitted before the call has been applied.
-// Ops submitted concurrently with Flush may or may not be covered.
+// Flush blocks until every op submitted before the call has been applied
+// (or lost to a recovered writer panic, which is counted as dropped). Ops
+// submitted concurrently with Flush may or may not be covered.
 func (e *Engine) Flush() {
 	for _, s := range e.shards {
 		target := s.submitted.Load()
-		for s.applied.Load() < target {
+		for s.applied.Load()+s.failed.Load() < target {
 			time.Sleep(20 * time.Microsecond)
 		}
 	}
 }
 
-// Close drains every queue, stops the writers and waits for them. Submit
-// after Close reports false. Close is idempotent.
+// Drain stops intake and flushes the writers: Submit reports false from the
+// moment Drain is called, queued batches are applied, and the engine keeps
+// serving Query (and Apply) afterwards — the graceful half of a shutdown,
+// typically followed by Snapshot and Close. Returns ctx's error if the
+// queues do not empty in time; the intake stays stopped either way.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.draining.Store(true)
+	for _, s := range e.shards {
+		target := s.submitted.Load()
+		for s.applied.Load()+s.failed.Load() < target {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(50 * time.Microsecond):
+			}
+		}
+	}
+	return nil
+}
+
+// Close drains every queue, stops the writers and the watchdog and waits
+// for them. Submit after Close reports false. Close is idempotent.
 func (e *Engine) Close() {
 	e.lifeMu.Lock()
 	if e.closed {
@@ -386,7 +492,66 @@ func (e *Engine) Close() {
 		close(s.queue) // writers drain the remaining batches, then exit
 	}
 	e.lifeMu.Unlock()
+	if e.watchdogStop != nil {
+		close(e.watchdogStop)
+		<-e.watchdogDone
+	}
 	e.wg.Wait()
+}
+
+// watchdog periodically compares each shard's progress counters against its
+// queue: work waiting with no progress for a full stall window flags the
+// shard (gauge, Stats.Stalled, Healthy). Progress or an empty queue clears
+// the flag — a recovered shard goes back to healthy on its own.
+func (e *Engine) watchdog(window time.Duration) {
+	defer close(e.watchdogDone)
+	tick := window / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	type progress struct {
+		done  uint64 // applied + failed at last change
+		since time.Time
+	}
+	last := make([]progress, len(e.shards))
+	now := time.Now()
+	for i, s := range e.shards {
+		last[i] = progress{done: s.applied.Load() + s.failed.Load(), since: now}
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.watchdogStop:
+			return
+		case now = <-t.C:
+		}
+		for i, s := range e.shards {
+			done := s.applied.Load() + s.failed.Load()
+			if done != last[i].done || len(s.queue) == 0 {
+				last[i] = progress{done: done, since: now}
+				if s.stalled.CompareAndSwap(true, false) {
+					s.stallGauge.Set(0)
+				}
+				continue
+			}
+			if now.Sub(last[i].since) >= window && s.stalled.CompareAndSwap(false, true) {
+				s.stallGauge.Set(1)
+			}
+		}
+	}
+}
+
+// Healthy reports nil when no shard is flagged stalled — the engine's
+// contribution to a readiness probe (resilience.Health.Register).
+func (e *Engine) Healthy() error {
+	for i, s := range e.shards {
+		if s.stalled.Load() {
+			return fmt.Errorf("engine: shard %d stalled (queue %d batches, writer not advancing)",
+				i, len(s.queue))
+		}
+	}
+	return nil
 }
 
 // Len sums the shard occupancies.
@@ -432,11 +597,16 @@ func (e *Engine) Range(fn func(k, v uint64) bool) {
 	}
 }
 
-// ShardStats is one shard's accounting snapshot.
+// ShardStats is one shard's accounting snapshot. The invariant
+// Submitted == Applied + Failed holds once the queue drains, and Failed is
+// also included in Dropped, so produced == Applied + Dropped overall.
 type ShardStats struct {
 	Submitted uint64 // ops accepted into the queue
 	Applied   uint64 // ops the writer has applied
-	Dropped   uint64 // ops shed on a full queue (or after Close)
+	Dropped   uint64 // ops shed (full queue, shedder, close/drain, or panic)
+	Failed    uint64 // ops lost to recovered writer panics (⊆ Dropped)
+	Panics    uint64 // writer panics recovered
+	Stalled   bool   // watchdog verdict
 	QueueLen  int    // batches waiting right now
 	Len       int    // cache occupancy
 }
@@ -452,6 +622,9 @@ func (e *Engine) Stats() []ShardStats {
 			Submitted: s.submitted.Load(),
 			Applied:   s.applied.Load(),
 			Dropped:   s.drops.Load(),
+			Failed:    s.failed.Load(),
+			Panics:    s.panics.Load(),
+			Stalled:   s.stalled.Load(),
 			QueueLen:  len(s.queue),
 			Len:       n,
 		}
@@ -513,7 +686,7 @@ func (s *Submitter) Dropped() uint64 { return s.dropped }
 
 func (s *Submitter) flushShard(i int) {
 	n := uint64(len(s.bufs[i]))
-	if !s.e.submitBatch(i, s.bufs[i]) {
+	if !s.e.submitBatch(i, s.bufs[i], resilience.PriNormal) {
 		s.dropped += n
 	}
 	s.bufs[i] = nil

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// Snapshot format (version 1), all integers little-endian:
+//
+//	[8]byte  magic "P4LRUSNP"
+//	uint16   version (1)
+//	uint16   flags (0, reserved)
+//	uint32   reserved
+//	chunks:  uint32 n (pairs in this chunk, 0 terminates), then n × (key
+//	         uint64, value uint64)
+//	trailer: uint64 total pair count, uint64 FNV-1a checksum over every
+//	         pair's 16 encoded bytes in write order
+//
+// The format carries (key, value) pairs only — replacement-state recency is
+// reconstructed by re-inserting, so a restored cache answers the same
+// queries with the same values but may order a unit's residents differently.
+
+var snapshotMagic = [8]byte{'P', '4', 'L', 'R', 'U', 'S', 'N', 'P'}
+
+const (
+	snapshotVersion   = 1
+	snapshotChunkMax  = 4096    // pairs per chunk we write
+	snapshotChunkSane = 1 << 20 // largest chunk we accept (guards absurd counts)
+)
+
+// Snapshot writes every cached (key, value) pair to w in the versioned
+// binary format above. Call Drain first for a stable image — Snapshot locks
+// one shard at a time, so writers racing it produce a torn (but well-formed)
+// snapshot, exactly like Range.
+func (e *Engine) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("engine: snapshot header: %w", err)
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint16(head[0:2], snapshotVersion)
+	if _, err := bw.Write(head[:]); err != nil {
+		return fmt.Errorf("engine: snapshot header: %w", err)
+	}
+
+	sum := fnv.New64a()
+	var (
+		chunk   [snapshotChunkMax * 16]byte
+		inChunk int
+		total   uint64
+		werr    error
+	)
+	flushChunk := func() bool {
+		if inChunk == 0 {
+			return true
+		}
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(inChunk))
+		if _, werr = bw.Write(n[:]); werr != nil {
+			return false
+		}
+		if _, werr = bw.Write(chunk[:inChunk*16]); werr != nil {
+			return false
+		}
+		inChunk = 0
+		return true
+	}
+	e.Range(func(k, v uint64) bool {
+		off := inChunk * 16
+		binary.LittleEndian.PutUint64(chunk[off:off+8], k)
+		binary.LittleEndian.PutUint64(chunk[off+8:off+16], v)
+		_, _ = sum.Write(chunk[off : off+16])
+		inChunk++
+		total++
+		if inChunk == snapshotChunkMax {
+			return flushChunk()
+		}
+		return true
+	})
+	if werr == nil {
+		flushChunk()
+	}
+	if werr != nil {
+		return fmt.Errorf("engine: snapshot write: %w", werr)
+	}
+
+	var tail [4 + 8 + 8]byte // terminating empty chunk + trailer
+	binary.LittleEndian.PutUint64(tail[4:12], total)
+	binary.LittleEndian.PutUint64(tail[12:20], sum.Sum64())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("engine: snapshot trailer: %w", err)
+	}
+	return bw.Flush()
+}
+
+// RestoreSnapshot reads a Snapshot image from r and installs every pair into
+// the engine through the shard batch path (synchronously — no queueing, no
+// shedding), returning the number of pairs restored. Restore into an engine
+// built from the same spec, seed and shard count as the one that wrote the
+// snapshot: pairs route to the same home shards and the same cache geometry,
+// so the restored engine reports the same Len and answers the same queries.
+// A mismatched geometry still restores, but capacity differences may evict.
+func (e *Engine) RestoreSnapshot(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	var header [16]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return 0, fmt.Errorf("engine: snapshot header: %w", err)
+	}
+	if [8]byte(header[:8]) != snapshotMagic {
+		return 0, fmt.Errorf("engine: not a snapshot (bad magic %q)", header[:8])
+	}
+	if v := binary.LittleEndian.Uint16(header[8:10]); v != snapshotVersion {
+		return 0, fmt.Errorf("engine: snapshot version %d not supported (want %d)", v, snapshotVersion)
+	}
+
+	sum := fnv.New64a()
+	batches := make([][]Op, len(e.shards))
+	var restored uint64
+	flush := func(i int) {
+		if len(batches[i]) == 0 {
+			return
+		}
+		e.restoreBatch(i, batches[i])
+		batches[i] = batches[i][:0]
+	}
+	var buf [16]byte
+	for {
+		var nb [4]byte
+		if _, err := io.ReadFull(br, nb[:]); err != nil {
+			return int(restored), fmt.Errorf("engine: snapshot chunk header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(nb[:])
+		if n == 0 {
+			break
+		}
+		if n > snapshotChunkSane {
+			return int(restored), fmt.Errorf("engine: snapshot chunk of %d pairs exceeds sanity bound", n)
+		}
+		for j := uint32(0); j < n; j++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return int(restored), fmt.Errorf("engine: snapshot pair: %w", err)
+			}
+			_, _ = sum.Write(buf[:])
+			k := binary.LittleEndian.Uint64(buf[0:8])
+			v := binary.LittleEndian.Uint64(buf[8:16])
+			i := e.ShardFor(k)
+			batches[i] = append(batches[i], Op{Key: k, Value: v, Token: policy.NoToken})
+			restored++
+			if len(batches[i]) >= e.cfg.BatchSize {
+				flush(i)
+			}
+		}
+	}
+	for i := range batches {
+		flush(i)
+	}
+
+	var trailer [16]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return int(restored), fmt.Errorf("engine: snapshot trailer: %w", err)
+	}
+	if want := binary.LittleEndian.Uint64(trailer[0:8]); want != restored {
+		return int(restored), fmt.Errorf("engine: snapshot count mismatch: trailer %d, read %d", want, restored)
+	}
+	if want := binary.LittleEndian.Uint64(trailer[8:16]); want != sum.Sum64() {
+		return int(restored), fmt.Errorf("engine: snapshot checksum mismatch")
+	}
+	return int(restored), nil
+}
+
+// restoreBatch applies one restore batch synchronously on shard i, with the
+// same supervision and accounting as the writer path (a panicking policy
+// cannot strand the restore; lost ops count as dropped).
+func (e *Engine) restoreBatch(i int, batch []Op) {
+	s := e.shards[i]
+	n := uint64(len(batch))
+	s.submitted.Add(n)
+	if e.safeApply(s, batch) {
+		s.applied.Add(n)
+		s.ops.Add(n)
+	} else {
+		s.failed.Add(n)
+		s.drops.Add(n)
+		s.dropped.Add(n)
+	}
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// snapshotRoundTrip fills an engine from a spec, snapshots it, restores into
+// a fresh engine of the same geometry, and verifies identical Len and
+// identical Query results for every resident key.
+func snapshotRoundTrip(t *testing.T, spec policy.Spec) {
+	t.Helper()
+	cfg := Config{Shards: 4, Block: true}
+	src, err := NewFromSpec(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	sub := src.NewSubmitter()
+	for i := 0; i < 50_000; i++ {
+		sub.Submit(Op{Key: uint64(i*2547 + 1), Value: uint64(i)})
+	}
+	sub.Flush()
+	if err := src.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() == 0 {
+		t.Fatal("source engine is empty — nothing to round-trip")
+	}
+
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	dst, err := NewFromSpec(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	restored, err := dst.RestoreSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if restored != src.Len() {
+		t.Fatalf("restored %d pairs, source holds %d", restored, src.Len())
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("Len after restore = %d, want %d", dst.Len(), src.Len())
+	}
+
+	// Every resident key answers identically.
+	mismatches := 0
+	src.Range(func(k, v uint64) bool {
+		got, _, ok := dst.Query(k)
+		if !ok || got != v {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("Query(%d) after restore = (%d, %v), want (%d, true)", k, got, ok, v)
+			}
+		}
+		return true
+	})
+	if mismatches > 0 {
+		t.Fatalf("%d keys answer differently after restore", mismatches)
+	}
+
+	// The restored engine is live: it accepts new work.
+	if !dst.Submit(Op{Key: 1 << 60, Value: 9}) {
+		t.Fatal("restored engine rejected a submit")
+	}
+	dst.Flush()
+}
+
+func TestSnapshotRoundTripFlatP4LRU3(t *testing.T) {
+	snapshotRoundTrip(t, policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 256 << 10, Seed: 11})
+}
+
+func TestSnapshotRoundTripGenericP4LRU4(t *testing.T) {
+	snapshotRoundTrip(t, policy.Spec{Kind: policy.KindP4LRU4, MemBytes: 256 << 10, Seed: 11})
+}
+
+func TestSnapshotRoundTripGenericP4LRU2(t *testing.T) {
+	snapshotRoundTrip(t, policy.Spec{Kind: policy.KindP4LRU2, MemBytes: 64 << 10, Seed: 5})
+}
+
+func TestSnapshotEmptyEngine(t *testing.T) {
+	spec := policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 16 << 10, Seed: 1}
+	src, err := NewFromSpec(spec, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewFromSpec(spec, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if n, err := dst.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("empty round-trip = (%d, %v), want (0, nil)", n, err)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("Len after empty restore = %d", dst.Len())
+	}
+}

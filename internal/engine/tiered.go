@@ -6,6 +6,7 @@ import (
 
 	"github.com/p4lru/p4lru/internal/backing"
 	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/resilience"
 )
 
 // Tiered couples an Engine with a backing.Loader into a look-through
@@ -18,7 +19,14 @@ import (
 // switch (fast, bounded, never blocks on the backend) and the Store is the
 // server behind it. When the store degrades, the engine keeps answering
 // hits; only misses pay, and they fail fast once the loader's retry budget
-// is spent.
+// is spent — or in a single check once the loader's circuit breaker has
+// opened (backing.LoaderConfig.Breaker).
+//
+// When the engine is built with a resilience.Shedder, the miss path is also
+// the first rung of its degradation ladder: GetOrLoad asks the shedder at
+// PriLow before fetching (hits are never gated — the hit path stays the
+// zero-alloc Query), and every miss's end-to-end latency feeds the
+// shedder's EWMA, so a slow backend raises the pressure that sheds work.
 //
 // Write-behind is wired at engine construction, not here: build the engine
 // with Config.OnEvict = (*backing.WriteBehind).OnEvict so evictions drain
@@ -54,10 +62,21 @@ func (t *Tiered) Loader() *backing.Loader { return t.loader }
 // via Submit); a miss fetches through the loader, installs on success and
 // returns the fetched value with hit=false. The error is the loader's —
 // backing.ErrNotFound for definitive misses, a retry-budget failure when
-// the store is down, or ctx's error.
+// the store is down, backing.ErrCircuitOpen when the breaker rejected the
+// fetch, resilience.ErrShed when the engine's shedder declined the miss at
+// the current pressure, or ctx's error.
 func (t *Tiered) GetOrLoad(ctx context.Context, key uint64) (val uint64, tok policy.Token, hit bool, err error) {
 	if v, tok, ok := t.Engine.Query(key); ok {
 		return v, tok, true, nil
+	}
+	if sh := t.Engine.cfg.Shedder; sh != nil {
+		if !sh.Admit(resilience.PriLow, 0) {
+			return 0, policy.NoToken, false, resilience.ErrShed
+		}
+		start := time.Now()
+		v, err := t.loader.Get(ctx, key)
+		sh.Observe(time.Since(start))
+		return v, policy.NoToken, false, err
 	}
 	v, err := t.loader.Get(ctx, key)
 	return v, policy.NoToken, false, err

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/backing"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// TestGetOrLoadContextCancellation covers a caller abandoning a miss while
+// the singleflight fetch is still in flight: the cancelled waiters unblock
+// with ctx.Err immediately, the leader completes on its own schedule, no
+// goroutine leaks, and the loader accounting balances
+// (loads == fetch outcomes + coalesced waits).
+func TestGetOrLoadContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	store := backing.FuncStore{GetFn: func(ctx context.Context, key uint64) (uint64, error) {
+		select {
+		case <-release:
+			return key ^ backing.SynthSalt, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}}
+	reg := obs.NewRegistry()
+	e, err := NewFromSpec(policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 16 << 10, Seed: 9},
+		Config{Shards: 2, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tiered := NewTiered(e, store, backing.LoaderConfig{
+		Attempts: 1, Timeout: time.Minute, Obs: reg,
+	})
+
+	const key = uint64(42)
+	const waiters = 8
+
+	// Baseline after the engine's writers and watchdog are up: anything
+	// above it at the end leaked from the cancellation path.
+	before := runtime.NumGoroutine()
+
+	// Leader: uncancelled, will win the singleflight and block on the store.
+	leaderErr := make(chan error, 1)
+	leaderVal := make(chan uint64, 1)
+	go func() {
+		v, _, hit, err := tiered.GetOrLoad(context.Background(), key)
+		if hit {
+			err = errors.New("leader saw a hit for an absent key")
+		}
+		leaderVal <- v
+		leaderErr <- err
+	}()
+
+	// Give the leader time to register the in-flight call, then pile on
+	// cancellable waiters that coalesce onto it.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	waiterErrs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _, err := tiered.GetOrLoad(ctx, key)
+			waiterErrs <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	// Cancel the waiters: they must unblock promptly even though the
+	// leader's fetch is still pending.
+	cancel()
+	unblocked := make(chan struct{})
+	go func() { wg.Wait(); close(unblocked) }()
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiters did not unblock while the fetch was in flight")
+	}
+	close(waiterErrs)
+	for err := range waiterErrs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want context.Canceled", err)
+		}
+	}
+
+	// The leader is unaffected: release the store and it completes.
+	close(release)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader error = %v", err)
+	}
+	if v := <-leaderVal; v != key^backing.SynthSalt {
+		t.Fatalf("leader value = %d", v)
+	}
+
+	// Accounting balances: every Get either led a fetch or coalesced.
+	loads := reg.CounterValue("backing_loads_total")
+	fetches := reg.CounterValue("backing_fetches_total")
+	coalesced := reg.CounterValue("backing_coalesced_total")
+	if loads != 1+waiters {
+		t.Fatalf("loads = %d, want %d", loads, 1+waiters)
+	}
+	if fetches != 1 {
+		t.Fatalf("fetches = %d, want 1 (waiters must coalesce, not fetch)", fetches)
+	}
+	if coalesced != waiters {
+		t.Fatalf("coalesced = %d, want %d", coalesced, waiters)
+	}
+	if errs := reg.CounterValue("backing_errors_total"); errs != 0 {
+		t.Fatalf("errors = %d, want 0 (cancelled waiters are not fetch errors)", errs)
+	}
+	if inflight := tiered.Loader().Inflight(); inflight != 0 {
+		t.Fatalf("inflight = %d after completion", inflight)
+	}
+
+	// No goroutine leak: everything spawned here has exited.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d now=%d — leak", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The fill hook installed the leader's value: the next GetOrLoad hits.
+	e.Flush()
+	if _, _, hit, err := tiered.GetOrLoad(context.Background(), key); !hit || err != nil {
+		t.Fatalf("post-fill GetOrLoad = (hit=%v, err=%v), want a hit", hit, err)
+	}
+}

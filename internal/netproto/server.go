@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/resilience"
 )
 
 // Server answers MsgQuery packets over UDP from the kvindex database: when
@@ -16,23 +18,39 @@ import (
 // arena; otherwise it walks the B+ tree and embeds the resolved index into
 // the reply so the switch can cache it.
 type Server struct {
-	conn *net.UDPConn
-	db   *kvindex.Server
+	conn    *net.UDPConn
+	db      *kvindex.Server
+	shedder *resilience.Shedder
+	health  *resilience.Health
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
 	// Stats.
 	queries     atomic.Int64
+	replies     atomic.Int64
+	shed        atomic.Int64
 	indexWalks  atomic.Int64
 	nodesWalked atomic.Int64
+}
+
+// ServerOption tunes a Server beyond the required parameters.
+type ServerOption func(*Server)
+
+// ServerWithShedder gates query handling behind the shedder: each query asks
+// for admission at normal priority and feeds its handling latency back into
+// the shedder's EWMA, so a server falling behind sheds (drops) queries
+// instead of queueing into collapse. Dropped queries look like packet loss
+// to clients, whose retry machinery already absorbs it.
+func ServerWithShedder(sh *resilience.Shedder) ServerOption {
+	return func(s *Server) { s.shedder = sh }
 }
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0") over a database of
 // `items` keys. The database is read-only after load, so several loop
 // goroutines answer queries concurrently — the server no longer serializes
 // behind one reader.
-func NewServer(addr string, items int) (*Server, error) {
+func NewServer(addr string, items int, opts ...ServerOption) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: resolve %q: %w", addr, err)
@@ -41,7 +59,19 @@ func NewServer(addr string, items int) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netproto: listen: %w", err)
 	}
-	s := &Server{conn: conn, db: kvindex.NewServer(items)}
+	s := &Server{conn: conn, db: kvindex.NewServer(items), health: resilience.NewHealth()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.health.Register("shutdown", func() error {
+		if s.closed.Load() {
+			return errors.New("netproto: server shutting down")
+		}
+		return nil
+	})
+	if s.shedder != nil {
+		s.health.Register("shedder", s.shedder.Check)
+	}
 	readers := runtime.GOMAXPROCS(0)
 	if readers < 2 {
 		readers = 2
@@ -64,12 +94,30 @@ func (s *Server) Stats() (queries, walks, nodes int64) {
 	return s.queries.Load(), s.indexWalks.Load(), s.nodesWalked.Load()
 }
 
-// Close stops the server.
+// Replies returns the number of replies sent. After a clean Close every
+// admitted query for a loaded key has a matching reply: with no shedder and
+// no unknown-key traffic, Replies() == queries.
+func (s *Server) Replies() int64 { return s.replies.Load() }
+
+// Shed returns the number of queries dropped by the shedder.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// Health returns the server's probe aggregator (mount its ServeHTTP on
+// /healthz and /readyz). It ships with a "shutdown" check that fails once
+// Close begins and, when configured, the shedder's check; callers may
+// Register more — e.g. a backing breaker's Check.
+func (s *Server) Health() *resilience.Health { return s.health }
+
+// Close stops the server, draining in-flight request handling first: the
+// read deadline kicks blocked readers out of ReadFromUDP without tearing
+// down the socket, so handlers mid-resolve still send their replies before
+// the conn closes. The old order (close, then wait) raced handlers against
+// the dying socket and silently ate their replies.
 func (s *Server) Close() error {
 	s.closed.Store(true)
-	err := s.conn.Close()
+	_ = s.conn.SetReadDeadline(time.Now())
 	s.wg.Wait()
-	return err
+	return s.conn.Close()
 }
 
 func (s *Server) loop() {
@@ -88,6 +136,14 @@ func (s *Server) loop() {
 			continue // drop malformed traffic
 		}
 		s.queries.Add(1)
+		var start time.Time
+		if s.shedder != nil {
+			if !s.shedder.Admit(resilience.PriNormal, 0) {
+				s.shed.Add(1)
+				continue // to the client this is packet loss; retries absorb it
+			}
+			start = time.Now()
+		}
 
 		idx, value, nodes, ok := s.db.Resolve(msg.Key, msg.CachedIndex, msg.CachedFlag != 0)
 		if !ok {
@@ -105,8 +161,15 @@ func (s *Server) loop() {
 			CachedIndex: idx,
 			Value:       value,
 		}
-		if _, err := s.conn.WriteToUDP(reply.Marshal(), peer); err != nil && s.closed.Load() {
-			return
+		if _, err := s.conn.WriteToUDP(reply.Marshal(), peer); err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		s.replies.Add(1)
+		if s.shedder != nil {
+			s.shedder.Observe(time.Since(start))
 		}
 	}
 }

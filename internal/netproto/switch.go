@@ -3,15 +3,18 @@ package netproto
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/p4lru/p4lru/internal/engine"
 	"github.com/p4lru/p4lru/internal/hashing"
 	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/resilience"
 )
 
 // Switch is the in-network middlebox: a UDP proxy between clients and the
@@ -167,14 +170,48 @@ func (sw *Switch) Stats() (queries, hits int64) {
 // CacheLen returns the number of cached indexes across all shards.
 func (sw *Switch) CacheLen() int { return sw.eng.Len() }
 
-// Close stops both proxy directions and the engine.
+// Snapshot writes the cached (key, index) pairs in the engine's versioned
+// snapshot format, so a restarting switch can come back warm instead of
+// re-walking the index for every popular key.
+func (sw *Switch) Snapshot(w io.Writer) error { return sw.eng.Snapshot(w) }
+
+// RestoreSnapshot loads a Snapshot image into the cache through the normal
+// insert path. The restore is best-effort by design: series levels are not
+// preserved (every key re-enters at level 1 and re-earns promotion), and a
+// snapshot larger than the cache admits only what the policy keeps.
+func (sw *Switch) RestoreSnapshot(r io.Reader) (int, error) {
+	return sw.eng.RestoreSnapshot(r)
+}
+
+// Health returns a probe aggregator wired to the switch's engine: the
+// switch goes unready if a shard writer stalls or once Close begins.
+func (sw *Switch) Health() *resilience.Health {
+	h := resilience.NewHealth()
+	h.Register("engine", sw.eng.Healthy)
+	h.Register("shutdown", func() error {
+		if sw.closed.Load() {
+			return errors.New("netproto: switch shutting down")
+		}
+		return nil
+	})
+	return h
+}
+
+// Close stops both proxy directions and the engine, draining in-flight
+// packet handling first: read deadlines kick blocked readers, the wait lets
+// handlers finish their cache mutations and forwards, and only then do the
+// sockets close. See Server.Close for why the old close-then-wait order
+// lost replies.
 func (sw *Switch) Close() error {
 	var err1, err2 error
 	sw.closeOnce.Do(func() {
 		sw.closed.Store(true)
+		now := time.Now()
+		_ = sw.clientConn.SetReadDeadline(now)
+		_ = sw.serverConn.SetReadDeadline(now)
+		sw.wg.Wait()
 		err1 = sw.clientConn.Close()
 		err2 = sw.serverConn.Close()
-		sw.wg.Wait()
 		sw.eng.Close()
 	})
 	if err1 != nil {

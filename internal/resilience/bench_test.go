@@ -1,0 +1,29 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkBreakerAllow measures the closed-state gate the miss path pays
+// per fetch. Must stay allocation-free (bench-smoke gates on it).
+func BenchmarkBreakerAllow(b *testing.B) {
+	br := NewBreaker(BreakerConfig{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if br.Allow() {
+			br.Record(true)
+		}
+	}
+}
+
+// BenchmarkShedderAdmit measures the admission gate the engine submit path
+// pays per batch. Must stay allocation-free (bench-smoke gates on it).
+func BenchmarkShedderAdmit(b *testing.B) {
+	s := NewShedder(ShedderConfig{})
+	s.Observe(time.Millisecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Admit(PriNormal, 0.25)
+	}
+}

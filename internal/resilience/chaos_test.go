@@ -1,0 +1,221 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/backing"
+	"github.com/p4lru/p4lru/internal/engine"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/resilience"
+)
+
+// The chaos tests drive the full resilience stack — breaker-wrapped backing
+// store, supervised engine writers, shedder admission — through injected
+// failures and assert the degradation contract: the hit path never degrades,
+// the failure paths fail fast, accounting always balances, and everything
+// recovers once the fault clears. They run under -race in `make chaos`.
+
+// TestChaosBackingBlackout black-holes the backing store under a serving
+// Tiered engine: the breaker opens, misses fail in far less than one attempt
+// budget, the hit path stays zero-alloc throughout, and a half-open probe
+// closes the circuit after the store recovers.
+func TestChaosBackingBlackout(t *testing.T) {
+	const attemptTimeout = 25 * time.Millisecond
+
+	inner := backing.NewMapStore().Preload(10_000)
+	faulty := backing.NewFaulty(inner, backing.FaultyConfig{})
+	// ConsecutiveFailures == the loader's attempt budget, so one blacked-out
+	// miss is enough to trip the circuit.
+	br := resilience.NewBreaker(resilience.BreakerConfig{
+		ConsecutiveFailures: 2,
+		OpenFor:             100 * time.Millisecond,
+		HalfOpenProbes:      1,
+		Name:                "backing",
+	})
+	// TargetLatency is generous on purpose: this test wants the breaker, not
+	// the shedder, to own the blackout response.
+	sh := resilience.NewShedder(resilience.ShedderConfig{TargetLatency: time.Second})
+
+	e, err := engine.NewFromSpec(
+		policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 256 << 10, Seed: 21},
+		engine.Config{Shards: 2, Block: true, Shedder: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tiered := engine.NewTiered(e, faulty, backing.LoaderConfig{
+		Attempts: 2, Timeout: attemptTimeout,
+		Backoff: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+		Breaker: br,
+	})
+
+	// Warm the cache through the miss path, then pin down a resident key.
+	ctx := context.Background()
+	for k := uint64(1); k <= 512; k++ {
+		if _, _, _, err := tiered.GetOrLoad(ctx, k); err != nil {
+			t.Fatalf("warm-up GetOrLoad(%d): %v", k, err)
+		}
+	}
+	e.Flush()
+	hot := uint64(0)
+	e.Range(func(k, v uint64) bool { hot = k; return false })
+	if hot == 0 {
+		t.Fatal("warm-up installed nothing")
+	}
+
+	// Blackout. The first miss burns its retry budget and trips the circuit.
+	faulty.SetBlackout(true)
+	if _, _, _, err := tiered.GetOrLoad(ctx, 1_000_001); err == nil {
+		t.Fatal("GetOrLoad succeeded during blackout")
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker state after blackout miss = %v, want Open", br.State())
+	}
+
+	// Open circuit: misses fail in one Allow() check, well inside a single
+	// attempt budget — no retries, no backoff, no store round trip.
+	start := time.Now()
+	_, _, _, err = tiered.GetOrLoad(ctx, 1_000_002)
+	if !errors.Is(err, backing.ErrCircuitOpen) {
+		t.Fatalf("open-circuit miss = %v, want ErrCircuitOpen", err)
+	}
+	if d := time.Since(start); d > attemptTimeout {
+		t.Fatalf("open-circuit miss took %v, want < %v", d, attemptTimeout)
+	}
+
+	// The hit path is untouched by the blackout: still serving, still
+	// zero-alloc.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := e.Query(hot); !ok {
+			t.Error("hot key evicted mid-measurement")
+		}
+	}); allocs != 0 {
+		t.Fatalf("hit path allocates %.1f per query during blackout, want 0", allocs)
+	}
+	if _, _, hit, err := tiered.GetOrLoad(ctx, hot); !hit || err != nil {
+		t.Fatalf("hot GetOrLoad during blackout = (hit=%v, err=%v)", hit, err)
+	}
+
+	// Recovery: after the cool-down, one successful half-open probe closes
+	// the circuit and misses flow again.
+	faulty.SetBlackout(false)
+	time.Sleep(120 * time.Millisecond)
+	if v, _, _, err := tiered.GetOrLoad(ctx, 9_000); err != nil || v != 9_000^backing.SynthSalt {
+		t.Fatalf("post-recovery miss = (%d, %v)", v, err)
+	}
+	if br.State() != resilience.Closed {
+		t.Fatalf("breaker state after recovery = %v, want Closed", br.State())
+	}
+}
+
+// chaosPanicCache panics on Update of one poisoned key. Embedding the Cache
+// interface (not a concrete type) hides any batch-updater fast path, so the
+// engine applies batches through the per-op loop where the panic fires.
+type chaosPanicCache struct {
+	policy.Cache
+	poison uint64
+}
+
+func (p *chaosPanicCache) Update(k, v uint64, tok policy.Token, now time.Duration) policy.Result {
+	if k == p.poison {
+		panic("chaos: injected writer panic")
+	}
+	return p.Cache.Update(k, v, tok, now)
+}
+
+// TestChaosWriterPanicsAndOverload floods a supervised engine from several
+// producers while poisoned ops panic the writers and a saturated shedder
+// drops load: the writers recover and keep going, every op is accounted for
+// (offered == applied + dropped, submitted == applied + failed), and
+// admission returns once the pressure clears.
+func TestChaosWriterPanicsAndOverload(t *testing.T) {
+	const poison = uint64(0xbadbad)
+	reg := obs.NewRegistry()
+	sh := resilience.NewShedder(resilience.ShedderConfig{
+		TargetLatency: time.Millisecond, Alpha: 1, Obs: reg,
+	})
+	e, err := engine.New(engine.Config{
+		Shards: 2, BatchSize: 8, QueueDepth: 4, Obs: reg, Shedder: sh,
+		NewCache: func(i int) policy.Cache {
+			return &chaosPanicCache{Cache: policy.NewP4LRU(3, 256, uint64(i+1), nil), poison: poison}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Phase 1: concurrent flood with poison mixed in. Tiny queues mean some
+	// ops drop on pressure; poisoned batches panic the writers.
+	var offered atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5_000; i++ {
+				key := uint64(g*100_000 + i + 1)
+				if i%100 == 0 {
+					key = poison
+				}
+				e.Submit(engine.Op{Key: key, Value: uint64(i)})
+				offered.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Phase 2: saturate the latency signal — everything sheds.
+	sh.Observe(time.Second)
+	shedBase := sh.Stats()
+	for i := 0; i < 100; i++ {
+		if e.Submit(engine.Op{Key: uint64(900_000 + i), Value: 1}) {
+			t.Fatal("saturated shedder admitted a submit")
+		}
+		offered.Add(1)
+	}
+	if st := sh.Stats(); st.Shed[resilience.PriNormal] != shedBase.Shed[resilience.PriNormal]+100 {
+		t.Fatalf("shed accounting: %d → %d, want +100",
+			shedBase.Shed[resilience.PriNormal], st.Shed[resilience.PriNormal])
+	}
+
+	// Flush must not hang: panicked ops count toward the flush target.
+	e.Flush()
+
+	var submitted, applied, dropped, failed, panics uint64
+	for _, st := range e.Stats() {
+		submitted += st.Submitted
+		applied += st.Applied
+		dropped += st.Dropped
+		failed += st.Failed
+		panics += st.Panics
+	}
+	if panics == 0 {
+		t.Fatal("no writer panics recovered — injection did not fire")
+	}
+	if offered.Load() != applied+dropped {
+		t.Fatalf("accounting: offered=%d applied=%d dropped=%d", offered.Load(), applied, dropped)
+	}
+	if submitted != applied+failed {
+		t.Fatalf("queue accounting: submitted=%d applied=%d failed=%d", submitted, applied, failed)
+	}
+	if got := reg.SumCounters("engine_writer_panics_total"); got != panics {
+		t.Fatalf("obs panic counter = %d, Stats say %d", got, panics)
+	}
+
+	// Recovery: pressure clears, the engine serves and accepts again.
+	sh.Observe(0)
+	if !e.Submit(engine.Op{Key: 424242, Value: 7}) {
+		t.Fatal("recovered engine rejected a submit")
+	}
+	e.Flush()
+	if v, _, ok := e.Query(424242); !ok || v != 7 {
+		t.Fatalf("Query after chaos = (%d, %v), want (7, true)", v, ok)
+	}
+}

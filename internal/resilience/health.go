@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Check is one named readiness probe: nil means healthy. Checks must be safe
+// for concurrent use and fast — they run on every /readyz scrape.
+type Check func() error
+
+// Health aggregates named checks into liveness and readiness probes, the
+// interface an orchestrator (or a curious operator) reads the degradation
+// ladder through:
+//
+//	/healthz  — liveness: 200 while the process serves HTTP at all
+//	/readyz   — readiness: 200 when every check passes, 503 with a JSON
+//	            per-check report otherwise
+//
+// Register a Breaker.Check to go unready while the backing circuit is open,
+// a Shedder.Check to go unready when foreground work is being shed, and an
+// engine health func to go unready when a shard writer stalls.
+type Health struct {
+	mu     sync.RWMutex
+	checks map[string]Check
+}
+
+// NewHealth returns an empty (always-ready) aggregator.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]Check)}
+}
+
+// Register adds (or replaces) a named check. A nil check deletes the name.
+func (h *Health) Register(name string, c Check) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c == nil {
+		delete(h.checks, name)
+		return
+	}
+	h.checks[name] = c
+}
+
+// Ready runs every check and returns the first failure in name order
+// (nil when all pass).
+func (h *Health) Ready() error {
+	for _, r := range h.report() {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+type checkResult struct {
+	name string
+	err  error
+}
+
+func (h *Health) report() []checkResult {
+	h.mu.RLock()
+	names := make([]string, 0, len(h.checks))
+	for name := range h.checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]checkResult, len(names))
+	checks := make([]Check, len(names))
+	for i, name := range names {
+		checks[i] = h.checks[name]
+	}
+	h.mu.RUnlock()
+	for i, c := range checks {
+		out[i] = checkResult{name: names[i], err: c()}
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler, dispatching on the request path:
+// "/healthz" (liveness) and "/readyz" (readiness). Mount it on both paths,
+// or at a mux root that forwards them.
+func (h *Health) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch req.URL.Path {
+	case "/healthz":
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	case "/readyz":
+		results := h.report()
+		type entry struct {
+			Status string `json:"status"`
+			Error  string `json:"error,omitempty"`
+		}
+		body := struct {
+			Status string           `json:"status"`
+			Checks map[string]entry `json:"checks"`
+		}{Status: "ready", Checks: make(map[string]entry, len(results))}
+		code := http.StatusOK
+		for _, r := range results {
+			e := entry{Status: "ok"}
+			if r.err != nil {
+				e = entry{Status: "failing", Error: r.err.Error()}
+				body.Status = "unready"
+				code = http.StatusServiceUnavailable
+			}
+			body.Checks[r.name] = e
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(body)
+	default:
+		http.NotFound(w, req)
+	}
+}

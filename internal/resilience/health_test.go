@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthEmptyIsReady(t *testing.T) {
+	h := NewHealth()
+	if err := h.Ready(); err != nil {
+		t.Fatalf("empty Health.Ready = %v, want nil", err)
+	}
+}
+
+func TestHealthReadyzReportsFailingCheck(t *testing.T) {
+	h := NewHealth()
+	h.Register("ok", func() error { return nil })
+	boom := errors.New("shard 3 stalled")
+	h.Register("engine", func() error { return boom })
+
+	if err := h.Ready(); !errors.Is(err, boom) {
+		t.Fatalf("Ready = %v, want the failing check's error", err)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/readyz status = %d, want 503", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+		Checks map[string]struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad /readyz JSON: %v", err)
+	}
+	if body.Status != "unready" {
+		t.Fatalf("status = %q, want unready", body.Status)
+	}
+	if body.Checks["engine"].Error != "shard 3 stalled" {
+		t.Fatalf("engine check error = %q", body.Checks["engine"].Error)
+	}
+	if body.Checks["ok"].Status != "ok" {
+		t.Fatalf("ok check status = %q", body.Checks["ok"].Status)
+	}
+
+	// Fix the check: ready again.
+	h.Register("engine", func() error { return nil })
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/readyz after fix = %d, want 200", rec.Code)
+	}
+}
+
+func TestHealthHealthzAlwaysOK(t *testing.T) {
+	h := NewHealth()
+	h.Register("down", func() error { return errors.New("down") })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz = %d, want 200 (liveness ignores readiness checks)", rec.Code)
+	}
+}
+
+func TestHealthUnregister(t *testing.T) {
+	h := NewHealth()
+	h.Register("x", func() error { return errors.New("x") })
+	h.Register("x", nil)
+	if err := h.Ready(); err != nil {
+		t.Fatalf("Ready after unregister = %v, want nil", err)
+	}
+}

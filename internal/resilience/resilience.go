@@ -1,0 +1,72 @@
+// Package resilience keeps the serving engine answering when its
+// surroundings misbehave. The paper's core operational claim is that the
+// data plane never stalls on the control plane (§2, §4.4): a P4LRU switch
+// keeps forwarding at line rate whether or not the server behind it is
+// healthy, because the hit path and the slow path are physically separate
+// pipelines. This package is the software transplant of that separation —
+// the mechanisms that keep a degraded dependency from dragging the hit path
+// down with it:
+//
+//   - Breaker is a circuit breaker (closed → open → half-open) wrapped
+//     around the backing store: once the store blacks out, misses fail in
+//     one Allow() check instead of burning the full retry budget, and
+//     half-open probes detect recovery without re-flooding a convalescent
+//     backend.
+//   - Shedder is admission control: a degradation ladder driven by queue
+//     fullness and an EWMA of miss latency that sheds work lowest-priority
+//     first, with per-priority drop accounting — measured degradation
+//     instead of silent unbounded queue growth.
+//   - Health aggregates named checks (breaker state, shedder level, engine
+//     watchdog) behind /healthz and /readyz HTTP probes so an orchestrator
+//     can see the degradation ladder from outside the process.
+//
+// The fourth resilience mechanism — shard-writer supervision, graceful
+// drain, and snapshot/restore — lives in internal/engine, because it needs
+// the engine's internals; this package supplies the parts that are policy,
+// not plumbing. Everything here is allocation-free on the admit/allow hot
+// paths and reports through internal/obs (nil registry costs one branch).
+package resilience
+
+import "errors"
+
+// Sentinel errors the resilience layer reports.
+var (
+	// ErrOpen means a circuit breaker rejected the call without trying the
+	// dependency: the circuit is open and the cool-down has not elapsed.
+	ErrOpen = errors.New("resilience: circuit open")
+	// ErrShed means admission control rejected the work at the current
+	// degradation level. The caller should not retry immediately — shedding
+	// exists to reduce offered load.
+	ErrShed = errors.New("resilience: load shed")
+)
+
+// Priority orders work for the shedder's degradation ladder. Higher
+// priorities survive deeper into overload.
+type Priority uint8
+
+const (
+	// PriLow is the first work shed: speculative fetches, cache-miss loads,
+	// background refills.
+	PriLow Priority = iota
+	// PriNormal is the default for foreground mutations (engine submits).
+	PriNormal
+	// PriHigh is shed only at total saturation: synchronous reply-path
+	// mutations and control operations.
+	PriHigh
+
+	numPriorities = 3
+)
+
+// String returns the ladder name ("low", "normal", "high").
+func (p Priority) String() string {
+	switch p {
+	case PriLow:
+		return "low"
+	case PriNormal:
+		return "normal"
+	case PriHigh:
+		return "high"
+	default:
+		return "invalid"
+	}
+}

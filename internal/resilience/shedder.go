@@ -1,0 +1,224 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+// ShedderConfig parameterizes NewShedder. The zero value gets sane defaults.
+type ShedderConfig struct {
+	// TargetLatency is the slow-path latency the EWMA is judged against:
+	// at the target the latency pressure is 0.5 — the rung where low-priority
+	// work starts shedding (0 = 5ms).
+	TargetLatency time.Duration
+	// Alpha is the EWMA weight of each new sample in (0, 1] (0 = 0.2).
+	Alpha float64
+	// ShedLowAt, ShedNormalAt, ShedHighAt are the pressure watermarks at
+	// which each priority starts shedding (0 = 0.5, 0.75, 0.95). Pressure is
+	// max(queue fraction, latency ratio), both in [0, 1].
+	ShedLowAt, ShedNormalAt, ShedHighAt float64
+	// Name labels the shedder's metrics, e.g. `{name="engine"}`.
+	Name string
+	// Obs, when non-nil, receives resilience_shed_total{priority=...},
+	// resilience_admitted_total{priority=...}, resilience_shed_level and
+	// resilience_latency_ewma_seconds. nil costs nothing.
+	Obs *obs.Registry
+}
+
+func (c ShedderConfig) withDefaults() ShedderConfig {
+	if c.TargetLatency <= 0 {
+		c.TargetLatency = 5 * time.Millisecond
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.ShedLowAt <= 0 {
+		c.ShedLowAt = 0.5
+	}
+	if c.ShedNormalAt <= 0 {
+		c.ShedNormalAt = 0.75
+	}
+	if c.ShedHighAt <= 0 {
+		c.ShedHighAt = 0.95
+	}
+	return c
+}
+
+// Shedder is admission control: a degradation ladder that sheds work
+// lowest-priority first as pressure rises, instead of letting queues grow
+// without bound. Pressure combines two signals:
+//
+//   - the instantaneous queue fraction the caller passes to Admit (the
+//     engine passes its shard queue fullness; callers without a queue pass 0),
+//   - an EWMA of slow-path latency fed through Observe, normalized so the
+//     configured target latency maps to pressure 0.5 and twice the target
+//     saturates at 1.
+//
+// Admit is allocation-free and lock-free (atomic loads plus a compare), so
+// it can gate the engine submit path without measurable cost. Safe for
+// concurrent use.
+type Shedder struct {
+	cfg ShedderConfig
+
+	ewmaBits atomic.Uint64 // float64 seconds, CAS-updated
+
+	admitted [numPriorities]atomic.Uint64
+	shed     [numPriorities]atomic.Uint64
+
+	admittedC [numPriorities]*obs.Counter
+	shedC     [numPriorities]*obs.Counter
+}
+
+// NewShedder builds a shedder at pressure 0 (everything admitted).
+func NewShedder(cfg ShedderConfig) *Shedder {
+	cfg = cfg.withDefaults()
+	s := &Shedder{cfg: cfg}
+	if r := cfg.Obs; r != nil {
+		for p := PriLow; p <= PriHigh; p++ {
+			label := labelFor(cfg.Name, p)
+			s.admittedC[p] = r.Counter("resilience_admitted_total" + label)
+			s.shedC[p] = r.Counter("resilience_shed_total" + label)
+		}
+		suffix := ""
+		if cfg.Name != "" {
+			suffix = `{name="` + cfg.Name + `"}`
+		}
+		r.GaugeFunc("resilience_shed_level"+suffix, func() float64 { return float64(s.Level(0)) })
+		r.GaugeFunc("resilience_latency_ewma_seconds"+suffix, func() float64 { return s.ewma() })
+	}
+	return s
+}
+
+func labelFor(name string, p Priority) string {
+	if name == "" {
+		return fmt.Sprintf(`{priority="%s"}`, p)
+	}
+	return fmt.Sprintf(`{name="%s",priority="%s"}`, name, p)
+}
+
+// Observe feeds one slow-path latency sample into the EWMA.
+func (s *Shedder) Observe(lat time.Duration) {
+	if s == nil {
+		return
+	}
+	v := lat.Seconds()
+	for {
+		old := s.ewmaBits.Load()
+		cur := math.Float64frombits(old)
+		var next float64
+		if old == 0 {
+			next = v // first sample seeds the average
+		} else {
+			next = cur + s.cfg.Alpha*(v-cur)
+		}
+		if s.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (s *Shedder) ewma() float64 {
+	return math.Float64frombits(s.ewmaBits.Load())
+}
+
+// Pressure combines the caller's instantaneous queue fraction with the
+// latency EWMA: max(queueFrac, ewma/(2×target)), clamped to [0, 1].
+func (s *Shedder) Pressure(queueFrac float64) float64 {
+	if s == nil {
+		return 0
+	}
+	lp := s.ewma() / (2 * s.cfg.TargetLatency.Seconds())
+	p := queueFrac
+	if lp > p {
+		p = lp
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Admit decides whether work of the given priority proceeds at the current
+// pressure (the caller supplies its instantaneous queue fraction; 0 when it
+// has no queue). A false return has already been counted against pri.
+func (s *Shedder) Admit(pri Priority, queueFrac float64) bool {
+	if s == nil {
+		return true
+	}
+	if s.Pressure(queueFrac) >= s.watermark(pri) {
+		s.shed[pri].Add(1)
+		s.shedC[pri].Inc()
+		return false
+	}
+	s.admitted[pri].Add(1)
+	s.admittedC[pri].Inc()
+	return true
+}
+
+func (s *Shedder) watermark(pri Priority) float64 {
+	switch pri {
+	case PriLow:
+		return s.cfg.ShedLowAt
+	case PriNormal:
+		return s.cfg.ShedNormalAt
+	default:
+		return s.cfg.ShedHighAt
+	}
+}
+
+// Level reports the degradation rung at the given queue fraction: 0 = admit
+// everything, 1 = shedding low, 2 = shedding low+normal, 3 = shedding all.
+func (s *Shedder) Level(queueFrac float64) int {
+	if s == nil {
+		return 0
+	}
+	p := s.Pressure(queueFrac)
+	switch {
+	case p >= s.cfg.ShedHighAt:
+		return 3
+	case p >= s.cfg.ShedNormalAt:
+		return 2
+	case p >= s.cfg.ShedLowAt:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ShedderStats is the per-priority accounting snapshot.
+type ShedderStats struct {
+	Admitted [3]uint64 // indexed by Priority
+	Shed     [3]uint64
+}
+
+// Stats snapshots the per-priority admit/shed counters.
+func (s *Shedder) Stats() ShedderStats {
+	var out ShedderStats
+	if s == nil {
+		return out
+	}
+	for p := 0; p < numPriorities; p++ {
+		out.Admitted[p] = s.admitted[p].Load()
+		out.Shed[p] = s.shed[p].Load()
+	}
+	return out
+}
+
+// Check is a Health probe: an error once the ladder sheds normal-priority
+// work on latency alone (the process is degraded even for foreground work).
+func (s *Shedder) Check() error {
+	if s == nil {
+		return nil
+	}
+	if lvl := s.Level(0); lvl >= 2 {
+		return fmt.Errorf("%w: degradation level %d (latency EWMA %.3fs)", ErrShed, lvl, s.ewma())
+	}
+	return nil
+}

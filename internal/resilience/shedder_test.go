@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+)
+
+func TestShedderIdleAdmitsEverything(t *testing.T) {
+	s := NewShedder(ShedderConfig{})
+	for _, pri := range []Priority{PriLow, PriNormal, PriHigh} {
+		if !s.Admit(pri, 0) {
+			t.Fatalf("idle shedder shed %v work", pri)
+		}
+	}
+	if lvl := s.Level(0); lvl != 0 {
+		t.Fatalf("idle level = %d, want 0", lvl)
+	}
+}
+
+func TestShedderQueuePressureLadder(t *testing.T) {
+	s := NewShedder(ShedderConfig{ShedLowAt: 0.5, ShedNormalAt: 0.75, ShedHighAt: 0.95})
+	cases := []struct {
+		frac              float64
+		low, normal, high bool
+		level             int
+	}{
+		{0.0, true, true, true, 0},
+		{0.49, true, true, true, 0},
+		{0.6, false, true, true, 1},
+		{0.8, false, false, true, 2},
+		{1.0, false, false, false, 3},
+	}
+	for _, c := range cases {
+		if got := s.Admit(PriLow, c.frac); got != c.low {
+			t.Errorf("Admit(low, %.2f) = %v, want %v", c.frac, got, c.low)
+		}
+		if got := s.Admit(PriNormal, c.frac); got != c.normal {
+			t.Errorf("Admit(normal, %.2f) = %v, want %v", c.frac, got, c.normal)
+		}
+		if got := s.Admit(PriHigh, c.frac); got != c.high {
+			t.Errorf("Admit(high, %.2f) = %v, want %v", c.frac, got, c.high)
+		}
+		if got := s.Level(c.frac); got != c.level {
+			t.Errorf("Level(%.2f) = %d, want %d", c.frac, got, c.level)
+		}
+	}
+}
+
+func TestShedderLatencyPressure(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewShedder(ShedderConfig{TargetLatency: 10 * time.Millisecond, Alpha: 1, Obs: reg})
+	// EWMA at the target: pressure 0.5 — low-priority work sheds.
+	s.Observe(10 * time.Millisecond)
+	if s.Admit(PriLow, 0) {
+		t.Fatal("low-priority work admitted with EWMA at the target")
+	}
+	if !s.Admit(PriNormal, 0) {
+		t.Fatal("normal-priority work shed with EWMA only at the target")
+	}
+	// EWMA at 2× target saturates pressure at 1: everything sheds.
+	s.Observe(20 * time.Millisecond)
+	if s.Admit(PriHigh, 0) {
+		t.Fatal("high-priority work admitted at saturation")
+	}
+	if lvl := s.Level(0); lvl != 3 {
+		t.Fatalf("saturated level = %d, want 3", lvl)
+	}
+	// Recovery: fast samples pull the EWMA back down.
+	s.Observe(0)
+	if !s.Admit(PriLow, 0) {
+		t.Fatal("low-priority work still shed after the EWMA recovered")
+	}
+	if v := reg.CounterValue(`resilience_shed_total{priority="low"}`); v != 1 {
+		t.Fatalf("low shed counter = %d, want 1", v)
+	}
+}
+
+func TestShedderStatsBalance(t *testing.T) {
+	s := NewShedder(ShedderConfig{})
+	const n = 1000
+	admitted := 0
+	for i := 0; i < n; i++ {
+		frac := float64(i) / n // sweep the ladder
+		if s.Admit(PriNormal, frac) {
+			admitted++
+		}
+	}
+	st := s.Stats()
+	if got := st.Admitted[PriNormal] + st.Shed[PriNormal]; got != n {
+		t.Fatalf("admitted+shed = %d, want %d", got, n)
+	}
+	if st.Admitted[PriNormal] != uint64(admitted) {
+		t.Fatalf("Stats.Admitted = %d, caller counted %d", st.Admitted[PriNormal], admitted)
+	}
+	if st.Shed[PriNormal] == 0 {
+		t.Fatal("sweep to full queues shed nothing")
+	}
+}
+
+func TestShedderCheck(t *testing.T) {
+	s := NewShedder(ShedderConfig{TargetLatency: 10 * time.Millisecond, Alpha: 1})
+	if err := s.Check(); err != nil {
+		t.Fatalf("idle Check = %v, want nil", err)
+	}
+	s.Observe(20 * time.Millisecond) // pressure 1 → level 3
+	if err := s.Check(); !errors.Is(err, ErrShed) {
+		t.Fatalf("saturated Check = %v, want ErrShed", err)
+	}
+}
+
+func TestShedderNilSafe(t *testing.T) {
+	var s *Shedder
+	if !s.Admit(PriLow, 1) {
+		t.Fatal("nil shedder must admit everything")
+	}
+	s.Observe(time.Second)
+	if s.Level(1) != 0 || s.Pressure(1) != 0 {
+		t.Fatal("nil shedder must report zero pressure")
+	}
+	_ = s.Stats()
+	if err := s.Check(); err != nil {
+		t.Fatalf("nil shedder Check = %v, want nil", err)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	for pri, want := range map[Priority]string{PriLow: "low", PriNormal: "normal", PriHigh: "high", 9: "invalid"} {
+		if got := pri.String(); got != want {
+			t.Errorf("Priority(%d).String() = %q, want %q", pri, got, want)
+		}
+	}
+}
