@@ -2,9 +2,9 @@ GO ?= go
 
 # The committed perf-trajectory record `make bench` writes; bump the suffix
 # when a PR re-baselines the ladder.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_6.json
 # The previous record, used as the regression baseline for -within gates.
-BENCH_BASE ?= BENCH_3.json
+BENCH_BASE ?= BENCH_4.json
 # Fixed iteration counts so runs are comparable across commits.
 BENCH_TIME ?= 2000000x
 
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/ ./internal/backing/ ./internal/resilience/
+	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/... ./internal/backing/ ./internal/resilience/
 
 # chaos runs the failure-injection suite (backing blackouts, writer panics,
 # overload shedding) under the race detector.
@@ -27,23 +27,30 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/resilience/ ./internal/engine/
 
 # bench runs the core benchmark ladder (flat vs generic P4LRU3 array, flat
-# query paths, engine shard scaling, tiered look-through hit/miss) at a fixed
-# iteration count, writes the machine-readable result to $(BENCH_OUT), and
-# fails if the flat core is not faster than the generic one, if a hit path
-# allocates, or if a hit path slowed by more than the -within factor against
-# the $(BENCH_BASE) baseline (a generous bound that absorbs CI noise while
-# catching real regressions).
+# query paths, engine shard scaling, tiered look-through hit/miss, tracing
+# overhead) at a fixed iteration count, writes the machine-readable result to
+# $(BENCH_OUT), and fails if the flat core is not faster than the generic
+# one, if a hit path allocates (with or without tracing), if tracing at the
+# default sampling rate costs more than 5% of batch throughput (the
+# TraceOverhead pair runs -count=10 and benchjson keeps each side's fastest
+# run, so the tight ratio gate is noise-robust), or if a hit path slowed by
+# more than the -within factor against the $(BENCH_BASE) baseline (a
+# generous bound that absorbs CI noise while catching real regressions).
 bench:
-	$(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine|Tiered|Breaker|Shedder' -benchmem \
+	{ $(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine|Tiered|Breaker|Shedder' -benchmem \
 		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ ./internal/resilience/ \
+	&& $(GO) test -run '^$$' -bench 'TraceOverhead' -benchmem \
+		-benchtime=$(BENCH_TIME) -count=10 ./internal/engine/ ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
 		-faster 'FlatVsGeneric/core=flat<FlatVsGeneric/core=generic' \
 		-faster 'FlatVsGeneric/core=flat-batch<FlatVsGeneric/core=generic' \
 		-faster 'FlatQuery/core=flat<FlatQuery/core=generic' \
 		-zeroalloc 'FlatQuery/core=flat' \
 		-zeroalloc 'Tiered/op=hit' \
+		-zeroalloc 'Tiered/op=hit-traced' \
 		-zeroalloc 'BreakerAllow' \
 		-zeroalloc 'ShedderAdmit' \
+		-maxratio 'TraceOverhead/trace=on<=1.05*TraceOverhead/trace=off' \
 		-baseline $(BENCH_BASE) \
 		-within 'EngineQuery=3' \
 		-within 'FlatQuery/core=flat=3' \

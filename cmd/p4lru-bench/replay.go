@@ -20,6 +20,7 @@ import (
 	"github.com/p4lru/p4lru/internal/engine"
 	"github.com/p4lru/p4lru/internal/netproto"
 	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/resilience"
 	"github.com/p4lru/p4lru/internal/trace"
@@ -66,8 +67,19 @@ func replayCmd(args []string) error {
 		"enable load shedding with this EWMA latency target; 0 disables")
 	useBreaker := fs.Bool("breaker", false,
 		"wrap backing fetches in a circuit breaker so a blacked-out store fails fast (with -backing)")
+	spansOn := fs.Bool("spans", true,
+		"per-op stage tracing: span histograms, tail-sampled ring captures, /debug/ops (with -metrics)")
+	spanSample := fs.Int("span-sample", 8192,
+		"uniform span capture period, 1 in N ops (ops over the live p99 threshold are always captured)")
+	console := fs.Bool("console", false,
+		"live ops console: per-shard queue heatmap, per-stage p50/p99, slowest waterfalls")
+	progress := fs.Bool("progress", true,
+		"one-line live progress on stderr (throughput, hit ratio, p99 miss latency)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *console {
+		*spansOn = true // the console reads the tracer's rings
 	}
 	if *writeBehind && *backingSpec == "" {
 		return fmt.Errorf("-writebehind requires -backing")
@@ -112,19 +124,31 @@ func replayCmd(args []string) error {
 	// the pieces come up, so /readyz starts strict and relaxes into ready.
 	health := resilience.NewHealth()
 	var reg *obs.Registry
-	if *metricsAddr != "" {
+	// The backing-mode report and the progress/console UIs read metrics back
+	// out of the registry, so those modes get one even without -metrics.
+	if *metricsAddr != "" || *backingSpec != "" || *spansOn || *progress {
 		reg = obs.Default()
-		addr, err := serveOps(*metricsAddr, reg, health)
+	}
+
+	// The tracer exists before the HTTP listener so /debug/ops is mounted
+	// (and scrapeable) for the whole run, like /metrics.
+	var tracer *span.Tracer
+	if *spansOn {
+		traceShards := *shards
+		if traceShards <= 0 {
+			traceShards = runtime.GOMAXPROCS(0)
+		}
+		tracer = span.New(span.Config{Shards: traceShards, SampleN: *spanSample, Obs: reg})
+		tracer.SetEnabled(true)
+	}
+
+	if *metricsAddr != "" {
+		addr, err := serveOps(*metricsAddr, reg, health, tracer)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics  ready: http://%s/readyz\n", addr, addr)
-	}
-
-	// The backing-mode report reads loader metrics back out of the registry,
-	// so look-through runs always get one even without -metrics.
-	if *backingSpec != "" && reg == nil {
-		reg = obs.Default()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics  ops: http://%s/debug/ops  ready: http://%s/readyz\n",
+			addr, addr, addr)
 	}
 
 	var shedder *resilience.Shedder
@@ -155,6 +179,7 @@ func replayCmd(args []string) error {
 		Block:      *block,
 		Obs:        reg,
 		Shedder:    shedder,
+		Span:       tracer,
 	}
 	var wb *backing.WriteBehind
 	if *writeBehind {
@@ -217,8 +242,16 @@ func replayCmd(args []string) error {
 			ctx := runCtx
 			var localHits, localQueries, localErrs uint64
 			for i, n := w, 0; i < len(tr.Packets); i, n = i+*parallel, n+1 {
-				if n&0xfff == 0 && runCtx.Err() != nil {
-					break
+				if n&0xfff == 0 {
+					if runCtx.Err() != nil {
+						break
+					}
+					// Publish the local counters so the live progress line
+					// and the console see fresh numbers mid-run.
+					hits.Add(localHits)
+					queries.Add(localQueries)
+					loadErrs.Add(localErrs)
+					localHits, localQueries, localErrs = 0, 0, 0
 				}
 				p := tr.Packets[i]
 				localQueries++
@@ -246,7 +279,15 @@ func replayCmd(args []string) error {
 			loadErrs.Add(localErrs)
 		}(w)
 	}
+	stopUI := func() {}
+	switch {
+	case *console:
+		stopUI = startConsole(eng, tracer, reg, &hits, &queries, start)
+	case *progress:
+		stopUI = startProgress(reg, &hits, &queries, start)
+	}
 	wg.Wait()
+	stopUI()
 	interrupted := runCtx.Err() != nil
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "p4lru-bench: interrupted — draining engine")
@@ -280,6 +321,14 @@ func replayCmd(args []string) error {
 	if tiered != nil {
 		reportBacking(reg, *backingSpec, loadErrs.Load(), wb)
 	}
+	if tracer != nil {
+		recorded, captured := tracer.Stats()
+		fmt.Printf("spans recorded=%d captured=%d tailThreshold=%v\n",
+			recorded, captured, tracer.TailThreshold().Round(time.Microsecond))
+		for _, rec := range tracer.Slowest(3) {
+			fmt.Println("  " + rec.Waterfall())
+		}
+	}
 	if *snapshotPath != "" {
 		if err := writeSnapshot(eng, *snapshotPath); err != nil {
 			fmt.Fprintln(os.Stderr, "p4lru-bench: snapshot:", err)
@@ -292,8 +341,8 @@ func replayCmd(args []string) error {
 
 // serveOps serves the registry plus health probes on one listener: the obs
 // handler at its usual paths, the resilience aggregator on /healthz and
-// /readyz.
-func serveOps(addr string, reg *obs.Registry, health *resilience.Health) (string, error) {
+// /readyz, and — when tracing — the captured-trace waterfalls on /debug/ops.
+func serveOps(addr string, reg *obs.Registry, health *resilience.Health, tracer *span.Tracer) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -303,6 +352,9 @@ func serveOps(addr string, reg *obs.Registry, health *resilience.Health) (string
 	mux.Handle("/", reg.Handler())
 	mux.Handle("/healthz", health)
 	mux.Handle("/readyz", health)
+	if tracer != nil {
+		mux.Handle("/debug/ops", tracer.Handler())
+	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/resilience"
 )
 
@@ -136,15 +137,34 @@ func NewLoader(store Store, cfg LoaderConfig) *Loader {
 // within the attempt budget, so a Get returns within roughly
 // Attempts × Timeout plus the backoff sleeps (each ≤ BackoffCap).
 func (l *Loader) Get(ctx context.Context, key uint64) (uint64, error) {
+	return l.get(ctx, key, nil)
+}
+
+// GetSpanned is Get for callers carrying an open trace span. Per-attempt
+// boundaries land in the span — StageFetch is time inside store round trips,
+// StageMiss is everything around them (coalescing waits, inflight-slot
+// waits, backoff sleeps) — and the span's flags record retries, hedges,
+// breaker rejections and coalescing. The span is only ever touched from the
+// calling goroutine (hedge requests race on their own goroutines and never
+// see it), and the caller keeps ownership: the loader never finishes it.
+// A nil or inactive sp degrades to Get.
+func (l *Loader) GetSpanned(ctx context.Context, key uint64, sp *span.Span) (uint64, error) {
+	return l.get(ctx, key, sp)
+}
+
+func (l *Loader) get(ctx context.Context, key uint64, sp *span.Span) (uint64, error) {
 	l.loads.Inc()
 	l.mu.Lock()
 	if c, ok := l.calls[key]; ok {
 		l.mu.Unlock()
 		l.coalesced.Inc()
+		sp.SetFlags(span.FlagCoalesced)
 		select {
 		case <-c.done:
+			sp.Mark(span.StageMiss) // waited on another Get's fetch
 			return c.val, c.err
 		case <-ctx.Done():
+			sp.Mark(span.StageMiss)
 			return 0, ctx.Err()
 		}
 	}
@@ -153,7 +173,7 @@ func (l *Loader) Get(ctx context.Context, key uint64) (uint64, error) {
 	l.mu.Unlock()
 
 	start := time.Now()
-	c.val, c.err = l.lead(ctx, key)
+	c.val, c.err = l.lead(ctx, key, sp)
 	if c.err != nil {
 		l.errs.Inc()
 	} else if l.cfg.Fill != nil {
@@ -175,7 +195,7 @@ func (l *Loader) Get(ctx context.Context, key uint64) (uint64, error) {
 
 // lead is the singleflight leader's path: acquire an in-flight slot, then
 // run the retry loop.
-func (l *Loader) lead(ctx context.Context, key uint64) (uint64, error) {
+func (l *Loader) lead(ctx context.Context, key uint64, sp *span.Span) (uint64, error) {
 	select {
 	case l.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -192,6 +212,7 @@ func (l *Loader) lead(ctx context.Context, key uint64) (uint64, error) {
 	for attempt := 0; attempt < l.cfg.Attempts; attempt++ {
 		if attempt > 0 {
 			l.retries.Inc()
+			sp.SetFlags(span.FlagRetried)
 			select {
 			case <-time.After(l.jitter(backoff)):
 			case <-ctx.Done():
@@ -208,12 +229,17 @@ func (l *Loader) lead(ctx context.Context, key uint64) (uint64, error) {
 		// just on entry, so a circuit tripped by concurrent fetches stops
 		// this one's remaining retries too.
 		if !l.cfg.Breaker.Allow() {
+			sp.SetFlags(span.FlagBreakerOpen)
+			sp.Mark(span.StageMiss)
 			if lastErr != nil {
 				return 0, fmt.Errorf("%w (after %d attempts, last: %v)", ErrCircuitOpen, attempt, lastErr)
 			}
 			return 0, ErrCircuitOpen
 		}
-		v, err := l.attempt(ctx, key)
+		sp.IncAttempts()
+		sp.Mark(span.StageMiss) // slot acquisition + backoff sleeps since the last boundary
+		v, err := l.attempt(ctx, key, sp)
+		sp.Mark(span.StageFetch) // the store round trip (hedges included)
 		switch {
 		case err == nil:
 			l.cfg.Breaker.Record(true)
@@ -238,7 +264,7 @@ func (l *Loader) lead(ctx context.Context, key uint64) (uint64, error) {
 // primary request has not resolved within Hedge, an identical second request
 // races it and the first result wins. The shared per-attempt context reaps
 // the loser.
-func (l *Loader) attempt(ctx context.Context, key uint64) (uint64, error) {
+func (l *Loader) attempt(ctx context.Context, key uint64, sp *span.Span) (uint64, error) {
 	actx, cancel := context.WithTimeout(ctx, l.cfg.Timeout)
 	defer cancel()
 	l.fetches.Inc()
@@ -280,6 +306,7 @@ func (l *Loader) attempt(ctx context.Context, key uint64) (uint64, error) {
 				hedged = true
 				l.hedges.Inc()
 				l.fetches.Inc()
+				sp.SetFlags(span.FlagHedged) // lead goroutine only: hedges never touch sp
 				launch()
 				pending++
 			}

@@ -1,0 +1,164 @@
+package backing
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs/span"
+	"github.com/p4lru/p4lru/internal/resilience"
+)
+
+// spanTracer returns an enabled capture-everything tracer for loader tests.
+func spanTracer() *span.Tracer {
+	tr := span.New(span.Config{SampleN: 1, RingSize: 256, RecalcEvery: 1 << 20})
+	tr.SetEnabled(true)
+	return tr
+}
+
+// findRec returns the captured record for key, failing the test if absent.
+func findRec(t *testing.T, tr *span.Tracer, key uint64) span.Record {
+	t.Helper()
+	for _, rec := range tr.Snapshot() {
+		if rec.Key == key {
+			return rec
+		}
+	}
+	t.Fatalf("no captured record for key %d", key)
+	return span.Record{}
+}
+
+func TestGetSpannedCountsAttemptsAndRetries(t *testing.T) {
+	tr := spanTracer()
+	// Fail twice, then succeed: the span should count 3 attempts and carry
+	// FlagRetried, with fetch time recorded for every round trip.
+	var calls int
+	store := storeFunc(func(ctx context.Context, key uint64) (uint64, error) {
+		calls++
+		if calls <= 2 {
+			return 0, ErrUnavailable
+		}
+		return key * 2, nil
+	})
+	l := NewLoader(store, LoaderConfig{Attempts: 5, Backoff: 100 * time.Microsecond})
+
+	sp := tr.Start(0, 7)
+	v, err := l.GetSpanned(context.Background(), 7, &sp)
+	sp.Finish(span.KindMiss)
+	if err != nil || v != 14 {
+		t.Fatalf("GetSpanned = (%d, %v)", v, err)
+	}
+	rec := findRec(t, tr, 7)
+	if rec.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", rec.Attempts)
+	}
+	if rec.Flags&span.FlagRetried == 0 {
+		t.Fatalf("missing FlagRetried: %+v", rec)
+	}
+	if rec.Stages[span.StageFetch] <= 0 {
+		t.Fatalf("no fetch time recorded: %+v", rec)
+	}
+	// The backoff sleeps land in StageMiss, not StageFetch.
+	if rec.Stages[span.StageMiss] < int64(100*time.Microsecond) {
+		t.Fatalf("backoff not attributed to StageMiss: %+v", rec)
+	}
+}
+
+func TestGetSpannedBreakerOpenFlag(t *testing.T) {
+	tr := spanTracer()
+	store := storeFunc(func(ctx context.Context, key uint64) (uint64, error) {
+		return 0, ErrUnavailable
+	})
+	br := resilience.NewBreaker(resilience.BreakerConfig{ConsecutiveFailures: 2})
+	l := NewLoader(store, LoaderConfig{Attempts: 2, Backoff: 50 * time.Microsecond, Breaker: br})
+
+	// Trip the breaker with an untraced Get, then confirm the traced Get is
+	// rejected with the flag set.
+	_, _ = l.Get(context.Background(), 1)
+	sp := tr.Start(0, 2)
+	_, err := l.GetSpanned(context.Background(), 2, &sp)
+	sp.Finish(span.KindMissFail)
+	if !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("err = %v, want breaker rejection", err)
+	}
+	rec := findRec(t, tr, 2)
+	if rec.Flags&span.FlagBreakerOpen == 0 {
+		t.Fatalf("missing FlagBreakerOpen: %+v", rec)
+	}
+}
+
+func TestGetSpannedCoalescedFlag(t *testing.T) {
+	tr := spanTracer()
+	store := &countingStore{inner: NewMapStore().Preload(100), delay: 20 * time.Millisecond}
+	l := NewLoader(store, LoaderConfig{})
+
+	// A leader occupies the flight; the traced follower coalesces onto it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = l.Get(context.Background(), 5)
+	}()
+	for l.Inflight() == 0 { // wait until the leader holds its slot
+		time.Sleep(100 * time.Microsecond)
+	}
+	sp := tr.Start(0, 5)
+	v, err := l.GetSpanned(context.Background(), 5, &sp)
+	sp.Finish(span.KindMiss)
+	wg.Wait()
+	if err != nil || v != 5^SynthSalt {
+		t.Fatalf("GetSpanned = (%d, %v)", v, err)
+	}
+	if store.gets.Load() != 1 {
+		t.Fatalf("store fetched %d times, want 1 (coalesced)", store.gets.Load())
+	}
+	rec := findRec(t, tr, 5)
+	if rec.Flags&span.FlagCoalesced == 0 {
+		t.Fatalf("missing FlagCoalesced: %+v", rec)
+	}
+	if rec.Stages[span.StageMiss] <= 0 {
+		t.Fatalf("coalesced wait not attributed to StageMiss: %+v", rec)
+	}
+}
+
+func TestGetSpannedHedgedFlag(t *testing.T) {
+	tr := spanTracer()
+	// First request stalls past the hedge delay; the hedge answers fast.
+	var calls int32
+	var mu sync.Mutex
+	store := storeFunc(func(ctx context.Context, key uint64) (uint64, error) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			select {
+			case <-time.After(200 * time.Millisecond):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		return key + 1, nil
+	})
+	l := NewLoader(store, LoaderConfig{
+		Attempts: 1, Timeout: time.Second, Hedge: 5 * time.Millisecond,
+	})
+	sp := tr.Start(0, 9)
+	v, err := l.GetSpanned(context.Background(), 9, &sp)
+	sp.Finish(span.KindMiss)
+	if err != nil || v != 10 {
+		t.Fatalf("GetSpanned = (%d, %v)", v, err)
+	}
+	rec := findRec(t, tr, 9)
+	if rec.Flags&span.FlagHedged == 0 {
+		t.Fatalf("missing FlagHedged: %+v", rec)
+	}
+}
+
+// storeFunc adapts a function to the Store interface for fault injection.
+type storeFunc func(ctx context.Context, key uint64) (uint64, error)
+
+func (f storeFunc) Get(ctx context.Context, key uint64) (uint64, error) { return f(ctx, key) }
+func (f storeFunc) Put(ctx context.Context, key, val uint64) error      { return nil }

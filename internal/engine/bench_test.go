@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/backing"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/quantile"
 )
@@ -95,6 +97,44 @@ func BenchmarkEngineQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkTraceOverhead measures the always-on tracing tax on the engine
+// batch-submit path: trace=on runs with an enabled tracer at the default
+// sampling rate (per-batch spans, live tail threshold, stage histograms),
+// trace=off with no tracer wired at all. The CI bench-smoke gate holds
+// trace=on within 5% of trace=off (benchjson -maxratio). Serial on purpose:
+// RunParallel contention noise would swamp a single-digit-percent budget.
+func BenchmarkTraceOverhead(b *testing.B) {
+	keys := benchKeys()
+	for _, traced := range []bool{false, true} {
+		name := "trace=off"
+		var tr *span.Tracer
+		if traced {
+			name = "trace=on"
+			tr = span.New(span.Config{Shards: runtime.GOMAXPROCS(0), Obs: obs.NewRegistry()})
+			tr.SetEnabled(true)
+		}
+		b.Run(name, func(b *testing.B) {
+			e, err := NewFromSpec(
+				policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 1 << 20, Seed: 1},
+				Config{Shards: runtime.GOMAXPROCS(0), Block: true, Span: tr},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			sub := e.NewSubmitter()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := keys[i&(len(keys)-1)]
+				sub.Submit(Op{Key: k, Value: k})
+			}
+			sub.Flush()
+			e.Flush()
+			b.StopTimer()
+		})
+	}
+}
+
 // BenchmarkTiered measures the look-through pair. op=hit is the acceptance
 // gate: serving a resident key through GetOrLoad must stay allocation-free
 // and within a small factor of the bare Query path (benchjson enforces both
@@ -103,10 +143,10 @@ func BenchmarkEngineQuery(b *testing.B) {
 // p50/p99 as custom metrics, which benchjson folds into the miss-latency
 // panel of BENCH_<n>.json.
 func BenchmarkTiered(b *testing.B) {
-	newTiered := func(b *testing.B) *Tiered {
+	newTiered := func(b *testing.B, tr *span.Tracer) *Tiered {
 		e, err := NewFromSpec(
 			policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 1 << 20, Seed: 1},
-			Config{Shards: runtime.GOMAXPROCS(0), Block: true},
+			Config{Shards: runtime.GOMAXPROCS(0), Block: true, Span: tr},
 		)
 		if err != nil {
 			b.Fatal(err)
@@ -117,8 +157,7 @@ func BenchmarkTiered(b *testing.B) {
 		return NewTiered(e, store, backing.LoaderConfig{MaxInflight: 256})
 	}
 
-	b.Run("op=hit", func(b *testing.B) {
-		t := newTiered(b)
+	hitBench := func(b *testing.B, t *Tiered) {
 		keys := benchKeys()
 		for _, k := range keys {
 			t.Apply(Op{Key: k, Value: k})
@@ -147,10 +186,23 @@ func BenchmarkTiered(b *testing.B) {
 				}
 			}
 		})
+	}
+
+	b.Run("op=hit", func(b *testing.B) {
+		hitBench(b, newTiered(b, nil))
+	})
+
+	// op=hit-traced re-runs the hit gate with tracing enabled and sampling
+	// active: the bench-smoke -zeroalloc gate holds this at 0 allocs/op too,
+	// proving the span plumbing never escapes to the heap.
+	b.Run("op=hit-traced", func(b *testing.B) {
+		tr := span.New(span.Config{Shards: runtime.GOMAXPROCS(0), SampleN: 64, Obs: obs.NewRegistry()})
+		tr.SetEnabled(true)
+		hitBench(b, newTiered(b, tr))
 	})
 
 	b.Run("op=miss", func(b *testing.B) {
-		t := newTiered(b)
+		t := newTiered(b, nil)
 		ctx := context.Background()
 		// Serial on purpose: the per-op latency stream feeds one P²
 		// estimator, and a fresh key per iteration keeps every op a miss.

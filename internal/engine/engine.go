@@ -53,6 +53,7 @@ import (
 
 	"github.com/p4lru/p4lru/internal/hashing"
 	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/resilience"
 )
@@ -60,6 +61,14 @@ import (
 // routeSalt decorrelates the shard-routing hash from the per-shard cache
 // index hashes, which are seeded from the same base seed.
 const routeSalt = 0x5ead1e55c0ffee
+
+// batchSpanSample traces 1 in this many batches (power of two). A batch
+// span costs a few hundred ns (three timestamps plus histogram updates) on
+// the shard writer, which is the pipeline bottleneck under sustained write
+// load; sampling keeps the traced batch path within the 5% throughput
+// budget the bench-smoke gate enforces while queue-wait distributions stay
+// statistically representative.
+const batchSpanSample = 8
 
 // Op is one queued mutation: the (key, value, token, time) quadruple of
 // policy.Cache.Update. It is policy.Op itself, so a queued batch can be
@@ -110,6 +119,13 @@ type Config struct {
 	// stalled (obs gauge engine_shard_stalled, Stats.Stalled, Healthy).
 	// 0 = 2s; negative disables the watchdog.
 	StallWindow time.Duration
+	// Span, when non-nil and enabled, traces the serving stages: queued
+	// batches carry their enqueue timestamp so each writer dequeue emits a
+	// KindBatch record decomposing queue wait vs batch apply, shed
+	// submissions emit KindShed records, and QuerySpanned attributes read
+	// latency. When the tracer is disabled (or nil) the only hot-path cost
+	// is one nil check plus one atomic load per batch.
+	Span *span.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +144,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// queued is one batch in flight to a shard writer, stamped with its enqueue
+// time (tracer clock; 0 when tracing is off) so the writer can attribute
+// queue wait separately from apply time.
+type queued struct {
+	ops []Op
+	enq int64
+}
+
 // shard is one independent serving unit: a private cache, its lock, and the
 // bounded batch queue its writer goroutine consumes.
 type shard struct {
@@ -137,7 +161,7 @@ type shard struct {
 	evictBatch policy.EvictBatchUpdater // non-nil when batches can report evictions
 	lockFree   bool                     // cache is a policy.ConcurrentReader
 
-	queue     chan []Op
+	queue     chan queued
 	submitted atomic.Uint64 // ops handed to the queue
 	applied   atomic.Uint64 // ops the writer has applied
 	drops     atomic.Uint64 // ops shed on a full queue, by the shedder, or lost to a panic
@@ -157,6 +181,10 @@ type Engine struct {
 	route  hashing.Hash
 	shards []*shard
 	pool   sync.Pool // []Op batch buffers, cap = BatchSize
+	// spanTick samples batch spans 1-in-batchSpanSample at enqueue, so the
+	// shard writers — the throughput bottleneck under sustained write load —
+	// pay the span cost on a fraction of batches instead of all of them.
+	spanTick atomic.Uint64
 
 	lifeMu   sync.RWMutex
 	closed   bool
@@ -203,7 +231,7 @@ func New(cfg Config) (*Engine, error) {
 			batch:      bu,
 			evictBatch: ebu,
 			lockFree:   ok && cr.ConcurrentQuery(),
-			queue:      make(chan []Op, cfg.QueueDepth),
+			queue:      make(chan queued, cfg.QueueDepth),
 		}
 		if r := cfg.Obs; r != nil {
 			label := fmt.Sprintf(`{shard="%d"}`, i)
@@ -223,7 +251,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.shards[i] = s
 		e.wg.Add(1)
-		go e.writer(s)
+		go e.writer(i, s)
 	}
 	if cfg.StallWindow > 0 {
 		e.watchdogStop = make(chan struct{})
@@ -270,13 +298,27 @@ func batchBuckets(max int) []float64 {
 // supervised: a panic inside one batch apply is recovered and accounted, and
 // the loop keeps consuming — equivalent to restarting the writer with its
 // queue intact, so Submit never deadlocks behind a dead consumer.
-func (e *Engine) writer(s *shard) {
+func (e *Engine) writer(i int, s *shard) {
 	defer e.wg.Done()
-	for batch := range s.queue {
+	for q := range s.queue {
+		batch := q.ops
 		n := uint64(len(batch))
+		// One KindBatch span per sampled dequeue (q.enq is stamped on 1 in
+		// batchSpanSample batches): queue wait is dequeue-time minus the
+		// stamped enqueue time, apply is the batch's time under the shard
+		// write lock. Per-sampled-batch (not per-op) records keep the traced
+		// batch path to a fraction of a ns per op.
+		sp := span.Span{}
+		if q.enq != 0 && e.cfg.Span.Enabled() {
+			sp = e.cfg.Span.StartAt(q.enq, i, batch[0].Key)
+			sp.SetBatch(len(batch))
+			sp.Mark(span.StageQueue)
+		}
 		if e.safeApply(s, batch) {
 			s.applied.Add(n)
 			s.ops.Add(n)
+			sp.Mark(span.StageApply)
+			sp.Finish(span.KindBatch)
 		} else {
 			// The batch's effect on the cache is undefined (it panicked
 			// part-way); account every op as shed so produced stays equal
@@ -284,6 +326,9 @@ func (e *Engine) writer(s *shard) {
 			s.failed.Add(n)
 			s.drops.Add(n)
 			s.dropped.Add(n)
+			sp.Mark(span.StageApply)
+			sp.SetFlags(span.FlagError)
+			sp.Finish(span.KindBatch)
 		}
 		e.batchSize.Observe(float64(n))
 		e.pool.Put(batch[:0])
@@ -348,7 +393,24 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // Reads of different shards never contend; reads of one shard share its
 // read lock (or skip it for policy.ConcurrentReader caches).
 func (e *Engine) Query(k uint64) (uint64, policy.Token, bool) {
-	s := e.shards[e.ShardFor(k)]
+	return e.queryAt(e.ShardFor(k), k)
+}
+
+// QuerySpanned is Query for callers carrying an open trace span: the lookup
+// interval is attributed to StageQuery and the span learns its home shard.
+// The span is NOT finished — the caller owns its lifecycle (a Tiered miss
+// continues into the fetch stages). A nil or inactive span degrades to Query.
+func (e *Engine) QuerySpanned(k uint64, sp *span.Span) (uint64, policy.Token, bool) {
+	i := e.ShardFor(k)
+	sp.SetShard(i)
+	v, tok, ok := e.queryAt(i, k)
+	sp.Mark(span.StageQuery)
+	return v, tok, ok
+}
+
+// queryAt is the shared lookup core for Query and QuerySpanned.
+func (e *Engine) queryAt(i int, k uint64) (uint64, policy.Token, bool) {
+	s := e.shards[i]
 	var (
 		v   uint64
 		tok policy.Token
@@ -423,18 +485,31 @@ func (e *Engine) submitBatch(i int, batch []Op, pri resilience.Priority) bool {
 			e.lifeMu.RUnlock()
 			s.drops.Add(n)
 			s.dropped.Add(n)
+			if e.cfg.Span.Enabled() {
+				// A shed decision is an op outcome worth tracing: zero
+				// stage time, flagged shed, attributed to the shard whose
+				// pressure caused it.
+				sp := e.cfg.Span.Start(i, batch[0].Key)
+				sp.SetBatch(len(batch))
+				sp.SetFlags(span.FlagShed)
+				sp.Finish(span.KindShed)
+			}
 			e.pool.Put(batch[:0])
 			return false
 		}
 	}
+	var enq int64
+	if e.cfg.Span.Enabled() && e.spanTick.Add(1)&(batchSpanSample-1) == 0 {
+		enq = e.cfg.Span.Clock()
+	}
 	s.submitted.Add(n)
 	if e.cfg.Block {
-		s.queue <- batch
+		s.queue <- queued{ops: batch, enq: enq}
 		e.lifeMu.RUnlock()
 		return true
 	}
 	select {
-	case s.queue <- batch:
+	case s.queue <- queued{ops: batch, enq: enq}:
 		e.lifeMu.RUnlock()
 		return true
 	default:
@@ -608,6 +683,7 @@ type ShardStats struct {
 	Panics    uint64 // writer panics recovered
 	Stalled   bool   // watchdog verdict
 	QueueLen  int    // batches waiting right now
+	QueueCap  int    // queue capacity in batches (QueueDepth)
 	Len       int    // cache occupancy
 }
 
@@ -626,6 +702,7 @@ func (e *Engine) Stats() []ShardStats {
 			Panics:    s.panics.Load(),
 			Stalled:   s.stalled.Load(),
 			QueueLen:  len(s.queue),
+			QueueCap:  cap(s.queue),
 			Len:       n,
 		}
 	}

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/backing"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
+	"github.com/p4lru/p4lru/internal/policy"
+	"github.com/p4lru/p4lru/internal/resilience"
+)
+
+// newTestTracer returns an enabled tracer that captures every op (SampleN=1)
+// so tests can assert on ring contents deterministically.
+func newTestTracer(reg *obs.Registry) *span.Tracer {
+	tr := span.New(span.Config{Shards: 4, SampleN: 1, RingSize: 256, RecalcEvery: 1 << 20, Obs: reg})
+	tr.SetEnabled(true)
+	return tr
+}
+
+// TestTracedHitPathZeroAlloc is the acceptance gate: with tracing enabled
+// AND sampling active (every hit captured into the ring, exemplars
+// attached), the Tiered hit path still performs zero allocations per op.
+func TestTracedHitPathZeroAlloc(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newTestTracer(reg)
+	e := newTestEngine(t, Config{Shards: 2, Block: true, Span: tr})
+	store := backing.NewMapStore().Preload(100)
+	tiered := NewTiered(e, store, backing.LoaderConfig{})
+
+	ctx := context.Background()
+	// Warm: load key 1 through the miss path, then drain so it is resident.
+	if _, _, _, err := tiered.GetOrLoad(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if _, _, hit, _ := tiered.GetOrLoad(ctx, 1); !hit {
+		t.Fatal("warm key did not hit")
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, hit, _ := tiered.GetOrLoad(ctx, 1); !hit {
+			t.Fatal("lost the warm key mid-run")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("traced hit path allocated %v times/op, want 0", allocs)
+	}
+	if rec, cap := tr.Stats(); rec == 0 || cap == 0 {
+		t.Fatalf("tracing was not actually active: recorded=%d captured=%d", rec, cap)
+	}
+}
+
+// TestTracedMissWaterfall is the other acceptance gate: a miss against a
+// faulty backing store produces a waterfall whose stage sum matches the
+// end-to-end latency within clock skew, with the retry visible.
+func TestTracedMissWaterfall(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newTestTracer(reg)
+	e := newTestEngine(t, Config{Shards: 2, Block: true, Span: tr})
+	// latency=1ms, err≈30%: misses spend visible fetch time and often retry.
+	// The generous attempt budget makes a full-budget failure (~0.3^8)
+	// vanishingly unlikely, but a failed key is tolerated — it simply
+	// produces a KindMissFail record instead.
+	faulty := backing.NewFaulty(backing.NewMapStore().Preload(1000),
+		backing.FaultyConfig{Latency: time.Millisecond, ErrRate: 0.3, Seed: 7})
+	tiered := NewTiered(e, faulty, backing.LoaderConfig{Attempts: 8, Backoff: 100 * time.Microsecond})
+
+	ctx := context.Background()
+	for k := uint64(1); k <= 20; k++ {
+		_, _, _, _ = tiered.GetOrLoad(ctx, k)
+	}
+
+	var misses, retried int
+	for _, rec := range tr.Snapshot() {
+		if rec.Kind != span.KindMiss {
+			continue
+		}
+		misses++
+		if rec.Flags&span.FlagRetried != 0 {
+			retried++
+			if rec.Attempts < 2 {
+				t.Fatalf("retried miss with %d attempts: %+v", rec.Attempts, rec)
+			}
+		}
+		if rec.Stages[span.StageFetch] < int64(500*time.Microsecond) {
+			t.Fatalf("miss fetch stage %v, want ≥ the injected 1ms-ish latency: %+v",
+				time.Duration(rec.Stages[span.StageFetch]), rec)
+		}
+		// The waterfall invariant: Σ stages == total within clock skew.
+		// Marks bracket every interval, so the only slack is the few
+		// instructions between the last Mark and Finish.
+		diff := rec.Total - rec.StageSum()
+		if diff < 0 || diff > int64(time.Millisecond) {
+			t.Fatalf("stage sum %v vs total %v (diff %v): %+v",
+				time.Duration(rec.StageSum()), time.Duration(rec.Total), time.Duration(diff), rec)
+		}
+	}
+	if misses == 0 {
+		t.Fatal("no KindMiss records captured")
+	}
+	if retried == 0 {
+		t.Fatal("err=0.5 over 20 misses produced no retried record")
+	}
+}
+
+// TestBatchSpansDecomposeQueueWait verifies the shard writers emit KindBatch
+// records splitting queue wait from apply time.
+func TestBatchSpansDecomposeQueueWait(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newTestTracer(reg)
+	e := newTestEngine(t, Config{Shards: 2, BatchSize: 8, Block: true, Span: tr})
+	sub := e.NewSubmitter()
+	for k := uint64(0); k < 256; k++ {
+		sub.Submit(Op{Key: k, Value: k})
+	}
+	sub.Flush()
+	e.Flush()
+
+	var batches int
+	for _, rec := range tr.Snapshot() {
+		if rec.Kind != span.KindBatch {
+			continue
+		}
+		batches++
+		if rec.Batch == 0 {
+			t.Fatalf("batch record without batch size: %+v", rec)
+		}
+		if rec.Stages[span.StageApply] <= 0 {
+			t.Fatalf("batch record without apply time: %+v", rec)
+		}
+	}
+	if batches == 0 {
+		t.Fatal("no KindBatch records captured")
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms[`span_stage_seconds{stage="queue_wait"}`]; h.Count == 0 {
+		t.Fatal("queue_wait histogram empty")
+	}
+}
+
+// TestShedDecisionSpans verifies shedder rejections surface as KindShed.
+func TestShedDecisionSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newTestTracer(reg)
+	// MaxShed at PriNormal's band with an impossible latency target: the
+	// shedder sheds everything once pressure is observed.
+	sh := resilience.NewShedder(resilience.ShedderConfig{TargetLatency: time.Nanosecond})
+	for i := 0; i < 100; i++ {
+		sh.Observe(time.Second) // drive the EWMA far past target
+	}
+	e := newTestEngine(t, Config{Shards: 2, Block: true, Span: tr, Shedder: sh})
+
+	var shed int
+	for k := uint64(0); k < 64; k++ {
+		if !e.Submit(Op{Key: k, Value: k}) {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Skip("shedder admitted everything; nothing to assert")
+	}
+	var shedRecs int
+	for _, rec := range tr.Snapshot() {
+		if rec.Kind == span.KindShed {
+			shedRecs++
+			if rec.Flags&span.FlagShed == 0 {
+				t.Fatalf("shed record without FlagShed: %+v", rec)
+			}
+		}
+	}
+	if shedRecs == 0 {
+		t.Fatalf("%d submissions shed but no KindShed records", shed)
+	}
+}
+
+// TestScrapeDuringUpdateBatch is the scrape-during-write hammer: concurrent
+// Prometheus and JSON scrapes plus /debug/ops dumps race against full
+// UpdateBatch load through the engine. Run under -race this proves the obs
+// handlers and the span rings are data-race free against live writers.
+func TestScrapeDuringUpdateBatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := span.New(span.Config{Shards: 4, SampleN: 64, RecalcEvery: 256, Obs: reg})
+	tr.SetEnabled(true)
+	e := newTestEngine(t, Config{Shards: 4, BatchSize: 16, Block: true, Obs: reg, Span: tr})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := e.NewSubmitter()
+			defer sub.Flush()
+			k := uint64(w) << 32
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k++
+				sub.Submit(Op{Key: k, Value: k, Token: policy.NoToken})
+			}
+		}(w)
+	}
+
+	obsHandler := reg.Handler()
+	opsHandler := tr.Handler()
+	for i := 0; i < 50; i++ {
+		for _, path := range []string{"/metrics", "/metrics.json"} {
+			rr := httptest.NewRecorder()
+			obsHandler.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+			if rr.Code != 200 {
+				t.Fatalf("%s -> %d", path, rr.Code)
+			}
+			if rr.Body.Len() == 0 {
+				t.Fatalf("%s returned empty body", path)
+			}
+		}
+		rr := httptest.NewRecorder()
+		opsHandler.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/ops", nil))
+		if rr.Code != 200 {
+			t.Fatalf("/debug/ops -> %d", rr.Code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

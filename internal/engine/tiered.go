@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/backing"
+	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/resilience"
 )
@@ -66,18 +67,48 @@ func (t *Tiered) Loader() *backing.Loader { return t.loader }
 // fetch, resilience.ErrShed when the engine's shedder declined the miss at
 // the current pressure, or ctx's error.
 func (t *Tiered) GetOrLoad(ctx context.Context, key uint64) (val uint64, tok policy.Token, hit bool, err error) {
-	if v, tok, ok := t.Engine.Query(key); ok {
-		return v, tok, true, nil
-	}
-	if sh := t.Engine.cfg.Shedder; sh != nil {
-		if !sh.Admit(resilience.PriLow, 0) {
-			return 0, policy.NoToken, false, resilience.ErrShed
+	tr := t.Engine.cfg.Span
+	if !tr.Enabled() {
+		// The untraced fast path: exactly the pre-tracing code.
+		if v, tok, ok := t.Engine.Query(key); ok {
+			return v, tok, true, nil
 		}
-		start := time.Now()
-		v, err := t.loader.Get(ctx, key)
-		sh.Observe(time.Since(start))
+		v, err := t.load(ctx, key, nil)
 		return v, policy.NoToken, false, err
 	}
-	v, err := t.loader.Get(ctx, key)
+
+	sp := tr.Start(0, key)
+	if v, tok, ok := t.Engine.QuerySpanned(key, &sp); ok {
+		sp.SetFlags(span.FlagHit)
+		sp.Finish(span.KindHit)
+		return v, tok, true, nil
+	}
+	v, err := t.load(ctx, key, &sp)
+	sp.Mark(span.StageMiss) // install + shedder bookkeeping after the fetch
+	switch {
+	case err == nil:
+		sp.Finish(span.KindMiss)
+	case err == resilience.ErrShed:
+		sp.SetFlags(span.FlagShed)
+		sp.Finish(span.KindShed)
+	default:
+		sp.SetFlags(span.FlagError)
+		sp.Finish(span.KindMissFail)
+	}
 	return v, policy.NoToken, false, err
+}
+
+// load is the shared miss path: shedder admission at PriLow, the loader
+// fetch (spanned when sp is non-nil), and the miss-latency EWMA feedback.
+func (t *Tiered) load(ctx context.Context, key uint64, sp *span.Span) (uint64, error) {
+	if sh := t.Engine.cfg.Shedder; sh != nil {
+		if !sh.Admit(resilience.PriLow, 0) {
+			return 0, resilience.ErrShed
+		}
+		start := time.Now()
+		v, err := t.loader.GetSpanned(ctx, key, sp)
+		sh.Observe(time.Since(start))
+		return v, err
+	}
+	return t.loader.GetSpanned(ctx, key, sp)
 }

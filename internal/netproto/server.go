@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/kvindex"
+	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/resilience"
 )
 
@@ -22,6 +23,7 @@ type Server struct {
 	db      *kvindex.Server
 	shedder *resilience.Shedder
 	health  *resilience.Health
+	tracer  *span.Tracer
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -44,6 +46,13 @@ type ServerOption func(*Server)
 // to clients, whose retry machinery already absorbs it.
 func ServerWithShedder(sh *resilience.Shedder) ServerOption {
 	return func(s *Server) { s.shedder = sh }
+}
+
+// ServerWithSpan traces each handled query: decode, index resolve (StageApply
+// — it's the server's service stage), and reply write land as separate stage
+// marks, so a slow server decomposes into parse vs walk vs socket time.
+func ServerWithSpan(t *span.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
 }
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0") over a database of
@@ -131,27 +140,36 @@ func (s *Server) loop() {
 			}
 			continue
 		}
+		sp := s.tracer.Start(0, 0)
 		var msg Message
 		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgQuery {
 			continue // drop malformed traffic
 		}
+		sp.SetKey(msg.Key)
+		sp.Mark(span.StageDecode)
 		s.queries.Add(1)
 		var start time.Time
 		if s.shedder != nil {
 			if !s.shedder.Admit(resilience.PriNormal, 0) {
 				s.shed.Add(1)
+				sp.SetFlags(span.FlagShed)
+				sp.Finish(span.KindShed)
 				continue // to the client this is packet loss; retries absorb it
 			}
 			start = time.Now()
 		}
 
 		idx, value, nodes, ok := s.db.Resolve(msg.Key, msg.CachedIndex, msg.CachedFlag != 0)
+		sp.Mark(span.StageApply) // the server's service stage: the index resolve
 		if !ok {
 			continue // unknown key: drop (clients only ask for loaded keys)
 		}
 		if nodes > 0 {
 			s.indexWalks.Add(1)
 			s.nodesWalked.Add(int64(nodes))
+		}
+		if msg.CachedFlag != 0 {
+			sp.SetFlags(span.FlagHit) // cached_flag token: arena read, no walk
 		}
 
 		reply := Message{
@@ -167,6 +185,8 @@ func (s *Server) loop() {
 			}
 			continue
 		}
+		sp.Mark(span.StageWire)
+		sp.Finish(span.KindReply)
 		s.replies.Add(1)
 		if s.shedder != nil {
 			s.shedder.Observe(time.Since(start))

@@ -13,6 +13,7 @@ import (
 	"github.com/p4lru/p4lru/internal/engine"
 	"github.com/p4lru/p4lru/internal/hashing"
 	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/policy"
 	"github.com/p4lru/p4lru/internal/resilience"
 )
@@ -34,7 +35,8 @@ type Switch struct {
 	serverConn *net.UDPConn // faces the server
 	serverAddr *net.UDPAddr
 
-	eng *engine.Engine
+	eng    *engine.Engine
+	tracer *span.Tracer
 
 	// peers routes replies back to the querying client (the role the
 	// network's addressing plays on a real switch path). Striped so
@@ -65,6 +67,7 @@ type switchConfig struct {
 	shards  int
 	readers int
 	obs     *obs.Registry
+	tracer  *span.Tracer
 }
 
 // WithShards fixes the engine shard count (default: GOMAXPROCS, capped so
@@ -78,6 +81,12 @@ func WithReaders(n int) Option { return func(c *switchConfig) { c.readers = n } 
 // WithObs instruments the switch's engine (per-shard occupancy, queue
 // depth, ops) on the given registry.
 func WithObs(r *obs.Registry) Option { return func(c *switchConfig) { c.obs = r } }
+
+// WithSpan traces both proxy directions and the switch's engine: query
+// packets decompose into decode → cache lookup → forward, reply packets into
+// decode → cache mutation → reply, and the engine's shard writers inherit
+// the tracer for batch records.
+func WithSpan(t *span.Tracer) Option { return func(c *switchConfig) { c.tracer = t } }
 
 // NewSwitch starts a switch listening on listenAddr, forwarding to
 // serverAddr, with a `levels`-deep series of P4LRU3 arrays of numUnits
@@ -125,6 +134,7 @@ func NewSwitch(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int,
 		Shards: cfg.shards,
 		Seed:   seed,
 		Obs:    cfg.obs,
+		Span:   cfg.tracer,
 		NewCache: func(i int) policy.Cache {
 			// Independent per-shard hash functions, like distinct pipes.
 			return policy.NewSeries(levels, unitsPerShard, seed+uint64(i), nil)
@@ -141,6 +151,7 @@ func NewSwitch(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int,
 		serverConn: serverConn,
 		serverAddr: serverAddr,
 		eng:        eng,
+		tracer:     cfg.tracer,
 		peerHash:   hashing.New(seed ^ 0x9ee2),
 		readers:    cfg.readers,
 	}
@@ -238,21 +249,25 @@ func (sw *Switch) clientLoop() {
 			}
 			continue
 		}
+		sp := sw.tracer.Start(0, 0)
 		var msg Message
 		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgQuery {
 			continue
 		}
+		sp.SetKey(msg.Key)
+		sp.Mark(span.StageDecode)
 		sw.queries.Add(1)
 
 		// Read-only cache consult on the key's home shard; stamp the
 		// header fields.
-		idx, tok, ok := sw.eng.Query(msg.Key)
+		idx, tok, ok := sw.eng.QuerySpanned(msg.Key, &sp)
 		st := sw.peerStripeFor(msg.Key)
 		st.mu.Lock()
 		st.m[msg.Key] = peer
 		st.mu.Unlock()
 		if ok {
 			sw.hits.Add(1)
+			sp.SetFlags(span.FlagHit)
 			msg.CachedFlag = uint8(tok.Level())
 			msg.CachedIndex = idx
 		} else {
@@ -263,6 +278,8 @@ func (sw *Switch) clientLoop() {
 		if _, err := sw.serverConn.WriteToUDP(msg.Marshal(), sw.serverAddr); err != nil && sw.closed.Load() {
 			return
 		}
+		sp.Mark(span.StageWire)
+		sp.Finish(span.KindQuery)
 	}
 }
 
@@ -278,10 +295,14 @@ func (sw *Switch) serverLoop() {
 			}
 			continue
 		}
+		sp := sw.tracer.Start(0, 0)
 		var msg Message
 		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgReply {
 			continue
 		}
+		sp.SetKey(msg.Key)
+		sp.SetShard(sw.eng.ShardFor(msg.Key))
+		sp.Mark(span.StageDecode)
 
 		// The reply path performs the only cache mutation: promote the key
 		// at its level, or insert at level 1 and cascade demotions. Apply
@@ -292,6 +313,7 @@ func (sw *Switch) serverLoop() {
 			Value: msg.CachedIndex,
 			Token: policy.Token(msg.CachedFlag),
 		})
+		sp.Mark(span.StageApply)
 		st := sw.peerStripeFor(msg.Key)
 		st.mu.Lock()
 		peer := st.m[msg.Key]
@@ -302,5 +324,7 @@ func (sw *Switch) serverLoop() {
 		if _, err := sw.clientConn.WriteToUDP(msg.Marshal(), peer); err != nil && sw.closed.Load() {
 			return
 		}
+		sp.Mark(span.StageWire)
+		sp.Finish(span.KindReply)
 	}
 }

@@ -10,14 +10,23 @@ import (
 	"strings"
 )
 
+// Exemplar links a histogram to one concrete captured trace: a recorded
+// value plus the span ID of the operation that produced it (resolvable on
+// the /debug/ops endpoint).
+type Exemplar struct {
+	Value  float64 `json:"value"`
+	SpanID uint64  `json:"span_id"`
+}
+
 // HistogramSnapshot is the exportable state of one histogram. Bounds holds
 // the finite upper bounds; Counts has one extra trailing entry for the
 // overflow (+Inf) bucket. The representation is JSON-safe (no ±Inf).
 type HistogramSnapshot struct {
-	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"`
+	Count    uint64    `json:"count"`
+	Sum      float64   `json:"sum"`
+	Bounds   []float64 `json:"bounds"`
+	Counts   []uint64  `json:"counts"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Quantile estimates the q-quantile (0 < q < 1) of the recorded
@@ -106,12 +115,16 @@ func (r *Registry) Snapshot() Snapshot {
 		bounds, counts := h.snapshot()
 		bs := make([]float64, len(bounds))
 		copy(bs, bounds)
-		s.Histograms[name] = HistogramSnapshot{
+		hs := HistogramSnapshot{
 			Count:  h.Count(),
 			Sum:    h.Sum(),
 			Bounds: bs,
 			Counts: counts,
 		}
+		if v, id, ok := h.Exemplar(); ok {
+			hs.Exemplar = &Exemplar{Value: v, SpanID: id}
+		}
+		s.Histograms[name] = hs
 	}
 	return s
 }
@@ -183,6 +196,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s %d\n", withLabel(base+"_bucket", labels, `le="+Inf"`), h.Count)
 		fmt.Fprintf(&b, "%s %s\n", withLabel(base+"_sum", labels, ""), formatFloat(h.Sum))
 		fmt.Fprintf(&b, "%s %d\n", withLabel(base+"_count", labels, ""), h.Count)
+		if ex := h.Exemplar; ex != nil {
+			// Exemplars are emitted as a comment so version-0.0.4 text
+			// parsers (which predate OpenMetrics '#' exemplar syntax on the
+			// sample line) stay compatible; humans and our own tools read it.
+			fmt.Fprintf(&b, "# exemplar %s %s span_id=%d\n",
+				name, formatFloat(ex.Value), ex.SpanID)
+		}
 	}
 
 	_, err := io.WriteString(w, b.String())

@@ -102,6 +102,8 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // float64 bit pattern, CAS-accumulated
 	count  atomic.Uint64
+	exVal  atomic.Uint64 // exemplar value, float64 bit pattern
+	exID   atomic.Uint64 // exemplar span id (0 = none attached yet)
 }
 
 // Observe records one sample.
@@ -122,6 +124,32 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// AttachExemplar pins a representative observation to the histogram: the
+// value and the span ID of a captured trace that exhibits it. The exporter
+// surfaces the pair so a scraped quantile can be chased back to a concrete
+// waterfall on /debug/ops. Last writer wins — two atomic stores, no lock,
+// safe (and cheap) from the record path.
+func (h *Histogram) AttachExemplar(v float64, spanID uint64) {
+	if h == nil || spanID == 0 {
+		return
+	}
+	h.exVal.Store(math.Float64bits(v))
+	h.exID.Store(spanID)
+}
+
+// Exemplar returns the last attached (value, span ID), or ok=false if none
+// was ever attached.
+func (h *Histogram) Exemplar() (v float64, spanID uint64, ok bool) {
+	if h == nil {
+		return 0, 0, false
+	}
+	id := h.exID.Load()
+	if id == 0 {
+		return 0, 0, false
+	}
+	return math.Float64frombits(h.exVal.Load()), id, true
 }
 
 // Count returns the total number of observations.
@@ -153,6 +181,30 @@ func (h *Histogram) snapshot() ([]float64, []uint64) {
 // mirroring the Prometheus client default.
 var DefBuckets = []float64{
 	.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// Label renders one `key="value"` label pair with the value escaped per the
+// Prometheus text exposition rules (backslash, double quote, newline), for
+// embedding in metric names: r.Counter("hits_total{" + obs.Label("store", spec) + "}").
+func Label(key, value string) string {
+	var b strings.Builder
+	b.Grow(len(key) + len(value) + 3)
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for i := 0; i < len(value); i++ {
+		switch c := value[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // ExponentialBuckets returns n bounds starting at start, multiplying by

@@ -1,0 +1,122 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerDumpsSlowestWaterfalls(t *testing.T) {
+	tr := New(Config{SampleN: 1, RingSize: 16, RecalcEvery: 1 << 20})
+	tr.SetEnabled(true)
+	for i, d := range []time.Duration{time.Millisecond, 8 * time.Millisecond, 2 * time.Millisecond} {
+		sp := tr.StartAt(tr.Clock()-int64(d), 1, uint64(i))
+		sp.Mark(StageFetch)
+		sp.SetFlags(FlagRetried)
+		sp.IncAttempts()
+		sp.IncAttempts()
+		sp.Finish(KindMiss)
+	}
+
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/ops?n=2", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var dump OpsDump
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if dump.Recorded != 3 || dump.Captured != 3 {
+		t.Fatalf("dump counters: %+v", dump)
+	}
+	if len(dump.Ops) != 2 {
+		t.Fatalf("n=2 returned %d ops", len(dump.Ops))
+	}
+	top := dump.Ops[0]
+	if top.TotalNS < dump.Ops[1].TotalNS {
+		t.Fatal("ops not sorted slowest first")
+	}
+	if top.Key != 1 || top.Kind != "miss" || top.Attempts != 2 {
+		t.Fatalf("top op: %+v", top)
+	}
+	var hasRetried bool
+	for _, f := range top.Flags {
+		hasRetried = hasRetried || f == "retried"
+	}
+	if !hasRetried {
+		t.Fatalf("flags missing retried: %v", top.Flags)
+	}
+	// The waterfall invariant the acceptance criteria pin: stage sum within
+	// clock skew of total (here exact, since marks and finish share a clock).
+	var sum int64
+	for _, st := range top.Stages {
+		sum += st.NS
+	}
+	if sum != top.StageSum {
+		t.Fatalf("stage list sums %d, StageSum says %d", sum, top.StageSum)
+	}
+	if top.StageSum > top.TotalNS {
+		t.Fatalf("stage sum %d exceeds total %d", top.StageSum, top.TotalNS)
+	}
+}
+
+func TestHandlerByID(t *testing.T) {
+	tr := New(Config{SampleN: 1, RecalcEvery: 1 << 20})
+	tr.SetEnabled(true)
+	sp := tr.Start(0, 42)
+	sp.Finish(KindHit)
+	recs := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("captured %d", len(recs))
+	}
+	id := recs[0].ID
+
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/ops?id="+strconv.FormatUint(id, 10), nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var rec RecordJSON
+	if err := json.Unmarshal(rr.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != id || rec.Key != 42 {
+		t.Fatalf("got %+v", rec)
+	}
+
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/ops?id=999999", nil))
+	if rr.Code != 404 {
+		t.Fatalf("missing id: status %d", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/ops?id=bogus", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bad id: status %d", rr.Code)
+	}
+}
+
+func TestWaterfallString(t *testing.T) {
+	rec := Record{
+		ID: 7, Key: 42, Shard: 3, Kind: KindMiss,
+		Total:    int64(10 * time.Millisecond),
+		Attempts: 2,
+		Flags:    FlagRetried | FlagTail,
+	}
+	rec.Stages[StageQueue] = int64(time.Millisecond)
+	rec.Stages[StageFetch] = int64(9 * time.Millisecond)
+	s := rec.Waterfall()
+	for _, want := range []string{"#7", "miss", "key=42", "shard=3", "queue_wait 10%", "fetch 90%", "attempts=2", "retried", "tail"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("waterfall %q missing %q", s, want)
+		}
+	}
+}
