@@ -2,11 +2,14 @@ GO ?= go
 
 # The committed perf-trajectory record `make bench` writes; bump the suffix
 # when a PR re-baselines the ladder.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 # The previous record, used as the regression baseline for -within gates.
-BENCH_BASE ?= BENCH_4.json
+BENCH_BASE ?= BENCH_6.json
 # Fixed iteration counts so runs are comparable across commits.
 BENCH_TIME ?= 2000000x
+# The wire ladder goes through real loopback sockets (µs per query, not ns),
+# so it gets its own much smaller fixed count.
+BENCH_NET_TIME ?= 50000x
 
 .PHONY: all build test race chaos bench bench-all verify examples fmt vet clean
 
@@ -36,11 +39,18 @@ chaos:
 # run, so the tight ratio gate is noise-robust), or if a hit path slowed by
 # more than the -within factor against the $(BENCH_BASE) baseline (a
 # generous bound that absorbs CI noise while catching real regressions).
+#
+# The netproto leg runs the wire ladder (same loopback stack at batch sizes
+# 1/8/32/64) plus the isolated decode benchmark, and gates on the tentpole
+# claims: the batched path must be ≥2x the single-datagram baseline
+# (batch=64 ≤ 0.5× batch=1 ns/op) and per-packet decode must not allocate.
 bench:
 	{ $(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine|Tiered|Breaker|Shedder' -benchmem \
 		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ ./internal/resilience/ \
 	&& $(GO) test -run '^$$' -bench 'TraceOverhead' -benchmem \
-		-benchtime=$(BENCH_TIME) -count=10 ./internal/engine/ ; } \
+		-benchtime=$(BENCH_TIME) -count=10 ./internal/engine/ \
+	&& $(GO) test -run '^$$' -bench 'WireLadder|NetDecode' -benchmem \
+		-benchtime=$(BENCH_NET_TIME) ./internal/netproto/ ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
 		-faster 'FlatVsGeneric/core=flat<FlatVsGeneric/core=generic' \
 		-faster 'FlatVsGeneric/core=flat-batch<FlatVsGeneric/core=generic' \
@@ -51,6 +61,8 @@ bench:
 		-zeroalloc 'BreakerAllow' \
 		-zeroalloc 'ShedderAdmit' \
 		-maxratio 'TraceOverhead/trace=on<=1.05*TraceOverhead/trace=off' \
+		-maxratio 'WireLadder/batch=64<=0.5*WireLadder/batch=1' \
+		-zeroalloc 'NetDecode' \
 		-baseline $(BENCH_BASE) \
 		-within 'EngineQuery=3' \
 		-within 'FlatQuery/core=flat=3' \

@@ -8,6 +8,7 @@
 //	p4lru-bench verify [-scale small|default] [-metrics :addr]
 //	p4lru-bench replay [-trace file.p4lt] [-policy spec] [-shards N]
 //	                   [-parallel N] ...
+//	p4lru-bench netbench [-queries N] [-batches 1,8,32,64] ...
 //
 // Each experiment prints the same rows/series the paper reports (§4); -csv
 // additionally writes one CSV per panel into -o, -json one JSON object per
@@ -30,6 +31,11 @@
 // /debug/vars (expvar) and /debug/pprof. A progress line (experiments done,
 // packets simulated, packets/sec) is printed to stderr every two seconds
 // during multi-experiment runs; -progress=false silences it.
+//
+// netbench runs the wire-path packets/sec ladder: an in-process server +
+// switch + client stack on loopback, one timed rung per batch size, so the
+// recvmmsg/sendmmsg batching win over the single-datagram path is measurable
+// from the command line.
 //
 // -cpuprofile/-memprofile (on run and replay) write whole-run pprof files
 // for offline diffing across commits — the complement of the live -metrics
@@ -75,6 +81,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
 			os.Exit(1)
 		}
+	case "netbench":
+		if err := netbenchCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -93,7 +104,9 @@ func usage() {
                      [-batch N] [-queue N] [-block] [-metrics :addr]
                      [-backing spec] [-attempts N] [-fetch-timeout d]
                      [-hedge d] [-inflight N] [-writebehind]
-                     [-cpuprofile f] [-memprofile f]`)
+                     [-cpuprofile f] [-memprofile f]
+  p4lru-bench netbench [-queries N] [-batches 1,8,32,64] [-items N]
+                     [-skew z] [-levels N] [-units N] [-readers N] [-warm N]`)
 }
 
 // serveMetrics wires the default registry into the experiment runs and, when

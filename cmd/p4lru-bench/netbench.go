@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/netproto"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// netbenchCmd runs the packets-per-second ladder over the wire stack: an
+// in-process server + switch + client on loopback, the same Zipf workload
+// driven once per batch size. batch=1 is the one-datagram-per-syscall
+// request/response baseline; larger rungs pipeline whole windows through
+// QueryBatch so recvmmsg/sendmmsg amortize the syscall cost — the ladder
+// makes the batching win measurable outside the Go bench harness.
+func netbenchCmd(args []string) error {
+	fs := flag.NewFlagSet("netbench", flag.ExitOnError)
+	queries := fs.Int("queries", 200000, "queries per ladder rung")
+	batches := fs.String("batches", "1,8,32,64", "comma-separated batch sizes")
+	items := fs.Int("items", 10000, "distinct keys in the server database")
+	skew := fs.Float64("skew", 1.2, "Zipf skew of the query workload")
+	levels := fs.Int("levels", 4, "series cache depth on the switch")
+	units := fs.Int("units", 512, "total units across the switch cache")
+	readers := fs.Int("readers", 0, "reader goroutines per component (0 = auto)")
+	warm := fs.Int("warm", 2048, "warm-up queries before timing each rung")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(*batches, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad batch size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+
+	fmt.Printf("netbench: %d queries/rung, %d items, skew %.2f, batched syscalls: %v\n\n",
+		*queries, *items, *skew, netproto.Batched())
+	fmt.Printf("%-10s %12s %12s %10s %10s\n", "batch", "queries/s", "ns/query", "hit-rate", "failures")
+
+	var base float64
+	for _, batch := range sizes {
+		qps, hitRate, failures, err := netbenchRung(*items, *skew, *levels, *units, *readers, *warm, *queries, batch)
+		if err != nil {
+			return fmt.Errorf("rung batch=%d: %w", batch, err)
+		}
+		speedup := ""
+		if base == 0 {
+			base = qps
+		} else {
+			speedup = fmt.Sprintf("  (%.2fx batch=%d)", qps/base, sizes[0])
+		}
+		fmt.Printf("%-10d %12.0f %12.0f %9.1f%% %10d%s\n",
+			batch, qps, 1e9/qps, hitRate*100, failures, speedup)
+	}
+	return nil
+}
+
+// netbenchRung stands up a fresh stack and drives one timed rung through it.
+func netbenchRung(items int, skew float64, levels, units, readers, warm, queries, batch int) (qps, hitRate float64, failures int, err error) {
+	srv, err := netproto.NewServer("127.0.0.1:0", items)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer srv.Close()
+	sw, err := netproto.NewSwitch(netproto.SwitchConfig{
+		ServerAddr: srv.Addr(),
+		Policy: policy.Spec{
+			Kind:     policy.KindSeries,
+			Levels:   levels,
+			MemBytes: policy.SeriesMemBytes(levels, 3, units),
+			Seed:     1,
+		},
+		Readers: readers,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer sw.Close()
+	cl, err := netproto.NewClient(sw.Addr(), netproto.ClientConfig{
+		Items: items, Skew: skew, Seed: 1, Batch: batch,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cl.Close()
+
+	for i := 0; i < warm; i++ {
+		if _, qerr := cl.Query(cl.NextKey()); qerr != nil {
+			return 0, 0, 0, fmt.Errorf("warm-up: %w", qerr)
+		}
+	}
+
+	start := time.Now()
+	var st netproto.RunStats
+	if batch == 1 {
+		st = cl.Run(queries)
+	} else {
+		st = cl.RunBatch(queries)
+	}
+	elapsed := time.Since(start)
+	if st.Invalid > 0 {
+		fmt.Fprintf(os.Stderr, "netbench: %d invalid values on batch=%d rung\n", st.Invalid, batch)
+	}
+	if st.Queries == 0 {
+		return 0, 0, 0, fmt.Errorf("no queries completed")
+	}
+	return float64(st.Queries) / elapsed.Seconds(),
+		float64(st.Cached) / float64(st.Queries),
+		st.Failures, nil
+}

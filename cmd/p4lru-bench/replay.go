@@ -396,7 +396,7 @@ func buildBackingStore(spec string, pool int, timeout time.Duration) (backing.St
 		}
 		// The loader's attempt budget already retries; give each wire client
 		// a single shot per loader attempt.
-		rs, err := netproto.NewRemoteStore(addr, pool, timeout, 0)
+		rs, err := netproto.NewRemoteStore(addr, pool, timeout, netproto.NoRetries)
 		if err != nil {
 			return nil, noop, err
 		}

@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"github.com/p4lru/p4lru/internal/netproto"
+	"github.com/p4lru/p4lru/internal/policy"
 )
 
 func main() {
@@ -22,13 +23,23 @@ func main() {
 	}
 	defer srv.Close()
 
-	sw, err := netproto.NewSwitch("127.0.0.1:0", srv.Addr(), 4, 1024, 1)
+	sw, err := netproto.NewSwitch(netproto.SwitchConfig{
+		ServerAddr: srv.Addr(),
+		Policy: policy.Spec{
+			Kind:     policy.KindSeries,
+			Levels:   4,
+			MemBytes: policy.SeriesMemBytes(4, 3, 1024),
+			Seed:     1,
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sw.Close()
 
-	cl, err := netproto.NewClient(sw.Addr(), items, 1.2, 42)
+	cl, err := netproto.NewClient(sw.Addr(), netproto.ClientConfig{
+		Items: items, Skew: 1.2, Seed: 42,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,9 +61,10 @@ func main() {
 			100*float64(st.Cached)/float64(st.Queries), st.AvgRTT, st.Failures)
 	}
 
-	q, walks, nodes := srv.Stats()
+	sst := srv.Stats()
 	fmt.Printf("\nserver: %d queries, %d B+ tree walks (%d nodes) — the rest arrived pre-resolved\n",
-		q, walks, nodes)
-	swQ, swH := sw.Stats()
-	fmt.Printf("switch: %d queries, %d index-cache hits, %d entries cached\n", swQ, swH, sw.CacheLen())
+		sst.Queries, sst.IndexWalks, sst.NodesWalked)
+	wst := sw.Stats()
+	fmt.Printf("switch: %d queries, %d index-cache hits, %d entries cached (batched wire: %v)\n",
+		wst.Queries, wst.Hits, wst.CacheLen, wst.Batched)
 }

@@ -445,6 +445,65 @@ func (e *Engine) Apply(op Op) policy.Result {
 	return res
 }
 
+// applyChunkMax bounds ApplyBatch's stack scratch: op batches are processed
+// in chunks of this many, with shard routing precomputed per chunk.
+const applyChunkMax = 256
+
+// ApplyBatch synchronously applies a pre-built op slice, bypassing the
+// queue — the batched network path's entry point: a whole recvmmsg batch of
+// reply packets decodes straight into ops and must observe its own writes
+// before the replies are forwarded (the paper's §3.2 query/update split puts
+// the mutation on the reply path). Ops are grouped by home shard so each
+// shard's write lock is taken once per shard visit, not once per op; the
+// grouping scratch lives on the stack and gather buffers come from the batch
+// pool, so the call allocates nothing. Like Apply, ordering against queued
+// batches in flight on the same shards is unspecified, and per-op Results
+// are not reported — callers that need a Result use Apply.
+func (e *Engine) ApplyBatch(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		e.applyBatch(s, ops)
+		s.ops.Add(uint64(len(ops)))
+		return
+	}
+	if len(e.shards) >= int(^uint16(0)) {
+		// Keeps the uint16 home scratch (and its done marker) honest;
+		// unreachable at any realistic shard count.
+		for _, op := range ops {
+			e.Apply(op)
+		}
+		return
+	}
+	const done = ^uint16(0)
+	var home [applyChunkMax]uint16
+	for base := 0; base < len(ops); base += applyChunkMax {
+		part := ops[base:min(base+applyChunkMax, len(ops))]
+		for i, op := range part {
+			home[i] = uint16(e.ShardFor(op.Key))
+		}
+		for i := 0; i < len(part); i++ {
+			if home[i] == done {
+				continue
+			}
+			sh := home[i]
+			buf := e.pool.Get().([]Op)
+			for j := i; j < len(part); j++ {
+				if home[j] == sh {
+					buf = append(buf, part[j])
+					home[j] = done
+				}
+			}
+			s := e.shards[sh]
+			e.applyBatch(s, buf)
+			s.ops.Add(uint64(len(buf)))
+			e.pool.Put(buf[:0])
+		}
+	}
+}
+
 // Submit enqueues a single op on its home shard (a batch of one — hot
 // producers should use a Submitter instead). It reports whether the op was
 // accepted; false means the engine is closed or draining, the shard queue

@@ -389,3 +389,88 @@ func TestConcurrentReaderSkipsLock(t *testing.T) {
 	wg.Wait()
 	e.Flush()
 }
+
+// TestApplyBatchIsSynchronousAcrossShards checks the batched synchronous
+// entry point: every op lands on its home shard immediately (the reply path
+// must observe its own writes before forwarding), the per-shard op counters
+// advance, and results match the per-op Apply path on a twin engine.
+func TestApplyBatchIsSynchronousAcrossShards(t *testing.T) {
+	batched := newTestEngine(t, Config{Shards: 8, Seed: 21})
+	perOp := newTestEngine(t, Config{Shards: 8, Seed: 21})
+
+	const n = 3 * applyChunkMax // force multiple chunks
+	ops := make([]Op, n)
+	for i := range ops {
+		k := uint64(i + 1)
+		ops[i] = Op{Key: k, Value: k * 7}
+	}
+	batched.ApplyBatch(ops)
+	for _, op := range ops {
+		perOp.Apply(op)
+	}
+
+	for k := uint64(1); k <= n; k++ {
+		bv, _, bok := batched.Query(k)
+		pv, _, pok := perOp.Query(k)
+		if bok != pok || bv != pv {
+			t.Fatalf("key %d: ApplyBatch gave %d,%v; Apply gave %d,%v", k, bv, bok, pv, pok)
+		}
+	}
+	if batched.Len() != perOp.Len() {
+		t.Fatalf("occupancy diverged: batched %d vs per-op %d", batched.Len(), perOp.Len())
+	}
+}
+
+// TestApplyBatchSingleShardAndEmpty covers the degenerate shapes: an empty
+// slice is a no-op and a one-shard engine takes the direct path.
+func TestApplyBatchSingleShardAndEmpty(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 1, Seed: 3})
+	e.ApplyBatch(nil)
+	e.ApplyBatch([]Op{})
+	ops := []Op{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 3, Value: 30}}
+	e.ApplyBatch(ops)
+	for _, op := range ops {
+		if v, _, ok := e.Query(op.Key); !ok || v != op.Value {
+			t.Fatalf("Query(%d) = %d,%v after ApplyBatch", op.Key, v, ok)
+		}
+	}
+}
+
+// TestApplyBatchOnEvict checks the eviction hook still fires through the
+// batched synchronous path once a shard overflows.
+func TestApplyBatchOnEvict(t *testing.T) {
+	var evicted atomic.Int64
+	e := newTestEngine(t, Config{
+		Shards: 2, Seed: 5,
+		OnEvict: func(k, v uint64) { evicted.Add(1) },
+		NewCache: func(i int) policy.Cache {
+			return policy.MustFromSpec(policy.Spec{
+				Kind: policy.KindP4LRU3, MemBytes: 2 * 1024, Seed: uint64(i) + 1,
+			})
+		},
+	})
+	ops := make([]Op, 4096)
+	for i := range ops {
+		ops[i] = Op{Key: uint64(i + 1), Value: uint64(i)}
+	}
+	e.ApplyBatch(ops)
+	if evicted.Load() == 0 {
+		t.Fatal("no evictions surfaced through ApplyBatch on an overflowing cache")
+	}
+}
+
+// BenchmarkApplyBatch measures the synchronous batched apply the network
+// reply path sits on; the bench harness gates it zero-alloc.
+func BenchmarkApplyBatch(b *testing.B) {
+	e := newTestEngine(b, Config{Shards: 4, Seed: 1})
+	const batch = 64
+	ops := make([]Op, batch)
+	for i := range ops {
+		ops[i] = Op{Key: uint64(i + 1), Value: uint64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		e.ApplyBatch(ops)
+	}
+}

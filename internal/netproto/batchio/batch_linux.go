@@ -1,0 +1,238 @@
+//go:build linux && (amd64 || arm64) && !p4lru_portable_net
+
+package batchio
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+const batched = true
+
+// mmsghdr mirrors struct mmsghdr. Go pads the struct to 8-byte alignment on
+// 64-bit arches, matching the kernel's layout (64 bytes with a 56-byte
+// Msghdr); no explicit pad field so the declaration stays arch-agnostic.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// ringSys holds the per-slot syscall scaffolding: one iovec, one mmsghdr and
+// one sockaddr buffer per datagram slot, preallocated so batch calls touch
+// no heap.
+type ringSys struct {
+	hdrs []mmsghdr
+	iov  []syscall.Iovec
+	rsa  []syscall.RawSockaddrAny
+}
+
+func (s *ringSys) init(n int) {
+	s.hdrs = make([]mmsghdr, n)
+	s.iov = make([]syscall.Iovec, n)
+	s.rsa = make([]syscall.RawSockaddrAny, n)
+	for i := range s.hdrs {
+		s.hdrs[i].hdr.Iov = &s.iov[i]
+		s.hdrs[i].hdr.Iovlen = 1
+	}
+}
+
+// connSys carries the RawConn used to run recvmmsg/sendmmsg inside the
+// runtime poller's Read/Write callbacks.
+type connSys struct {
+	rc syscall.RawConn
+}
+
+func (s *connSys) init(uc *net.UDPConn) error {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	s.rc = rc
+	return nil
+}
+
+// ReadBatch fills r with up to r.Len() datagrams in one recvmmsg call,
+// returning the count. It blocks (honouring the conn's read deadline) until
+// at least one datagram arrives.
+func (c *Conn) ReadBatch(r *Ring) (int, error) {
+	n := len(r.ds)
+	for i := 0; i < n; i++ {
+		// Re-arm every slot: compaction may have swapped Buf slices
+		// between slots, and the kernel clobbers Namelen on each call.
+		r.sys.iov[i].Base = &r.ds[i].Buf[0]
+		r.sys.iov[i].SetLen(len(r.ds[i].Buf))
+		r.sys.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.sys.rsa[i]))
+		r.sys.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+		r.sys.hdrs[i].n = 0
+	}
+	var got int
+	var sysErr error
+	err := c.sys.rc.Read(func(fd uintptr) bool {
+		for {
+			rn, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&r.sys.hdrs[0])), uintptr(n),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno == syscall.EAGAIN {
+				return false // park on the poller until readable
+			}
+			if errno != 0 {
+				sysErr = errno
+			} else {
+				got = int(rn)
+			}
+			return true
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if sysErr != nil {
+		return 0, &net.OpError{Op: "recvmmsg", Net: "udp", Addr: c.uc.LocalAddr(), Err: sysErr}
+	}
+	for i := 0; i < got; i++ {
+		r.ds[i].N = int(r.sys.hdrs[i].n)
+		r.ds[i].Addr = sockaddrToAddrPort(&r.sys.rsa[i])
+	}
+	return got, nil
+}
+
+// WriteBatch sends the first n datagrams of r, looping sendmmsg until the
+// whole batch is on the wire (a partial send resumes from the first unsent
+// header). A slot with the zero Addr is sent to the connected peer.
+func (c *Conn) WriteBatch(r *Ring, n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	for i := 0; i < n; i++ {
+		r.sys.iov[i].Base = &r.ds[i].Buf[0]
+		r.sys.iov[i].SetLen(r.ds[i].N)
+		if r.ds[i].Addr.IsValid() {
+			salen := addrPortToSockaddr(r.ds[i].Addr, &r.sys.rsa[i])
+			r.sys.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.sys.rsa[i]))
+			r.sys.hdrs[i].hdr.Namelen = salen
+		} else {
+			r.sys.hdrs[i].hdr.Name = nil
+			r.sys.hdrs[i].hdr.Namelen = 0
+		}
+		r.sys.hdrs[i].n = 0
+	}
+	sent := 0
+	var sysErr error
+	err := c.sys.rc.Write(func(fd uintptr) bool {
+		for sent < n {
+			wn, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&r.sys.hdrs[sent])), uintptr(n-sent),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno == syscall.EAGAIN {
+				return false
+			}
+			if errno != 0 {
+				sysErr = errno
+				return true
+			}
+			sent += int(wn)
+		}
+		return true
+	})
+	if err != nil {
+		return sent, err
+	}
+	if sysErr != nil {
+		return sent, &net.OpError{Op: "sendmmsg", Net: "udp", Addr: c.uc.LocalAddr(), Err: sysErr}
+	}
+	return sent, nil
+}
+
+// sockaddrToAddrPort decodes a kernel-filled sockaddr into a netip.AddrPort,
+// unmapping v4-in-v6 so addresses compare equal across socket families.
+func sockaddrToAddrPort(rsa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		port := ntohs(sa.Port)
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), port)
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		port := ntohs(sa.Port)
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), port)
+	}
+	return netip.AddrPort{}
+}
+
+// addrPortToSockaddr encodes ap into rsa, returning the sockaddr length.
+func addrPortToSockaddr(ap netip.AddrPort, rsa *syscall.RawSockaddrAny) uint32 {
+	if ap.Addr().Is4() {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		sa.Addr = ap.Addr().As4()
+		sa.Port = htons(ap.Port())
+		return syscall.SizeofSockaddrInet4
+	}
+	sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	sa.Addr = ap.Addr().As16()
+	sa.Port = htons(ap.Port())
+	return syscall.SizeofSockaddrInet6
+}
+
+// htons/ntohs convert a port between host order and the sockaddr's
+// big-endian field without depending on host endianness: the uint16 is
+// viewed as raw bytes.
+func htons(p uint16) uint16 {
+	var v uint16
+	b := (*[2]byte)(unsafe.Pointer(&v))
+	b[0] = byte(p >> 8)
+	b[1] = byte(p)
+	return v
+}
+
+func ntohs(p uint16) uint16 {
+	b := (*[2]byte)(unsafe.Pointer(&p))
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+// soReusePort is unix.SO_REUSEPORT; the frozen syscall package predates it.
+const soReusePort = 0xf
+
+// ListenReuse binds n UDP sockets to addr with SO_REUSEPORT so the kernel
+// spreads inbound flows across them — the per-core listener fan-out. With a
+// ":0" addr the first bind picks the port and the rest join it.
+func ListenReuse(addr string, n int) ([]*net.UDPConn, error) {
+	if n <= 0 {
+		n = 1
+	}
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	conns := make([]*net.UDPConn, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(nil, "udp", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		uc := pc.(*net.UDPConn)
+		conns = append(conns, uc)
+		if i == 0 {
+			// Later binds must hit the same resolved port.
+			addr = uc.LocalAddr().String()
+		}
+	}
+	return conns, nil
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64 && !p4lru_portable_net
+
+package batchio
+
+// recvmmsg/sendmmsg numbers for linux/amd64; the frozen syscall package
+// predates sendmmsg so both are pinned here.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64 && !p4lru_portable_net
+
+package batchio
+
+// recvmmsg/sendmmsg numbers for linux/arm64 (generic unistd.h table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,58 @@
+//go:build !linux || (!amd64 && !arm64) || p4lru_portable_net
+
+package batchio
+
+import (
+	"net"
+	"net/netip"
+)
+
+const batched = false
+
+// The portable build needs no per-slot syscall scaffolding.
+type ringSys struct{}
+
+func (s *ringSys) init(n int) {}
+
+type connSys struct{}
+
+func (s *connSys) init(uc *net.UDPConn) error { return nil }
+
+// ReadBatch reads exactly one datagram — the single-packet baseline the
+// batched path is measured against. The batch-of-1 keeps callers identical
+// across builds.
+func (c *Conn) ReadBatch(r *Ring) (int, error) {
+	n, _, _, addr, err := c.uc.ReadMsgUDPAddrPort(r.ds[0].Buf, nil)
+	if err != nil {
+		return 0, err
+	}
+	r.ds[0].N = n
+	// Unmap v4-in-v6 so addresses compare equal with the fast path's.
+	r.ds[0].Addr = netip.AddrPortFrom(addr.Addr().Unmap(), addr.Port())
+	return 1, nil
+}
+
+// WriteBatch sends the first n datagrams one syscall each.
+func (c *Conn) WriteBatch(r *Ring, n int) (int, error) {
+	for i := 0; i < n; i++ {
+		var err error
+		if r.ds[i].Addr.IsValid() {
+			_, err = c.uc.WriteToUDPAddrPort(r.ds[i].Bytes(), r.ds[i].Addr)
+		} else {
+			_, err = c.uc.Write(r.ds[i].Bytes())
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// ListenReuse without SO_REUSEPORT: one socket that the n readers share.
+func ListenReuse(addr string, n int) ([]*net.UDPConn, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return []*net.UDPConn{pc.(*net.UDPConn)}, nil
+}

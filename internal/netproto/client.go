@@ -6,60 +6,155 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync/atomic"
 	"time"
+
+	"github.com/p4lru/p4lru/internal/netproto/batchio"
 )
+
+// NoRetries is the ClientConfig.Retries sentinel for single-shot queries:
+// one attempt, no re-send. (0 means "default", so single-shot needs its own
+// spelling.)
+const NoRetries = -1
+
+// ClientConfig parameterizes NewClient. The zero value is a working
+// configuration: 1024-key Zipf(1.1) workload, 500ms attempt timeout, 3
+// retries with 10ms..200ms capped exponential backoff, 64-packet batches.
+type ClientConfig struct {
+	// Items bounds the workload key space (keys 1..Items; 0 = 1024, must
+	// be ≥ 2).
+	Items int
+	// Skew is the Zipf exponent shaping key popularity (0 = 1.1, must be
+	// > 1).
+	Skew float64
+	// Seed drives the workload and jitter randomness.
+	Seed int64
+	// Timeout bounds each attempt's wait for a reply (0 = 500ms).
+	Timeout time.Duration
+	// Retries is how many times a timed-out attempt is re-sent (0 = 3;
+	// NoRetries = single-shot).
+	Retries int
+	// Backoff is the delay before the first re-send; it doubles per retry
+	// up to BackoffCap (0s = 10ms and 200ms).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Batch is QueryBatch's pipelining window: how many queries are in
+	// flight per send batch (0 = 64).
+	Batch int
+}
+
+func (c ClientConfig) withDefaults() (ClientConfig, error) {
+	if c.Items == 0 {
+		c.Items = 1024
+	}
+	if c.Items < 2 {
+		return c, fmt.Errorf("netproto: ClientConfig.Items = %d, need ≥ 2", c.Items)
+	}
+	if c.Skew == 0 {
+		c.Skew = 1.1
+	}
+	if c.Skew <= 1 {
+		return c, fmt.Errorf("netproto: ClientConfig.Skew = %v, need > 1", c.Skew)
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.Timeout < 0 {
+		return c, fmt.Errorf("netproto: ClientConfig.Timeout = %v, need > 0", c.Timeout)
+	}
+	switch {
+	case c.Retries == 0:
+		c.Retries = 3
+	case c.Retries == NoRetries:
+		c.Retries = 0
+	case c.Retries < 0:
+		return c, fmt.Errorf("netproto: ClientConfig.Retries = %d (use NoRetries for single-shot)", c.Retries)
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 200 * time.Millisecond
+	}
+	if c.Backoff < 0 || c.BackoffCap < c.Backoff {
+		return c, fmt.Errorf("netproto: backoff %v / cap %v out of order", c.Backoff, c.BackoffCap)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	return c, nil
+}
 
 // Client issues point queries through the switch and validates replies.
 //
 // UDP loses datagrams, so a round trip is an attempt, not a guarantee: each
-// attempt waits Timeout for a matching reply, and a lost packet costs one
-// attempt instead of failing the whole query — the request is re-sent up to
-// Retries more times with capped exponential backoff plus jitter. Queries
-// are idempotent reads and replies carry the key, so duplicate or stale
-// replies from earlier attempts are filtered, never mismatched.
+// attempt waits cfg.Timeout for a matching reply, and a lost packet costs
+// one attempt instead of failing the whole query — the request is re-sent
+// up to cfg.Retries more times with capped exponential backoff plus jitter.
+// Queries are idempotent reads and replies carry the key, so duplicate or
+// stale replies from earlier attempts are filtered, never mismatched.
+//
+// Query is the closed-loop path: one packet in flight, its RTT is the
+// latency floor. QueryBatch is the pipelined path: a whole window of
+// queries rides one sendmmsg and their replies drain in batches, which is
+// where the batched wire pays off. A Client is single-goroutine, like its
+// workload rng.
 type Client struct {
-	conn *net.UDPConn
-	rng  *rand.Rand
-	zipf *rand.Zipf
-
-	// Timeout bounds each attempt's wait for a reply (default 500ms).
-	Timeout time.Duration
-	// Retries is how many times a timed-out attempt is re-sent (default 3;
-	// 0 restores single-shot behaviour).
-	Retries int
-	// Backoff is the delay before the first re-send; it doubles per retry
-	// up to BackoffCap (defaults 10ms and 200ms).
-	Backoff    time.Duration
-	BackoffCap time.Duration
+	conn  *net.UDPConn
+	bconn *batchio.Conn
+	cfg   ClientConfig
+	rng   *rand.Rand
+	zipf  *rand.Zipf
 
 	// jitterRng drives backoff jitter; kept separate from the workload rng
-	// so retries do not perturb the Zipf key sequence. Guarded by no lock:
-	// Client is single-goroutine, like the workload rng.
+	// so retries do not perturb the Zipf key sequence.
 	jitterRng *rand.Rand
+
+	// recvBuf is the persistent single-query receive buffer (the batched
+	// rings serve QueryBatch): no per-attempt allocation on either path.
+	recvBuf []byte
+	// send/recv rings back QueryBatch.
+	sendRing *batchio.Ring
+	recvRing *batchio.Ring
+	// done marks answered window positions across a QueryBatch chunk.
+	done []bool
 
 	resends atomic.Int64
 }
 
-// NewClient dials the switch. items bounds the key space (keys 1..items);
-// skew shapes popularity.
-func NewClient(switchAddr *net.UDPAddr, items int, skew float64, seed int64) (*Client, error) {
+// NewClient dials the switch with the given configuration.
+func NewClient(switchAddr *net.UDPAddr, cfg ClientConfig) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	conn, err := net.DialUDP("udp", nil, switchAddr)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: dial switch: %w", err)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	bconn, err := batchio.NewConn(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netproto: batch conn: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &Client{
-		conn:       conn,
-		rng:        rng,
-		zipf:       rand.NewZipf(rng, skew, 1, uint64(items-1)),
-		Timeout:    500 * time.Millisecond,
-		Retries:    3,
-		Backoff:    10 * time.Millisecond,
-		BackoffCap: 200 * time.Millisecond,
-		jitterRng:  rand.New(rand.NewSource(seed ^ 0x6a177e12)),
+		conn:      conn,
+		bconn:     bconn,
+		cfg:       cfg,
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Items-1)),
+		jitterRng: rand.New(rand.NewSource(cfg.Seed ^ 0x6a177e12)),
+		recvBuf:   make([]byte, packetBufSize),
+		sendRing:  batchio.NewRing(cfg.Batch, packetBufSize),
+		recvRing:  batchio.NewRing(cfg.Batch, packetBufSize),
+		done:      make([]bool, cfg.Batch),
 	}, nil
 }
+
+// Config returns the client's resolved (defaulted) configuration.
+func (c *Client) Config() ClientConfig { return c.cfg }
 
 // Close releases the socket.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -86,23 +181,20 @@ func (c *Client) Query(key uint64) (QueryResult, error) {
 // attempts and caps each attempt's read deadline.
 func (c *Client) QueryContext(ctx context.Context, key uint64) (QueryResult, error) {
 	start := time.Now()
-	backoff := c.Backoff
+	backoff := c.cfg.Backoff
 	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.resends.Add(1)
-			d := backoff
-			if d > 1 {
-				d = d/2 + time.Duration(c.jitterRng.Int63n(int64(d/2)+1))
-			}
+			d := c.jitter(backoff)
 			select {
 			case <-time.After(d):
 			case <-ctx.Done():
 				return QueryResult{}, ctx.Err()
 			}
 			backoff *= 2
-			if backoff > c.BackoffCap {
-				backoff = c.BackoffCap
+			if backoff > c.cfg.BackoffCap {
+				backoff = c.cfg.BackoffCap
 			}
 		}
 		res, err := c.attempt(ctx, key, start)
@@ -115,47 +207,168 @@ func (c *Client) QueryContext(ctx context.Context, key uint64) (QueryResult, err
 		}
 	}
 	return QueryResult{}, fmt.Errorf("netproto: query %d failed after %d attempts: %w",
-		key, c.Retries+1, lastErr)
+		key, c.cfg.Retries+1, lastErr)
 }
 
-// attempt sends the request once and waits up to Timeout (clamped by ctx's
-// deadline) for a matching reply.
+// jitter spreads a backoff delay over [d/2, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d > 1 {
+		d = d/2 + time.Duration(c.jitterRng.Int63n(int64(d/2)+1))
+	}
+	return d
+}
+
+// attempt sends the request once and waits up to cfg.Timeout (clamped by
+// ctx's deadline) for a matching reply.
 func (c *Client) attempt(ctx context.Context, key uint64, start time.Time) (QueryResult, error) {
-	req := Message{Type: MsgQuery, Key: key}
-	if _, err := c.conn.Write(req.Marshal()); err != nil {
+	n := PutQuery(c.recvBuf, key)
+	if _, err := c.conn.Write(c.recvBuf[:n]); err != nil {
 		return QueryResult{}, fmt.Errorf("netproto: send: %w", err)
 	}
 
-	deadline := time.Now().Add(c.Timeout)
+	deadline := time.Now().Add(c.cfg.Timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	if err := c.conn.SetReadDeadline(deadline); err != nil {
 		return QueryResult{}, err
 	}
-	buf := make([]byte, 64*1024)
 	for {
-		n, err := c.conn.Read(buf)
+		n, err := c.conn.Read(c.recvBuf)
 		if err != nil {
 			return QueryResult{}, fmt.Errorf("netproto: recv: %w", err)
 		}
 		var msg Message
-		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgReply {
+		if err := msg.Unmarshal(c.recvBuf[:n]); err != nil || msg.Type != MsgReply {
 			continue
 		}
 		if msg.Key != key {
 			continue // stale reply from an earlier timed-out query
 		}
-		valid := len(msg.Value) >= 8 &&
-			binary.LittleEndian.Uint64(msg.Value) == key^0xbadc0ffee
 		return QueryResult{
 			Key:     key,
 			Index:   msg.CachedIndex,
 			Latency: time.Since(start),
 			Cached:  msg.CachedFlag != 0,
-			Valid:   valid,
+			Valid:   validValue(key, msg.Value),
 		}, nil
 	}
+}
+
+// validValue checks a reply payload against the kvindex arena contents.
+func validValue(key uint64, value []byte) bool {
+	return len(value) >= 8 && binary.LittleEndian.Uint64(value) == key^0xbadc0ffee
+}
+
+// QueryBatch resolves keys[i] into results[i] with up to cfg.Batch queries
+// in flight at once: each window rides one batched send, replies drain in
+// batched reads, and only the keys still missing after a timeout are
+// re-sent (a partial batch), with the same per-attempt retry budget as
+// Query. It returns the number of keys answered; err is non-nil only for
+// socket-level failures — an exhausted retry budget just leaves those
+// results zero-valued (check QueryResult.Key). Duplicate keys are fine:
+// each reply fills the first still-unanswered position for its key.
+func (c *Client) QueryBatch(keys []uint64, results []QueryResult) (int, error) {
+	if len(results) < len(keys) {
+		return 0, fmt.Errorf("netproto: QueryBatch: %d results for %d keys", len(results), len(keys))
+	}
+	answered := 0
+	for base := 0; base < len(keys); base += c.cfg.Batch {
+		end := base + c.cfg.Batch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n, err := c.queryWindow(keys[base:end], results[base:end])
+		answered += n
+		if err != nil {
+			return answered, err
+		}
+	}
+	return answered, nil
+}
+
+// queryWindow runs one pipelined window (≤ cfg.Batch keys): send all
+// missing queries as one batch, drain replies until the window is full or
+// the attempt times out, repeat with backoff up to the retry budget.
+func (c *Client) queryWindow(keys []uint64, results []QueryResult) (int, error) {
+	start := time.Now()
+	done := c.done[:len(keys)]
+	for i := range done {
+		done[i] = false
+	}
+	answered := 0
+	backoff := c.cfg.Backoff
+	for attempt := 0; attempt <= c.cfg.Retries && answered < len(keys); attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.jitter(backoff))
+			backoff *= 2
+			if backoff > c.cfg.BackoffCap {
+				backoff = c.cfg.BackoffCap
+			}
+		}
+		// Send every still-missing key as one batch — the partial-batch
+		// re-send after loss.
+		ds := c.sendRing.Datagrams()
+		pending := 0
+		for i, k := range keys {
+			if done[i] {
+				continue
+			}
+			if attempt > 0 {
+				c.resends.Add(1)
+			}
+			ds[pending].N = PutQuery(ds[pending].Buf, k)
+			ds[pending].Addr = netip.AddrPort{} // zero = the connected peer
+			pending++
+		}
+		if _, err := c.bconn.WriteBatch(c.sendRing, pending); err != nil {
+			return answered, fmt.Errorf("netproto: batch send: %w", err)
+		}
+		deadline := time.Now().Add(c.cfg.Timeout)
+		for answered < len(keys) {
+			if err := c.bconn.SetReadDeadline(deadline); err != nil {
+				return answered, err
+			}
+			got, err := c.bconn.ReadBatch(c.recvRing)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // attempt over; re-send the stragglers
+				}
+				return answered, fmt.Errorf("netproto: batch recv: %w", err)
+			}
+			rds := c.recvRing.Datagrams()
+			for j := 0; j < got; j++ {
+				var msg Message
+				if err := msg.Unmarshal(rds[j].Bytes()); err != nil || msg.Type != MsgReply {
+					continue
+				}
+				// First unanswered position holding this key gets the
+				// reply; extras (duplicates of an earlier attempt) fall
+				// through harmlessly.
+				for i, k := range keys {
+					if done[i] || k != msg.Key {
+						continue
+					}
+					done[i] = true
+					answered++
+					results[i] = QueryResult{
+						Key:     msg.Key,
+						Index:   msg.CachedIndex,
+						Latency: time.Since(start),
+						Cached:  msg.CachedFlag != 0,
+						Valid:   validValue(msg.Key, msg.Value),
+					}
+					break
+				}
+			}
+		}
+	}
+	for i := range keys {
+		if !done[i] {
+			results[i] = QueryResult{}
+		}
+	}
+	return answered, nil
 }
 
 // NextKey draws the next Zipf-popular key (1-based).
@@ -187,6 +400,48 @@ func (c *Client) Run(count int) RunStats {
 		}
 		if !res.Valid {
 			st.Invalid++
+		}
+	}
+	if st.Queries > 0 {
+		st.AvgRTT = total / time.Duration(st.Queries)
+	}
+	return st
+}
+
+// RunBatch performs count queries through the pipelined QueryBatch path,
+// cfg.Batch at a time — the open-loop ladder driver.
+func (c *Client) RunBatch(count int) RunStats {
+	var st RunStats
+	var total time.Duration
+	keys := make([]uint64, c.cfg.Batch)
+	results := make([]QueryResult, c.cfg.Batch)
+	for served := 0; served < count; {
+		n := c.cfg.Batch
+		if rem := count - served; n > rem {
+			n = rem
+		}
+		for i := 0; i < n; i++ {
+			keys[i] = c.NextKey()
+		}
+		answered, err := c.QueryBatch(keys[:n], results[:n])
+		served += n
+		if err != nil {
+			st.Failures += n - answered
+			return st
+		}
+		st.Failures += n - answered
+		for i := 0; i < n; i++ {
+			if results[i].Key == 0 {
+				continue
+			}
+			st.Queries++
+			total += results[i].Latency
+			if results[i].Cached {
+				st.Cached++
+			}
+			if !results[i].Valid {
+				st.Invalid++
+			}
 		}
 	}
 	if st.Queries > 0 {

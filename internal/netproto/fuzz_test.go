@@ -1,6 +1,11 @@
 package netproto
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"github.com/p4lru/p4lru/internal/netproto/batchio"
+)
 
 // FuzzUnmarshal: the wire decoder must never panic, and anything it accepts
 // must re-marshal to an equivalent message.
@@ -23,6 +28,74 @@ func FuzzUnmarshal(f *testing.F) {
 		if again.Type != m.Type || again.Key != m.Key ||
 			again.CachedFlag != m.CachedFlag || again.CachedIndex != m.CachedIndex {
 			t.Fatalf("round trip drifted: %+v vs %+v", again, m)
+		}
+	})
+}
+
+// FuzzBatchRoundTrip exercises the zero-copy batch framing: packets encoded
+// with PutQuery/PutReply into ring slots, patched in place with PatchCached,
+// and decoded straight out of the slot must round-trip exactly — and a
+// decode after the ring slot is rewritten (the reuse that follows every
+// ReadBatch) must see only the new packet, never residue of the old one.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(uint64(7), uint64(0), uint8(0), []byte("value"), []byte("v2"))
+	f.Add(uint64(1<<40), uint64(64), uint8(3), bytes.Repeat([]byte{0xab}, 64), []byte{})
+	f.Add(uint64(0), uint64(1), uint8(1), []byte{}, bytes.Repeat([]byte{0xcd}, 128))
+
+	f.Fuzz(func(t *testing.T, key, idx uint64, flag uint8, val1, val2 []byte) {
+		ring := batchio.NewRing(2, 2048)
+		ds := ring.Datagrams()
+		if len(val1) > len(ds[0].Buf)-headerSize {
+			val1 = val1[:len(ds[0].Buf)-headerSize]
+		}
+		if len(val2) > len(ds[1].Buf)-headerSize {
+			val2 = val2[:len(ds[1].Buf)-headerSize]
+		}
+
+		// Slot 0: a query stamped by the switch's in-place patch.
+		ds[0].N = PutQuery(ds[0].Buf, key)
+		PatchCached(ds[0].Bytes(), flag, idx)
+		var q Message
+		if err := q.Unmarshal(ds[0].Bytes()); err != nil {
+			t.Fatalf("decode of encoded query: %v", err)
+		}
+		if q.Type != MsgQuery || q.Key != key || q.CachedFlag != flag || q.CachedIndex != idx {
+			t.Fatalf("query round trip drifted: %+v", q)
+		}
+		if len(q.Value) != 0 {
+			t.Fatalf("query decoded with %d value bytes", len(q.Value))
+		}
+
+		// Slot 1: a reply. The decoded value must alias the ring slot
+		// (that is the zero-copy contract) and match exactly.
+		ds[1].N = PutReply(ds[1].Buf, flag, key, idx, val1)
+		var r Message
+		if err := r.Unmarshal(ds[1].Bytes()); err != nil {
+			t.Fatalf("decode of encoded reply: %v", err)
+		}
+		if r.Type != MsgReply || r.Key != key || r.CachedFlag != flag ||
+			r.CachedIndex != idx || !bytes.Equal(r.Value, val1) {
+			t.Fatalf("reply round trip drifted: %+v (want value %x)", r, val1)
+		}
+		if len(val1) > 0 && &r.Value[0] != &ds[1].Buf[headerSize] {
+			t.Fatal("decoded value does not alias the ring slot — decode copied")
+		}
+
+		// Ring reuse: compaction swaps slots, then the next batch rewrites
+		// them. The fresh decode must carry val2 with zero residue of val1,
+		// even when val2 is shorter.
+		ring.Swap(0, 1)
+		ds = ring.Datagrams()
+		ds[0].N = PutReply(ds[0].Buf, flag^1, key+1, idx+1, val2)
+		var fresh Message
+		if err := fresh.Unmarshal(ds[0].Bytes()); err != nil {
+			t.Fatalf("decode after ring reuse: %v", err)
+		}
+		if fresh.Key != key+1 || fresh.CachedFlag != flag^1 || fresh.CachedIndex != idx+1 {
+			t.Fatalf("post-reuse header drifted: %+v", fresh)
+		}
+		if !bytes.Equal(fresh.Value, val2) {
+			t.Fatalf("stale bytes across ring reuse: got %x, want %x", fresh.Value, val2)
 		}
 	})
 }

@@ -1,0 +1,95 @@
+package netproto
+
+import (
+	"net"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// This file is the one-release compatibility shim for the pre-batching
+// construction API: the positional NewSwitch and NewClient signatures and
+// their functional options, re-expressed on top of SwitchConfig and
+// ClientConfig. New code should use NewSwitch(SwitchConfig{...}) and
+// NewClient(addr, ClientConfig{...}) directly; everything here will be
+// removed next release.
+
+// Option tunes a Switch built through NewSwitchLegacy.
+//
+// Deprecated: set the corresponding SwitchConfig field instead.
+type Option func(*SwitchConfig)
+
+// WithShards fixes the engine shard count.
+//
+// Deprecated: set SwitchConfig.Shards.
+func WithShards(n int) Option { return func(c *SwitchConfig) { c.Shards = n } }
+
+// WithReaders fixes the per-direction reader goroutine count.
+//
+// Deprecated: set SwitchConfig.Readers.
+func WithReaders(n int) Option { return func(c *SwitchConfig) { c.Readers = n } }
+
+// WithObs instruments the switch's engine on the given registry.
+//
+// Deprecated: set SwitchConfig.Obs.
+func WithObs(r *obs.Registry) Option { return func(c *SwitchConfig) { c.Obs = r } }
+
+// WithSpan traces both proxy directions and the switch's engine.
+//
+// Deprecated: set SwitchConfig.Span.
+func WithSpan(t *span.Tracer) Option { return func(c *SwitchConfig) { c.Span = t } }
+
+// NewSwitchLegacy starts a switch with the old positional geometry: a
+// `levels`-deep series of P4LRU3 arrays with numUnits total units split
+// across the engine's shards. The unit count is translated into the
+// equivalent policy.Spec memory budget, so the cache geometry matches what
+// the positional constructor built.
+//
+// Deprecated: use NewSwitch(SwitchConfig{...}) with a policy.Spec.
+func NewSwitchLegacy(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int, seed uint64, opts ...Option) (*Switch, error) {
+	cfg := SwitchConfig{ListenAddr: listenAddr, ServerAddr: serverAddr}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Shards > numUnits {
+		cfg.Shards = numUnits // ≥1 unit per shard and level, as before
+	}
+	unitsPerShard := numUnits / cfg.Shards
+	if unitsPerShard < 1 {
+		unitsPerShard = 1
+	}
+	cfg.Policy = policy.Spec{
+		Kind:     policy.KindSeries,
+		Levels:   levels,
+		UnitCap:  3,
+		Seed:     seed,
+		MemBytes: cfg.Shards * policy.SeriesMemBytes(levels, 3, unitsPerShard),
+	}
+	return NewSwitch(cfg)
+}
+
+// NewClientLegacy dials the switch with the old positional workload
+// parameters and the old retry defaults.
+//
+// Deprecated: use NewClient(switchAddr, ClientConfig{...}).
+func NewClientLegacy(switchAddr *net.UDPAddr, items int, skew float64, seed int64) (*Client, error) {
+	return NewClient(switchAddr, ClientConfig{Items: items, Skew: skew, Seed: seed})
+}
+
+// NewRemoteStoreLegacy preserves the old retry sentinel convention
+// (negative retries = default, 0 = single shot).
+//
+// Deprecated: use NewRemoteStore, whose config follows ClientConfig's
+// conventions (0 = default, NoRetries = single shot).
+func NewRemoteStoreLegacy(addr *net.UDPAddr, pool int, timeout time.Duration, retries int) (*RemoteStore, error) {
+	switch {
+	case retries < 0:
+		retries = 0
+	case retries == 0:
+		retries = NoRetries
+	}
+	return NewRemoteStore(addr, pool, timeout, retries)
+}

@@ -79,15 +79,15 @@ func TestClientRetriesLossyPath(t *testing.T) {
 	defer srv.Close()
 	proxy := newLossyProxy(t, srv.Addr(), func(n int64) bool { return n%2 == 1 })
 
-	cl, err := NewClient(proxy.Addr(), 1000, 1.1, 1)
+	cl, err := NewClient(proxy.Addr(), ClientConfig{
+		Items: 1000, Skew: 1.1, Seed: 1,
+		Timeout: 100 * time.Millisecond, Retries: 3,
+		Backoff: time.Millisecond, BackoffCap: 5 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	cl.Timeout = 100 * time.Millisecond
-	cl.Retries = 3
-	cl.Backoff = time.Millisecond
-	cl.BackoffCap = 5 * time.Millisecond
 
 	const queries = 10
 	for key := uint64(1); key <= queries; key++ {
@@ -117,15 +117,16 @@ func TestClientExhaustsRetryBudget(t *testing.T) {
 	defer srv.Close()
 	proxy := newLossyProxy(t, srv.Addr(), func(int64) bool { return true })
 
-	cl, err := NewClient(proxy.Addr(), 1000, 1.1, 1)
+	cfg := ClientConfig{
+		Items: 1000, Skew: 1.1, Seed: 1,
+		Timeout: 30 * time.Millisecond, Retries: 2,
+		Backoff: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	}
+	cl, err := NewClient(proxy.Addr(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	cl.Timeout = 30 * time.Millisecond
-	cl.Retries = 2
-	cl.Backoff = time.Millisecond
-	cl.BackoffCap = 2 * time.Millisecond
 
 	start := time.Now()
 	_, err = cl.Query(7)
@@ -136,7 +137,7 @@ func TestClientExhaustsRetryBudget(t *testing.T) {
 	if got := proxy.reqCount.Load(); got != 3 {
 		t.Errorf("proxy saw %d attempts, want 3 (1 + 2 retries)", got)
 	}
-	if bound := 3*cl.Timeout + 3*cl.BackoffCap + 100*time.Millisecond; elapsed > bound {
+	if bound := 3*cfg.Timeout + 3*cfg.BackoffCap + 100*time.Millisecond; elapsed > bound {
 		t.Errorf("budget exhaustion took %v, want < %v", elapsed, bound)
 	}
 }
@@ -151,13 +152,15 @@ func TestClientQueryContextCancel(t *testing.T) {
 	defer srv.Close()
 	proxy := newLossyProxy(t, srv.Addr(), func(int64) bool { return true })
 
-	cl, err := NewClient(proxy.Addr(), 1000, 1.1, 1)
+	cl, err := NewClient(proxy.Addr(), ClientConfig{
+		Items: 1000, Skew: 1.1, Seed: 1,
+		Timeout: 10 * time.Second, // would dominate without ctx
+		Retries: 5,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	cl.Timeout = 10 * time.Second // would dominate without ctx
-	cl.Retries = 5
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
@@ -167,6 +170,57 @@ func TestClientQueryContextCancel(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Errorf("cancelled query took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestQueryBatchPartialResend pins the pipelined path's loss recovery:
+// when some of a window's requests are dropped, the next attempt re-sends
+// ONLY the missing keys (a partial batch), not the whole window. The proxy's
+// request count proves it: a full-window re-send would double the traffic.
+func TestQueryBatchPartialResend(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Drop requests 1, 5, 9, ... — two of the first window's eight, then
+	// one of the re-sent stragglers.
+	proxy := newLossyProxy(t, srv.Addr(), func(n int64) bool { return n%4 == 1 })
+
+	cl, err := NewClient(proxy.Addr(), ClientConfig{
+		Items: 1000, Skew: 1.1, Seed: 1, Batch: 8,
+		Timeout: 100 * time.Millisecond, Retries: 3,
+		Backoff: time.Millisecond, BackoffCap: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	results := make([]QueryResult, len(keys))
+	answered, err := cl.QueryBatch(keys, results)
+	if err != nil {
+		t.Fatalf("QueryBatch through lossy path: %v", err)
+	}
+	if answered != len(keys) {
+		t.Fatalf("answered %d/%d keys", answered, len(keys))
+	}
+	for i, res := range results {
+		if res.Key != keys[i] || !res.Valid {
+			t.Fatalf("result %d: %+v, want valid reply for key %d", i, res, keys[i])
+		}
+	}
+	if cl.Resends() == 0 {
+		t.Error("no re-sends despite dropped requests")
+	}
+	// Partial re-send: 8 + the ~3 stragglers. A full-window retry would hit
+	// 16+ requests by the second attempt.
+	if got := proxy.reqCount.Load(); got >= 16 {
+		t.Errorf("proxy saw %d requests — re-sends are not partial batches", got)
+	}
+	if d := proxy.dropped.Load(); d == 0 {
+		t.Error("proxy dropped nothing — test proves nothing")
 	}
 }
 

@@ -6,7 +6,20 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"github.com/p4lru/p4lru/internal/policy"
 )
+
+// seriesSpec is the test shorthand for the old positional geometry: a
+// `levels`-deep P4LRU3 series with `units` total units.
+func seriesSpec(levels, units int) policy.Spec {
+	return policy.Spec{
+		Kind:     policy.KindSeries,
+		Levels:   levels,
+		MemBytes: policy.SeriesMemBytes(levels, 3, units),
+		Seed:     1,
+	}
+}
 
 func TestMessageRoundTrip(t *testing.T) {
 	m := Message{
@@ -73,7 +86,10 @@ func startStack(t *testing.T, items, levels, units int) (*Server, *Switch) {
 	if err != nil {
 		t.Fatalf("server: %v", err)
 	}
-	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), levels, units, 1)
+	sw, err := NewSwitch(SwitchConfig{
+		ServerAddr: srv.Addr(),
+		Policy:     seriesSpec(levels, units),
+	})
 	if err != nil {
 		srv.Close()
 		t.Fatalf("switch: %v", err)
@@ -87,7 +103,7 @@ func startStack(t *testing.T, items, levels, units int) (*Server, *Switch) {
 
 func TestEndToEndQuery(t *testing.T) {
 	srv, sw := startStack(t, 1000, 2, 64)
-	cl, err := NewClient(sw.Addr(), 1000, 1.1, 7)
+	cl, err := NewClient(sw.Addr(), ClientConfig{Items: 1000, Skew: 1.1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,21 +133,25 @@ func TestEndToEndQuery(t *testing.T) {
 		t.Error("cached query returned a bad value — stale index")
 	}
 
-	queries, walks, nodes := srv.Stats()
-	if queries != 2 || walks != 1 {
-		t.Errorf("server stats: queries=%d walks=%d, want 2/1", queries, walks)
+	sst := srv.Stats()
+	if sst.Queries != 2 || sst.IndexWalks != 1 {
+		t.Errorf("server stats: queries=%d walks=%d, want 2/1", sst.Queries, sst.IndexWalks)
 	}
-	if nodes == 0 {
+	if sst.NodesWalked == 0 {
 		t.Error("no nodes walked on the miss")
 	}
-	if q, h := sw.Stats(); q != 2 || h != 1 {
-		t.Errorf("switch stats: queries=%d hits=%d, want 2/1", q, h)
+	if sst.RecvBatches == 0 || sst.RecvPackets != sst.Queries {
+		t.Errorf("server batch accounting: batches=%d packets=%d queries=%d",
+			sst.RecvBatches, sst.RecvPackets, sst.Queries)
+	}
+	if wst := sw.Stats(); wst.Queries != 2 || wst.Hits != 1 {
+		t.Errorf("switch stats: queries=%d hits=%d, want 2/1", wst.Queries, wst.Hits)
 	}
 }
 
 func TestEndToEndWorkload(t *testing.T) {
 	srv, sw := startStack(t, 5000, 4, 256)
-	cl, err := NewClient(sw.Addr(), 5000, 1.2, 3)
+	cl, err := NewClient(sw.Addr(), ClientConfig{Items: 5000, Skew: 1.2, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,9 +172,9 @@ func TestEndToEndWorkload(t *testing.T) {
 		t.Error("switch cache empty after workload")
 	}
 	// Cached queries must skip the index walk.
-	q, walks, _ := srv.Stats()
-	if walks >= q {
-		t.Errorf("every query walked the index (%d/%d) despite caching", walks, q)
+	if sst := srv.Stats(); sst.IndexWalks >= sst.Queries {
+		t.Errorf("every query walked the index (%d/%d) despite caching",
+			sst.IndexWalks, sst.Queries)
 	}
 }
 
@@ -166,7 +186,7 @@ func TestConcurrentClients(t *testing.T) {
 	var wg sync.WaitGroup
 	stats := make([]RunStats, clients)
 	for i := 0; i < clients; i++ {
-		cl, err := NewClient(sw.Addr(), 2000, 1.2, int64(i))
+		cl, err := NewClient(sw.Addr(), ClientConfig{Items: 2000, Skew: 1.2, Seed: int64(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +224,12 @@ func TestConcurrentClientsShardedProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), 2, 256, 1, WithShards(4), WithReaders(4))
+	sw, err := NewSwitch(SwitchConfig{
+		ServerAddr: srv.Addr(),
+		Policy:     seriesSpec(2, 256),
+		Shards:     4,
+		Readers:    4,
+	})
 	if err != nil {
 		srv.Close()
 		t.Fatal(err)
@@ -221,7 +246,7 @@ func TestConcurrentClientsShardedProgress(t *testing.T) {
 	var wg sync.WaitGroup
 	stats := make([]RunStats, 2)
 	for i := range stats {
-		cl, err := NewClient(sw.Addr(), 4000, 1.2, int64(i)+10)
+		cl, err := NewClient(sw.Addr(), ClientConfig{Items: 4000, Skew: 1.2, Seed: int64(i) + 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,12 +281,67 @@ func TestConcurrentClientsShardedProgress(t *testing.T) {
 	}
 }
 
+// TestQueryBatchEndToEnd drives the pipelined window through the full
+// client → switch → server stack: one window of distinct keys, then the
+// same window again. Every key must come back valid and in order, and the
+// second pass must be served from the switch cache.
+func TestQueryBatchEndToEnd(t *testing.T) {
+	srv, sw := startStack(t, 1000, 2, 128)
+	cl, err := NewClient(sw.Addr(), ClientConfig{Items: 1000, Skew: 1.1, Seed: 5, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := make([]uint64, 40) // > Batch, so QueryBatch chunks into windows
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	results := make([]QueryResult, len(keys))
+
+	for pass := 0; pass < 2; pass++ {
+		n, err := cl.QueryBatch(keys, results)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if n != len(keys) {
+			t.Fatalf("pass %d: answered %d/%d keys", pass, n, len(keys))
+		}
+		for i, res := range results {
+			if res.Key != keys[i] {
+				t.Fatalf("pass %d: result %d carries key %d, want %d", pass, i, res.Key, keys[i])
+			}
+			if !res.Valid {
+				t.Fatalf("pass %d: key %d returned a bad value", pass, keys[i])
+			}
+		}
+	}
+
+	wst := sw.Stats()
+	if wst.Hits < int64(len(keys)) {
+		t.Errorf("switch hits = %d after repeat pass, want ≥ %d", wst.Hits, len(keys))
+	}
+	if sst := srv.Stats(); sst.IndexWalks >= sst.Queries {
+		t.Errorf("repeat pass still walked the index: walks=%d queries=%d",
+			sst.IndexWalks, sst.Queries)
+	}
+
+	// RunBatch drives the same windows from the Zipf generator.
+	st := cl.RunBatch(500)
+	if st.Invalid != 0 {
+		t.Fatalf("RunBatch saw %d invalid values: %+v", st.Invalid, st)
+	}
+	if st.Queries < 490 || st.Failures > 10 {
+		t.Fatalf("RunBatch completed %d/500 (failures %d)", st.Queries, st.Failures)
+	}
+}
+
 func TestCloseIsIdempotentAndUnblocks(t *testing.T) {
 	srv, err := NewServer("127.0.0.1:0", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), 1, 8, 1)
+	sw, err := NewSwitch(SwitchConfig{ServerAddr: srv.Addr(), Policy: seriesSpec(1, 8)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,18 +353,58 @@ func TestCloseIsIdempotentAndUnblocks(t *testing.T) {
 	}
 }
 
+// TestLegacyConstructors keeps the one-release deprecation shims honest:
+// the positional signatures still build a working stack with the same cache
+// geometry the old constructors produced.
+func TestLegacyConstructors(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sw, err := NewSwitchLegacy("127.0.0.1:0", srv.Addr(), 2, 64, 1, WithShards(2), WithReaders(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	if got := sw.Engine().Shards(); got != 2 {
+		t.Fatalf("legacy switch built %d shards, want 2", got)
+	}
+	// 2 levels × 64 units total = 128 unit slots of capacity 3.
+	if cap := sw.Engine().Capacity(); cap != 2*64*3 {
+		t.Fatalf("legacy geometry capacity %d, want %d", cap, 2*64*3)
+	}
+	cl, err := NewClientLegacy(sw.Addr(), 1000, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 2; i++ {
+		res, err := cl.Query(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Valid {
+			t.Fatal("legacy stack served a bad value")
+		}
+	}
+	if wst := sw.Stats(); wst.Hits == 0 {
+		t.Error("second query of one key missed the legacy switch cache")
+	}
+}
+
 func BenchmarkEndToEndQuery(b *testing.B) {
 	srv, err := NewServer("127.0.0.1:0", 10000)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), 4, 512, 1)
+	sw, err := NewSwitch(SwitchConfig{ServerAddr: srv.Addr(), Policy: seriesSpec(4, 512)})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer sw.Close()
-	cl, err := NewClient(sw.Addr(), 10000, 1.2, 1)
+	cl, err := NewClient(sw.Addr(), ClientConfig{Items: 10000, Skew: 1.2, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

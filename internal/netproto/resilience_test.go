@@ -55,12 +55,12 @@ func TestServerCloseUnderLoad(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	q, _, _ := srv.Stats()
-	if q == 0 {
+	st := srv.Stats()
+	if st.Queries == 0 {
 		t.Fatal("no queries reached the server before Close — test proves nothing")
 	}
-	if r := srv.Replies(); r != q {
-		t.Fatalf("Close dropped in-flight replies: queries=%d replies=%d", q, r)
+	if st.Replies != st.Queries {
+		t.Fatalf("Close dropped in-flight replies: queries=%d replies=%d", st.Queries, st.Replies)
 	}
 }
 
@@ -75,11 +75,13 @@ func TestSwitchWarmRestart(t *testing.T) {
 	}
 	defer srv.Close()
 
-	sw1, err := NewSwitch("127.0.0.1:0", srv.Addr(), 2, 64, 1, WithShards(2))
+	sw1, err := NewSwitch(SwitchConfig{
+		ServerAddr: srv.Addr(), Policy: seriesSpec(2, 64), Shards: 2,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl1, err := NewClient(sw1.Addr(), items, 1.2, 3)
+	cl1, err := NewClient(sw1.Addr(), ClientConfig{Items: items, Skew: 1.2, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,9 @@ func TestSwitchWarmRestart(t *testing.T) {
 	}
 
 	// "Restart": same levels/units/seed/shards, restored before traffic.
-	sw2, err := NewSwitch("127.0.0.1:0", srv.Addr(), 2, 64, 1, WithShards(2))
+	sw2, err := NewSwitch(SwitchConfig{
+		ServerAddr: srv.Addr(), Policy: seriesSpec(2, 64), Shards: 2,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +130,7 @@ func TestSwitchWarmRestart(t *testing.T) {
 		return len(resident) < 20
 	})
 
-	cl2, err := NewClient(sw2.Addr(), items, 1.2, 3)
+	cl2, err := NewClient(sw2.Addr(), ClientConfig{Items: items, Skew: 1.2, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +195,7 @@ func TestServerShedderAndHealth(t *testing.T) {
 	if query() {
 		t.Fatal("saturated server replied — query was not shed")
 	}
-	if srv.Shed() == 0 {
+	if srv.Stats().Shed == 0 {
 		t.Fatal("shed counter did not move")
 	}
 
@@ -203,8 +207,8 @@ func TestServerShedderAndHealth(t *testing.T) {
 	if !query() {
 		t.Fatal("recovered server did not reply")
 	}
-	q, _, _ := srv.Stats()
-	if srv.Replies()+srv.Shed() != q {
-		t.Fatalf("accounting: queries=%d replies=%d shed=%d", q, srv.Replies(), srv.Shed())
+	st := srv.Stats()
+	if st.Replies+st.Shed != st.Queries {
+		t.Fatalf("accounting: queries=%d replies=%d shed=%d", st.Queries, st.Replies, st.Shed)
 	}
 }

@@ -23,7 +23,7 @@ func TestServerSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cl, err := NewClient(srv.Addr(), 1000, 1.1, 7)
+	cl, err := NewClient(srv.Addr(), ClientConfig{Items: 1000, Skew: 1.1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,12 +67,14 @@ func TestSwitchSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	sw, err := NewSwitch("127.0.0.1:0", srv.Addr(), 2, 64, 1, WithSpan(tr))
+	sw, err := NewSwitch(SwitchConfig{
+		ServerAddr: srv.Addr(), Policy: seriesSpec(2, 64), Span: tr,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sw.Close()
-	cl, err := NewClient(sw.Addr(), 1000, 1.1, 7)
+	cl, err := NewClient(sw.Addr(), ClientConfig{Items: 1000, Skew: 1.1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,8 +25,8 @@ type RemoteStore struct {
 var _ backing.Store = (*RemoteStore)(nil)
 
 // NewRemoteStore dials addr with a pool of `pool` clients (0 = 4). timeout
-// is the per-attempt reply wait and retries the re-send budget per query
-// (0s and 0 keep the client defaults).
+// and retries follow ClientConfig's conventions: zero keeps the client
+// defaults, NoRetries makes each Get single-shot.
 func NewRemoteStore(addr *net.UDPAddr, pool int, timeout time.Duration, retries int) (*RemoteStore, error) {
 	if pool <= 0 {
 		pool = 4
@@ -35,16 +35,14 @@ func NewRemoteStore(addr *net.UDPAddr, pool int, timeout time.Duration, retries 
 	for i := 0; i < pool; i++ {
 		// Key space/skew are irrelevant: the store never draws workload
 		// keys, only serves explicit Gets.
-		cl, err := NewClient(addr, 2, 1.1, int64(i)+1)
+		cl, err := NewClient(addr, ClientConfig{
+			Seed:    int64(i) + 1,
+			Timeout: timeout,
+			Retries: retries,
+		})
 		if err != nil {
 			r.Close()
 			return nil, fmt.Errorf("netproto: remote store client %d: %w", i, err)
-		}
-		if timeout > 0 {
-			cl.Timeout = timeout
-		}
-		if retries >= 0 {
-			cl.Retries = retries
 		}
 		r.pool <- cl
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/netip"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 
 	"github.com/p4lru/p4lru/internal/engine"
 	"github.com/p4lru/p4lru/internal/hashing"
+	"github.com/p4lru/p4lru/internal/netproto/batchio"
 	"github.com/p4lru/p4lru/internal/obs"
 	"github.com/p4lru/p4lru/internal/obs/span"
 	"github.com/p4lru/p4lru/internal/policy"
@@ -24,158 +26,252 @@ import (
 // packets perform the only cache mutations (§3.2's query/update separation).
 //
 // A hardware pipeline serializes packets per stage but processes one packet
-// per clock because every P4LRU unit is independent (§1.2). This software
-// stand-in gets the same independence from the sharded serving engine: the
-// cache is split across engine shards by flow-key hash, packets for
-// different shards never contend, and each direction is drained by several
-// reader goroutines so multiple cores can carry traffic at once. The old
-// single global mutex is gone.
+// per clock because every P4LRU unit is independent (§1.2) — and because
+// every stage sees a steady stream of packets, not one packet per
+// invocation. This software stand-in now has both halves: the sharded
+// engine keeps per-shard work disjoint, and the batchio layer moves whole
+// recvmmsg/sendmmsg batches of datagrams per syscall, decoded in place in a
+// ring of reusable buffers and forwarded by patching the cached fields into
+// the original packet bytes — no per-packet allocation, no re-marshal, one
+// syscall per batch in each direction. Reply batches decode straight into
+// an engine.Op slice and go through ApplyBatch before any reply is
+// forwarded, preserving the reply-after-mutation ordering the paper's
+// pipeline pass guarantees.
 type Switch struct {
-	clientConn *net.UDPConn // faces clients
-	serverConn *net.UDPConn // faces the server
-	serverAddr *net.UDPAddr
+	clientConns []*batchio.Conn // face clients (SO_REUSEPORT group on Linux)
+	serverConns []*batchio.Conn // face the server, one per reader for reply affinity
+	serverAddr  netip.AddrPort
 
 	eng    *engine.Engine
 	tracer *span.Tracer
+	batch  int
 
 	// peers routes replies back to the querying client (the role the
 	// network's addressing plays on a real switch path). Striped so
-	// concurrent readers touching different keys don't share a lock.
+	// concurrent readers touching different keys don't share a lock; the
+	// values are netip.AddrPort — plain comparable values, so storing one
+	// copies it out of the ring slot it was decoded from.
 	peers     [peerStripes]peerStripe
 	peerHash  hashing.Hash
-	readers   int
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closed    atomic.Bool
 
 	// Stats.
-	queries atomic.Int64
-	hits    atomic.Int64
+	queries     atomic.Int64
+	hits        atomic.Int64
+	recvBatches atomic.Int64
+	recvPackets atomic.Int64
 }
 
 const peerStripes = 64
 
 type peerStripe struct {
 	mu sync.Mutex
-	m  map[uint64]*net.UDPAddr
+	m  map[uint64]netip.AddrPort
 }
 
-// Option tunes a Switch beyond the required topology parameters.
-type Option func(*switchConfig)
+// packetBufSize is the ring slot size: comfortably above header + value for
+// every protocol message, far below the old 64KiB per-read scratch.
+const packetBufSize = 2048
 
-type switchConfig struct {
-	shards  int
-	readers int
-	obs     *obs.Registry
-	tracer  *span.Tracer
+// SwitchConfig parameterizes NewSwitch. The zero value plus a ServerAddr is
+// a working switch: loopback listener, the default series policy, engine
+// shards and reader goroutines sized to the machine.
+type SwitchConfig struct {
+	// ListenAddr is the client-facing bind address (default "127.0.0.1:0").
+	ListenAddr string
+	// ServerAddr is where query packets are forwarded. Required.
+	ServerAddr *net.UDPAddr
+	// Policy declares the cache: kind, memory budget, series shape, seed.
+	// The zero value means the default series deployment
+	// (series:levels=4,unitcap=3 over policy.DefaultMemBytes). The spec's
+	// memory budget is split evenly across the engine shards.
+	Policy policy.Spec
+	// Shards is the engine shard count (0 = GOMAXPROCS).
+	Shards int
+	// Readers is the per-direction reader goroutine count (0 = GOMAXPROCS,
+	// at least 2, at most 8). On Linux each client-facing reader gets its
+	// own SO_REUSEPORT socket.
+	Readers int
+	// Batch is the datagram ring size — the largest batch one
+	// recvmmsg/sendmmsg moves (0 = 64).
+	Batch int
+	// Obs instruments the switch's engine (per-shard occupancy, queue
+	// depth, ops) on the given registry.
+	Obs *obs.Registry
+	// Span traces both proxy directions and the switch's engine: query
+	// packets decompose into decode → cache lookup → forward, reply packets
+	// into decode → cache mutation → reply.
+	Span *span.Tracer
 }
 
-// WithShards fixes the engine shard count (default: GOMAXPROCS, capped so
-// every shard keeps at least one cache unit per level).
-func WithShards(n int) Option { return func(c *switchConfig) { c.shards = n } }
-
-// WithReaders fixes the per-direction reader goroutine count (default:
-// GOMAXPROCS, at least 2, at most 8).
-func WithReaders(n int) Option { return func(c *switchConfig) { c.readers = n } }
-
-// WithObs instruments the switch's engine (per-shard occupancy, queue
-// depth, ops) on the given registry.
-func WithObs(r *obs.Registry) Option { return func(c *switchConfig) { c.obs = r } }
-
-// WithSpan traces both proxy directions and the switch's engine: query
-// packets decompose into decode → cache lookup → forward, reply packets into
-// decode → cache mutation → reply, and the engine's shard writers inherit
-// the tracer for batch records.
-func WithSpan(t *span.Tracer) Option { return func(c *switchConfig) { c.tracer = t } }
-
-// NewSwitch starts a switch listening on listenAddr, forwarding to
-// serverAddr, with a `levels`-deep series of P4LRU3 arrays of numUnits
-// total units split across the engine's shards.
-func NewSwitch(listenAddr string, serverAddr *net.UDPAddr, levels, numUnits int, seed uint64, opts ...Option) (*Switch, error) {
-	cfg := switchConfig{}
-	for _, o := range opts {
-		o(&cfg)
+func (c SwitchConfig) withDefaults() SwitchConfig {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
 	}
-	if cfg.shards <= 0 {
-		cfg.shards = runtime.GOMAXPROCS(0)
+	if c.Policy.Kind == "" {
+		c.Policy.Kind = policy.KindSeries
 	}
-	if cfg.shards > numUnits {
-		cfg.shards = numUnits // ≥1 unit per shard and level
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
 	}
-	if cfg.readers <= 0 {
-		cfg.readers = runtime.GOMAXPROCS(0)
-		if cfg.readers < 2 {
-			cfg.readers = 2
+	if c.Readers <= 0 {
+		c.Readers = runtime.GOMAXPROCS(0)
+		if c.Readers < 2 {
+			c.Readers = 2
 		}
-		if cfg.readers > 8 {
-			cfg.readers = 8
+		if c.Readers > 8 {
+			c.Readers = 8
 		}
 	}
-
-	la, err := net.ResolveUDPAddr("udp", listenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("netproto: resolve %q: %w", listenAddr, err)
+	if c.Batch <= 0 {
+		c.Batch = 64
 	}
-	clientConn, err := net.ListenUDP("udp", la)
+	return c
+}
+
+// NewSwitch starts a switch from cfg: engine built from cfg.Policy,
+// cfg.Readers batched reader loops per direction.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ServerAddr == nil {
+		return nil, fmt.Errorf("netproto: SwitchConfig.ServerAddr is required")
+	}
+
+	clientUDP, err := batchio.ListenReuse(cfg.ListenAddr, cfg.Readers)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: listen client side: %w", err)
 	}
-	serverConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-	if err != nil {
-		clientConn.Close()
-		return nil, fmt.Errorf("netproto: listen server side: %w", err)
+	closeAll := func(conns []*net.UDPConn) {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	var serverUDP []*net.UDPConn
+	for i := 0; i < cfg.Readers; i++ {
+		// One server-facing socket per reader: the reply to a query
+		// forwarded on socket i comes back to socket i, so reply batches
+		// keep per-reader affinity without any demux map.
+		uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			closeAll(clientUDP)
+			closeAll(serverUDP)
+			return nil, fmt.Errorf("netproto: listen server side: %w", err)
+		}
+		serverUDP = append(serverUDP, uc)
 	}
 
-	unitsPerShard := numUnits / cfg.shards
-	if unitsPerShard < 1 {
-		unitsPerShard = 1
-	}
-	eng, err := engine.New(engine.Config{
-		Shards: cfg.shards,
-		Seed:   seed,
-		Obs:    cfg.obs,
-		Span:   cfg.tracer,
-		NewCache: func(i int) policy.Cache {
-			// Independent per-shard hash functions, like distinct pipes.
-			return policy.NewSeries(levels, unitsPerShard, seed+uint64(i), nil)
-		},
+	eng, err := engine.NewFromSpec(cfg.Policy, engine.Config{
+		Shards: cfg.Shards,
+		Obs:    cfg.Obs,
+		Span:   cfg.Span,
 	})
 	if err != nil {
-		clientConn.Close()
-		serverConn.Close()
+		closeAll(clientUDP)
+		closeAll(serverUDP)
 		return nil, fmt.Errorf("netproto: engine: %w", err)
 	}
 
 	sw := &Switch{
-		clientConn: clientConn,
-		serverConn: serverConn,
-		serverAddr: serverAddr,
+		serverAddr: unmap(cfg.ServerAddr.AddrPort()),
 		eng:        eng,
-		tracer:     cfg.tracer,
-		peerHash:   hashing.New(seed ^ 0x9ee2),
-		readers:    cfg.readers,
+		tracer:     cfg.Span,
+		batch:      cfg.Batch,
+		peerHash:   hashing.New(cfg.Policy.Seed ^ 0x9ee2),
 	}
 	for i := range sw.peers {
-		sw.peers[i].m = make(map[uint64]*net.UDPAddr)
+		sw.peers[i].m = make(map[uint64]netip.AddrPort)
 	}
-	sw.wg.Add(2 * cfg.readers)
-	for i := 0; i < cfg.readers; i++ {
-		go sw.clientLoop()
-		go sw.serverLoop()
+	for _, uc := range clientUDP {
+		bc, err := batchio.NewConn(uc)
+		if err != nil {
+			sw.closeConns()
+			closeAll(serverUDP)
+			eng.Close()
+			return nil, fmt.Errorf("netproto: client conn: %w", err)
+		}
+		sw.clientConns = append(sw.clientConns, bc)
+	}
+	for _, uc := range serverUDP {
+		bc, err := batchio.NewConn(uc)
+		if err != nil {
+			sw.closeConns()
+			eng.Close()
+			return nil, fmt.Errorf("netproto: server conn: %w", err)
+		}
+		sw.serverConns = append(sw.serverConns, bc)
+	}
+
+	sw.wg.Add(2 * cfg.Readers)
+	for i := 0; i < cfg.Readers; i++ {
+		// Portable builds get one client socket; readers share it (the
+		// per-datagram reads are concurrency-safe).
+		cc := sw.clientConns[i%len(sw.clientConns)]
+		sc := sw.serverConns[i]
+		go sw.clientLoop(cc, sc)
+		go sw.serverLoop(sc, cc)
 	}
 	return sw, nil
 }
 
+// unmap normalizes v4-in-v6 so AddrPort values compare equal regardless of
+// which socket family produced them.
+func unmap(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+func (sw *Switch) closeConns() {
+	for _, c := range sw.clientConns {
+		c.Close()
+	}
+	for _, c := range sw.serverConns {
+		c.Close()
+	}
+}
+
 // Addr returns the client-facing address.
-func (sw *Switch) Addr() *net.UDPAddr { return sw.clientConn.LocalAddr().(*net.UDPAddr) }
+func (sw *Switch) Addr() *net.UDPAddr {
+	return sw.clientConns[0].UDP().LocalAddr().(*net.UDPAddr)
+}
 
 // Engine exposes the serving engine (shard routing and stats, for tests and
 // observability wiring).
 func (sw *Switch) Engine() *engine.Engine { return sw.eng }
 
-// Stats returns (queries seen, cache hits).
-func (sw *Switch) Stats() (queries, hits int64) {
-	return sw.queries.Load(), sw.hits.Load()
+// SwitchStats is one consistent-enough snapshot of the switch's serving
+// counters — the single accessor that replaced the scattered tuple getters.
+type SwitchStats struct {
+	Queries     int64 // query packets decoded
+	Hits        int64 // queries answered from the index cache
+	CacheLen    int   // cached indexes across all engine shards
+	RecvBatches int64 // batched reads (both directions)
+	RecvPackets int64 // datagrams those reads carried
+	Batched     bool  // this build moves multi-datagram batches per syscall
+}
+
+// Batched reports whether this build moves multi-datagram batches per
+// syscall (recvmmsg/sendmmsg) or falls back to one datagram per syscall.
+func Batched() bool { return batchio.Batched() }
+
+// HitRate returns Hits/Queries (0 when idle).
+func (st SwitchStats) HitRate() float64 {
+	if st.Queries == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Queries)
+}
+
+// Stats snapshots the switch counters.
+func (sw *Switch) Stats() SwitchStats {
+	return SwitchStats{
+		Queries:     sw.queries.Load(),
+		Hits:        sw.hits.Load(),
+		CacheLen:    sw.eng.Len(),
+		RecvBatches: sw.recvBatches.Load(),
+		RecvPackets: sw.recvPackets.Load(),
+		Batched:     batchio.Batched(),
+	}
 }
 
 // CacheLen returns the number of cached indexes across all shards.
@@ -214,21 +310,30 @@ func (sw *Switch) Health() *resilience.Health {
 // sockets close. See Server.Close for why the old close-then-wait order
 // lost replies.
 func (sw *Switch) Close() error {
-	var err1, err2 error
+	var firstErr error
 	sw.closeOnce.Do(func() {
 		sw.closed.Store(true)
 		now := time.Now()
-		_ = sw.clientConn.SetReadDeadline(now)
-		_ = sw.serverConn.SetReadDeadline(now)
+		for _, c := range sw.clientConns {
+			_ = c.SetReadDeadline(now)
+		}
+		for _, c := range sw.serverConns {
+			_ = c.SetReadDeadline(now)
+		}
 		sw.wg.Wait()
-		err1 = sw.clientConn.Close()
-		err2 = sw.serverConn.Close()
+		for _, c := range sw.clientConns {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for _, c := range sw.serverConns {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		sw.eng.Close()
 	})
-	if err1 != nil {
-		return err1
-	}
-	return err2
+	return firstErr
 }
 
 func (sw *Switch) peerStripeFor(key uint64) *peerStripe {
@@ -236,95 +341,158 @@ func (sw *Switch) peerStripeFor(key uint64) *peerStripe {
 }
 
 // clientLoop handles the query direction: client → (cache lookup) → server.
-// Several loops run concurrently; the kernel fans incoming datagrams out
-// across them, and the engine keeps lookups for different shards disjoint.
-func (sw *Switch) clientLoop() {
+// One recvmmsg drains a batch of query packets; each is decoded in place,
+// consulted against its home shard, stamped by patching cached_flag and
+// cached_index into the original bytes, and retargeted at the server; one
+// sendmmsg forwards the surviving batch. Malformed packets are dropped by
+// compacting keepers to the front of the ring.
+func (sw *Switch) clientLoop(cc, sc *batchio.Conn) {
 	defer sw.wg.Done()
-	buf := make([]byte, 64*1024)
+	ring := batchio.NewRing(sw.batch, packetBufSize)
+	spans := make([]span.Span, sw.batch)
 	for {
-		n, peer, err := sw.clientConn.ReadFromUDP(buf)
+		got, err := cc.ReadBatch(ring)
 		if err != nil {
 			if sw.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			continue
 		}
-		sp := sw.tracer.Start(0, 0)
-		var msg Message
-		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgQuery {
+		sw.recvBatches.Add(1)
+		sw.recvPackets.Add(int64(got))
+		ds := ring.Datagrams()
+		keep := 0
+		for i := 0; i < got; i++ {
+			d := &ds[i]
+			sp := sw.tracer.Start(0, 0)
+			var msg Message
+			if err := msg.Unmarshal(d.Bytes()); err != nil || msg.Type != MsgQuery {
+				continue
+			}
+			sp.SetKey(msg.Key)
+			sp.Mark(span.StageDecode)
+			sw.queries.Add(1)
+
+			// Read-only cache consult on the key's home shard; stamp the
+			// header fields straight into the packet bytes.
+			idx, tok, ok := sw.eng.QuerySpanned(msg.Key, &sp)
+			st := sw.peerStripeFor(msg.Key)
+			st.mu.Lock()
+			st.m[msg.Key] = d.Addr
+			st.mu.Unlock()
+			if ok {
+				sw.hits.Add(1)
+				sp.SetFlags(span.FlagHit)
+				PatchCached(d.Bytes(), uint8(tok.Level()), idx)
+			} else {
+				PatchCached(d.Bytes(), 0, 0)
+			}
+			d.Addr = sw.serverAddr
+			if keep != i {
+				ring.Swap(keep, i)
+			}
+			spans[keep] = sp
+			keep++
+		}
+		if keep == 0 {
 			continue
 		}
-		sp.SetKey(msg.Key)
-		sp.Mark(span.StageDecode)
-		sw.queries.Add(1)
-
-		// Read-only cache consult on the key's home shard; stamp the
-		// header fields.
-		idx, tok, ok := sw.eng.QuerySpanned(msg.Key, &sp)
-		st := sw.peerStripeFor(msg.Key)
-		st.mu.Lock()
-		st.m[msg.Key] = peer
-		st.mu.Unlock()
-		if ok {
-			sw.hits.Add(1)
-			sp.SetFlags(span.FlagHit)
-			msg.CachedFlag = uint8(tok.Level())
-			msg.CachedIndex = idx
-		} else {
-			msg.CachedFlag = 0
-			msg.CachedIndex = 0
+		_, werr := sc.WriteBatch(ring, keep)
+		for i := 0; i < keep; i++ {
+			spans[i].Mark(span.StageWire)
+			spans[i].Finish(span.KindQuery)
 		}
-
-		if _, err := sw.serverConn.WriteToUDP(msg.Marshal(), sw.serverAddr); err != nil && sw.closed.Load() {
+		if werr != nil && sw.closed.Load() {
 			return
 		}
-		sp.Mark(span.StageWire)
-		sp.Finish(span.KindQuery)
 	}
 }
 
 // serverLoop handles the reply direction: server → (cache update) → client.
-func (sw *Switch) serverLoop() {
+// A reply batch decodes straight into an engine.Op slice; the whole slice
+// goes through the synchronous ApplyBatch — one lock visit per shard — and
+// only then is the batch forwarded to the querying clients, so a reply
+// leaves the switch strictly after its mutation, exactly the ordering the
+// paper's reply pipeline pass guarantees per packet.
+func (sw *Switch) serverLoop(sc, cc *batchio.Conn) {
 	defer sw.wg.Done()
-	buf := make([]byte, 64*1024)
+	ring := batchio.NewRing(sw.batch, packetBufSize)
+	spans := make([]span.Span, sw.batch)
+	addrs := make([]netip.AddrPort, sw.batch)
+	ops := make([]engine.Op, 0, sw.batch)
 	for {
-		n, _, err := sw.serverConn.ReadFromUDP(buf)
+		got, err := sc.ReadBatch(ring)
 		if err != nil {
 			if sw.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			continue
 		}
-		sp := sw.tracer.Start(0, 0)
-		var msg Message
-		if err := msg.Unmarshal(buf[:n]); err != nil || msg.Type != MsgReply {
-			continue
-		}
-		sp.SetKey(msg.Key)
-		sp.SetShard(sw.eng.ShardFor(msg.Key))
-		sp.Mark(span.StageDecode)
+		sw.recvBatches.Add(1)
+		sw.recvPackets.Add(int64(got))
+		ds := ring.Datagrams()
+		keep := 0
+		ops = ops[:0]
+		for i := 0; i < got; i++ {
+			d := &ds[i]
+			sp := sw.tracer.Start(0, 0)
+			var msg Message
+			if err := msg.Unmarshal(d.Bytes()); err != nil || msg.Type != MsgReply {
+				continue
+			}
+			sp.SetKey(msg.Key)
+			sp.SetShard(sw.eng.ShardFor(msg.Key))
+			sp.Mark(span.StageDecode)
 
-		// The reply path performs the only cache mutation: promote the key
-		// at its level, or insert at level 1 and cascade demotions. Apply
-		// is synchronous so the reply leaves the switch only after the
-		// mutation — the same ordering the reply pipeline pass guarantees.
-		sw.eng.Apply(engine.Op{
-			Key:   msg.Key,
-			Value: msg.CachedIndex,
-			Token: policy.Token(msg.CachedFlag),
-		})
-		sp.Mark(span.StageApply)
-		st := sw.peerStripeFor(msg.Key)
-		st.mu.Lock()
-		peer := st.m[msg.Key]
-		st.mu.Unlock()
-		if peer == nil {
+			ops = append(ops, engine.Op{
+				Key:   msg.Key,
+				Value: msg.CachedIndex,
+				Token: policy.Token(msg.CachedFlag),
+			})
+			st := sw.peerStripeFor(msg.Key)
+			st.mu.Lock()
+			peer := st.m[msg.Key]
+			st.mu.Unlock()
+			if keep != i {
+				ring.Swap(keep, i)
+			}
+			spans[keep] = sp
+			addrs[keep] = peer
+			keep++
+		}
+		if len(ops) > 0 {
+			// The reply path performs the only cache mutations: promote each
+			// key at its level, or insert at level 1 and cascade demotions.
+			sw.eng.ApplyBatch(ops)
+		}
+		for i := 0; i < keep; i++ {
+			spans[i].Mark(span.StageApply)
+		}
+		// Second compaction: replies whose querying peer is unknown (e.g. a
+		// restarted switch seeing a stale reply) still applied their ops
+		// above but have nowhere to go.
+		send := 0
+		for i := 0; i < keep; i++ {
+			if !addrs[i].IsValid() {
+				continue
+			}
+			ds[i].Addr = addrs[i]
+			if send != i {
+				ring.Swap(send, i)
+			}
+			spans[send] = spans[i]
+			send++
+		}
+		if send == 0 {
 			continue
 		}
-		if _, err := sw.clientConn.WriteToUDP(msg.Marshal(), peer); err != nil && sw.closed.Load() {
+		_, werr := cc.WriteBatch(ring, send)
+		for i := 0; i < send; i++ {
+			spans[i].Mark(span.StageWire)
+			spans[i].Finish(span.KindReply)
+		}
+		if werr != nil && sw.closed.Load() {
 			return
 		}
-		sp.Mark(span.StageWire)
-		sp.Finish(span.KindReply)
 	}
 }

@@ -73,6 +73,41 @@ func (m *Message) Marshal() []byte {
 	return buf
 }
 
+// putHeader encodes the fixed header into buf (which the batched path
+// reuses, so the reserved bytes are explicitly zeroed).
+func putHeader(buf []byte, typ MsgType, flag uint8, key, index uint64) {
+	binary.LittleEndian.PutUint16(buf[0:2], wireMagic)
+	buf[2] = wireVersion
+	buf[3] = byte(typ)
+	buf[4] = flag
+	buf[5], buf[6], buf[7] = 0, 0, 0
+	binary.LittleEndian.PutUint64(buf[8:16], key)
+	binary.LittleEndian.PutUint64(buf[16:24], index)
+}
+
+// PutQuery encodes a MsgQuery for key into buf (≥ header size), returning
+// the packet length — the allocation-free encoder the batched client uses.
+func PutQuery(buf []byte, key uint64) int {
+	putHeader(buf, MsgQuery, 0, key, 0)
+	return headerSize
+}
+
+// PutReply encodes a MsgReply into buf, returning the packet length. The
+// server's batched loop rewrites each query packet into its reply in the
+// same ring slot with this.
+func PutReply(buf []byte, flag uint8, key, index uint64, value []byte) int {
+	putHeader(buf, MsgReply, flag, key, index)
+	return headerSize + copy(buf[headerSize:], value)
+}
+
+// PatchCached rewrites the cached_flag / cached_index fields of an encoded
+// packet in place — the switch's zero-copy forward: a query datagram is
+// stamped and sent on without ever being re-marshalled.
+func PatchCached(buf []byte, flag uint8, index uint64) {
+	buf[4] = flag
+	binary.LittleEndian.PutUint64(buf[16:24], index)
+}
+
 // Unmarshal decodes a packet into m. The value slice aliases data.
 func (m *Message) Unmarshal(data []byte) error {
 	if len(data) < headerSize {

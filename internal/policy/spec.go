@@ -173,6 +173,23 @@ func formatMemBytes(n int) string {
 	}
 }
 
+// SeriesMemBytes returns the memory budget that makes NewFromSpec build a
+// series of exactly `units` units per level — the inverse of the cost model
+// above, for callers (and deprecated shims) that think in unit counts
+// rather than bytes. Zero levels/unitCap get the spec defaults (4 and 3).
+func SeriesMemBytes(levels, unitCap, units int) int {
+	if levels <= 0 {
+		levels = 4
+	}
+	if unitCap <= 0 {
+		unitCap = 3
+	}
+	if units < 1 {
+		units = 1
+	}
+	return levels * units * (unitCap*bytesPerEntryKV + bytesPerUnitMeta)
+}
+
 // NewFromSpec constructs the cache a Spec describes. Zero-valued fields get
 // defaults: DefaultMemBytes of memory, 4 levels and unit capacity 3 for
 // series, NewForMemory's timeout/lambda defaults for the baselines.
