@@ -2,9 +2,9 @@ GO ?= go
 
 # The committed perf-trajectory record `make bench` writes; bump the suffix
 # when a PR re-baselines the ladder.
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 # The previous record, used as the regression baseline for -within gates.
-BENCH_BASE ?= BENCH_6.json
+BENCH_BASE ?= BENCH_7.json
 # Fixed iteration counts so runs are comparable across commits.
 BENCH_TIME ?= 2000000x
 # The wire ladder goes through real loopback sockets (µs per query, not ns),
@@ -22,30 +22,36 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/... ./internal/backing/ ./internal/resilience/
+	$(GO) test -race ./internal/lru/ ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/... ./internal/backing/ ./internal/resilience/
 
 # chaos runs the failure-injection suite (backing blackouts, writer panics,
 # overload shedding) under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/resilience/ ./internal/engine/
 
-# bench runs the core benchmark ladder (flat vs generic P4LRU3 array, flat
-# query paths, engine shard scaling, tiered look-through hit/miss, tracing
-# overhead) at a fixed iteration count, writes the machine-readable result to
-# $(BENCH_OUT), and fails if the flat core is not faster than the generic
-# one, if a hit path allocates (with or without tracing), if tracing at the
-# default sampling rate costs more than 5% of batch throughput (the
-# TraceOverhead pair runs -count=10 and benchjson keeps each side's fastest
-# run, so the tight ratio gate is noise-robust), or if a hit path slowed by
-# more than the -within factor against the $(BENCH_BASE) baseline (a
-# generous bound that absorbs CI noise while catching real regressions).
+# bench runs the core benchmark ladder (flat vs generic arrays at every
+# data-plane unit capacity plus the series connection, flat query paths,
+# wait-free reader scaling under a live writer, engine shard scaling, tiered
+# look-through hit/miss, tracing overhead) at a fixed iteration count,
+# writes the machine-readable result to $(BENCH_OUT), and fails if a flat
+# core is not faster than its generic oracle, if the batched flat walks miss
+# the ≥1.4x bar (ns/op ≤ 0.714× generic) on unit2/unit4/series, if Query
+# under a live writer degrades as readers are added (readers=8 vs readers=1
+# — wait-free reads must not convoy; a lenient 1.1 bound absorbs scheduler
+# noise on small hosts), if a hit path allocates (with or without tracing),
+# if tracing at the default sampling rate costs more than 5% of batch
+# throughput (the TraceOverhead pair runs -count=10 and benchjson keeps each
+# side's fastest run, so the tight ratio gate is noise-robust), or if a hit
+# path slowed by more than the -within factor against the $(BENCH_BASE)
+# baseline (a generous bound that absorbs CI noise while catching real
+# regressions).
 #
 # The netproto leg runs the wire ladder (same loopback stack at batch sizes
 # 1/8/32/64) plus the isolated decode benchmark, and gates on the tentpole
 # claims: the batched path must be ≥2x the single-datagram baseline
 # (batch=64 ≤ 0.5× batch=1 ns/op) and per-packet decode must not allocate.
 bench:
-	{ $(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|Engine|Tiered|Breaker|Shedder' -benchmem \
+	{ $(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|FlatReaders|Engine|Tiered|Breaker|Shedder' -benchmem \
 		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ ./internal/resilience/ \
 	&& $(GO) test -run '^$$' -bench 'TraceOverhead' -benchmem \
 		-benchtime=$(BENCH_TIME) -count=10 ./internal/engine/ \
@@ -54,8 +60,15 @@ bench:
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
 		-faster 'FlatVsGeneric/core=flat<FlatVsGeneric/core=generic' \
 		-faster 'FlatVsGeneric/core=flat-batch<FlatVsGeneric/core=generic' \
+		-faster 'FlatVsGeneric2/core=flat<FlatVsGeneric2/core=generic' \
+		-faster 'FlatVsGeneric4/core=flat<FlatVsGeneric4/core=generic' \
+		-maxratio 'FlatVsGeneric2/core=flat-batch<=0.714*FlatVsGeneric2/core=generic' \
+		-maxratio 'FlatVsGeneric4/core=flat-batch<=0.714*FlatVsGeneric4/core=generic' \
+		-maxratio 'FlatVsGenericSeries/core=flat<=0.714*FlatVsGenericSeries/core=generic' \
+		-maxratio 'FlatReaders/readers=8<=1.1*FlatReaders/readers=1' \
 		-faster 'FlatQuery/core=flat<FlatQuery/core=generic' \
 		-zeroalloc 'FlatQuery/core=flat' \
+		-zeroalloc 'FlatReaders/readers=8' \
 		-zeroalloc 'Tiered/op=hit' \
 		-zeroalloc 'Tiered/op=hit-traced' \
 		-zeroalloc 'BreakerAllow' \

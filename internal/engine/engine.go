@@ -18,13 +18,13 @@
 //     Block=false a full queue drops the batch and counts it — the
 //     data-plane behaviour, where a congested pipe sheds load rather than
 //     stall the line. With Block=true Submit blocks — the server behaviour.
-//   - Query takes the shard's read lock, so readers of different shards
-//     never interact and readers of the same shard run concurrently with
-//     each other; they serialize only against that shard's writer, and only
-//     for the duration of one batch. If the shard's policy declares itself
-//     safe for concurrent reads (policy.ConcurrentReader), Query skips the
-//     lock entirely.
-//   - Apply performs one synchronous mutation under the shard write lock,
+//   - Query takes no engine lock on any path. The default flat seqlock
+//     caches (policy.ConcurrentReader) are wait-free against the shard
+//     writer — readers of different shards never interact, and readers of
+//     one shard never serialize against its writer at all. Any other policy
+//     is wrapped in policy.Synchronized at construction, whose internal
+//     read-write lock carries the same contract.
+//   - Apply performs one synchronous mutation under the shard mutator lock,
 //     bypassing the queue — for reply paths that must observe their own
 //     write (the netproto switch) and for tests.
 //
@@ -152,14 +152,17 @@ type queued struct {
 	enq int64
 }
 
-// shard is one independent serving unit: a private cache, its lock, and the
-// bounded batch queue its writer goroutine consumes.
+// shard is one independent serving unit: a private cache, the mutator lock
+// that serializes its writers, and the bounded batch queue its writer
+// goroutine consumes. The query path takes no shard lock: every cache here
+// reports policy.ConcurrentQuery — the flat cores via their per-unit
+// seqlocks, everything else because New wraps it in policy.Synchronized,
+// which read-locks internally.
 type shard struct {
-	mu         sync.RWMutex
+	mu         sync.Mutex // serializes mutators (writer goroutine, Apply); queries take no lock
 	cache      policy.Cache
 	batch      policy.BatchUpdater      // non-nil when cache applies whole batches
 	evictBatch policy.EvictBatchUpdater // non-nil when batches can report evictions
-	lockFree   bool                     // cache is a policy.ConcurrentReader
 
 	queue     chan queued
 	submitted atomic.Uint64 // ops handed to the queue
@@ -223,14 +226,19 @@ func New(cfg Config) (*Engine, error) {
 		if c == nil {
 			return nil, fmt.Errorf("engine: NewCache(%d) returned nil", i)
 		}
-		cr, ok := c.(policy.ConcurrentReader)
+		// Every shard cache must be queryable with no engine-level lock:
+		// caches that already report ConcurrentQuery (the flat seqlock
+		// cores) pass through Synchronize unchanged, and anything else is
+		// wrapped so its own read-write lock carries the contract. Batch
+		// capabilities are detected on the wrapped cache — Synchronized
+		// forwards them — so the writer's batch path survives wrapping.
+		c = policy.Synchronize(c)
 		bu, _ := c.(policy.BatchUpdater)
 		ebu, _ := c.(policy.EvictBatchUpdater)
 		s := &shard{
 			cache:      c,
 			batch:      bu,
 			evictBatch: ebu,
-			lockFree:   ok && cr.ConcurrentQuery(),
 			queue:      make(chan queued, cfg.QueueDepth),
 		}
 		if r := cfg.Obs; r != nil {
@@ -241,8 +249,9 @@ func New(cfg Config) (*Engine, error) {
 			s.stallGauge = r.Gauge("engine_shard_stalled" + label)
 			sh := s
 			r.GaugeFunc("engine_occupancy"+label, func() float64 {
-				sh.mu.RLock()
-				defer sh.mu.RUnlock()
+				// Len is lock-free for every shard cache (seqlock-consistent
+				// on the flat cores, internally read-locked when wrapped), so
+				// a metrics scrape never touches the mutator lock.
 				return float64(sh.cache.Len())
 			})
 			r.GaugeFunc("engine_queue_depth"+label, func() float64 {
@@ -349,7 +358,7 @@ func (e *Engine) safeApply(s *shard, batch []Op) (ok bool) {
 	return true
 }
 
-// applyBatch applies one op batch under the shard write lock. A cache that
+// applyBatch applies one op batch under the shard mutator lock. A cache that
 // implements policy.BatchUpdater (the flat P4LRU3 core) consumes the queued
 // batch directly — ops are policy.Op, so no conversion happens and the
 // whole apply loop allocates nothing; anything else gets the per-op Update
@@ -358,7 +367,7 @@ func (e *Engine) safeApply(s *shard, batch []Op) (ok bool) {
 // batch walk cannot feed the hook.
 func (e *Engine) applyBatch(s *shard, batch []Op) {
 	s.mu.Lock()
-	// Deferred so a panicking policy cannot strand the shard write lock —
+	// Deferred so a panicking policy cannot strand the shard mutator lock —
 	// the supervisor recovers the panic and the shard keeps serving.
 	defer s.mu.Unlock()
 	switch {
@@ -390,8 +399,10 @@ func (e *Engine) ShardFor(k uint64) int { return e.route.Index(k, len(e.shards))
 func (e *Engine) Shards() int { return len(e.shards) }
 
 // Query looks k up in its home shard without modifying replacement state.
-// Reads of different shards never contend; reads of one shard share its
-// read lock (or skip it for policy.ConcurrentReader caches).
+// No engine lock is taken on any path: flat seqlock caches are wait-free
+// against the shard writer, and any other policy was wrapped in
+// policy.Synchronized at construction, whose internal read lock lets
+// queries of one shard proceed in parallel.
 func (e *Engine) Query(k uint64) (uint64, policy.Token, bool) {
 	return e.queryAt(e.ShardFor(k), k)
 }
@@ -410,19 +421,7 @@ func (e *Engine) QuerySpanned(k uint64, sp *span.Span) (uint64, policy.Token, bo
 
 // queryAt is the shared lookup core for Query and QuerySpanned.
 func (e *Engine) queryAt(i int, k uint64) (uint64, policy.Token, bool) {
-	s := e.shards[i]
-	var (
-		v   uint64
-		tok policy.Token
-		ok  bool
-	)
-	if s.lockFree {
-		v, tok, ok = s.cache.Query(k)
-	} else {
-		s.mu.RLock()
-		v, tok, ok = s.cache.Query(k)
-		s.mu.RUnlock()
-	}
+	v, tok, ok := e.shards[i].cache.Query(k)
 	e.queries.Inc()
 	if ok {
 		e.hits.Inc()
@@ -688,13 +687,12 @@ func (e *Engine) Healthy() error {
 	return nil
 }
 
-// Len sums the shard occupancies.
+// Len sums the shard occupancies through the lock-free read path — a stats
+// snapshot never contends with the shard writers.
 func (e *Engine) Len() int {
 	total := 0
 	for _, s := range e.shards {
-		s.mu.RLock()
 		total += s.cache.Len()
-		s.mu.RUnlock()
 	}
 	return total
 }
@@ -713,18 +711,19 @@ func (e *Engine) Name() string {
 	return fmt.Sprintf("%s×%d", e.shards[0].cache.Name(), len(e.shards))
 }
 
-// Range iterates all cached pairs shard by shard until fn returns false.
-// Each shard is read-locked for its portion of the walk; the result is not
-// a point-in-time snapshot across shards.
+// Range iterates all cached pairs shard by shard until fn returns false,
+// through the lock-free read path (flat caches snapshot each unit via its
+// seqlock; wrapped caches read-lock internally). The result is not a
+// point-in-time snapshot across shards — or across units within a flat
+// shard — but every pair seen was genuinely cached at the moment its unit
+// was read.
 func (e *Engine) Range(fn func(k, v uint64) bool) {
 	for _, s := range e.shards {
 		more := true
-		s.mu.RLock()
 		s.cache.Range(func(k, v uint64) bool {
 			more = fn(k, v)
 			return more
 		})
-		s.mu.RUnlock()
 		if !more {
 			return
 		}
@@ -746,13 +745,13 @@ type ShardStats struct {
 	Len       int    // cache occupancy
 }
 
-// Stats snapshots every shard.
+// Stats snapshots every shard without touching the mutator locks: counters
+// are atomics and Len reads through the lock-free path, so a stats scrape
+// under write load costs the writers nothing.
 func (e *Engine) Stats() []ShardStats {
 	out := make([]ShardStats, len(e.shards))
 	for i, s := range e.shards {
-		s.mu.RLock()
 		n := s.cache.Len()
-		s.mu.RUnlock()
 		out[i] = ShardStats{
 			Submitted: s.submitted.Load(),
 			Applied:   s.applied.Load(),

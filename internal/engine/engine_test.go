@@ -371,8 +371,10 @@ func TestConcurrentReaderSkipsLock(t *testing.T) {
 			return &lockFreeCache{Cache: policy.MustFromSpec(policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 16 * 1024, Seed: uint64(i)})}
 		},
 	})
-	if !e.shards[0].lockFree {
-		t.Fatal("ConcurrentReader capability not detected")
+	// A cache that already reports ConcurrentQuery must be installed as-is
+	// (no Synchronized wrapping): the shard queries it directly.
+	if _, ok := e.shards[0].cache.(*lockFreeCache); !ok {
+		t.Fatalf("ConcurrentReader cache was wrapped: shard holds %T", e.shards[0].cache)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -388,6 +390,34 @@ func TestConcurrentReaderSkipsLock(t *testing.T) {
 	}
 	wg.Wait()
 	e.Flush()
+}
+
+// TestNonConcurrentCacheGetsSynchronized pins the other half of the
+// lock-free query contract: a policy without ConcurrentQuery is wrapped in
+// policy.Synchronized at construction (so the engine can query it with no
+// lock of its own), and the wrapper preserves the cache's batch
+// capabilities for the shard writer.
+func TestNonConcurrentCacheGetsSynchronized(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Shards: 1, Seed: 1, Block: true,
+		NewCache: func(i int) policy.Cache {
+			return policy.NewP4LRU(3, 256, uint64(i), nil) // generic core: no ConcurrentQuery
+		},
+	})
+	s := e.shards[0]
+	if _, ok := s.cache.(*policy.Synchronized); !ok {
+		t.Fatalf("non-concurrent cache not wrapped: shard holds %T", s.cache)
+	}
+	if s.batch == nil || s.evictBatch == nil {
+		t.Fatal("Synchronized wrapper does not forward batch capabilities")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		e.Submit(Op{Key: i, Value: i})
+	}
+	e.Flush()
+	if _, _, ok := e.Query(999); !ok {
+		t.Fatal("wrapped cache lost writes")
+	}
 }
 
 // TestApplyBatchIsSynchronousAcrossShards checks the batched synchronous

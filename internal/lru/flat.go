@@ -2,6 +2,7 @@ package lru
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/p4lru/p4lru/internal/hashing"
 )
@@ -10,10 +11,10 @@ import (
 // struct-of-arrays layout: instead of m heap-allocated *Unit3 values behind
 // an interface, the state of all units lives in three contiguous slabs
 //
-//	keys : []uint64, 3 per unit  — the key registers of stages 1–3
-//	vals : []V,      3 per unit  — the value registers of stages 1–3
-//	meta : []uint8,  1 per unit  — the packed cache state (bits 0–2, the
-//	                               Table 1 code) and occupancy (bits 3–4)
+//	keys : []uint64, 3 per unit — the key registers of stages 1–3
+//	vals : []uint64, 3 per unit — the value registers of stages 1–3
+//	meta : []uint32, 1 per unit — the seqlock word: version<<8 | packed
+//	       state byte (bits 0–2 the Table 1 code, bits 3–4 the occupancy)
 //
 // indexed by unit number. This is the memory model of the hardware itself:
 // on Tofino each stage owns one register array indexed by h(key), and a
@@ -33,22 +34,25 @@ import (
 // core. Update, Lookup, InsertTail and the batch walks perform zero heap
 // allocations.
 //
-// A FlatArray3 is not safe for concurrent use; the serving engine gives
-// each shard a private one behind its single writer.
-type FlatArray3[V any] struct {
+// Concurrency: one writer, any number of readers. Lookup, QueryBatch, Len
+// and Range are safe to run concurrently with the writer's Update,
+// InsertTail, UpdateBatch and Reset — every unit mutation is bracketed by
+// its seqlock word (see flatseq.go), and readers retry the rare snapshot
+// that a concurrent mutation tears. Mutators themselves must still be
+// serialized by the caller; the serving engine gives each shard a private
+// array behind its single writer.
+type FlatArray3 struct {
 	keys  []uint64 // len 3·units, keys[3u..3u+2] in LRU order (0 = MRU)
-	vals  []V      // len 3·units, fixed slots permuted by the unit state
-	meta  []uint8  // len units, state3 code | size<<flatSizeShift
+	vals  []uint64 // len 3·units, fixed slots permuted by the unit state
+	meta  []uint32 // len units, seqlock word (version<<8 | state byte)
 	hash  hashing.Hash
-	merge MergeFunc[V]
+	merge MergeFunc[uint64]
 
-	// batchUnits is the reusable scratch of the batch walks: unit indexes
-	// are hashed up front so the apply pass streams through the slabs with
-	// the next units' lines already warming (see UpdateBatch).
+	// batchUnits is the reusable scratch of the writer's batch walk: unit
+	// indexes are hashed up front so the apply pass streams through the
+	// slabs with the next units' lines already warming (see UpdateBatch).
+	// Writer-owned; the reader-side QueryBatch uses stack scratch instead.
 	batchUnits []int32
-	// touched is a sink for the lookahead line touches, so the loads cannot
-	// be discarded as dead.
-	touched uint64
 }
 
 const (
@@ -61,94 +65,126 @@ const (
 // memory load, near enough that the lines survive until use.
 const batchLookahead = 8
 
+// flatQueryChunk is the stack-scratch width of QueryBatch: keys are hashed
+// and walked in chunks of this many, so the read path needs no shared
+// scratch and stays safe under concurrent readers.
+const flatQueryChunk = 64
+
 // NewFlatArray3 builds a flat array of numUnits empty P4LRU3 units. seed
 // selects the index-hash family member exactly as NewArray3 does, so a
 // FlatArray3 and a NewArray3 with equal seeds place every key in the same
 // unit. merge may be nil for replace-on-hit semantics.
-func NewFlatArray3[V any](numUnits int, seed uint64, merge MergeFunc[V]) *FlatArray3[V] {
+func NewFlatArray3(numUnits int, seed uint64, merge MergeFunc[uint64]) *FlatArray3 {
 	if numUnits < 1 {
 		panic(fmt.Sprintf("lru: flat array with %d units", numUnits))
 	}
-	a := &FlatArray3[V]{
+	a := &FlatArray3{
 		keys:  make([]uint64, 3*numUnits),
-		vals:  make([]V, 3*numUnits),
-		meta:  make([]uint8, numUnits),
+		vals:  make([]uint64, 3*numUnits),
+		meta:  make([]uint32, numUnits),
 		hash:  hashing.New(seed),
 		merge: merge,
 	}
 	for u := range a.meta {
-		a.meta[u] = uint8(State3Initial)
+		a.meta[u] = uint32(State3Initial)
 	}
 	return a
 }
 
 // Units returns the number of units.
-func (a *FlatArray3[V]) Units() int { return len(a.meta) }
+func (a *FlatArray3) Units() int { return len(a.meta) }
+
+// UnitCap returns 3.
+func (a *FlatArray3) UnitCap() int { return 3 }
 
 // Capacity returns the total entry capacity (3 per unit).
-func (a *FlatArray3[V]) Capacity() int { return 3 * len(a.meta) }
+func (a *FlatArray3) Capacity() int { return 3 * len(a.meta) }
 
-// Len returns the total number of occupied entries across all units.
-func (a *FlatArray3[V]) Len() int {
+// Len returns the total number of occupied entries across all units. Safe
+// concurrent with the writer; each unit's occupancy is one word read, so
+// the sum is per-unit consistent but not a cross-unit snapshot.
+func (a *FlatArray3) Len() int {
 	total := 0
-	for _, m := range a.meta {
-		total += int(m >> flatSizeShift)
+	for u := range a.meta {
+		total += int(seqLoad32(&a.meta[u])&flatMetaMask) >> flatSizeShift
 	}
 	return total
 }
 
 // UnitIndex returns the unit addressed by h(k) — the paper's per-packet
 // register index.
-func (a *FlatArray3[V]) UnitIndex(k uint64) int {
+func (a *FlatArray3) UnitIndex(k uint64) int {
 	return a.hash.Index(k, len(a.meta))
 }
 
 // UnitLen returns the occupancy of unit u.
-func (a *FlatArray3[V]) UnitLen(u int) int { return int(a.meta[u] >> flatSizeShift) }
+func (a *FlatArray3) UnitLen(u int) int {
+	return int(seqLoad32(&a.meta[u])&flatMetaMask) >> flatSizeShift
+}
 
 // UnitState returns the encoded cache state of unit u (a Table 1 code).
-func (a *FlatArray3[V]) UnitState(u int) State3 { return State3(a.meta[u] & flatStateMask) }
+func (a *FlatArray3) UnitState(u int) State3 {
+	return State3(seqLoad32(&a.meta[u]) & flatStateMask)
+}
 
 // UnitKeyAt returns the i-th key of unit u in LRU order (0 = most recently
 // used). It panics if i ≥ UnitLen(u). For the differential tests and
-// debugging, mirroring UnitCache.KeyAt.
-func (a *FlatArray3[V]) UnitKeyAt(u, i int) uint64 {
+// debugging, mirroring UnitCache.KeyAt; unlike Lookup it does not retry
+// torn snapshots, so call it only while the writer is quiescent.
+func (a *FlatArray3) UnitKeyAt(u, i int) uint64 {
 	if i < 0 || i >= a.UnitLen(u) {
 		panic(fmt.Sprintf("lru: UnitKeyAt(%d) with %d entries", i, a.UnitLen(u)))
 	}
-	return a.keys[3*u+i]
+	return seqLoad64(&a.keys[3*u+i])
 }
 
-// Lookup returns the value for k without modifying the array.
-func (a *FlatArray3[V]) Lookup(k uint64) (V, bool) {
+// Lookup returns the value for k without modifying the array. Safe
+// concurrent with the writer.
+func (a *FlatArray3) Lookup(k uint64) (uint64, bool) {
 	return a.lookupInUnit(a.UnitIndex(k), k)
 }
 
-func (a *FlatArray3[V]) lookupInUnit(u int, k uint64) (V, bool) {
+func (a *FlatArray3) lookupInUnit(u int, k uint64) (uint64, bool) {
 	base := 3 * u
 	kk := a.keys[base : base+3 : base+3]
-	m := a.meta[u]
-	size := int(m >> flatSizeShift)
-	for i := 0; i < size; i++ {
-		if kk[i] == k {
-			return a.vals[base+int(state3ValPos[m&flatStateMask][i])], true
+	vv := a.vals[base : base+3 : base+3]
+	for spin := 0; ; spin++ {
+		w := seqLoad32(&a.meta[u])
+		if w&flatSeqOdd == 0 {
+			size := int(w&flatMetaMask) >> flatSizeShift
+			var v uint64
+			found := false
+			for i := 0; i < size; i++ {
+				if seqLoad64(&kk[i]) == k {
+					v = seqLoad64(&vv[state3ValPos[w&flatStateMask][i]])
+					found = true
+					break
+				}
+			}
+			// An unchanged word proves no mutation overlapped the reads
+			// above, so the (key, value, state) triple is consistent.
+			if seqLoad32(&a.meta[u]) == w {
+				return v, found
+			}
+		}
+		if spin&seqSpinMask == seqSpinMask {
+			runtime.Gosched()
 		}
 	}
-	var zero V
-	return zero, false
 }
 
 // Update inserts or refreshes k in its unit: Algorithm 1 specialized to
 // n=3, operating directly on the slabs. It is step-for-step the slab form
-// of Unit3.Update.
-func (a *FlatArray3[V]) Update(k uint64, v V) Result[V] {
+// of Unit3.Update, with the register rewrites seqlock-bracketed so
+// concurrent readers never observe a half-applied transition.
+func (a *FlatArray3) Update(k, v uint64) Result[uint64] {
 	return a.updateInUnit(a.UnitIndex(k), k, v)
 }
 
-// state3NextMeta[op] maps a packed meta byte to its successor under the
+// state3NextMeta[op] maps a packed state byte to its successor under the
 // §2.3.2 operation op — the Op1/Op2/Op3 arithmetic plus the occupancy
 // increment on insertion, folded into one table load on the hot path. Only
-// the 24 valid meta values (state ≤ 5, size ≤ 3) are populated; the tables
+// the 24 valid byte values (state ≤ 5, size ≤ 3) are populated; the tables
 // are sized 32 so a meta&0x1f index needs no bounds check.
 var state3NextMeta = func() (t [3][32]uint8) {
 	ops := [3]func(State3) State3{State3Op1, State3Op2, State3Op3}
@@ -170,15 +206,17 @@ var state3NextMeta = func() (t [3][32]uint8) {
 	return
 }()
 
-func (a *FlatArray3[V]) updateInUnit(u int, k uint64, v V) Result[V] {
-	var res Result[V]
+func (a *FlatArray3) updateInUnit(u int, k, v uint64) Result[uint64] {
+	var res Result[uint64]
 	base := 3 * u
 	kk := a.keys[base : base+3 : base+3]
-	m := a.meta[u]
+	w := a.meta[u]
+	m := uint8(w)
 	size := m >> flatSizeShift
 
 	// Find the rotation endpoint: the hit position, the first free slot, or
-	// the LRU slot on a full miss.
+	// the LRU slot on a full miss. The writer owns all mutation, so its own
+	// reads need no snapshot protocol.
 	var op uint8
 	switch {
 	case size > 0 && kk[0] == k:
@@ -198,70 +236,76 @@ func (a *FlatArray3[V]) updateInUnit(u int, k uint64, v V) Result[V] {
 		res.EvictedKey = kk[2]
 	}
 
-	// Step 1: rotate keys[0..op] forward; the incoming key takes position 0.
-	switch op {
-	case 1:
-		kk[1] = kk[0]
-	case 2:
-		kk[2] = kk[1]
-		kk[1] = kk[0]
-	}
-	kk[0] = k
-
-	// Step 2: stateful-ALU arithmetic transition (§2.3.2), with the
-	// occupancy bump folded in.
-	m = state3NextMeta[op][m&0x1f]
-	a.meta[u] = m
-
-	// Step 3: the value slot of the (new) most recently used key.
-	slot := base + int(state3ValPos[m&flatStateMask][0])
+	// Stateful-ALU arithmetic transition (§2.3.2), with the occupancy bump
+	// folded in, and the value slot of the (new) most recently used key.
+	nm := state3NextMeta[op][m&0x1f]
+	slot := base + int(state3ValPos[nm&flatStateMask][0])
 	if res.Evicted {
 		res.EvictedValue = a.vals[slot]
 	}
+	nv := v
 	if res.Hit && a.merge != nil {
-		a.vals[slot] = a.merge(a.vals[slot], v)
-	} else {
-		a.vals[slot] = v
+		nv = a.merge(a.vals[slot], v)
 	}
+
+	// Publish: mark the unit in-flight, rotate keys[0..op] forward with the
+	// incoming key at position 0, store the value, land the new word.
+	seqBegin(&a.meta[u])
+	switch op {
+	case 1:
+		seqStore64(&kk[1], kk[0])
+	case 2:
+		seqStore64(&kk[2], kk[1])
+		seqStore64(&kk[1], kk[0])
+	}
+	seqStore64(&kk[0], k)
+	seqStore64(&a.vals[slot], nv)
+	seqPublish(&a.meta[u], (w+flatSeqStep)&^uint32(flatMetaMask)|uint32(nm))
 	return res
 }
 
 // InsertTail stores k as the least recently used entry of its unit without
 // a state transition (series-connection demotion, §3.2) — the slab form of
-// Unit3.InsertTail.
-func (a *FlatArray3[V]) InsertTail(k uint64, v V) Result[V] {
+// Unit3.InsertTail, seqlock-bracketed like Update.
+func (a *FlatArray3) InsertTail(k, v uint64) Result[uint64] {
 	u := a.UnitIndex(k)
-	var res Result[V]
+	var res Result[uint64]
 	base := 3 * u
-	m := a.meta[u]
+	w := a.meta[u]
+	m := uint8(w)
 	state := m & flatStateMask
 	size := m >> flatSizeShift
 
 	for i := 0; i < int(size); i++ {
 		if a.keys[base+i] == k {
 			res.Hit = true
-			a.vals[base+int(state3ValPos[state][i])] = v
+			seqBegin(&a.meta[u])
+			seqStore64(&a.vals[base+int(state3ValPos[state][i])], v)
+			seqPublish(&a.meta[u], w+flatSeqStep)
 			return res
 		}
 	}
 	if size < 3 {
-		a.keys[base+int(size)] = k
-		a.vals[base+int(state3ValPos[state][size])] = v
-		a.meta[u] = m + 1<<flatSizeShift
+		seqBegin(&a.meta[u])
+		seqStore64(&a.keys[base+int(size)], k)
+		seqStore64(&a.vals[base+int(state3ValPos[state][size])], v)
+		seqPublish(&a.meta[u], w+flatSeqStep+1<<flatSizeShift)
 		return res
 	}
 	slot := base + int(state3ValPos[state][2])
 	res.Evicted = true
 	res.EvictedKey = a.keys[base+2]
 	res.EvictedValue = a.vals[slot]
-	a.keys[base+2] = k
-	a.vals[slot] = v
+	seqBegin(&a.meta[u])
+	seqStore64(&a.keys[base+2], k)
+	seqStore64(&a.vals[slot], v)
+	seqPublish(&a.meta[u], w+flatSeqStep)
 	return res
 }
 
-// units ensures the batch scratch covers n ops and returns it. The scratch
-// is grown amortized, so steady-state batch walks allocate nothing.
-func (a *FlatArray3[V]) units(n int) []int32 {
+// units ensures the writer's batch scratch covers n ops and returns it. The
+// scratch is grown amortized, so steady-state batch walks allocate nothing.
+func (a *FlatArray3) units(n int) []int32 {
 	if cap(a.batchUnits) < n {
 		a.batchUnits = make([]int32, n)
 	}
@@ -269,25 +313,27 @@ func (a *FlatArray3[V]) units(n int) []int32 {
 }
 
 // QueryBatch looks up every keys[i], writing the value into vals[i] and the
-// residency into oks[i]. It hashes all keys up front, then walks the units
-// in one pass with the next units' key lines touched ahead of the
-// cursor — the cache-friendly counterpart of len(keys) Lookup calls. vals
-// and oks must be at least len(keys) long. Zero heap allocations at steady
-// state.
-func (a *FlatArray3[V]) QueryBatch(keys []uint64, vals []V, oks []bool) {
-	units := a.units(len(keys))
-	for i, k := range keys {
-		units[i] = int32(a.UnitIndex(k))
-	}
+// residency into oks[i]. Keys are hashed and walked in stack-scratch chunks
+// with the next units' key lines touched ahead of the cursor — the
+// cache-friendly counterpart of len(keys) Lookup calls. vals and oks must
+// be at least len(keys) long. Zero heap allocations; safe concurrent with
+// the writer and with other readers (no shared scratch).
+func (a *FlatArray3) QueryBatch(keys []uint64, vals []uint64, oks []bool) {
+	var units [flatQueryChunk]int32
 	var touched uint64
-	for i, k := range keys {
-		if j := i + batchLookahead; j < len(units) {
-			u := units[j]
-			touched += a.keys[3*u]
+	for start := 0; start < len(keys); start += flatQueryChunk {
+		part := keys[start:min(start+flatQueryChunk, len(keys))]
+		for i, k := range part {
+			units[i] = int32(a.UnitIndex(k))
 		}
-		vals[i], oks[i] = a.lookupInUnit(int(units[i]), k)
+		for i, k := range part {
+			if j := i + batchLookahead; j < len(part) {
+				touched += seqLoad64(&a.keys[3*units[j]])
+			}
+			vals[start+i], oks[start+i] = a.lookupInUnit(int(units[i]), k)
+		}
 	}
-	a.touched = touched
+	sinkUint64(touched)
 }
 
 // UpdateBatch applies Update(keys[i], vals[i]) for every i in order and
@@ -296,7 +342,7 @@ func (a *FlatArray3[V]) QueryBatch(keys []uint64, vals []V, oks []bool) {
 // serving engine's shard writers apply whole op batches through this walk.
 // vals must be at least len(keys) long. Zero heap allocations at steady
 // state.
-func (a *FlatArray3[V]) UpdateBatch(keys []uint64, vals []V) (hits, evictions int) {
+func (a *FlatArray3) UpdateBatch(keys, vals []uint64) (hits, evictions int) {
 	units := a.units(len(keys))
 	for i, k := range keys {
 		units[i] = int32(a.UnitIndex(k))
@@ -304,8 +350,7 @@ func (a *FlatArray3[V]) UpdateBatch(keys []uint64, vals []V) (hits, evictions in
 	var touched uint64
 	for i, k := range keys {
 		if j := i + batchLookahead; j < len(units) {
-			u := units[j]
-			touched += a.keys[3*u]
+			touched += seqLoad64(&a.keys[3*units[j]])
 		}
 		res := a.updateInUnit(int(units[i]), k, vals[i])
 		if res.Hit {
@@ -315,31 +360,57 @@ func (a *FlatArray3[V]) UpdateBatch(keys []uint64, vals []V) (hits, evictions in
 			evictions++
 		}
 	}
-	a.touched = touched
+	sinkUint64(touched)
 	return hits, evictions
 }
 
 // Range calls fn for every cached (key, value) pair until fn returns false.
 // Iteration order is unit order, then LRU order within a unit — the same
-// order as Array.Range.
-func (a *FlatArray3[V]) Range(fn func(k uint64, v V) bool) {
+// order as Array.Range. Safe concurrent with the writer: each unit is
+// snapshotted through its seqlock before fn sees it, so fn never observes a
+// torn unit (though the walk as a whole is not a cross-unit snapshot).
+func (a *FlatArray3) Range(fn func(k, v uint64) bool) {
+	var ks, vs [3]uint64
 	for u := range a.meta {
-		m := a.meta[u]
 		base := 3 * u
-		size := int(m >> flatSizeShift)
+		size := 0
+		for spin := 0; ; spin++ {
+			w := seqLoad32(&a.meta[u])
+			if w&flatSeqOdd == 0 {
+				size = int(w&flatMetaMask) >> flatSizeShift
+				for i := 0; i < size; i++ {
+					ks[i] = seqLoad64(&a.keys[base+i])
+					vs[i] = seqLoad64(&a.vals[base+int(state3ValPos[w&flatStateMask][i])])
+				}
+				if seqLoad32(&a.meta[u]) == w {
+					break
+				}
+			}
+			if spin&seqSpinMask == seqSpinMask {
+				runtime.Gosched()
+			}
+		}
 		for i := 0; i < size; i++ {
-			if !fn(a.keys[base+i], a.vals[base+int(state3ValPos[m&flatStateMask][i])]) {
+			if !fn(ks[i], vs[i]) {
 				return
 			}
 		}
 	}
 }
 
-// Reset empties every unit and restores the initial cache state.
-func (a *FlatArray3[V]) Reset() {
-	clear(a.keys)
-	clear(a.vals)
+// Reset empties every unit and restores the initial cache state. A writer
+// operation: each unit is cleared under its seqlock bracket (versions keep
+// advancing, so concurrent readers see either the old unit or the empty
+// one, never a mix).
+func (a *FlatArray3) Reset() {
 	for u := range a.meta {
-		a.meta[u] = uint8(State3Initial)
+		base := 3 * u
+		w := a.meta[u]
+		seqBegin(&a.meta[u])
+		for i := 0; i < 3; i++ {
+			seqStore64(&a.keys[base+i], 0)
+			seqStore64(&a.vals[base+i], 0)
+		}
+		seqPublish(&a.meta[u], (w+flatSeqStep)&^uint32(flatMetaMask)|uint32(State3Initial))
 	}
 }

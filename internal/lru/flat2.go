@@ -1,0 +1,330 @@
+package lru
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+)
+
+// FlatArray2 is the parallel-connection array of P4LRU2 units (§2.3.1) in
+// the same struct-of-arrays, seqlock-versioned layout as FlatArray3:
+//
+//	keys : []uint64, 2 per unit — the key registers of stages 1–2
+//	vals : []uint64, 2 per unit — the value registers of stages 1–2
+//	meta : []uint32, 1 per unit — the seqlock word: version<<8 | packed
+//	       state byte (bit 0 the one-bit swap state, bits 1–2 the occupancy)
+//
+// The one-bit state encodes the key→value permutation: state 0 is the
+// identity, state 1 the swap, so the value slot of key position i is simply
+// i XOR state — the single-stateful-ALU transition of §2.3.1. FlatArray2 is
+// behaviourally identical to NewArray with Unit2 units and the same seed
+// (the differential tests pin it); concurrency follows the FlatArray3
+// contract: one writer, wait-free concurrent readers.
+type FlatArray2 struct {
+	keys  []uint64 // len 2·units, keys[2u..2u+1] in LRU order (0 = MRU)
+	vals  []uint64 // len 2·units, slots permuted by the unit state bit
+	meta  []uint32 // len units, seqlock word (version<<8 | state byte)
+	hash  hashing.Hash
+	merge MergeFunc[uint64]
+
+	// batchUnits is the writer's batch-walk scratch (see FlatArray3).
+	batchUnits []int32
+}
+
+const (
+	flat2StateMask = 0x01 // bit 0: the State2 swap bit
+	flat2SizeShift = 1    // bits 1–2: occupancy (0–2)
+)
+
+// NewFlatArray2 builds a flat array of numUnits empty P4LRU2 units. seed
+// selects the index-hash family member exactly as the generic constructors
+// do; merge may be nil for replace-on-hit semantics.
+func NewFlatArray2(numUnits int, seed uint64, merge MergeFunc[uint64]) *FlatArray2 {
+	if numUnits < 1 {
+		panic(fmt.Sprintf("lru: flat array with %d units", numUnits))
+	}
+	return &FlatArray2{
+		keys:  make([]uint64, 2*numUnits),
+		vals:  make([]uint64, 2*numUnits),
+		meta:  make([]uint32, numUnits),
+		hash:  hashing.New(seed),
+		merge: merge,
+	}
+}
+
+// Units returns the number of units.
+func (a *FlatArray2) Units() int { return len(a.meta) }
+
+// UnitCap returns 2.
+func (a *FlatArray2) UnitCap() int { return 2 }
+
+// Capacity returns the total entry capacity (2 per unit).
+func (a *FlatArray2) Capacity() int { return 2 * len(a.meta) }
+
+// Len returns the total number of occupied entries across all units.
+func (a *FlatArray2) Len() int {
+	total := 0
+	for u := range a.meta {
+		total += int(seqLoad32(&a.meta[u])&flatMetaMask) >> flat2SizeShift
+	}
+	return total
+}
+
+// UnitIndex returns the unit addressed by h(k).
+func (a *FlatArray2) UnitIndex(k uint64) int {
+	return a.hash.Index(k, len(a.meta))
+}
+
+// UnitLen returns the occupancy of unit u.
+func (a *FlatArray2) UnitLen(u int) int {
+	return int(seqLoad32(&a.meta[u])&flatMetaMask) >> flat2SizeShift
+}
+
+// UnitState returns the one-bit cache state of unit u.
+func (a *FlatArray2) UnitState(u int) State2 {
+	return State2(seqLoad32(&a.meta[u]) & flat2StateMask)
+}
+
+// UnitKeyAt returns the i-th key of unit u in LRU order (0 = most recently
+// used); writer-quiescent use only, like FlatArray3.UnitKeyAt.
+func (a *FlatArray2) UnitKeyAt(u, i int) uint64 {
+	if i < 0 || i >= a.UnitLen(u) {
+		panic(fmt.Sprintf("lru: UnitKeyAt(%d) with %d entries", i, a.UnitLen(u)))
+	}
+	return seqLoad64(&a.keys[2*u+i])
+}
+
+// Lookup returns the value for k without modifying the array. Safe
+// concurrent with the writer.
+func (a *FlatArray2) Lookup(k uint64) (uint64, bool) {
+	return a.lookupInUnit(a.UnitIndex(k), k)
+}
+
+func (a *FlatArray2) lookupInUnit(u int, k uint64) (uint64, bool) {
+	base := 2 * u
+	kk := a.keys[base : base+2 : base+2]
+	vv := a.vals[base : base+2 : base+2]
+	for spin := 0; ; spin++ {
+		w := seqLoad32(&a.meta[u])
+		if w&flatSeqOdd == 0 {
+			size := int(w&flatMetaMask) >> flat2SizeShift
+			state := int(w & flat2StateMask)
+			var v uint64
+			found := false
+			for i := 0; i < size; i++ {
+				if seqLoad64(&kk[i]) == k {
+					v = seqLoad64(&vv[i^state])
+					found = true
+					break
+				}
+			}
+			if seqLoad32(&a.meta[u]) == w {
+				return v, found
+			}
+		}
+		if spin&seqSpinMask == seqSpinMask {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Update inserts or refreshes k in its unit: Algorithm 1 specialized to
+// n=2, the slab form of Unit2.Update with seqlock-bracketed rewrites.
+func (a *FlatArray2) Update(k, v uint64) Result[uint64] {
+	return a.updateInUnit(a.UnitIndex(k), k, v)
+}
+
+func (a *FlatArray2) updateInUnit(u int, k, v uint64) Result[uint64] {
+	var res Result[uint64]
+	base := 2 * u
+	kk := a.keys[base : base+2 : base+2]
+	w := a.meta[u]
+	m := uint8(w)
+	state := m & flat2StateMask
+	size := m >> flat2SizeShift
+
+	// op 0: hit on position 0 (no state change); op 1: everything that
+	// rotates — hit on position 1, insert into slot 1, or full-miss evict.
+	var op uint8
+	switch {
+	case size > 0 && kk[0] == k:
+		res.Hit = true
+		op = 0
+	case size > 1 && kk[1] == k:
+		res.Hit = true
+		op = 1
+	case size < 2:
+		op = size
+	default:
+		op = 1
+		res.Evicted = true
+		res.EvictedKey = kk[1]
+	}
+
+	newSize := size
+	if !res.Hit && size < 2 {
+		newSize = size + 1
+	}
+	newState := state
+	if op == 1 {
+		newState ^= 1 // State2Op2
+	}
+	nm := newState | newSize<<flat2SizeShift
+
+	slot := base + int(newState) // valPos(0) under the new state
+	if res.Evicted {
+		res.EvictedValue = a.vals[slot]
+	}
+	nv := v
+	if res.Hit && a.merge != nil {
+		nv = a.merge(a.vals[slot], v)
+	}
+
+	seqBegin(&a.meta[u])
+	if op == 1 {
+		seqStore64(&kk[1], kk[0])
+	}
+	seqStore64(&kk[0], k)
+	seqStore64(&a.vals[slot], nv)
+	seqPublish(&a.meta[u], (w+flatSeqStep)&^uint32(flatMetaMask)|uint32(nm))
+	return res
+}
+
+// InsertTail stores k as the least recently used entry of its unit without
+// a state transition (§3.2 demotion) — the slab form of Unit2.InsertTail.
+func (a *FlatArray2) InsertTail(k, v uint64) Result[uint64] {
+	u := a.UnitIndex(k)
+	var res Result[uint64]
+	base := 2 * u
+	w := a.meta[u]
+	m := uint8(w)
+	state := int(m & flat2StateMask)
+	size := m >> flat2SizeShift
+
+	for i := 0; i < int(size); i++ {
+		if a.keys[base+i] == k {
+			res.Hit = true
+			seqBegin(&a.meta[u])
+			seqStore64(&a.vals[base+(i^state)], v)
+			seqPublish(&a.meta[u], w+flatSeqStep)
+			return res
+		}
+	}
+	if size < 2 {
+		seqBegin(&a.meta[u])
+		seqStore64(&a.keys[base+int(size)], k)
+		seqStore64(&a.vals[base+(int(size)^state)], v)
+		seqPublish(&a.meta[u], w+flatSeqStep+1<<flat2SizeShift)
+		return res
+	}
+	slot := base + (1 ^ state)
+	res.Evicted = true
+	res.EvictedKey = a.keys[base+1]
+	res.EvictedValue = a.vals[slot]
+	seqBegin(&a.meta[u])
+	seqStore64(&a.keys[base+1], k)
+	seqStore64(&a.vals[slot], v)
+	seqPublish(&a.meta[u], w+flatSeqStep)
+	return res
+}
+
+// units ensures the writer's batch scratch covers n ops and returns it.
+func (a *FlatArray2) units(n int) []int32 {
+	if cap(a.batchUnits) < n {
+		a.batchUnits = make([]int32, n)
+	}
+	return a.batchUnits[:n]
+}
+
+// QueryBatch looks up every keys[i] — the FlatArray3.QueryBatch walk over
+// 2-wide units. Safe concurrent with the writer and with other readers.
+func (a *FlatArray2) QueryBatch(keys []uint64, vals []uint64, oks []bool) {
+	var units [flatQueryChunk]int32
+	var touched uint64
+	for start := 0; start < len(keys); start += flatQueryChunk {
+		part := keys[start:min(start+flatQueryChunk, len(keys))]
+		for i, k := range part {
+			units[i] = int32(a.UnitIndex(k))
+		}
+		for i, k := range part {
+			if j := i + batchLookahead; j < len(part) {
+				touched += seqLoad64(&a.keys[2*units[j]])
+			}
+			vals[start+i], oks[start+i] = a.lookupInUnit(int(units[i]), k)
+		}
+	}
+	sinkUint64(touched)
+}
+
+// UpdateBatch applies Update(keys[i], vals[i]) for every i in order and
+// reports the hit and eviction totals — the FlatArray3.UpdateBatch walk.
+func (a *FlatArray2) UpdateBatch(keys, vals []uint64) (hits, evictions int) {
+	units := a.units(len(keys))
+	for i, k := range keys {
+		units[i] = int32(a.UnitIndex(k))
+	}
+	var touched uint64
+	for i, k := range keys {
+		if j := i + batchLookahead; j < len(units) {
+			touched += seqLoad64(&a.keys[2*units[j]])
+		}
+		res := a.updateInUnit(int(units[i]), k, vals[i])
+		if res.Hit {
+			hits++
+		}
+		if res.Evicted {
+			evictions++
+		}
+	}
+	sinkUint64(touched)
+	return hits, evictions
+}
+
+// Range calls fn for every cached (key, value) pair until fn returns false,
+// in unit order then LRU order; per-unit seqlock snapshots like
+// FlatArray3.Range.
+func (a *FlatArray2) Range(fn func(k, v uint64) bool) {
+	var ks, vs [2]uint64
+	for u := range a.meta {
+		base := 2 * u
+		size := 0
+		for spin := 0; ; spin++ {
+			w := seqLoad32(&a.meta[u])
+			if w&flatSeqOdd == 0 {
+				size = int(w&flatMetaMask) >> flat2SizeShift
+				state := int(w & flat2StateMask)
+				for i := 0; i < size; i++ {
+					ks[i] = seqLoad64(&a.keys[base+i])
+					vs[i] = seqLoad64(&a.vals[base+(i^state)])
+				}
+				if seqLoad32(&a.meta[u]) == w {
+					break
+				}
+			}
+			if spin&seqSpinMask == seqSpinMask {
+				runtime.Gosched()
+			}
+		}
+		for i := 0; i < size; i++ {
+			if !fn(ks[i], vs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Reset empties every unit and restores the initial cache state, under the
+// per-unit seqlock brackets.
+func (a *FlatArray2) Reset() {
+	for u := range a.meta {
+		base := 2 * u
+		w := a.meta[u]
+		seqBegin(&a.meta[u])
+		for i := 0; i < 2; i++ {
+			seqStore64(&a.keys[base+i], 0)
+			seqStore64(&a.vals[base+i], 0)
+		}
+		seqPublish(&a.meta[u], (w+flatSeqStep)&^uint32(flatMetaMask))
+	}
+}

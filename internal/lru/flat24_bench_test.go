@@ -1,0 +1,154 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// benchFlatLadder is the shared generic-vs-flat update ladder behind
+// BenchmarkFlatVsGeneric2/4 — the same three rungs as BenchmarkFlatVsGeneric
+// runs for the 3-wide core.
+func benchFlatLadder(b *testing.B, newGen func() *Array[uint64], newFlat func() FlatCore) {
+	keys := flatBenchKeys()
+	mask := uint64(len(keys) - 1)
+
+	b.Run("core=generic", func(b *testing.B) {
+		a := newGen()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[uint64(i)&mask]
+			a.Update(k, k)
+		}
+	})
+	b.Run("core=flat", func(b *testing.B) {
+		a := newFlat()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[uint64(i)&mask]
+			a.Update(k, k)
+		}
+	})
+	b.Run("core=flat-batch", func(b *testing.B) {
+		a := newFlat()
+		const batch = 256
+		vals := make([]uint64, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			lo := uint64(i) & mask
+			end := lo + batch
+			if end > uint64(len(keys)) {
+				end = uint64(len(keys))
+			}
+			ks := keys[lo:end]
+			a.UpdateBatch(ks, vals[:len(ks)])
+		}
+	})
+}
+
+// BenchmarkFlatVsGeneric2 is the BenchmarkFlatVsGeneric ladder for the
+// 2-wide core: Array of *Unit2 behind UnitCache against FlatArray2, scalar
+// and batched. `make bench` gates the flat rungs against the generic one.
+func BenchmarkFlatVsGeneric2(b *testing.B) {
+	benchFlatLadder(b,
+		func() *Array[uint64] { return newGenericArray(2, flatBenchUnits, 1, nil) },
+		func() FlatCore { return NewFlatArray2(flatBenchUnits, 1, nil) })
+}
+
+// BenchmarkFlatVsGeneric4 is the same ladder for the 4-wide core.
+func BenchmarkFlatVsGeneric4(b *testing.B) {
+	benchFlatLadder(b,
+		func() *Array[uint64] { return newGenericArray(4, flatBenchUnits, 1, nil) },
+		func() FlatCore { return NewFlatArray4(flatBenchUnits, 1, nil) })
+}
+
+// BenchmarkFlatVsGenericSeries replays the paper's two-pass access — Query
+// for the cached_flag level, then Reply routed by it — through the generic
+// Series and the FlatSeries at equal geometry (4 levels, 2^14 units of
+// capacity 3 each: the same total entry count as the unit ladders).
+func BenchmarkFlatVsGenericSeries(b *testing.B) {
+	const levels, units = 4, 1 << 14
+	keys := flatBenchKeys()
+	mask := uint64(len(keys) - 1)
+
+	b.Run("core=generic", func(b *testing.B) {
+		s := NewSeries3[uint64](levels, units, 1, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[uint64(i)&mask]
+			_, level, _ := s.Query(k)
+			s.Reply(k, k, level)
+		}
+	})
+	b.Run("core=flat", func(b *testing.B) {
+		s := NewFlatSeries(3, levels, units, 1, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[uint64(i)&mask]
+			_, level, _ := s.Query(k)
+			s.Reply(k, k, level)
+		}
+	})
+}
+
+// BenchmarkFlatReaders measures wait-free Query throughput under a live
+// writer: one goroutine streams UpdateBatch over the array non-stop while
+// 1, 2, 4 or 8 readers split b.N lookups between them. With the seqlock
+// there is no reader-writer lock to convoy on, so per-op cost must not
+// degrade as readers are added (and scales down with them when the machine
+// has the cores); `make bench` gates readers=8 against readers=1.
+func BenchmarkFlatReaders(b *testing.B) {
+	keys := flatBenchKeys()
+	mask := uint64(len(keys) - 1)
+
+	for _, readers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			a := NewFlatArray3(flatBenchUnits, 1, nil)
+			for _, k := range keys {
+				a.Update(k, k)
+			}
+
+			var stop atomic.Bool
+			var writerDone sync.WaitGroup
+			writerDone.Add(1)
+			go func() {
+				defer writerDone.Done()
+				const batch = 256
+				vals := make([]uint64, batch)
+				for i := 0; !stop.Load(); i += batch {
+					lo := uint64(i) & mask
+					end := lo + batch
+					if end > uint64(len(keys)) {
+						end = uint64(len(keys))
+					}
+					ks := keys[lo:end]
+					a.UpdateBatch(ks, vals[:len(ks)])
+				}
+			}()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / readers
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(off uint64) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						a.Lookup(keys[(uint64(i)+off)&mask])
+					}
+				}(uint64(keys[r]))
+			}
+			wg.Wait()
+			b.StopTimer()
+			stop.Store(true)
+			writerDone.Wait()
+		})
+	}
+}

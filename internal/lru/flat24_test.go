@@ -1,0 +1,291 @@
+package lru
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// flatOps is the subset of the flat-core surface the capacity-generic
+// differential helpers drive.
+type flatOps interface {
+	Update(k, v uint64) Result[uint64]
+	InsertTail(k, v uint64) Result[uint64]
+	Lookup(k uint64) (uint64, bool)
+	Len() int
+	Units() int
+	UnitCap() int
+	UnitLen(u int) int
+	UnitKeyAt(u, i int) uint64
+}
+
+var (
+	_ flatOps = (*FlatArray2)(nil)
+	_ flatOps = (*FlatArray3)(nil)
+	_ flatOps = (*FlatArray4)(nil)
+)
+
+// checkFlatOpsEquivalence asserts a flat core and the generic oracle array
+// agree on occupancy, per-unit LRU key order and the value mapping; the
+// per-capacity state encodings are compared by the callers that know them.
+func checkFlatOpsEquivalence(t *testing.T, flat flatOps, gen *Array[uint64]) {
+	t.Helper()
+	if flat.Len() != gen.Len() {
+		t.Fatalf("len diverged: flat %d generic %d", flat.Len(), gen.Len())
+	}
+	for u := 0; u < flat.Units(); u++ {
+		gu := gen.units[u]
+		if flat.UnitLen(u) != gu.Len() {
+			t.Fatalf("unit %d occupancy diverged: flat %d generic %d", u, flat.UnitLen(u), gu.Len())
+		}
+		for i := 0; i < gu.Len(); i++ {
+			if fk, gk := flat.UnitKeyAt(u, i), gu.KeyAt(i); fk != gk {
+				t.Fatalf("unit %d key[%d] diverged: flat %d generic %d", u, i, fk, gk)
+			}
+			k := gu.KeyAt(i)
+			fv, fok := flat.Lookup(k)
+			gv, gok := gen.Lookup(k)
+			if fok != gok || fv != gv {
+				t.Fatalf("lookup(%d) diverged: flat (%d,%v) generic (%d,%v)", k, fv, fok, gv, gok)
+			}
+		}
+	}
+}
+
+// applyFlatOp drives one decoded op through a flat core and the generic
+// array and fails on any divergence in the returned Result.
+func applyFlatOp(t *testing.T, flat flatOps, gen *Array[uint64], kind uint8, k, v uint64) {
+	t.Helper()
+	var fr, gr Result[uint64]
+	switch kind % 3 {
+	case 0, 1: // Update is twice as likely — it is the hot path.
+		fr = flat.Update(k, v)
+		gr = gen.Update(k, v)
+	case 2:
+		fr = flat.InsertTail(k, v)
+		gr = gen.InsertTail(k, v)
+	}
+	if fr != gr {
+		t.Fatalf("op %d on key %d diverged: flat %+v generic %+v", kind%3, k, fr, gr)
+	}
+}
+
+// newGenericArray builds the generic oracle array for a unit capacity.
+func newGenericArray(unitCap, units int, seed uint64, merge MergeFunc[uint64]) *Array[uint64] {
+	switch unitCap {
+	case 2:
+		return NewArray(units, seed, func() UnitCache[uint64] { return NewUnit2[uint64](merge) })
+	case 4:
+		return NewArray(units, seed, func() UnitCache[uint64] { return NewUnit4[uint64](merge) })
+	default:
+		return NewArray3[uint64](units, seed, merge)
+	}
+}
+
+// TestFlat2VsGenericDifferential replays long random op streams through
+// FlatArray2 and the generic Array+Unit2 oracle with the same seed — the
+// FlatArray3 differential suite for the 2-wide core, including the one-bit
+// state encoding.
+func TestFlat2VsGenericDifferential(t *testing.T) {
+	add := func(old, in uint64) uint64 { return old + in }
+	for _, tc := range []struct {
+		name  string
+		merge MergeFunc[uint64]
+	}{
+		{"replace", nil},
+		{"merge-add", add},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				const units = 64
+				flat := NewFlatArray2(units, uint64(seed), tc.merge)
+				gen := newGenericArray(2, units, uint64(seed), tc.merge)
+				r := rand.New(rand.NewSource(seed))
+				keySpace := uint64(units * 4)
+				for step := 0; step < 50000; step++ {
+					k := uint64(r.Int63n(int64(keySpace))) + 1
+					applyFlatOp(t, flat, gen, uint8(r.Intn(3)), k, uint64(step+1))
+					if step%500 == 0 {
+						checkFlatOpsEquivalence(t, flat, gen)
+						for u := 0; u < units; u++ {
+							if got, want := flat.UnitState(u), gen.units[u].(*Unit2[uint64]).State(); got != want {
+								t.Fatalf("unit %d state diverged: flat %d generic %d", u, got, want)
+							}
+						}
+					}
+				}
+				checkFlatOpsEquivalence(t, flat, gen)
+			}
+		})
+	}
+}
+
+// TestFlat4VsGenericDifferential is the same differential suite for
+// FlatArray4 against Array+Unit4, including the (s3, v4) pair encoding.
+func TestFlat4VsGenericDifferential(t *testing.T) {
+	add := func(old, in uint64) uint64 { return old + in }
+	for _, tc := range []struct {
+		name  string
+		merge MergeFunc[uint64]
+	}{
+		{"replace", nil},
+		{"merge-add", add},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				const units = 64
+				flat := NewFlatArray4(units, uint64(seed), tc.merge)
+				gen := newGenericArray(4, units, uint64(seed), tc.merge)
+				r := rand.New(rand.NewSource(seed))
+				keySpace := uint64(units * 6)
+				for step := 0; step < 50000; step++ {
+					k := uint64(r.Int63n(int64(keySpace))) + 1
+					applyFlatOp(t, flat, gen, uint8(r.Intn(3)), k, uint64(step+1))
+					if step%500 == 0 {
+						checkFlatOpsEquivalence(t, flat, gen)
+						for u := 0; u < units; u++ {
+							gu := gen.units[u].(*Unit4[uint64])
+							gs3, gv4 := gu.StatePair()
+							fs3, fv4 := flat.UnitStatePair(u)
+							if fs3 != gs3 || fv4 != gv4 {
+								t.Fatalf("unit %d pair diverged: flat (%d,%d) generic (%d,%d)", u, fs3, fv4, gs3, gv4)
+							}
+						}
+					}
+				}
+				checkFlatOpsEquivalence(t, flat, gen)
+			}
+		})
+	}
+}
+
+// FuzzFlat2VsGeneric and FuzzFlat4VsGeneric decode fuzz input as op streams
+// and differentially execute them — the FlatArray3 fuzz harness for the new
+// cores.
+func FuzzFlat2VsGeneric(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{2, 0, 0, 0, 2, 0, 0, 1, 2, 0, 0, 2, 2, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzFlatVsGeneric(t, data, NewFlatArray2(8, 7, nil), newGenericArray(2, 8, 7, nil))
+	})
+}
+
+func FuzzFlat4VsGeneric(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{2, 0, 0, 0, 2, 0, 0, 1, 2, 0, 0, 2, 2, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzFlatVsGeneric(t, data, NewFlatArray4(8, 7, nil), newGenericArray(4, 8, 7, nil))
+	})
+}
+
+func fuzzFlatVsGeneric(t *testing.T, data []byte, flat flatOps, gen *Array[uint64]) {
+	for len(data) >= 3 {
+		kind := data[0]
+		k := uint64(data[1]%32) + 1 // small key space forces collisions
+		v := uint64(data[2])
+		data = data[3:]
+		if len(data) >= 8 { // occasionally take a full-width key
+			if kind&0x80 != 0 {
+				k = binary.LittleEndian.Uint64(data)%64 + 1
+				data = data[8:]
+			}
+		}
+		applyFlatOp(t, flat, gen, kind, k, v)
+	}
+	checkFlatOpsEquivalence(t, flat, gen)
+}
+
+// TestFlat24BatchMatchesScalar pins the batch walks of the 2- and 4-wide
+// cores to their scalar paths, like TestFlatBatchMatchesScalar does for 3.
+func TestFlat24BatchMatchesScalar(t *testing.T) {
+	for _, unitCap := range []int{2, 4} {
+		const units = 128
+		batched := NewFlatCore(unitCap, units, 3, nil)
+		scalar := NewFlatCore(unitCap, units, 3, nil)
+		r := rand.New(rand.NewSource(9))
+
+		for round := 0; round < 50; round++ {
+			n := r.Intn(200) + 1
+			keys := make([]uint64, n)
+			vals := make([]uint64, n)
+			for i := range keys {
+				keys[i] = uint64(r.Int63n(units*4)) + 1
+				vals[i] = uint64(r.Int63())
+			}
+
+			wantHits, wantEv := 0, 0
+			for i := range keys {
+				res := scalar.Update(keys[i], vals[i])
+				if res.Hit {
+					wantHits++
+				}
+				if res.Evicted {
+					wantEv++
+				}
+			}
+			hits, ev := batched.UpdateBatch(keys, vals)
+			if hits != wantHits || ev != wantEv {
+				t.Fatalf("cap %d round %d: UpdateBatch (%d hits, %d ev) != scalar (%d hits, %d ev)",
+					unitCap, round, hits, ev, wantHits, wantEv)
+			}
+
+			gotV := make([]uint64, n)
+			gotOK := make([]bool, n)
+			batched.QueryBatch(keys, gotV, gotOK)
+			for i, k := range keys {
+				wv, wok := scalar.Lookup(k)
+				if gotV[i] != wv || gotOK[i] != wok {
+					t.Fatalf("cap %d round %d: QueryBatch[%d] key %d = (%d,%v), want (%d,%v)",
+						unitCap, round, i, k, gotV[i], gotOK[i], wv, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestFlat24ZeroAlloc pins the zero-allocation contract of the new cores'
+// hot paths, mirroring TestFlatZeroAlloc.
+func TestFlat24ZeroAlloc(t *testing.T) {
+	for _, unitCap := range []int{2, 4} {
+		a := NewFlatCore(unitCap, 1<<10, 1, nil)
+		keys := make([]uint64, 256)
+		vals := make([]uint64, 256)
+		oks := make([]bool, 256)
+		r := rand.New(rand.NewSource(2))
+		for i := range keys {
+			keys[i] = uint64(r.Int63n(1 << 12))
+		}
+
+		var k uint64
+		if n := testing.AllocsPerRun(1000, func() {
+			k++
+			a.Update(k&0xfff, k)
+		}); n != 0 {
+			t.Errorf("cap %d: Update allocates %v/op, want 0", unitCap, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			k++
+			a.Lookup(k & 0xfff)
+		}); n != 0 {
+			t.Errorf("cap %d: Lookup allocates %v/op, want 0", unitCap, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			k++
+			a.InsertTail(k&0xfff, k)
+		}); n != 0 {
+			t.Errorf("cap %d: InsertTail allocates %v/op, want 0", unitCap, n)
+		}
+
+		a.UpdateBatch(keys, vals) // grow the batch scratch once
+		if n := testing.AllocsPerRun(100, func() {
+			a.UpdateBatch(keys, vals)
+		}); n != 0 {
+			t.Errorf("cap %d: UpdateBatch allocates %v/batch, want 0", unitCap, n)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			a.QueryBatch(keys, vals, oks)
+		}); n != 0 {
+			t.Errorf("cap %d: QueryBatch allocates %v/batch, want 0", unitCap, n)
+		}
+	}
+}

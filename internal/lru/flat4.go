@@ -1,0 +1,374 @@
+package lru
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/p4lru/p4lru/internal/hashing"
+)
+
+// FlatArray4 is the parallel-connection array of P4LRU4 units (§2.3.3) in
+// the struct-of-arrays, seqlock-versioned layout of FlatArray3:
+//
+//	keys : []uint64, 4 per unit — the key registers of stages 1–4
+//	vals : []uint64, 4 per unit — the value registers of stages 1–4
+//	meta : []uint32, 1 per unit — the seqlock word: version<<8 | packed
+//	       state byte (bits 0–2 the s3 quotient code, bits 3–4 the V4
+//	       correction, bits 5–7 the occupancy)
+//
+// The 24-element S4 cache state is stored pair-encoded exactly as Unit4
+// stores it — the (s3, v4) factorization through S4/V4 ≅ S3 — but both the
+// pair transition and the occupancy bump are fused into one 256-entry table
+// load per update (flat4NextMeta), and the key-position → value-slot
+// permutation is a direct 32×4 table (flat4ValPos) indexed by the packed
+// pair bits. FlatArray4 is behaviourally identical to NewArray with Unit4
+// units and the same seed (the differential tests pin it); concurrency
+// follows the FlatArray3 contract: one writer, wait-free concurrent
+// readers.
+type FlatArray4 struct {
+	keys  []uint64 // len 4·units, keys[4u..4u+3] in LRU order (0 = MRU)
+	vals  []uint64 // len 4·units, slots permuted by the unit pair state
+	meta  []uint32 // len units, seqlock word (version<<8 | state byte)
+	hash  hashing.Hash
+	merge MergeFunc[uint64]
+
+	// batchUnits is the writer's batch-walk scratch (see FlatArray3).
+	batchUnits []int32
+}
+
+const (
+	flat4S3Mask    = 0x07 // bits 0–2: s3 quotient code (0–5)
+	flat4V4Shift   = 3    // bits 3–4: V4 correction index (0–3)
+	flat4PermMask  = 0x1f // bits 0–4: the full pair encoding
+	flat4SizeShift = 5    // bits 5–7: occupancy (0–4)
+)
+
+// flat4ValPos[pair][i] is the value slot of key position i under the packed
+// (s3 | v4<<3) pair — unit4Tables.valPos flattened onto the meta-byte
+// encoding so the hot path indexes it with meta&flat4PermMask directly.
+var flat4ValPos = func() (t [32][4]uint8) {
+	for c := 0; c < 6; c++ {
+		for h := 0; h < 4; h++ {
+			t[c|h<<flat4V4Shift] = unit4Tables.valPos[c][h]
+		}
+	}
+	return
+}()
+
+// flat4NextMeta[op] maps a packed state byte to its successor under
+// operation op (a hit at position op, or the insert/evict rotation ending
+// at op): the s3 quotient transition, the V4 XOR correction and the
+// occupancy increment of §2.3.3 folded into one table load. Only the 120
+// valid byte values (s3 ≤ 5, size ≤ 4) are populated.
+var flat4NextMeta = func() (t [4][256]uint8) {
+	for c := 0; c < 6; c++ {
+		for h := 0; h < 4; h++ {
+			for size := 0; size <= 4; size++ {
+				m := c | h<<flat4V4Shift | size<<flat4SizeShift
+				for op := 0; op < 4; op++ {
+					newSize := size
+					if size < 4 && op == size {
+						newSize = size + 1
+					}
+					c2 := int(unit4Tables.s3Next[op][c])
+					h2 := h ^ int(unit4Tables.v4Xor[op][c])
+					t[op][m] = uint8(c2 | h2<<flat4V4Shift | newSize<<flat4SizeShift)
+				}
+			}
+		}
+	}
+	return
+}()
+
+// NewFlatArray4 builds a flat array of numUnits empty P4LRU4 units. seed
+// selects the index-hash family member exactly as the generic constructors
+// do; merge may be nil for replace-on-hit semantics.
+func NewFlatArray4(numUnits int, seed uint64, merge MergeFunc[uint64]) *FlatArray4 {
+	if numUnits < 1 {
+		panic(fmt.Sprintf("lru: flat array with %d units", numUnits))
+	}
+	a := &FlatArray4{
+		keys:  make([]uint64, 4*numUnits),
+		vals:  make([]uint64, 4*numUnits),
+		meta:  make([]uint32, numUnits),
+		hash:  hashing.New(seed),
+		merge: merge,
+	}
+	for u := range a.meta {
+		a.meta[u] = uint32(State3Initial) // s3 = Table 1 initial, v4 = 0
+	}
+	return a
+}
+
+// Units returns the number of units.
+func (a *FlatArray4) Units() int { return len(a.meta) }
+
+// UnitCap returns 4.
+func (a *FlatArray4) UnitCap() int { return 4 }
+
+// Capacity returns the total entry capacity (4 per unit).
+func (a *FlatArray4) Capacity() int { return 4 * len(a.meta) }
+
+// Len returns the total number of occupied entries across all units.
+func (a *FlatArray4) Len() int {
+	total := 0
+	for u := range a.meta {
+		total += int(seqLoad32(&a.meta[u])&flatMetaMask) >> flat4SizeShift
+	}
+	return total
+}
+
+// UnitIndex returns the unit addressed by h(k).
+func (a *FlatArray4) UnitIndex(k uint64) int {
+	return a.hash.Index(k, len(a.meta))
+}
+
+// UnitLen returns the occupancy of unit u.
+func (a *FlatArray4) UnitLen(u int) int {
+	return int(seqLoad32(&a.meta[u])&flatMetaMask) >> flat4SizeShift
+}
+
+// UnitStatePair returns the raw (s3 code, v4 code) pair of unit u,
+// mirroring Unit4.StatePair.
+func (a *FlatArray4) UnitStatePair(u int) (State3, uint8) {
+	w := seqLoad32(&a.meta[u])
+	return State3(w & flat4S3Mask), uint8(w >> flat4V4Shift & 0x03)
+}
+
+// UnitKeyAt returns the i-th key of unit u in LRU order (0 = most recently
+// used); writer-quiescent use only, like FlatArray3.UnitKeyAt.
+func (a *FlatArray4) UnitKeyAt(u, i int) uint64 {
+	if i < 0 || i >= a.UnitLen(u) {
+		panic(fmt.Sprintf("lru: UnitKeyAt(%d) with %d entries", i, a.UnitLen(u)))
+	}
+	return seqLoad64(&a.keys[4*u+i])
+}
+
+// Lookup returns the value for k without modifying the array. Safe
+// concurrent with the writer.
+func (a *FlatArray4) Lookup(k uint64) (uint64, bool) {
+	return a.lookupInUnit(a.UnitIndex(k), k)
+}
+
+func (a *FlatArray4) lookupInUnit(u int, k uint64) (uint64, bool) {
+	base := 4 * u
+	kk := a.keys[base : base+4 : base+4]
+	vv := a.vals[base : base+4 : base+4]
+	for spin := 0; ; spin++ {
+		w := seqLoad32(&a.meta[u])
+		if w&flatSeqOdd == 0 {
+			size := int(w&flatMetaMask) >> flat4SizeShift
+			pos := &flat4ValPos[w&flat4PermMask]
+			var v uint64
+			found := false
+			for i := 0; i < size; i++ {
+				if seqLoad64(&kk[i]) == k {
+					v = seqLoad64(&vv[pos[i]])
+					found = true
+					break
+				}
+			}
+			if seqLoad32(&a.meta[u]) == w {
+				return v, found
+			}
+		}
+		if spin&seqSpinMask == seqSpinMask {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Update inserts or refreshes k in its unit: Algorithm 1 specialized to
+// n=4 with pair-encoded transitions, the slab form of Unit4.Update with
+// seqlock-bracketed rewrites.
+func (a *FlatArray4) Update(k, v uint64) Result[uint64] {
+	return a.updateInUnit(a.UnitIndex(k), k, v)
+}
+
+func (a *FlatArray4) updateInUnit(u int, k, v uint64) Result[uint64] {
+	var res Result[uint64]
+	base := 4 * u
+	kk := a.keys[base : base+4 : base+4]
+	w := a.meta[u]
+	m := uint8(w)
+	size := m >> flat4SizeShift
+
+	var op uint8
+	switch {
+	case size > 0 && kk[0] == k:
+		res.Hit = true
+		op = 0
+	case size > 1 && kk[1] == k:
+		res.Hit = true
+		op = 1
+	case size > 2 && kk[2] == k:
+		res.Hit = true
+		op = 2
+	case size > 3 && kk[3] == k:
+		res.Hit = true
+		op = 3
+	case size < 4:
+		op = size
+	default:
+		op = 3
+		res.Evicted = true
+		res.EvictedKey = kk[3]
+	}
+
+	nm := flat4NextMeta[op][m]
+	slot := base + int(flat4ValPos[nm&flat4PermMask][0])
+	if res.Evicted {
+		res.EvictedValue = a.vals[slot]
+	}
+	nv := v
+	if res.Hit && a.merge != nil {
+		nv = a.merge(a.vals[slot], v)
+	}
+
+	seqBegin(&a.meta[u])
+	for i := op; i > 0; i-- {
+		seqStore64(&kk[i], kk[i-1])
+	}
+	seqStore64(&kk[0], k)
+	seqStore64(&a.vals[slot], nv)
+	seqPublish(&a.meta[u], (w+flatSeqStep)&^uint32(flatMetaMask)|uint32(nm))
+	return res
+}
+
+// InsertTail stores k as the least recently used entry of its unit without
+// a state transition (§3.2 demotion) — the slab form of Unit4.InsertTail.
+func (a *FlatArray4) InsertTail(k, v uint64) Result[uint64] {
+	u := a.UnitIndex(k)
+	var res Result[uint64]
+	base := 4 * u
+	w := a.meta[u]
+	m := uint8(w)
+	pos := &flat4ValPos[m&flat4PermMask]
+	size := m >> flat4SizeShift
+
+	for i := 0; i < int(size); i++ {
+		if a.keys[base+i] == k {
+			res.Hit = true
+			seqBegin(&a.meta[u])
+			seqStore64(&a.vals[base+int(pos[i])], v)
+			seqPublish(&a.meta[u], w+flatSeqStep)
+			return res
+		}
+	}
+	if size < 4 {
+		seqBegin(&a.meta[u])
+		seqStore64(&a.keys[base+int(size)], k)
+		seqStore64(&a.vals[base+int(pos[size])], v)
+		seqPublish(&a.meta[u], w+flatSeqStep+1<<flat4SizeShift)
+		return res
+	}
+	slot := base + int(pos[3])
+	res.Evicted = true
+	res.EvictedKey = a.keys[base+3]
+	res.EvictedValue = a.vals[slot]
+	seqBegin(&a.meta[u])
+	seqStore64(&a.keys[base+3], k)
+	seqStore64(&a.vals[slot], v)
+	seqPublish(&a.meta[u], w+flatSeqStep)
+	return res
+}
+
+// units ensures the writer's batch scratch covers n ops and returns it.
+func (a *FlatArray4) units(n int) []int32 {
+	if cap(a.batchUnits) < n {
+		a.batchUnits = make([]int32, n)
+	}
+	return a.batchUnits[:n]
+}
+
+// QueryBatch looks up every keys[i] — the FlatArray3.QueryBatch walk over
+// 4-wide units. Safe concurrent with the writer and with other readers.
+func (a *FlatArray4) QueryBatch(keys []uint64, vals []uint64, oks []bool) {
+	var units [flatQueryChunk]int32
+	var touched uint64
+	for start := 0; start < len(keys); start += flatQueryChunk {
+		part := keys[start:min(start+flatQueryChunk, len(keys))]
+		for i, k := range part {
+			units[i] = int32(a.UnitIndex(k))
+		}
+		for i, k := range part {
+			if j := i + batchLookahead; j < len(part) {
+				touched += seqLoad64(&a.keys[4*units[j]])
+			}
+			vals[start+i], oks[start+i] = a.lookupInUnit(int(units[i]), k)
+		}
+	}
+	sinkUint64(touched)
+}
+
+// UpdateBatch applies Update(keys[i], vals[i]) for every i in order and
+// reports the hit and eviction totals — the FlatArray3.UpdateBatch walk.
+func (a *FlatArray4) UpdateBatch(keys, vals []uint64) (hits, evictions int) {
+	units := a.units(len(keys))
+	for i, k := range keys {
+		units[i] = int32(a.UnitIndex(k))
+	}
+	var touched uint64
+	for i, k := range keys {
+		if j := i + batchLookahead; j < len(units) {
+			touched += seqLoad64(&a.keys[4*units[j]])
+		}
+		res := a.updateInUnit(int(units[i]), k, vals[i])
+		if res.Hit {
+			hits++
+		}
+		if res.Evicted {
+			evictions++
+		}
+	}
+	sinkUint64(touched)
+	return hits, evictions
+}
+
+// Range calls fn for every cached (key, value) pair until fn returns false,
+// in unit order then LRU order; per-unit seqlock snapshots like
+// FlatArray3.Range.
+func (a *FlatArray4) Range(fn func(k, v uint64) bool) {
+	var ks, vs [4]uint64
+	for u := range a.meta {
+		base := 4 * u
+		size := 0
+		for spin := 0; ; spin++ {
+			w := seqLoad32(&a.meta[u])
+			if w&flatSeqOdd == 0 {
+				size = int(w&flatMetaMask) >> flat4SizeShift
+				pos := &flat4ValPos[w&flat4PermMask]
+				for i := 0; i < size; i++ {
+					ks[i] = seqLoad64(&a.keys[base+i])
+					vs[i] = seqLoad64(&a.vals[base+int(pos[i])])
+				}
+				if seqLoad32(&a.meta[u]) == w {
+					break
+				}
+			}
+			if spin&seqSpinMask == seqSpinMask {
+				runtime.Gosched()
+			}
+		}
+		for i := 0; i < size; i++ {
+			if !fn(ks[i], vs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Reset empties every unit and restores the initial cache state, under the
+// per-unit seqlock brackets.
+func (a *FlatArray4) Reset() {
+	for u := range a.meta {
+		base := 4 * u
+		w := a.meta[u]
+		seqBegin(&a.meta[u])
+		for i := 0; i < 4; i++ {
+			seqStore64(&a.keys[base+i], 0)
+			seqStore64(&a.vals[base+i], 0)
+		}
+		seqPublish(&a.meta[u], (w+flatSeqStep)&^uint32(flatMetaMask)|uint32(State3Initial))
+	}
+}

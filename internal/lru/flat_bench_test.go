@@ -49,7 +49,7 @@ func BenchmarkFlatVsGeneric(b *testing.B) {
 		}
 	})
 	b.Run("core=flat", func(b *testing.B) {
-		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		a := NewFlatArray3(flatBenchUnits, 1, nil)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -58,7 +58,7 @@ func BenchmarkFlatVsGeneric(b *testing.B) {
 		}
 	})
 	b.Run("core=flat-batch", func(b *testing.B) {
-		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		a := NewFlatArray3(flatBenchUnits, 1, nil)
 		const batch = 256
 		vals := make([]uint64, batch)
 		b.ReportAllocs()
@@ -93,7 +93,7 @@ func BenchmarkFlatQuery(b *testing.B) {
 		}
 	})
 	b.Run("core=flat", func(b *testing.B) {
-		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		a := NewFlatArray3(flatBenchUnits, 1, nil)
 		for _, k := range keys {
 			a.Update(k, k)
 		}
@@ -104,7 +104,7 @@ func BenchmarkFlatQuery(b *testing.B) {
 		}
 	})
 	b.Run("core=flat-batch", func(b *testing.B) {
-		a := NewFlatArray3[uint64](flatBenchUnits, 1, nil)
+		a := NewFlatArray3(flatBenchUnits, 1, nil)
 		for _, k := range keys {
 			a.Update(k, k)
 		}

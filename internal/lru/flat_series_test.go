@@ -1,0 +1,167 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectRange drains a Range iterator into (key, value) order.
+type kvPair struct{ k, v uint64 }
+
+func collectRange(rangeFn func(func(k, v uint64) bool)) []kvPair {
+	var out []kvPair
+	rangeFn(func(k, v uint64) bool {
+		out = append(out, kvPair{k, v})
+		return true
+	})
+	return out
+}
+
+// checkSeriesEquivalence compares a FlatSeries and a generic Series level
+// by level: occupancy and the full Range sequence (unit order then LRU
+// order, so sequence equality pins key order, value placement and state).
+func checkSeriesEquivalence(t *testing.T, flat *FlatSeries, gen *Series[uint64]) {
+	t.Helper()
+	if flat.Len() != gen.Len() {
+		t.Fatalf("len diverged: flat %d generic %d", flat.Len(), gen.Len())
+	}
+	for i := 0; i < gen.Levels(); i++ {
+		fl, gl := flat.Level(i), gen.Level(i)
+		if fl.Len() != gl.Len() {
+			t.Fatalf("level %d occupancy diverged: flat %d generic %d", i, fl.Len(), gl.Len())
+		}
+		fp := collectRange(fl.Range)
+		gp := collectRange(gl.Range)
+		if len(fp) != len(gp) {
+			t.Fatalf("level %d range length diverged: flat %d generic %d", i, len(fp), len(gp))
+		}
+		for j := range fp {
+			if fp[j] != gp[j] {
+				t.Fatalf("level %d range[%d] diverged: flat %+v generic %+v", i, j, fp[j], gp[j])
+			}
+		}
+	}
+}
+
+// TestFlatSeriesVsGenericDifferential replays random query/reply streams
+// through FlatSeries and the generic Series with the same parameters, for
+// every flat unit capacity, and requires identical query answers, reply
+// results and per-level contents throughout — the §3.2 series connection on
+// flat cores is bit-identical to the oracle.
+func TestFlatSeriesVsGenericDifferential(t *testing.T) {
+	for _, unitCap := range []int{2, 3, 4} {
+		for seed := int64(1); seed <= 3; seed++ {
+			const levels, units = 4, 16
+			flat := NewFlatSeries(unitCap, levels, units, uint64(seed), nil)
+			gen := NewSeriesUnitCapOracle(unitCap, levels, units, uint64(seed), nil)
+			r := rand.New(rand.NewSource(seed))
+			keySpace := int64(units * unitCap * levels)
+			for step := 0; step < 30000; step++ {
+				k := uint64(r.Int63n(keySpace)) + 1
+				v := uint64(step + 1)
+				switch r.Intn(4) {
+				case 0: // blind reply (the engine's NoToken update path)
+					fr := flat.Reply(k, v, 0)
+					gr := gen.Reply(k, v, 0)
+					if fr != gr {
+						t.Fatalf("cap %d blind reply(%d) diverged: flat %+v generic %+v", unitCap, k, fr, gr)
+					}
+				default: // query/reply round trip, the paper's two-pass access
+					fv, flevel, fok := flat.Query(k)
+					gv, glevel, gok := gen.Query(k)
+					if fv != gv || flevel != glevel || fok != gok {
+						t.Fatalf("cap %d query(%d) diverged: flat (%d,%d,%v) generic (%d,%d,%v)",
+							unitCap, k, fv, flevel, fok, gv, glevel, gok)
+					}
+					fr := flat.Reply(k, v, flevel)
+					gr := gen.Reply(k, v, glevel)
+					if fr != gr {
+						t.Fatalf("cap %d reply(%d,level=%d) diverged: flat %+v generic %+v", unitCap, k, flevel, fr, gr)
+					}
+				}
+				if step%500 == 0 {
+					checkSeriesEquivalence(t, flat, gen)
+					if fc, gc := flat.Contains(k), gen.Contains(k); fc != gc {
+						t.Fatalf("cap %d contains(%d) diverged: flat %d generic %d", unitCap, k, fc, gc)
+					}
+				}
+			}
+			checkSeriesEquivalence(t, flat, gen)
+		}
+	}
+}
+
+// NewSeriesUnitCapOracle builds the generic series oracle for a flat unit
+// capacity — NewSeries with the matching generic unit constructor.
+func NewSeriesUnitCapOracle(unitCap, levels, units int, seed uint64, merge MergeFunc[uint64]) *Series[uint64] {
+	switch unitCap {
+	case 2:
+		return NewSeries(levels, units, seed, func() UnitCache[uint64] { return NewUnit2[uint64](merge) })
+	case 4:
+		return NewSeries(levels, units, seed, func() UnitCache[uint64] { return NewUnit4[uint64](merge) })
+	default:
+		return NewSeries3[uint64](levels, units, seed, merge)
+	}
+}
+
+// FuzzFlatSeriesVsGeneric decodes fuzz input as a query/reply stream and
+// differentially executes it against both series.
+func FuzzFlatSeriesVsGeneric(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{2, 0, 0, 2, 0, 1, 2, 0, 2, 2, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const levels, units = 3, 4
+		flat := NewFlatSeries(3, levels, units, 7, nil)
+		gen := NewSeries3[uint64](levels, units, 7, nil)
+		for len(data) >= 3 {
+			kind := data[0]
+			k := uint64(data[1]%24) + 1
+			v := uint64(data[2])
+			data = data[3:]
+			if kind%4 == 0 {
+				fr := flat.Reply(k, v, 0)
+				gr := gen.Reply(k, v, 0)
+				if fr != gr {
+					t.Fatalf("blind reply(%d) diverged: flat %+v generic %+v", k, fr, gr)
+				}
+				continue
+			}
+			fv, flevel, fok := flat.Query(k)
+			gv, glevel, gok := gen.Query(k)
+			if fv != gv || flevel != glevel || fok != gok {
+				t.Fatalf("query(%d) diverged: flat (%d,%d,%v) generic (%d,%d,%v)",
+					k, fv, flevel, fok, gv, glevel, gok)
+			}
+			fr := flat.Reply(k, v, flevel)
+			gr := gen.Reply(k, v, glevel)
+			if fr != gr {
+				t.Fatalf("reply(%d,level=%d) diverged: flat %+v generic %+v", k, flevel, fr, gr)
+			}
+		}
+		checkSeriesEquivalence(t, flat, gen)
+	})
+}
+
+// TestFlatSeriesZeroAlloc pins the zero-allocation contract of the series
+// query path (and the reply path, which composes flat writer ops).
+func TestFlatSeriesZeroAlloc(t *testing.T) {
+	s := NewFlatSeries(3, 4, 1<<8, 1, nil)
+	var k uint64
+	for i := 0; i < 4096; i++ {
+		k++
+		s.Reply(k&0xfff, k, 0)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		k++
+		s.Query(k & 0xfff)
+	}); n != 0 {
+		t.Errorf("Query allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		k++
+		_, level, _ := s.Query(k & 0xfff)
+		s.Reply(k&0xfff, k, level)
+	}); n != 0 {
+		t.Errorf("Query+Reply allocates %v/op, want 0", n)
+	}
+}

@@ -9,7 +9,7 @@ import (
 // checkFlatEquivalence asserts that a FlatArray3 and the generic oracle
 // array agree on every observable: total occupancy, per-unit occupancy,
 // per-unit LRU key order, per-unit encoded state, and the value mapping.
-func checkFlatEquivalence(t *testing.T, flat *FlatArray3[uint64], gen *Array[uint64]) {
+func checkFlatEquivalence(t *testing.T, flat *FlatArray3, gen *Array[uint64]) {
 	t.Helper()
 	if flat.Len() != gen.Len() {
 		t.Fatalf("len diverged: flat %d generic %d", flat.Len(), gen.Len())
@@ -38,7 +38,7 @@ func checkFlatEquivalence(t *testing.T, flat *FlatArray3[uint64], gen *Array[uin
 
 // applyDifferentialOp drives one decoded op through both arrays and fails on
 // any divergence in the returned Result.
-func applyDifferentialOp(t *testing.T, flat *FlatArray3[uint64], gen *Array[uint64], kind uint8, k, v uint64) {
+func applyDifferentialOp(t *testing.T, flat *FlatArray3, gen *Array[uint64], kind uint8, k, v uint64) {
 	t.Helper()
 	var fr, gr Result[uint64]
 	switch kind % 3 {
@@ -72,7 +72,7 @@ func TestFlatVsGenericDifferential(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			for seed := int64(1); seed <= 5; seed++ {
 				const units = 64
-				flat := NewFlatArray3[uint64](units, uint64(seed), tc.merge)
+				flat := NewFlatArray3(units, uint64(seed), tc.merge)
 				gen := NewArray3[uint64](units, uint64(seed), tc.merge)
 				r := rand.New(rand.NewSource(seed))
 				// Few distinct keys relative to capacity so hits, merges
@@ -100,7 +100,7 @@ func FuzzFlatVsGeneric(f *testing.F) {
 	f.Add([]byte{2, 0, 0, 0, 2, 0, 0, 1, 2, 0, 0, 2, 2, 0, 0, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const units = 8
-		flat := NewFlatArray3[uint64](units, 7, nil)
+		flat := NewFlatArray3(units, 7, nil)
 		gen := NewArray3[uint64](units, 7, nil)
 		for len(data) >= 3 {
 			kind := data[0]
@@ -124,8 +124,8 @@ func FuzzFlatVsGeneric(f *testing.F) {
 // calls it replaces.
 func TestFlatBatchMatchesScalar(t *testing.T) {
 	const units = 128
-	batched := NewFlatArray3[uint64](units, 3, nil)
-	scalar := NewFlatArray3[uint64](units, 3, nil)
+	batched := NewFlatArray3(units, 3, nil)
+	scalar := NewFlatArray3(units, 3, nil)
 	r := rand.New(rand.NewSource(9))
 
 	for round := 0; round < 50; round++ {
@@ -176,7 +176,7 @@ func TestFlatBatchMatchesScalar(t *testing.T) {
 // TestFlatZeroAlloc pins the zero-allocation contract of the hot paths:
 // Update, Lookup, InsertTail and the steady-state batch walks.
 func TestFlatZeroAlloc(t *testing.T) {
-	a := NewFlatArray3[uint64](1<<10, 1, nil)
+	a := NewFlatArray3(1<<10, 1, nil)
 	keys := make([]uint64, 256)
 	vals := make([]uint64, 256)
 	oks := make([]bool, 256)
@@ -222,7 +222,7 @@ func TestFlatZeroAlloc(t *testing.T) {
 // invariants_test.go over the flat array's units.
 func TestFlatInvariants(t *testing.T) {
 	const units = 16
-	a := NewFlatArray3[uint64](units, 5, nil)
+	a := NewFlatArray3(units, 5, nil)
 	r := rand.New(rand.NewSource(13))
 	for step := 0; step < 20000; step++ {
 		k := uint64(r.Int63n(units*6)) + 1

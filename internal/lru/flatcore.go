@@ -1,0 +1,55 @@
+package lru
+
+import "fmt"
+
+// FlatCore is the interface of the flat struct-of-arrays serving cores
+// (FlatArray2, FlatArray3, FlatArray4): concrete uint64 key/value slabs
+// with seqlock-versioned units, one writer, wait-free concurrent readers.
+// FlatSeries composes levels of it, and the policy layer builds the default
+// serving cache for every P4LRU spec kind on top of it; the generic
+// Array/Unit types remain the differential oracle.
+type FlatCore interface {
+	// Units is the unit count; UnitCap the per-unit entry capacity;
+	// Capacity their product; Len the current occupancy.
+	Units() int
+	UnitCap() int
+	Capacity() int
+	Len() int
+	// UnitIndex is the paper's per-packet register index h(k).
+	UnitIndex(k uint64) int
+	// Lookup and QueryBatch are the wait-free read paths, safe concurrent
+	// with the single writer.
+	Lookup(k uint64) (uint64, bool)
+	QueryBatch(keys []uint64, vals []uint64, oks []bool)
+	// Update, InsertTail, UpdateBatch and Reset are writer operations; the
+	// caller serializes them.
+	Update(k, v uint64) Result[uint64]
+	InsertTail(k, v uint64) Result[uint64]
+	UpdateBatch(keys, vals []uint64) (hits, evictions int)
+	Reset()
+	// Range snapshots each unit through its seqlock, so fn never sees a
+	// torn unit.
+	Range(fn func(k, v uint64) bool)
+}
+
+var (
+	_ FlatCore = (*FlatArray2)(nil)
+	_ FlatCore = (*FlatArray3)(nil)
+	_ FlatCore = (*FlatArray4)(nil)
+)
+
+// NewFlatCore builds the flat array for unit capacity 2, 3 or 4 — the three
+// data-plane unit designs of §2.3. Other capacities have no flat core (the
+// generic Array serves them) and panic.
+func NewFlatCore(unitCap, numUnits int, seed uint64, merge MergeFunc[uint64]) FlatCore {
+	switch unitCap {
+	case 2:
+		return NewFlatArray2(numUnits, seed, merge)
+	case 3:
+		return NewFlatArray3(numUnits, seed, merge)
+	case 4:
+		return NewFlatArray4(numUnits, seed, merge)
+	default:
+		panic(fmt.Sprintf("lru: no flat core for unit capacity %d", unitCap))
+	}
+}

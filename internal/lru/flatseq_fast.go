@@ -1,0 +1,20 @@
+//go:build !race && amd64
+
+package lru
+
+// Fast-path writer stores: plain on amd64, where total store order makes
+// the begin-word / register / publish-word sequence visible to readers in
+// program order (see the protocol comment in flatseq.go). The race-detector
+// build swaps in flatseq_portable.go so the same code paths run fully
+// atomically under the detector.
+
+// seqBegin marks unit word *p in-flight (version goes odd).
+func seqBegin(p *uint32) { *p += flatSeqOdd }
+
+// seqPublish stores the final unit word: version advanced past even again,
+// successor state byte folded in.
+func seqPublish(p *uint32, w uint32) { *p = w }
+
+// seqStore64 writes one key or value register inside a seqBegin/seqPublish
+// bracket.
+func seqStore64(p *uint64, v uint64) { *p = v }

@@ -1,0 +1,23 @@
+//go:build race || !amd64
+
+package lru
+
+import "sync/atomic"
+
+// Portable writer stores: fully atomic. Race-detector builds use these so
+// the seqlock protocol is explicit to the detector (the hammer tests run
+// the real reader/writer interleavings under -race), and non-amd64 targets
+// use them for ordering — seqBegin is a read-modify-write, which on arm64
+// is a full barrier, so the register stores that follow cannot become
+// visible before the in-flight marker.
+
+// seqBegin marks unit word *p in-flight (version goes odd).
+func seqBegin(p *uint32) { atomic.AddUint32(p, flatSeqOdd) }
+
+// seqPublish stores the final unit word: version advanced past even again,
+// successor state byte folded in.
+func seqPublish(p *uint32, w uint32) { atomic.StoreUint32(p, w) }
+
+// seqStore64 writes one key or value register inside a seqBegin/seqPublish
+// bracket.
+func seqStore64(p *uint64, v uint64) { atomic.StoreUint64(p, v) }

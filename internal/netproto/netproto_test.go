@@ -353,46 +353,6 @@ func TestCloseIsIdempotentAndUnblocks(t *testing.T) {
 	}
 }
 
-// TestLegacyConstructors keeps the one-release deprecation shims honest:
-// the positional signatures still build a working stack with the same cache
-// geometry the old constructors produced.
-func TestLegacyConstructors(t *testing.T) {
-	srv, err := NewServer("127.0.0.1:0", 1000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	sw, err := NewSwitchLegacy("127.0.0.1:0", srv.Addr(), 2, 64, 1, WithShards(2), WithReaders(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sw.Close()
-	if got := sw.Engine().Shards(); got != 2 {
-		t.Fatalf("legacy switch built %d shards, want 2", got)
-	}
-	// 2 levels × 64 units total = 128 unit slots of capacity 3.
-	if cap := sw.Engine().Capacity(); cap != 2*64*3 {
-		t.Fatalf("legacy geometry capacity %d, want %d", cap, 2*64*3)
-	}
-	cl, err := NewClientLegacy(sw.Addr(), 1000, 1.1, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	for i := 0; i < 2; i++ {
-		res, err := cl.Query(42)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !res.Valid {
-			t.Fatal("legacy stack served a bad value")
-		}
-	}
-	if wst := sw.Stats(); wst.Hits == 0 {
-		t.Error("second query of one key missed the legacy switch cache")
-	}
-}
-
 func BenchmarkEndToEndQuery(b *testing.B) {
 	srv, err := NewServer("127.0.0.1:0", 10000)
 	if err != nil {

@@ -50,7 +50,7 @@ type EvictBatchUpdater interface {
 // the simulators, experiments, serving engine and replay all run on the
 // flat core by default; NewP4LRU(3, ...) remains the generic oracle.
 type FlatP4LRU3 struct {
-	arr *lru.FlatArray3[uint64]
+	arr *lru.FlatArray3
 	// keys/vals are the reusable batch scratch: UpdateBatch splits the op
 	// structs into the parallel key/value slices the core's slab walk takes.
 	keys, vals []uint64
@@ -60,11 +60,12 @@ var (
 	_ Cache             = (*FlatP4LRU3)(nil)
 	_ BatchUpdater      = (*FlatP4LRU3)(nil)
 	_ EvictBatchUpdater = (*FlatP4LRU3)(nil)
+	_ ConcurrentReader  = (*FlatP4LRU3)(nil)
 )
 
 // NewFlatP4LRU3 builds a flat-core p4lru3 policy with numUnits units.
 func NewFlatP4LRU3(numUnits int, seed uint64, merge MergeFunc) *FlatP4LRU3 {
-	return &FlatP4LRU3{arr: lru.NewFlatArray3[uint64](numUnits, seed, merge)}
+	return &FlatP4LRU3{arr: lru.NewFlatArray3(numUnits, seed, merge)}
 }
 
 // Name implements Cache. The flat core is an implementation detail: it
@@ -76,6 +77,11 @@ func (p *FlatP4LRU3) Query(k uint64) (uint64, Token, bool) {
 	v, ok := p.arr.Lookup(k)
 	return v, NoToken, ok
 }
+
+// ConcurrentQuery implements ConcurrentReader: the flat core's per-unit
+// seqlock makes Query safe concurrent with the single shard writer, so the
+// serving engine queries with no lock at all.
+func (p *FlatP4LRU3) ConcurrentQuery() bool { return true }
 
 // Update implements Cache. P4LRU always admits.
 func (p *FlatP4LRU3) Update(k, v uint64, _ Token, _ time.Duration) Result {
@@ -123,4 +129,4 @@ func (p *FlatP4LRU3) Range(fn func(k, v uint64) bool) { p.arr.Range(fn) }
 
 // Flat exposes the underlying flat array (for differential tests and the
 // pipeline programs).
-func (p *FlatP4LRU3) Flat() *lru.FlatArray3[uint64] { return p.arr }
+func (p *FlatP4LRU3) Flat() *lru.FlatArray3 { return p.arr }

@@ -1,0 +1,157 @@
+package policy
+
+import (
+	"time"
+
+	"github.com/p4lru/p4lru/internal/lru"
+)
+
+// FlatP4LRU2 is the p4lru2 policy on the 2-wide flat core (lru.FlatArray2),
+// behaviourally identical to NewP4LRU(2, units, seed, merge) with the same
+// parameters — the differential tests pin this. Like FlatP4LRU3, queries are
+// wait-free (per-unit seqlock), so the serving engine runs Query with no
+// lock while the shard writer mutates.
+type FlatP4LRU2 struct {
+	arr        *lru.FlatArray2
+	keys, vals []uint64
+}
+
+var (
+	_ Cache             = (*FlatP4LRU2)(nil)
+	_ BatchUpdater      = (*FlatP4LRU2)(nil)
+	_ EvictBatchUpdater = (*FlatP4LRU2)(nil)
+	_ ConcurrentReader  = (*FlatP4LRU2)(nil)
+)
+
+// NewFlatP4LRU2 builds a flat-core p4lru2 policy with numUnits units.
+func NewFlatP4LRU2(numUnits int, seed uint64, merge MergeFunc) *FlatP4LRU2 {
+	return &FlatP4LRU2{arr: lru.NewFlatArray2(numUnits, seed, merge)}
+}
+
+// Name implements Cache; the flat core is an implementation detail.
+func (p *FlatP4LRU2) Name() string { return "p4lru2" }
+
+// Query implements Cache.
+func (p *FlatP4LRU2) Query(k uint64) (uint64, Token, bool) {
+	v, ok := p.arr.Lookup(k)
+	return v, NoToken, ok
+}
+
+// ConcurrentQuery implements ConcurrentReader: reads are seqlock-safe
+// against the single shard writer.
+func (p *FlatP4LRU2) ConcurrentQuery() bool { return true }
+
+// Update implements Cache. P4LRU always admits.
+func (p *FlatP4LRU2) Update(k, v uint64, _ Token, _ time.Duration) Result {
+	return fromLRU(p.arr.Update(k, v))
+}
+
+// UpdateBatch implements BatchUpdater via the core's batched slab walk.
+func (p *FlatP4LRU2) UpdateBatch(ops []Op) {
+	if cap(p.keys) < len(ops) {
+		p.keys = make([]uint64, len(ops))
+		p.vals = make([]uint64, len(ops))
+	}
+	keys, vals := p.keys[:len(ops)], p.vals[:len(ops)]
+	for i := range ops {
+		keys[i] = ops[i].Key
+		vals[i] = ops[i].Value
+	}
+	p.arr.UpdateBatch(keys, vals)
+}
+
+// UpdateBatchEvict implements EvictBatchUpdater with per-op flat updates,
+// whose Results expose the evictions the blind batch walk discards.
+func (p *FlatP4LRU2) UpdateBatchEvict(ops []Op, onEvict func(key, val uint64)) {
+	for i := range ops {
+		r := p.arr.Update(ops[i].Key, ops[i].Value)
+		if r.Evicted {
+			onEvict(r.EvictedKey, r.EvictedValue)
+		}
+	}
+}
+
+// Len implements Cache.
+func (p *FlatP4LRU2) Len() int { return p.arr.Len() }
+
+// Capacity implements Cache.
+func (p *FlatP4LRU2) Capacity() int { return p.arr.Capacity() }
+
+// Range implements Cache.
+func (p *FlatP4LRU2) Range(fn func(k, v uint64) bool) { p.arr.Range(fn) }
+
+// Flat exposes the underlying flat array.
+func (p *FlatP4LRU2) Flat() *lru.FlatArray2 { return p.arr }
+
+// FlatP4LRU4 is the p4lru4 policy on the 4-wide flat core (lru.FlatArray4),
+// behaviourally identical to NewP4LRU(4, units, seed, merge); same wait-free
+// read contract as the other flat policies.
+type FlatP4LRU4 struct {
+	arr        *lru.FlatArray4
+	keys, vals []uint64
+}
+
+var (
+	_ Cache             = (*FlatP4LRU4)(nil)
+	_ BatchUpdater      = (*FlatP4LRU4)(nil)
+	_ EvictBatchUpdater = (*FlatP4LRU4)(nil)
+	_ ConcurrentReader  = (*FlatP4LRU4)(nil)
+)
+
+// NewFlatP4LRU4 builds a flat-core p4lru4 policy with numUnits units.
+func NewFlatP4LRU4(numUnits int, seed uint64, merge MergeFunc) *FlatP4LRU4 {
+	return &FlatP4LRU4{arr: lru.NewFlatArray4(numUnits, seed, merge)}
+}
+
+// Name implements Cache; the flat core is an implementation detail.
+func (p *FlatP4LRU4) Name() string { return "p4lru4" }
+
+// Query implements Cache.
+func (p *FlatP4LRU4) Query(k uint64) (uint64, Token, bool) {
+	v, ok := p.arr.Lookup(k)
+	return v, NoToken, ok
+}
+
+// ConcurrentQuery implements ConcurrentReader.
+func (p *FlatP4LRU4) ConcurrentQuery() bool { return true }
+
+// Update implements Cache. P4LRU always admits.
+func (p *FlatP4LRU4) Update(k, v uint64, _ Token, _ time.Duration) Result {
+	return fromLRU(p.arr.Update(k, v))
+}
+
+// UpdateBatch implements BatchUpdater via the core's batched slab walk.
+func (p *FlatP4LRU4) UpdateBatch(ops []Op) {
+	if cap(p.keys) < len(ops) {
+		p.keys = make([]uint64, len(ops))
+		p.vals = make([]uint64, len(ops))
+	}
+	keys, vals := p.keys[:len(ops)], p.vals[:len(ops)]
+	for i := range ops {
+		keys[i] = ops[i].Key
+		vals[i] = ops[i].Value
+	}
+	p.arr.UpdateBatch(keys, vals)
+}
+
+// UpdateBatchEvict implements EvictBatchUpdater with per-op flat updates.
+func (p *FlatP4LRU4) UpdateBatchEvict(ops []Op, onEvict func(key, val uint64)) {
+	for i := range ops {
+		r := p.arr.Update(ops[i].Key, ops[i].Value)
+		if r.Evicted {
+			onEvict(r.EvictedKey, r.EvictedValue)
+		}
+	}
+}
+
+// Len implements Cache.
+func (p *FlatP4LRU4) Len() int { return p.arr.Len() }
+
+// Capacity implements Cache.
+func (p *FlatP4LRU4) Capacity() int { return p.arr.Capacity() }
+
+// Range implements Cache.
+func (p *FlatP4LRU4) Range(fn func(k, v uint64) bool) { p.arr.Range(fn) }
+
+// Flat exposes the underlying flat array.
+func (p *FlatP4LRU4) Flat() *lru.FlatArray4 { return p.arr }

@@ -120,9 +120,10 @@ func TestFlatP4LRU3ZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestSpecBuildsFlatCore pins the construction route: p4lru3 specs (and
-// NewForMemory) produce the flat core, while the other unit capacities and
-// the series stay on the generic array.
+// TestSpecBuildsFlatCore pins the construction route: every data-plane
+// unit capacity (p4lru2/3/4) and the series build flat seqlock cores that
+// report ConcurrentQuery, while the generic array remains the oracle behind
+// NewP4LRU/NewSeriesUnitCap.
 func TestSpecBuildsFlatCore(t *testing.T) {
 	c, err := NewFromSpec(Spec{Kind: KindP4LRU3, MemBytes: 64 * 1024})
 	if err != nil {
@@ -144,20 +145,49 @@ func TestSpecBuildsFlatCore(t *testing.T) {
 		t.Fatalf("flat capacity %d != generic cost-model capacity %d", flat.Capacity(), gen.Capacity())
 	}
 
-	for _, kind := range []Kind{KindP4LRU2, KindP4LRU4} {
-		c, err := NewFromSpec(Spec{Kind: kind, MemBytes: 64 * 1024})
+	for _, tc := range []struct {
+		kind Kind
+		want string
+	}{
+		{KindP4LRU2, "p4lru2"},
+		{KindP4LRU4, "p4lru4"},
+	} {
+		c, err := NewFromSpec(Spec{Kind: tc.kind, MemBytes: 64 * 1024})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := c.(*P4LRU); !ok {
-			t.Fatalf("%s spec built %T, want the generic *P4LRU", kind, c)
+		switch c.(type) {
+		case *FlatP4LRU2, *FlatP4LRU4:
+		default:
+			t.Fatalf("%s spec built %T, want a flat core", tc.kind, c)
+		}
+		if c.Name() != tc.want {
+			t.Fatalf("%s spec reports name %q, want %q", tc.kind, c.Name(), tc.want)
+		}
+		if cr, ok := c.(ConcurrentReader); !ok || !cr.ConcurrentQuery() {
+			t.Fatalf("%s flat core does not report ConcurrentQuery", tc.kind)
 		}
 	}
 	c, err = NewFromSpec(Spec{Kind: KindSeries, MemBytes: 64 * 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs, ok := c.(*FlatSeries)
+	if !ok {
+		t.Fatalf("series spec built %T, want *FlatSeries", c)
+	}
+	if fs.Name() != "series4" {
+		t.Fatalf("flat series reports name %q, want series4", fs.Name())
+	}
+	if cr, ok := c.(ConcurrentReader); !ok || !cr.ConcurrentQuery() {
+		t.Fatal("flat series does not report ConcurrentQuery")
+	}
+	// Odd unit capacities stay on the generic series.
+	c, err = NewFromSpec(Spec{Kind: KindSeries, UnitCap: 5, MemBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := c.(*Series); !ok {
-		t.Fatalf("series spec built %T, want *Series", c)
+		t.Fatalf("unitcap=5 series spec built %T, want the generic *Series", c)
 	}
 }

@@ -70,10 +70,12 @@ type Cache interface {
 }
 
 // ConcurrentReader is an optional Cache capability: a policy whose Query is
-// safe to run concurrently with Update (e.g. one that reads its buckets
-// atomically) returns true, and the serving engine then skips its per-shard
-// read lock on the query path. The plain-Go policies in this package mutate
-// multi-word buckets non-atomically and do not implement it.
+// safe to run concurrently with a single writer's Update returns true, and
+// the serving engine then queries it with no lock at all. The flat cores
+// (FlatP4LRU2/3/4, FlatSeries) implement it via their per-unit seqlocks, as
+// does Synchronized, which takes its own read lock internally. The generic
+// interface-based policies mutate multi-word buckets non-atomically and do
+// not implement it — the engine wraps those in Synchronized.
 type ConcurrentReader interface {
 	ConcurrentQuery() bool
 }

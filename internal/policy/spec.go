@@ -222,6 +222,13 @@ func NewFromSpec(s Spec) (Cache, error) {
 		if units < 1 {
 			units = 1
 		}
+		// Unit capacities with flat cores (2, 3, 4 — all the data-plane
+		// widths) get the seqlock series; NewSeriesUnitCap remains the
+		// generic oracle, and serves the odd capacities.
+		switch unitCap {
+		case 2, 3, 4:
+			return NewFlatSeries(unitCap, levels, units, s.Seed, s.Merge), nil
+		}
 		return NewSeriesUnitCap(unitCap, levels, units, s.Seed, s.Merge), nil
 	}
 	if s.Levels != 0 || s.UnitCap != 0 {
