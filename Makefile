@@ -2,9 +2,9 @@ GO ?= go
 
 # The committed perf-trajectory record `make bench` writes; bump the suffix
 # when a PR re-baselines the ladder.
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 # The previous record, used as the regression baseline for -within gates.
-BENCH_BASE ?= BENCH_7.json
+BENCH_BASE ?= BENCH_8.json
 # Fixed iteration counts so runs are comparable across commits.
 BENCH_TIME ?= 2000000x
 # The wire ladder goes through real loopback sockets (µs per query, not ns),
@@ -22,12 +22,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/lru/ ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/... ./internal/backing/ ./internal/resilience/
+	$(GO) test -race ./internal/lru/ ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/... ./internal/backing/ ./internal/resilience/ ./internal/cluster/
 
 # chaos runs the failure-injection suite (backing blackouts, writer panics,
-# overload shedding) under the race detector.
+# overload shedding, cluster node death mid-replay) under the race detector.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos' ./internal/resilience/ ./internal/engine/
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/resilience/ ./internal/engine/ ./internal/cluster/
 
 # bench runs the core benchmark ladder (flat vs generic arrays at every
 # data-plane unit capacity plus the series connection, flat query paths,
@@ -50,13 +50,19 @@ chaos:
 # 1/8/32/64) plus the isolated decode benchmark, and gates on the tentpole
 # claims: the batched path must be ≥2x the single-datagram baseline
 # (batch=64 ≤ 0.5× batch=1 ns/op) and per-packet decode must not allocate.
+#
+# The cluster leg prices the router veneer: querying a local-owner key
+# through a one-node cluster.Router must cost ≤1.3× the bare engine and not
+# allocate (runs -count=5, benchjson keeps each side's fastest run).
 bench:
 	{ $(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|FlatReaders|Engine|Tiered|Breaker|Shedder' -benchmem \
 		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ ./internal/resilience/ \
 	&& $(GO) test -run '^$$' -bench 'TraceOverhead' -benchmem \
 		-benchtime=$(BENCH_TIME) -count=10 ./internal/engine/ \
 	&& $(GO) test -run '^$$' -bench 'WireLadder|NetDecode' -benchmem \
-		-benchtime=$(BENCH_NET_TIME) ./internal/netproto/ ; } \
+		-benchtime=$(BENCH_NET_TIME) ./internal/netproto/ \
+	&& $(GO) test -run '^$$' -bench 'ClusterRouter' -benchmem \
+		-benchtime=$(BENCH_TIME) -count=5 ./internal/cluster/ ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
 		-faster 'FlatVsGeneric/core=flat<FlatVsGeneric/core=generic' \
 		-faster 'FlatVsGeneric/core=flat-batch<FlatVsGeneric/core=generic' \
@@ -76,6 +82,8 @@ bench:
 		-maxratio 'TraceOverhead/trace=on<=1.05*TraceOverhead/trace=off' \
 		-maxratio 'WireLadder/batch=64<=0.5*WireLadder/batch=1' \
 		-zeroalloc 'NetDecode' \
+		-maxratio 'ClusterRouter/path=local<=1.3*ClusterRouter/path=single' \
+		-zeroalloc 'ClusterRouter/path=local' \
 		-baseline $(BENCH_BASE) \
 		-within 'EngineQuery=3' \
 		-within 'FlatQuery/core=flat=3' \

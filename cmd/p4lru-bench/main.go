@@ -9,6 +9,7 @@
 //	p4lru-bench replay [-trace file.p4lt] [-policy spec] [-shards N]
 //	                   [-parallel N] ...
 //	p4lru-bench netbench [-queries N] [-batches 1,8,32,64] ...
+//	p4lru-bench cluster  [-nodes N] [-replicas R] [-net] [-kill] ...
 //
 // Each experiment prints the same rows/series the paper reports (§4); -csv
 // additionally writes one CSV per panel into -o, -json one JSON object per
@@ -36,6 +37,12 @@
 // switch + client stack on loopback, one timed rung per batch size, so the
 // recvmmsg/sendmmsg batching win over the single-datagram path is measurable
 // from the command line.
+//
+// cluster spins an N-node consistent-hash ring inside one process and
+// replays a Zipf workload through cluster.Router — hot-key replication,
+// heartbeat failure detection and warm range migration in one command.
+// -net reaches each node over real loopback UDP/TCP; -kill murders a node
+// mid-replay and reports the failover time and recovered hit ratio.
 //
 // -cpuprofile/-memprofile (on run and replay) write whole-run pprof files
 // for offline diffing across commits — the complement of the live -metrics
@@ -86,6 +93,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
 			os.Exit(1)
 		}
+	case "cluster":
+		if err := clusterCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "p4lru-bench:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -106,7 +118,10 @@ func usage() {
                      [-hedge d] [-inflight N] [-writebehind]
                      [-cpuprofile f] [-memprofile f]
   p4lru-bench netbench [-queries N] [-batches 1,8,32,64] [-items N]
-                     [-skew z] [-levels N] [-units N] [-readers N] [-warm N]`)
+                     [-skew z] [-levels N] [-units N] [-readers N] [-warm N]
+  p4lru-bench cluster [-nodes N] [-replicas R] [-hotk N] [-vnodes N]
+                     [-policy spec] [-mem bytes] [-shards N] [-queries N]
+                     [-flows N] [-skew z] [-seed s] [-net] [-kill]`)
 }
 
 // serveMetrics wires the default registry into the experiment runs and, when

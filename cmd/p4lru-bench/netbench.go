@@ -43,11 +43,12 @@ func netbenchCmd(args []string) error {
 
 	fmt.Printf("netbench: %d queries/rung, %d items, skew %.2f, batched syscalls: %v\n\n",
 		*queries, *items, *skew, netproto.Batched())
-	fmt.Printf("%-10s %12s %12s %10s %10s\n", "batch", "queries/s", "ns/query", "hit-rate", "failures")
+	fmt.Printf("%-10s %12s %10s %10s %10s %10s %10s\n",
+		"batch", "queries/s", "p50", "p99", "p99.9", "hit-rate", "failures")
 
 	var base float64
 	for _, batch := range sizes {
-		qps, hitRate, failures, err := netbenchRung(*items, *skew, *levels, *units, *readers, *warm, *queries, batch)
+		qps, st, err := netbenchRung(*items, *skew, *levels, *units, *readers, *warm, *queries, batch)
 		if err != nil {
 			return fmt.Errorf("rung batch=%d: %w", batch, err)
 		}
@@ -57,17 +58,20 @@ func netbenchCmd(args []string) error {
 		} else {
 			speedup = fmt.Sprintf("  (%.2fx batch=%d)", qps/base, sizes[0])
 		}
-		fmt.Printf("%-10d %12.0f %12.0f %9.1f%% %10d%s\n",
-			batch, qps, 1e9/qps, hitRate*100, failures, speedup)
+		fmt.Printf("%-10d %12.0f %10s %10s %10s %9.1f%% %10d%s\n",
+			batch, qps,
+			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond),
+			st.P999.Round(time.Microsecond),
+			float64(st.Cached)/float64(st.Queries)*100, st.Failures, speedup)
 	}
 	return nil
 }
 
 // netbenchRung stands up a fresh stack and drives one timed rung through it.
-func netbenchRung(items int, skew float64, levels, units, readers, warm, queries, batch int) (qps, hitRate float64, failures int, err error) {
+func netbenchRung(items int, skew float64, levels, units, readers, warm, queries, batch int) (qps float64, st netproto.RunStats, err error) {
 	srv, err := netproto.NewServer("127.0.0.1:0", items)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, st, err
 	}
 	defer srv.Close()
 	sw, err := netproto.NewSwitch(netproto.SwitchConfig{
@@ -81,25 +85,24 @@ func netbenchRung(items int, skew float64, levels, units, readers, warm, queries
 		Readers: readers,
 	})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, st, err
 	}
 	defer sw.Close()
 	cl, err := netproto.NewClient(sw.Addr(), netproto.ClientConfig{
 		Items: items, Skew: skew, Seed: 1, Batch: batch,
 	})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, st, err
 	}
 	defer cl.Close()
 
 	for i := 0; i < warm; i++ {
 		if _, qerr := cl.Query(cl.NextKey()); qerr != nil {
-			return 0, 0, 0, fmt.Errorf("warm-up: %w", qerr)
+			return 0, st, fmt.Errorf("warm-up: %w", qerr)
 		}
 	}
 
 	start := time.Now()
-	var st netproto.RunStats
 	if batch == 1 {
 		st = cl.Run(queries)
 	} else {
@@ -110,9 +113,7 @@ func netbenchRung(items int, skew float64, levels, units, readers, warm, queries
 		fmt.Fprintf(os.Stderr, "netbench: %d invalid values on batch=%d rung\n", st.Invalid, batch)
 	}
 	if st.Queries == 0 {
-		return 0, 0, 0, fmt.Errorf("no queries completed")
+		return 0, st, fmt.Errorf("no queries completed")
 	}
-	return float64(st.Queries) / elapsed.Seconds(),
-		float64(st.Cached) / float64(st.Queries),
-		st.Failures, nil
+	return float64(st.Queries) / elapsed.Seconds(), st, nil
 }

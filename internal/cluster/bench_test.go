@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/p4lru/p4lru/internal/engine"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// BenchmarkClusterRouter prices the router's veneer over a single engine:
+// path=single queries the engine directly, path=local routes the same hits
+// through a one-node router (ring lookup, hot-key touch, breaker liveness
+// check, LocalPeer hop). The bench gate holds the local-owner overhead to
+// ≤1.3× the bare engine.
+func BenchmarkClusterRouter(b *testing.B) {
+	const keys = 4096
+	newFilled := func(b *testing.B) *engine.Engine {
+		b.Helper()
+		e, err := engine.NewFromSpec(
+			policy.Spec{Kind: policy.KindP4LRU3, MemBytes: 1 << 20, Seed: 9},
+			engine.Config{Shards: 4, Block: true},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(e.Close)
+		for k := uint64(1); k <= keys; k++ {
+			e.Apply(engine.Op{Key: k, Value: k})
+		}
+		return e
+	}
+	// Bench over keys that are actually resident so both paths measure the
+	// hit path, not miss handling.
+	resident := func(e *engine.Engine) []uint64 {
+		var out []uint64
+		e.Range(func(k, v uint64) bool {
+			out = append(out, k)
+			return true
+		})
+		if len(out) == 0 {
+			b.Fatal("no resident keys")
+		}
+		return out
+	}
+
+	b.Run("path=single", func(b *testing.B) {
+		e := newFilled(b)
+		res := resident(e)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Query(res[i%len(res)])
+		}
+	})
+
+	b.Run("path=local", func(b *testing.B) {
+		e := newFilled(b)
+		res := resident(e)
+		r := New(Config{Seed: testSeed, HeartbeatEvery: -1})
+		defer r.Close()
+		if err := r.Join("node-0", NewLocalPeer(e, testSeed)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Query(res[i%len(res)])
+		}
+	})
+}

@@ -1,0 +1,722 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/engine"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/obs/span"
+	"github.com/p4lru/p4lru/internal/resilience"
+)
+
+// ErrNoNodes reports an operation against a router whose ring is empty.
+var ErrNoNodes = errors.New("cluster: ring has no nodes")
+
+// Config parameterizes New. The zero value gets sane defaults.
+type Config struct {
+	// Seed derives the ring-position hash and vnode placement. Every router
+	// and NodeServer in one cluster must share it.
+	Seed uint64
+	// VNodes is the virtual nodes per member (0 = 64). More vnodes smooth
+	// ownership imbalance at the cost of a deeper membership-change plan.
+	VNodes int
+	// Replicas is the total copy count for hot keys, owner included
+	// (0 or 1 = no replication).
+	Replicas int
+	// HotK is how many top keys the CU-sketch tracker promotes to the
+	// replicated hot set (0 = 128; negative disables hot tracking, and with
+	// it replication fan-out).
+	HotK int
+	// Breaker parameterizes the per-peer circuit breakers. Name is
+	// overridden per peer; Obs defaults to Config.Obs.
+	Breaker resilience.BreakerConfig
+	// HeartbeatEvery is the ping cadence of the failure detector
+	// (0 = 250ms; negative disables the loop — membership then changes only
+	// through explicit Join/Leave/Fail calls).
+	HeartbeatEvery time.Duration
+	// DualReadFor is how long after a membership swap a miss in a moved arc
+	// retries the arc's previous holder (0 = 2s). It must comfortably cover
+	// a migration stream's duration.
+	DualReadFor time.Duration
+	// Obs, when non-nil, receives the cluster_* metrics.
+	Obs *obs.Registry
+	// Span, when non-nil, records one KindMigrate span per executed
+	// range transfer (StageFetch = pull open, StageApply = push+restore).
+	Span *span.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.HotK == 0 {
+		c.HotK = 128
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.DualReadFor <= 0 {
+		c.DualReadFor = 2 * time.Second
+	}
+	if c.Breaker.Obs == nil {
+		c.Breaker.Obs = c.Obs
+	}
+	return c
+}
+
+// dualWindow marks a set of hash arcs that recently changed hands: until
+// the deadline, a read miss inside the arcs retries source (the previous
+// holder) and re-installs hits at the new owner. Windows ride the immutable
+// ringState, so the query path reads them without locks.
+type dualWindow struct {
+	arcs   [][2]uint64
+	source string
+	until  time.Time
+}
+
+// ringState is the router's atomically-swapped view of the cluster: the
+// ring, the peer handles (including tombstones — departed members kept
+// reachable while a dual-read window still points at them), and the active
+// windows. peerArr/brkArr mirror peers and the peer gate, aligned with
+// ring.Members() — the owner query path indexes them directly instead of
+// paying two string-map lookups per query.
+type ringState struct {
+	ring    *Ring
+	peers   map[string]Peer
+	peerArr []Peer
+	// engArr/deadArr devirtualize in-process peers: where peerArr[i] is a
+	// *LocalPeer, engArr[i] is its engine and deadArr[i] its kill flag, so
+	// the query fast path reaches engine.Query with one direct call instead
+	// of two interface-dispatched frames.
+	engArr  []*engine.Engine
+	deadArr []*atomic.Bool
+	brkArr  []*resilience.Breaker
+	windows []dualWindow
+}
+
+// index builds the member-aligned fast-path arrays. Called once per swap.
+func (st *ringState) index(gate *resilience.PeerGate) {
+	members := st.ring.Members()
+	st.peerArr = make([]Peer, len(members))
+	st.engArr = make([]*engine.Engine, len(members))
+	st.deadArr = make([]*atomic.Bool, len(members))
+	st.brkArr = make([]*resilience.Breaker, len(members))
+	for i, id := range members {
+		st.peerArr[i] = st.peers[id]
+		if lp, ok := st.peers[id].(*LocalPeer); ok {
+			st.engArr[i] = lp.eng
+			st.deadArr[i] = &lp.dead
+		}
+		st.brkArr[i] = gate.Peer(id)
+	}
+}
+
+// Router fronts a set of engine nodes as one Engine-shaped cache: Query,
+// Update and GetOrLoad place keys on ring owners, fan hot keys across
+// replicas, and survive node death behind per-peer circuit breakers.
+// Membership changes (Join/Leave/Fail, or the heartbeat failure detector)
+// move only the affected hash ranges, streamed as range-filtered snapshots,
+// with a dual-read window masking the handoff.
+//
+// All methods are safe for concurrent use. The read path is lock-free:
+// one atomic state load, a ring binary search, and a breaker liveness load.
+type Router struct {
+	cfg  Config
+	gate *resilience.PeerGate
+	hot  *hotKeys
+
+	state atomic.Pointer[ringState]
+
+	mu     sync.Mutex // serializes membership changes
+	closed atomic.Bool
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	okSample atomic.Uint64 // samples breaker success recording on the fast path
+	rr       atomic.Uint64 // rotates hot-key read fan-out across replicas
+
+	queries, hits, fanReads   *obs.Counter
+	dualReads, dualHits       *obs.Counter
+	updates, replicaFanFails  *obs.Counter
+	migrations, migratedPairs *obs.Counter
+	autoFails                 *obs.Counter
+	nodesGauge                *obs.Gauge
+}
+
+// New builds a router with an empty ring; add nodes with Join.
+func New(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:  cfg,
+		gate: resilience.NewPeerGate(cfg.Breaker),
+	}
+	if cfg.HotK > 0 && cfg.Replicas > 1 {
+		// Hot-key tracking only matters when there are successors to
+		// replicate to; without replication the tracker would tax every
+		// query for nothing.
+		r.hot = newHotKeys(cfg.HotK, cfg.Seed)
+	}
+	empty := &ringState{
+		ring:  NewRing(cfg.Seed, cfg.VNodes, nil),
+		peers: map[string]Peer{},
+	}
+	empty.index(r.gate)
+	r.state.Store(empty)
+	if reg := cfg.Obs; reg != nil {
+		r.queries = reg.Counter("cluster_queries_total")
+		r.hits = reg.Counter("cluster_hits_total")
+		r.fanReads = reg.Counter("cluster_fan_reads_total")
+		r.dualReads = reg.Counter("cluster_dual_reads_total")
+		r.dualHits = reg.Counter("cluster_dual_hits_total")
+		r.updates = reg.Counter("cluster_updates_total")
+		r.replicaFanFails = reg.Counter("cluster_replica_fan_fails_total")
+		r.migrations = reg.Counter("cluster_migrations_total")
+		r.migratedPairs = reg.Counter("cluster_migrated_pairs_total")
+		r.autoFails = reg.Counter("cluster_auto_fails_total")
+		r.nodesGauge = reg.Gauge("cluster_nodes")
+		reg.GaugeFunc("cluster_hot_keys", func() float64 {
+			return float64(len(r.hot.Keys()))
+		})
+	}
+	if cfg.HeartbeatEvery > 0 {
+		r.hbStop = make(chan struct{})
+		r.hbDone = make(chan struct{})
+		go r.heartbeatLoop()
+	}
+	return r
+}
+
+// Close stops the failure detector. Peer handles and their engines belong
+// to the caller and are left open.
+func (r *Router) Close() {
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if r.hbStop != nil {
+		close(r.hbStop)
+		<-r.hbDone
+	}
+}
+
+// Ring returns the current ring (immutable).
+func (r *Router) Ring() *Ring { return r.state.Load().ring }
+
+// Members returns the current sorted member list.
+func (r *Router) Members() []string { return r.state.Load().ring.Members() }
+
+// HotKeys returns the currently-published replicated hot set.
+func (r *Router) HotKeys() []uint64 { return r.hot.Keys() }
+
+// replicas returns the effective copy count.
+func (r *Router) replicas() int {
+	if r.hot == nil {
+		return 1
+	}
+	return r.cfg.Replicas
+}
+
+// do runs one call against peer id through its breaker. While the breaker
+// is live (closed) the call proceeds on the lock-free path — failures are
+// always recorded, successes on a 1-in-16 sample, which keeps the breaker's
+// mutex off the per-query path. Once the breaker trips, calls fall back to
+// the full Allow/Record protocol that owns the half-open probe bookkeeping.
+func (r *Router) do(id string, f func() error) error {
+	b := r.gate.Peer(id)
+	if b.Live() {
+		err := f()
+		if err != nil {
+			b.Record(false)
+		} else if r.okSample.Add(1)&15 == 0 {
+			b.Record(true)
+		}
+		return err
+	}
+	if !b.Allow() {
+		return fmt.Errorf("cluster: peer %s: %w", id, resilience.ErrOpen)
+	}
+	err := f()
+	b.Record(err == nil)
+	return err
+}
+
+// queryPeer reads key from one member through its breaker. The breaker
+// protocol is inlined rather than routed through do() so the per-query
+// path stays closure-free (and so allocation-free on local peers).
+func (r *Router) queryPeer(st *ringState, id string, key uint64) (uint64, bool, error) {
+	p := st.peers[id]
+	if p == nil {
+		return 0, false, fmt.Errorf("cluster: no peer handle for %q", id)
+	}
+	b := r.gate.Peer(id)
+	if b.Live() {
+		v, ok, err := p.Query(key)
+		if err != nil {
+			b.Record(false)
+		} else if r.okSample.Add(1)&15 == 0 {
+			b.Record(true)
+		}
+		return v, ok, err
+	}
+	if !b.Allow() {
+		return 0, false, fmt.Errorf("cluster: peer %s: %w", id, resilience.ErrOpen)
+	}
+	v, ok, err := p.Query(key)
+	b.Record(err == nil)
+	return v, ok, err
+}
+
+// queryIdx is queryPeer addressed by Members() index — the owner fast path.
+// It touches only the member-aligned arrays built at swap time, so a hit
+// costs one atomic state load, one breaker liveness load and the peer call
+// (direct, not interface-dispatched, for in-process peers). Success
+// recording is sampled on key bits rather than a shared counter: across a
+// key population it still averages 1-in-16, without an atomic RMW
+// contended by every query. The tripped-breaker branch lives in
+// queryIdxSlow to keep this body within the inliner's budget.
+func (r *Router) queryIdx(st *ringState, i int, key uint64) (uint64, bool, error) {
+	b := st.brkArr[i]
+	if !b.Live() {
+		return r.queryIdxSlow(st, i, key)
+	}
+	if e := st.engArr[i]; e != nil && !st.deadArr[i].Load() {
+		v, _, ok := e.Query(key)
+		if key&15 == 0 {
+			b.Record(true)
+		}
+		return v, ok, nil
+	}
+	v, ok, err := st.peerArr[i].Query(key)
+	if err != nil {
+		b.Record(false)
+	} else if key&15 == 0 {
+		b.Record(true)
+	}
+	return v, ok, err
+}
+
+// queryIdxSlow is queryIdx's tripped-breaker path: the full Allow/Record
+// protocol that owns the half-open probe bookkeeping.
+func (r *Router) queryIdxSlow(st *ringState, i int, key uint64) (uint64, bool, error) {
+	b := st.brkArr[i]
+	if !b.Allow() {
+		return 0, false, fmt.Errorf("cluster: peer %s: %w", st.ring.Members()[i], resilience.ErrOpen)
+	}
+	v, ok, err := st.peerArr[i].Query(key)
+	b.Record(err == nil)
+	return v, ok, err
+}
+
+// updatePeer installs key → val at one member through its breaker.
+func (r *Router) updatePeer(st *ringState, id string, key, val uint64) error {
+	p := st.peers[id]
+	if p == nil {
+		return fmt.Errorf("cluster: no peer handle for %q", id)
+	}
+	return r.do(id, func() error { return p.Update(key, val) })
+}
+
+// Query reads key from its ring owner; hot keys rotate across the replica
+// set instead, so elephant flows spread over R nodes and survive any
+// single replica's death. A miss inside an active dual-read window retries
+// the arc's previous holder and re-installs hits at the new owner.
+//
+// The error is non-nil only when no replica could answer at all — a miss
+// from a live owner is (0, false, nil), exactly like engine.Query plus ok.
+func (r *Router) Query(key uint64) (uint64, bool, error) {
+	st := r.state.Load()
+	if st.ring.Size() == 0 {
+		return 0, false, ErrNoNodes
+	}
+	r.queries.Inc()
+	if r.hot != nil {
+		r.hot.Touch(key)
+	}
+
+	if st.ring.Size() == 1 && len(st.windows) == 0 {
+		// Solo fast path: one member owns the whole circle, so skip the
+		// position hash and ring walk entirely. The in-process happy path is
+		// additionally hand-inlined — this is the benchmarked overhead of
+		// fronting a single engine with the router.
+		if b := st.brkArr[0]; b.Live() {
+			if e := st.engArr[0]; e != nil && !st.deadArr[0].Load() {
+				v, _, ok := e.Query(key)
+				if key&15 == 0 {
+					b.Record(true)
+				}
+				if ok {
+					r.hits.Inc()
+				}
+				return v, ok, nil
+			}
+		}
+		v, ok, err := r.queryIdx(st, 0, key)
+		if ok {
+			r.hits.Inc()
+		}
+		return v, ok, err
+	}
+
+	pos := st.ring.Pos(key)
+	if r.hot == nil || !r.hot.Hot(key) {
+		idx := st.ring.OwnerIdxAt(pos)
+		v, ok, err := r.queryIdx(st, idx, key)
+		if ok {
+			r.hits.Inc()
+			return v, true, nil
+		}
+		if v, ok = r.dualRead(st, pos, key, st.ring.Members()[idx]); ok {
+			return v, true, nil
+		}
+		return 0, false, err
+	}
+
+	r.fanReads.Inc()
+	ids := st.ring.ReplicasAt(pos, r.replicas())
+	start := int(r.rr.Add(1)) % len(ids)
+	var lastErr error
+	answered := false
+	for i := 0; i < len(ids); i++ {
+		id := ids[(start+i)%len(ids)]
+		v, ok, err := r.queryPeer(st, id, key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		answered = true
+		if ok {
+			r.hits.Inc()
+			return v, true, nil
+		}
+	}
+	if v, ok := r.dualRead(st, pos, key, ""); ok {
+		return v, true, nil
+	}
+	if answered {
+		return 0, false, nil
+	}
+	return 0, false, lastErr
+}
+
+// dualRead retries a miss at the previous holder of pos's arc when a
+// migration window is still open, re-installing hits at the current owner.
+// queried is a member already asked this query (skipped as source).
+func (r *Router) dualRead(st *ringState, pos, key uint64, queried string) (uint64, bool) {
+	if len(st.windows) == 0 {
+		return 0, false
+	}
+	now := time.Now()
+	for i := range st.windows {
+		w := &st.windows[i]
+		if w.source == queried || now.After(w.until) || !arcsContain(w.arcs, pos) {
+			continue
+		}
+		p := st.peers[w.source]
+		if p == nil {
+			continue
+		}
+		r.dualReads.Inc()
+		var v uint64
+		var ok bool
+		err := r.do(w.source, func() error {
+			var qerr error
+			v, ok, qerr = p.Query(key)
+			return qerr
+		})
+		if err != nil || !ok {
+			continue
+		}
+		r.dualHits.Inc()
+		r.hits.Inc()
+		owner := st.ring.OwnerAt(pos)
+		if owner != w.source {
+			_ = r.updatePeer(st, owner, key, v) // warm the new owner; best-effort
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// Update installs key → val at its ring owner synchronously — a nil return
+// means the owner applied and acked it. Hot keys additionally fan to the
+// replica successors, best-effort: a replica that misses an update serves a
+// stale read only until the next fan reaches it, and the owner remains the
+// authority.
+func (r *Router) Update(key, val uint64) error {
+	st := r.state.Load()
+	if st.ring.Size() == 0 {
+		return ErrNoNodes
+	}
+	r.updates.Inc()
+	pos := st.ring.Pos(key)
+	if r.replicas() == 1 || !r.hot.Hot(key) {
+		return r.updatePeer(st, st.ring.OwnerAt(pos), key, val)
+	}
+	ids := st.ring.ReplicasAt(pos, r.replicas())
+	err := r.updatePeer(st, ids[0], key, val)
+	for _, id := range ids[1:] {
+		if r.updatePeer(st, id, key, val) != nil {
+			r.replicaFanFails.Inc()
+		}
+	}
+	return err
+}
+
+// GetOrLoad reads key, falling back to load on a miss and installing the
+// loaded value — the cluster-wide analogue of tiered GetOrLoad. A failed
+// install is not an error (it costs a future miss, not correctness).
+func (r *Router) GetOrLoad(key uint64, load func(key uint64) (uint64, error)) (uint64, error) {
+	v, ok, err := r.Query(key)
+	if ok {
+		return v, nil
+	}
+	if errors.Is(err, ErrNoNodes) {
+		return 0, err
+	}
+	v, err = load(key)
+	if err != nil {
+		return 0, err
+	}
+	_ = r.Update(key, v)
+	return v, nil
+}
+
+// Join adds node id (reached through peer) to the ring. Ownership of the
+// affected arcs is migrated to the new node *before* the ring swap — the
+// node serves its first query already warm — and a dual-read window covers
+// writes that raced the stream. The router does not take ownership of the
+// peer handle.
+func (r *Router) Join(id string, peer Peer) error {
+	if id == "" || peer == nil {
+		return fmt.Errorf("cluster: Join needs a node id and a peer")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed.Load() {
+		return fmt.Errorf("cluster: router closed")
+	}
+	st := r.state.Load()
+	if containsStr(st.ring.Members(), id) {
+		return fmt.Errorf("cluster: %q is already a member", id)
+	}
+	next := NewRing(r.cfg.Seed, r.cfg.VNodes, append(append([]string{}, st.ring.Members()...), id))
+	peers := clonePeers(st.peers)
+	peers[id] = peer
+
+	// Migrate-then-swap: the stream runs while old owners still serve the
+	// arcs, so nothing is overwritten and the new node starts warm.
+	transfers := Plan(st.ring, next, r.replicas())
+	windows := r.execute(peers, transfers, "", false)
+	r.swap(st, next, peers, windows)
+	return nil
+}
+
+// Leave removes node id gracefully: the ring is swapped first (writes stop
+// arriving), then the departing node streams the moved arcs to their new
+// holders, with a dual-read window covering reads in between. The peer
+// handle stays reachable as a tombstone until its windows expire — close it
+// after ~DualReadFor, not immediately.
+func (r *Router) Leave(id string) error {
+	return r.remove(id, false)
+}
+
+// Fail removes node id as dead: the ring is swapped immediately and the
+// moved arcs are re-streamed from surviving replicas (there are none to
+// recover from unless Replicas > 1 — un-replicated keys on a dead node are
+// a cache miss, not data loss). The heartbeat failure detector calls this
+// automatically when a peer's breaker opens.
+func (r *Router) Fail(id string) error {
+	return r.remove(id, true)
+}
+
+func (r *Router) remove(id string, dead bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state.Load()
+	if !containsStr(st.ring.Members(), id) {
+		return fmt.Errorf("cluster: %q is not a member", id)
+	}
+	members := make([]string, 0, st.ring.Size()-1)
+	for _, m := range st.ring.Members() {
+		if m != id {
+			members = append(members, m)
+		}
+	}
+	next := NewRing(r.cfg.Seed, r.cfg.VNodes, members)
+	peers := clonePeers(st.peers)
+	if dead {
+		delete(peers, id) // no dual reads at a corpse
+		r.gate.Drop(id)
+	}
+
+	// Swap-then-migrate: traffic leaves the node at the swap; the streams
+	// that follow restore keep-existing, so writes landing at the new
+	// owners meanwhile are never rolled back, and dual-read windows mask
+	// the gap until each arc's stream completes.
+	transfers := Plan(st.ring, next, r.replicas())
+	skip := ""
+	if dead {
+		skip = id
+	}
+	r.swap(st, next, peers, r.windowsFor(transfers, skip, next))
+	r.executeAfterSwap(transfers, skip)
+	return nil
+}
+
+// windowsFor opens one dual-read window per transfer before the streams
+// run, pointing at the first usable source.
+func (r *Router) windowsFor(transfers []Transfer, skip string, next *Ring) []dualWindow {
+	st := r.state.Load()
+	until := time.Now().Add(r.cfg.DualReadFor)
+	var out []dualWindow
+	for _, t := range transfers {
+		for _, s := range t.Sources {
+			if s == skip || st.peers[s] == nil {
+				continue
+			}
+			out = append(out, dualWindow{arcs: t.Arcs, source: s, until: until})
+			break
+		}
+	}
+	return out
+}
+
+// executeAfterSwap runs the post-swap migration streams (keep-existing
+// restores). Caller holds r.mu; the swapped state is already live.
+func (r *Router) executeAfterSwap(transfers []Transfer, skip string) {
+	st := r.state.Load()
+	r.execute(st.peers, transfers, skip, true)
+}
+
+// execute streams every transfer from its first healthy source into its
+// destination. keepExisting selects the restore mode (true after a swap).
+// Returns dual-read windows for the arcs that moved, pointing at the
+// source that served each stream.
+func (r *Router) execute(peers map[string]Peer, transfers []Transfer, skip string, keepExisting bool) []dualWindow {
+	var windows []dualWindow
+	until := time.Now().Add(r.cfg.DualReadFor)
+	for _, t := range transfers {
+		dst := peers[t.Dest]
+		if dst == nil {
+			continue
+		}
+		for _, s := range t.Sources {
+			if s == skip || peers[s] == nil {
+				continue
+			}
+			sp := r.cfg.Span.Start(0, 0)
+			rc, err := peers[s].OpenPull(t.Arcs)
+			if err != nil {
+				sp.Finish(span.KindMigrate)
+				continue
+			}
+			sp.Mark(span.StageFetch)
+			n, err := dst.Push(rc, keepExisting)
+			rc.Close()
+			sp.Mark(span.StageApply)
+			sp.SetBatch(n)
+			sp.Finish(span.KindMigrate)
+			if err != nil {
+				continue
+			}
+			r.migrations.Inc()
+			r.migratedPairs.Add(uint64(n))
+			windows = append(windows, dualWindow{arcs: t.Arcs, source: s, until: until})
+			break
+		}
+	}
+	return windows
+}
+
+// swap publishes the new membership, carrying over unexpired windows and
+// pruning tombstone peers no window references anymore. Caller holds r.mu.
+func (r *Router) swap(st *ringState, next *Ring, peers map[string]Peer, windows []dualWindow) {
+	now := time.Now()
+	for _, w := range st.windows {
+		if now.Before(w.until) {
+			windows = append(windows, w)
+		}
+	}
+	// Tombstones: peers out of the ring stay only while a window needs them.
+	for id := range peers {
+		if containsStr(next.Members(), id) {
+			continue
+		}
+		needed := false
+		for _, w := range windows {
+			if w.source == id {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			delete(peers, id)
+		}
+	}
+	ns := &ringState{ring: next, peers: peers, windows: windows}
+	ns.index(r.gate)
+	r.state.Store(ns)
+	r.nodesGauge.Set(float64(next.Size()))
+}
+
+// pruneWindows drops expired windows (and with them, stale tombstones).
+func (r *Router) pruneWindows() {
+	st := r.state.Load()
+	now := time.Now()
+	expired := false
+	for _, w := range st.windows {
+		if now.After(w.until) {
+			expired = true
+			break
+		}
+	}
+	if !expired {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st = r.state.Load()
+	r.swap(st, st.ring, clonePeers(st.peers), nil)
+}
+
+// heartbeatLoop is the failure detector: each tick pings every peer
+// through its breaker; a breaker that trips open gets the member
+// auto-failed, which triggers replica-sourced range migration.
+func (r *Router) heartbeatLoop() {
+	defer close(r.hbDone)
+	t := time.NewTicker(r.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.hbStop:
+			return
+		case <-t.C:
+		}
+		st := r.state.Load()
+		for id, p := range st.peers {
+			p := p
+			_ = r.do(id, func() error { return p.Ping() })
+		}
+		for _, id := range r.gate.Open() {
+			if containsStr(r.state.Load().ring.Members(), id) {
+				r.autoFails.Inc()
+				_ = r.Fail(id)
+			}
+		}
+		r.pruneWindows()
+	}
+}
+
+func clonePeers(in map[string]Peer) map[string]Peer {
+	out := make(map[string]Peer, len(in)+1)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

@@ -38,6 +38,16 @@ const (
 // one shard at a time, so writers racing it produce a torn (but well-formed)
 // snapshot, exactly like Range.
 func (e *Engine) Snapshot(w io.Writer) error {
+	return e.SnapshotFiltered(w, nil)
+}
+
+// SnapshotFiltered is Snapshot restricted to the pairs keep reports true
+// for (nil keeps everything). The image is a complete, self-checksummed
+// snapshot of the kept subset — the cluster tier streams hash-range slices
+// of a node's contents through this without the recipient needing to know
+// the filter. Like Snapshot, it reads through the lock-free path, so it can
+// run against a live engine.
+func (e *Engine) SnapshotFiltered(w io.Writer, keep func(key uint64) bool) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("engine: snapshot header: %w", err)
@@ -71,6 +81,9 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		return true
 	}
 	e.Range(func(k, v uint64) bool {
+		if keep != nil && !keep(k) {
+			return true
+		}
 		off := inChunk * 16
 		binary.LittleEndian.PutUint64(chunk[off:off+8], k)
 		binary.LittleEndian.PutUint64(chunk[off+8:off+16], v)
@@ -106,6 +119,22 @@ func (e *Engine) Snapshot(w io.Writer) error {
 // so the restored engine reports the same Len and answers the same queries.
 // A mismatched geometry still restores, but capacity differences may evict.
 func (e *Engine) RestoreSnapshot(r io.Reader) (int, error) {
+	return e.restoreSnapshot(r, false)
+}
+
+// RestoreSnapshotIfAbsent is RestoreSnapshot except pairs whose key is
+// already resident are skipped instead of overwritten, and the returned
+// count is the pairs actually installed. It exists for cluster migration's
+// swap-then-migrate order: the ring is flipped first, so by the time a
+// range's snapshot arrives the new owner may already have accepted fresher
+// writes for some keys — a blind restore would roll those back. The check
+// races concurrent writers per key (query, then apply), a window the
+// single-writer shard discipline keeps to one batch.
+func (e *Engine) RestoreSnapshotIfAbsent(r io.Reader) (int, error) {
+	return e.restoreSnapshot(r, true)
+}
+
+func (e *Engine) restoreSnapshot(r io.Reader, ifAbsent bool) (int, error) {
 	br := bufio.NewReader(r)
 	var header [16]byte
 	if _, err := io.ReadFull(br, header[:]); err != nil {
@@ -120,12 +149,25 @@ func (e *Engine) RestoreSnapshot(r io.Reader) (int, error) {
 
 	sum := fnv.New64a()
 	batches := make([][]Op, len(e.shards))
-	var restored uint64
+	var read, restored uint64
 	flush := func(i int) {
 		if len(batches[i]) == 0 {
 			return
 		}
-		e.restoreBatch(i, batches[i])
+		batch := batches[i]
+		if ifAbsent {
+			kept := batch[:0]
+			for _, op := range batch {
+				if _, _, ok := e.Query(op.Key); !ok {
+					kept = append(kept, op)
+				}
+			}
+			batch = kept
+		}
+		restored += uint64(len(batch))
+		if len(batch) > 0 {
+			e.restoreBatch(i, batch)
+		}
 		batches[i] = batches[i][:0]
 	}
 	var buf [16]byte
@@ -150,7 +192,7 @@ func (e *Engine) RestoreSnapshot(r io.Reader) (int, error) {
 			v := binary.LittleEndian.Uint64(buf[8:16])
 			i := e.ShardFor(k)
 			batches[i] = append(batches[i], Op{Key: k, Value: v, Token: policy.NoToken})
-			restored++
+			read++
 			if len(batches[i]) >= e.cfg.BatchSize {
 				flush(i)
 			}
@@ -164,8 +206,8 @@ func (e *Engine) RestoreSnapshot(r io.Reader) (int, error) {
 	if _, err := io.ReadFull(br, trailer[:]); err != nil {
 		return int(restored), fmt.Errorf("engine: snapshot trailer: %w", err)
 	}
-	if want := binary.LittleEndian.Uint64(trailer[0:8]); want != restored {
-		return int(restored), fmt.Errorf("engine: snapshot count mismatch: trailer %d, read %d", want, restored)
+	if want := binary.LittleEndian.Uint64(trailer[0:8]); want != read {
+		return int(restored), fmt.Errorf("engine: snapshot count mismatch: trailer %d, read %d", want, read)
 	}
 	if want := binary.LittleEndian.Uint64(trailer[8:16]); want != sum.Sum64() {
 		return int(restored), fmt.Errorf("engine: snapshot checksum mismatch")

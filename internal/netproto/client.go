@@ -3,6 +3,7 @@ package netproto
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -11,7 +12,33 @@ import (
 	"time"
 
 	"github.com/p4lru/p4lru/internal/netproto/batchio"
+	"github.com/p4lru/p4lru/internal/quantile"
 )
+
+// Typed failure classes for exhausted query attempts, so callers holding a
+// per-peer circuit breaker (the cluster router, a Loader over RemoteStore)
+// can tell "node down" from "node slow" without string-matching — the same
+// role resilience.ErrOpen plays for breaker rejections.
+var (
+	// ErrTimeout means every attempt ran out its reply deadline: the peer
+	// is slow, overloaded, or silently gone (UDP cannot tell which).
+	ErrTimeout = errors.New("netproto: no reply within the attempt budget")
+	// ErrUnreachable means the socket layer rejected the exchange (e.g. a
+	// connected UDP socket observing ICMP port-unreachable): the peer is
+	// down, and the caller should fail fast rather than retry.
+	ErrUnreachable = errors.New("netproto: peer unreachable")
+)
+
+// classifyAttempt wraps the last per-attempt error with the matching typed
+// sentinel: timeouts stay ErrTimeout, anything the socket layer surfaced
+// becomes ErrUnreachable.
+func classifyAttempt(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w (last: %v)", ErrTimeout, err)
+	}
+	return fmt.Errorf("%w (last: %v)", ErrUnreachable, err)
+}
 
 // NoRetries is the ClientConfig.Retries sentinel for single-shot queries:
 // one attempt, no re-send. (0 means "default", so single-shot needs its own
@@ -207,7 +234,7 @@ func (c *Client) QueryContext(ctx context.Context, key uint64) (QueryResult, err
 		}
 	}
 	return QueryResult{}, fmt.Errorf("netproto: query %d failed after %d attempts: %w",
-		key, c.cfg.Retries+1, lastErr)
+		key, c.cfg.Retries+1, classifyAttempt(lastErr))
 }
 
 // jitter spreads a backoff delay over [d/2, d].
@@ -374,19 +401,54 @@ func (c *Client) queryWindow(keys []uint64, results []QueryResult) (int, error) 
 // NextKey draws the next Zipf-popular key (1-based).
 func (c *Client) NextKey() uint64 { return c.zipf.Uint64() + 1 }
 
-// RunStats aggregates a Run.
+// RunStats aggregates a Run. Latency is reported as streaming P² quantiles
+// (internal/quantile), not just a mean: the batched wire path's win shows
+// up in the tail, and a mean hides the retrans/backoff outliers entirely.
 type RunStats struct {
 	Queries  int
 	Cached   int
 	Invalid  int
 	Failures int
 	AvgRTT   time.Duration
+	P50      time.Duration
+	P99      time.Duration
+	P999     time.Duration
+}
+
+// latencyTrack is the per-run quantile state behind RunStats.
+type latencyTrack struct {
+	p50, p99, p999 *quantile.Estimator
+	total          time.Duration
+	n              int
+}
+
+func newLatencyTrack() *latencyTrack {
+	return &latencyTrack{p50: quantile.New(0.5), p99: quantile.New(0.99), p999: quantile.New(0.999)}
+}
+
+func (l *latencyTrack) observe(d time.Duration) {
+	l.n++
+	l.total += d
+	ns := float64(d)
+	l.p50.Add(ns)
+	l.p99.Add(ns)
+	l.p999.Add(ns)
+}
+
+func (l *latencyTrack) fill(st *RunStats) {
+	if l.n == 0 {
+		return
+	}
+	st.AvgRTT = l.total / time.Duration(l.n)
+	st.P50 = time.Duration(l.p50.Value())
+	st.P99 = time.Duration(l.p99.Value())
+	st.P999 = time.Duration(l.p999.Value())
 }
 
 // Run performs count closed-loop queries.
 func (c *Client) Run(count int) RunStats {
 	var st RunStats
-	var total time.Duration
+	lat := newLatencyTrack()
 	for i := 0; i < count; i++ {
 		res, err := c.Query(c.NextKey())
 		if err != nil {
@@ -394,7 +456,7 @@ func (c *Client) Run(count int) RunStats {
 			continue
 		}
 		st.Queries++
-		total += res.Latency
+		lat.observe(res.Latency)
 		if res.Cached {
 			st.Cached++
 		}
@@ -402,9 +464,7 @@ func (c *Client) Run(count int) RunStats {
 			st.Invalid++
 		}
 	}
-	if st.Queries > 0 {
-		st.AvgRTT = total / time.Duration(st.Queries)
-	}
+	lat.fill(&st)
 	return st
 }
 
@@ -412,7 +472,7 @@ func (c *Client) Run(count int) RunStats {
 // cfg.Batch at a time — the open-loop ladder driver.
 func (c *Client) RunBatch(count int) RunStats {
 	var st RunStats
-	var total time.Duration
+	lat := newLatencyTrack()
 	keys := make([]uint64, c.cfg.Batch)
 	results := make([]QueryResult, c.cfg.Batch)
 	for served := 0; served < count; {
@@ -435,7 +495,7 @@ func (c *Client) RunBatch(count int) RunStats {
 				continue
 			}
 			st.Queries++
-			total += results[i].Latency
+			lat.observe(results[i].Latency)
 			if results[i].Cached {
 				st.Cached++
 			}
@@ -444,8 +504,6 @@ func (c *Client) RunBatch(count int) RunStats {
 			}
 		}
 	}
-	if st.Queries > 0 {
-		st.AvgRTT = total / time.Duration(st.Queries)
-	}
+	lat.fill(&st)
 	return st
 }

@@ -64,7 +64,7 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 		nil,
 		make([]byte, 10), // short
 		append([]byte{0, 0}, make([]byte, 22)...), // bad magic
-		(&Message{Type: 9, Key: 1}).Marshal(),     // bad type
+		(&Message{Type: 99, Key: 1}).Marshal(),    // bad type
 	}
 	// Craft a bad-version packet.
 	badVer := (&Message{Type: MsgQuery}).Marshal()

@@ -1,0 +1,458 @@
+package netproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/p4lru/p4lru/internal/engine"
+	"github.com/p4lru/p4lru/internal/hashing"
+	"github.com/p4lru/p4lru/internal/obs"
+	"github.com/p4lru/p4lru/internal/policy"
+)
+
+// This file is the cluster tier's wire: a NodeServer fronts one serving
+// engine as a peer other nodes (and the cluster router) reach over netproto,
+// and a NodeClient is the matching dialer. Two planes share the peer
+// address:
+//
+//   - UDP carries the per-key operations: MsgPing/MsgPong heartbeats,
+//     MsgQuery/MsgReply point reads (CachedFlag 1 = hit, CachedIndex = the
+//     cached value), and MsgUpdate/MsgUpdateAck synchronous installs — the
+//     ack is only sent after engine.Apply returns, so an acked update is
+//     applied, which is what lets the router promise zero lost acknowledged
+//     updates on surviving nodes.
+//   - TCP carries migration: bulk key-range handoff is a stream, not a
+//     datagram exchange, so it rides the engine's self-delimiting
+//     checksummed Snapshot format framed by a single wire header.
+//     MsgMigratePull asks the node to stream the slice of its contents
+//     whose ring position falls inside a set of (from, to] hash arcs
+//     (engine.SnapshotFiltered); MsgMigratePush hands the node a snapshot
+//     to restore, answered by MsgMigrateDone carrying the pair count.
+type NodeServer struct {
+	eng *engine.Engine
+	// posHash places keys on the cluster ring; it must be seeded
+	// identically on every node or range-filtered snapshots would slice
+	// different key sets on different peers.
+	posHash hashing.Hash
+	epoch   time.Time
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	pings, queries, updates, migrations *obs.Counter
+}
+
+// NodeConfig parameterizes NewNodeServer.
+type NodeConfig struct {
+	// Engine is the node's serving engine. Required; the server does not
+	// own it (Close leaves it running) so a node can be drained, snapshotted
+	// and restarted around the same engine.
+	Engine *engine.Engine
+	// RingSeed seeds the ring-position hash used to filter migration
+	// streams. Every node and router in one cluster must share it.
+	RingSeed uint64
+	// Obs, when non-nil, receives node_pings_total, node_queries_total,
+	// node_updates_total and node_migrations_total.
+	Obs *obs.Registry
+}
+
+// NewNodeServer binds a UDP socket and a TCP listener on addr (use
+// "127.0.0.1:0" in tests; the two planes get independent ports, read them
+// back via UDPAddr/TCPAddr) and serves until Close.
+func NewNodeServer(addr string, cfg NodeConfig) (*NodeServer, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("netproto: NodeConfig.Engine is required")
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: node addr: %w", err)
+	}
+	udp, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: node udp listen: %w", err)
+	}
+	tcp, err := net.Listen("tcp", addr)
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("netproto: node tcp listen: %w", err)
+	}
+	s := &NodeServer{
+		eng:     cfg.Engine,
+		posHash: hashing.New(cfg.RingSeed),
+		epoch:   time.Now(),
+		udp:     udp,
+		tcp:     tcp,
+	}
+	if r := cfg.Obs; r != nil {
+		s.pings = r.Counter("node_pings_total")
+		s.queries = r.Counter("node_queries_total")
+		s.updates = r.Counter("node_updates_total")
+		s.migrations = r.Counter("node_migrations_total")
+	}
+	s.wg.Add(2)
+	go s.udpLoop()
+	go s.tcpLoop()
+	return s, nil
+}
+
+// UDPAddr returns the bound operation-plane address.
+func (s *NodeServer) UDPAddr() *net.UDPAddr { return s.udp.LocalAddr().(*net.UDPAddr) }
+
+// TCPAddr returns the bound migration-plane address.
+func (s *NodeServer) TCPAddr() string { return s.tcp.Addr().String() }
+
+// Close stops both planes. The engine is left running (the caller owns it).
+func (s *NodeServer) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	_ = s.udp.Close()
+	_ = s.tcp.Close()
+	s.wg.Wait()
+}
+
+// udpLoop answers pings, point queries and synchronous updates, one
+// datagram at a time — the cluster control/operation plane is far below the
+// batched data-path rates the switch serves, so the simple loop is enough.
+func (s *NodeServer) udpLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, packetBufSize)
+	for {
+		n, peer, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		var msg Message
+		if err := msg.Unmarshal(buf[:n]); err != nil {
+			continue
+		}
+		var out int
+		switch msg.Type {
+		case MsgPing:
+			s.pings.Inc()
+			putHeader(buf, MsgPong, 0, msg.Key, 0)
+			out = headerSize
+		case MsgQuery:
+			s.queries.Inc()
+			v, _, ok := s.eng.Query(msg.Key)
+			flag := uint8(0)
+			if ok {
+				flag = 1
+			}
+			putHeader(buf, MsgReply, flag, msg.Key, v)
+			out = headerSize
+		case MsgUpdate:
+			s.updates.Inc()
+			s.eng.Apply(engine.Op{
+				Key:   msg.Key,
+				Value: msg.CachedIndex,
+				Token: policy.NoToken,
+				Now:   time.Since(s.epoch),
+			})
+			// Ack strictly after Apply returned: acked ⇒ applied.
+			putHeader(buf, MsgUpdateAck, 0, msg.Key, 0)
+			out = headerSize
+		default:
+			continue
+		}
+		_, _ = s.udp.WriteToUDP(buf[:out], peer)
+	}
+}
+
+// tcpLoop accepts migration streams.
+func (s *NodeServer) tcpLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveMigration(conn)
+		}()
+	}
+}
+
+// serveMigration handles one migration exchange on conn.
+func (s *NodeServer) serveMigration(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	br := bufio.NewReader(conn)
+	var head [headerSize]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return
+	}
+	var msg Message
+	if err := msg.Unmarshal(head[:]); err != nil {
+		return
+	}
+	switch msg.Type {
+	case MsgMigratePull:
+		arcs, err := readArcs(br)
+		if err != nil {
+			return
+		}
+		s.migrations.Inc()
+		keep := func(key uint64) bool {
+			h := s.posHash.Uint64(key)
+			for _, a := range arcs {
+				if arcContains(a, h) {
+					return true
+				}
+			}
+			return false
+		}
+		// The snapshot image is self-delimiting (terminating chunk +
+		// checksummed trailer), so the stream needs no extra framing.
+		_ = s.eng.SnapshotFiltered(conn, keep)
+	case MsgMigratePush:
+		s.migrations.Inc()
+		restore := s.eng.RestoreSnapshot
+		if msg.CachedFlag != 0 {
+			// Keep-existing mode: the pusher flipped ring ownership before
+			// streaming, so resident keys are fresher than the image.
+			restore = s.eng.RestoreSnapshotIfAbsent
+		}
+		n, err := restore(br)
+		flag := uint8(1)
+		if err != nil {
+			flag = 0
+		}
+		var done [headerSize]byte
+		putHeader(done[:], MsgMigrateDone, flag, 0, uint64(n))
+		_, _ = conn.Write(done[:])
+	}
+}
+
+// arcContains reports whether ring position h falls in the half-open arc
+// (from, to], wrapping through zero when from ≥ to. A degenerate arc with
+// from == to covers the whole ring (a single-node membership).
+func arcContains(a [2]uint64, h uint64) bool {
+	from, to := a[0], a[1]
+	if from < to {
+		return from < h && h <= to
+	}
+	return h > from || h <= to
+}
+
+// readArcs decodes the MsgMigratePull arc list: uint32 n, then n pairs of
+// little-endian uint64 (from, to].
+func readArcs(r io.Reader) ([][2]uint64, error) {
+	var nb [4]byte
+	if _, err := io.ReadFull(r, nb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(nb[:])
+	if n > 1<<16 {
+		return nil, fmt.Errorf("netproto: %d migration arcs exceeds sanity bound", n)
+	}
+	arcs := make([][2]uint64, n)
+	var buf [16]byte
+	for i := range arcs {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		arcs[i][0] = binary.LittleEndian.Uint64(buf[0:8])
+		arcs[i][1] = binary.LittleEndian.Uint64(buf[8:16])
+	}
+	return arcs, nil
+}
+
+// writeArcs is readArcs' encoder.
+func writeArcs(w io.Writer, arcs [][2]uint64) error {
+	var nb [4]byte
+	binary.LittleEndian.PutUint32(nb[:], uint32(len(arcs)))
+	if _, err := w.Write(nb[:]); err != nil {
+		return err
+	}
+	var buf [16]byte
+	for _, a := range arcs {
+		binary.LittleEndian.PutUint64(buf[0:8], a[0])
+		binary.LittleEndian.PutUint64(buf[8:16], a[1])
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NodeClient dials one NodeServer. Operations are mutex-serialized over a
+// single connected UDP socket (replies are matched by echoed key, so a
+// stale reply from a timed-out attempt cannot be mis-delivered); migration
+// streams open a fresh TCP connection each. The cluster router keeps one
+// NodeClient per peer — peer fan-out is concurrent across clients, serial
+// per peer, which matches the one-socket-per-peer heartbeat model.
+type NodeClient struct {
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	buf     []byte
+	tcpAddr string
+	timeout time.Duration
+	retries int
+	nonce   atomic.Uint64
+}
+
+// DialNode connects to a node's UDP and TCP addresses. timeout bounds each
+// attempt (0 = 100ms); retries is how many times a timed-out attempt is
+// re-sent (0 = 1; NoRetries = single-shot).
+func DialNode(udpAddr *net.UDPAddr, tcpAddr string, timeout time.Duration, retries int) (*NodeClient, error) {
+	if timeout == 0 {
+		timeout = 100 * time.Millisecond
+	}
+	switch {
+	case retries == 0:
+		retries = 1
+	case retries == NoRetries:
+		retries = 0
+	case retries < 0:
+		return nil, fmt.Errorf("netproto: DialNode retries = %d (use NoRetries for single-shot)", retries)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: dial node: %w", err)
+	}
+	return &NodeClient{
+		conn:    conn,
+		buf:     make([]byte, packetBufSize),
+		tcpAddr: tcpAddr,
+		timeout: timeout,
+		retries: retries,
+	}, nil
+}
+
+// Close releases the UDP socket.
+func (c *NodeClient) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and waits for the matching reply type echoing
+// key, retrying timed-out attempts. Errors carry the ErrTimeout /
+// ErrUnreachable classification.
+func (c *NodeClient) roundTrip(typ MsgType, key, idx uint64, want MsgType) (Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		putHeader(c.buf, typ, 0, key, idx)
+		if _, err := c.conn.Write(c.buf[:headerSize]); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return Message{}, err
+		}
+		for {
+			n, err := c.conn.Read(c.buf)
+			if err != nil {
+				lastErr = err
+				break
+			}
+			var msg Message
+			if err := msg.Unmarshal(c.buf[:n]); err != nil || msg.Type != want || msg.Key != key {
+				continue // stale or foreign reply
+			}
+			return msg, nil
+		}
+	}
+	return Message{}, fmt.Errorf("netproto: node %s %d failed after %d attempts: %w",
+		c.conn.RemoteAddr(), typ, c.retries+1, classifyAttempt(lastErr))
+}
+
+// Ping round-trips a heartbeat.
+func (c *NodeClient) Ping() error {
+	_, err := c.roundTrip(MsgPing, c.nonce.Add(1), 0, MsgPong)
+	return err
+}
+
+// Query reads key from the node's engine: (value, true) on a hit.
+func (c *NodeClient) Query(key uint64) (uint64, bool, error) {
+	msg, err := c.roundTrip(MsgQuery, key, 0, MsgReply)
+	if err != nil {
+		return 0, false, err
+	}
+	return msg.CachedIndex, msg.CachedFlag != 0, nil
+}
+
+// Update installs key → val synchronously; a nil return means the node
+// acked after applying.
+func (c *NodeClient) Update(key, val uint64) error {
+	_, err := c.roundTrip(MsgUpdate, key, val, MsgUpdateAck)
+	return err
+}
+
+// OpenPull asks the node to stream the slice of its contents inside arcs as
+// a snapshot image and returns the stream. The caller must Close it (the
+// image is self-delimiting, so a reader may stop at the snapshot trailer).
+func (c *NodeClient) OpenPull(arcs [][2]uint64) (io.ReadCloser, error) {
+	conn, err := net.DialTimeout("tcp", c.tcpAddr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: migration dial: %w", err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var head [headerSize]byte
+	putHeader(head[:], MsgMigratePull, 0, 0, 0)
+	if _, err := conn.Write(head[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netproto: migration request: %w", err)
+	}
+	if err := writeArcs(conn, arcs); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netproto: migration arcs: %w", err)
+	}
+	return conn, nil
+}
+
+// Push streams a snapshot image from r into the node's engine and returns
+// the restored pair count from the MsgMigrateDone ack. With keepExisting
+// set the node skips keys already resident instead of overwriting them
+// (RestoreSnapshotIfAbsent) — the mode cluster migration uses after a ring
+// swap, when resident keys are fresher than the image.
+func (c *NodeClient) Push(r io.Reader, keepExisting bool) (int, error) {
+	conn, err := net.DialTimeout("tcp", c.tcpAddr, c.timeout)
+	if err != nil {
+		return 0, fmt.Errorf("netproto: migration dial: %w", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var keep uint8
+	if keepExisting {
+		keep = 1
+	}
+	var head [headerSize]byte
+	putHeader(head[:], MsgMigratePush, keep, 0, 0)
+	if _, err := conn.Write(head[:]); err != nil {
+		return 0, fmt.Errorf("netproto: migration push: %w", err)
+	}
+	if _, err := io.Copy(conn, r); err != nil {
+		return 0, fmt.Errorf("netproto: migration stream: %w", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite() // the node sees EOF... but the snapshot trailer already delimits
+	}
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return 0, fmt.Errorf("netproto: migration ack: %w", err)
+	}
+	var done Message
+	if err := done.Unmarshal(head[:]); err != nil || done.Type != MsgMigrateDone {
+		return 0, fmt.Errorf("netproto: bad migration ack")
+	}
+	if done.CachedFlag == 0 {
+		return int(done.CachedIndex), fmt.Errorf("netproto: node failed to restore migration stream")
+	}
+	return int(done.CachedIndex), nil
+}

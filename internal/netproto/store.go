@@ -61,8 +61,11 @@ func (r *RemoteStore) Get(ctx context.Context, key uint64) (uint64, error) {
 	r.pool <- cl
 	if err != nil {
 		// The server drops unknown keys, so a miss and a lost reply look
-		// identical here: both surface as the client's attempt-budget
-		// error, which the Loader treats as transient.
+		// identical here: both surface through the client's attempt budget,
+		// typed as ErrTimeout. A peer that is down outright (socket-level
+		// refusal) surfaces as ErrUnreachable instead — a per-peer breaker
+		// in front of this store can trip on the latter immediately while
+		// treating the former as congestion.
 		return 0, err
 	}
 	return res.Index, nil

@@ -29,6 +29,29 @@ const (
 	// MsgReply travels server → switch → client, carrying the value and
 	// the resolved index.
 	MsgReply MsgType = 2
+
+	// The cluster tier's peer protocol (node ↔ node / router ↔ node).
+
+	// MsgPing is a heartbeat probe; Key carries an echo nonce.
+	MsgPing MsgType = 3
+	// MsgPong answers a ping, echoing the nonce in Key.
+	MsgPong MsgType = 4
+	// MsgUpdate installs (Key → CachedIndex) into the node's engine
+	// synchronously; the ack is the durability point the router's
+	// zero-lost-acknowledged-updates contract hangs off.
+	MsgUpdate MsgType = 5
+	// MsgUpdateAck confirms an update was applied, echoing Key.
+	MsgUpdateAck MsgType = 6
+	// MsgMigratePull opens a migration stream (TCP): the header is followed
+	// by uint32 n and n 16-byte (from, to] hash arcs; the node answers with
+	// a range-filtered snapshot image and a MsgMigrateDone trailer.
+	MsgMigratePull MsgType = 7
+	// MsgMigratePush offers a snapshot stream (TCP): the header is followed
+	// by a snapshot image the node restores; it answers MsgMigrateDone.
+	MsgMigratePush MsgType = 8
+	// MsgMigrateDone closes a migration exchange: CachedIndex carries the
+	// pair count, CachedFlag 1 on success / 0 on failure.
+	MsgMigrateDone MsgType = 9
 )
 
 // Wire layout (little endian):
@@ -120,7 +143,8 @@ func (m *Message) Unmarshal(data []byte) error {
 		return fmt.Errorf("%w: version %d", ErrBadMessage, data[2])
 	}
 	switch MsgType(data[3]) {
-	case MsgQuery, MsgReply:
+	case MsgQuery, MsgReply, MsgPing, MsgPong, MsgUpdate, MsgUpdateAck,
+		MsgMigratePull, MsgMigratePush, MsgMigrateDone:
 		m.Type = MsgType(data[3])
 	default:
 		return fmt.Errorf("%w: type %d", ErrBadMessage, data[3])

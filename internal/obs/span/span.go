@@ -111,10 +111,14 @@ const (
 	KindReply
 	// KindShed is an op declined by admission control.
 	KindShed
+	// KindMigrate is one cluster key-range migration: a range-filtered
+	// snapshot streamed from a source peer (StageFetch) and restored into
+	// its new owner (StageApply).
+	KindMigrate
 )
 
 var kindNames = [...]string{
-	"none", "hit", "read_miss", "miss", "miss_fail", "batch", "query", "reply", "shed",
+	"none", "hit", "read_miss", "miss", "miss_fail", "batch", "query", "reply", "shed", "migrate",
 }
 
 // String returns the kind label used in /debug/ops output.

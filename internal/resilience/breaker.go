@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/p4lru/p4lru/internal/obs"
@@ -99,6 +100,10 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 // so a short critical section is cheap relative to a store round trip.
 type Breaker struct {
 	cfg BreakerConfig
+
+	// liveState mirrors state for the lock-free Live() read path; setState
+	// is the only writer.
+	liveState atomic.Int32
 
 	mu          sync.Mutex
 	state       State
@@ -244,10 +249,23 @@ func (b *Breaker) trip() {
 }
 
 // setState records the transition and mirrors it to the state gauge
-// (0 closed, 1 half-open, 2 open). Caller holds b.mu.
+// (0 closed, 1 half-open, 2 open) and the atomic Live mirror. Caller holds
+// b.mu.
 func (b *Breaker) setState(s State) {
 	b.state = s
+	b.liveState.Store(int32(s))
 	b.stateGauge.Set(float64(s))
+}
+
+// Live reports whether the breaker is closed, from an atomic mirror of the
+// state — one load, no lock. It is the hot-path gate for callers that issue
+// many calls per breaker (a cluster router fanning queries across peers):
+// while Live() is true the call proceeds without Allow's mutex, with
+// failures always Recorded and successes Recorded on a sample; once Live()
+// turns false the caller falls back to the full Allow/Record protocol,
+// which owns the open → half-open probe bookkeeping. A nil breaker is live.
+func (b *Breaker) Live() bool {
+	return b == nil || b.liveState.Load() == int32(Closed)
 }
 
 // State returns the current state.

@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PeerGate manages one Breaker per named peer for components that talk to a
+// dynamic set of remote nodes (the cluster router). Per-backend breakers
+// guard a single dependency; a horizontal tier needs the same closed → open
+// → half-open discipline per peer, created as peers join and dropped as
+// they leave, with one aggregate health check over the whole set — a dead
+// node then fails in one Live()/Allow() check instead of timing out every
+// query routed at it, while its healthy neighbours keep serving.
+//
+// Breakers are created on first use from the configured template, with the
+// peer's id as the breaker Name (so per-peer obs metrics come for free).
+// Safe for concurrent use; Peer on the hot path is one RLock + map hit.
+type PeerGate struct {
+	cfg BreakerConfig
+
+	mu    sync.RWMutex
+	peers map[string]*Breaker
+}
+
+// NewPeerGate builds an empty gate whose breakers are stamped from cfg
+// (cfg.Name is overridden per peer).
+func NewPeerGate(cfg BreakerConfig) *PeerGate {
+	return &PeerGate{cfg: cfg, peers: make(map[string]*Breaker)}
+}
+
+// Peer returns id's breaker, creating a fresh closed one on first use.
+func (g *PeerGate) Peer(id string) *Breaker {
+	g.mu.RLock()
+	b := g.peers[id]
+	g.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b = g.peers[id]; b == nil {
+		cfg := g.cfg
+		cfg.Name = id
+		b = NewBreaker(cfg)
+		g.peers[id] = b
+	}
+	return b
+}
+
+// Drop forgets id's breaker — call when the peer leaves the membership so a
+// rejoin starts with a clean (closed) breaker.
+func (g *PeerGate) Drop(id string) {
+	g.mu.Lock()
+	delete(g.peers, id)
+	g.mu.Unlock()
+}
+
+// States snapshots every peer's breaker state.
+func (g *PeerGate) States() map[string]State {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]State, len(g.peers))
+	for id, b := range g.peers {
+		out[id] = b.State()
+	}
+	return out
+}
+
+// Open returns the ids whose breakers are currently open, sorted.
+func (g *PeerGate) Open() []string {
+	var open []string
+	for id, s := range g.States() {
+		if s == Open {
+			open = append(open, id)
+		}
+	}
+	sort.Strings(open)
+	return open
+}
+
+// Check is a Health probe over the whole peer set: nil while every breaker
+// is closed or probing, an error naming the open peers otherwise.
+func (g *PeerGate) Check() error {
+	if open := g.Open(); len(open) > 0 {
+		return fmt.Errorf("%w: peers [%s]", ErrOpen, strings.Join(open, " "))
+	}
+	return nil
+}

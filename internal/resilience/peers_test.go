@@ -1,0 +1,113 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPeerGateCreatesAndReuses(t *testing.T) {
+	g := NewPeerGate(BreakerConfig{ConsecutiveFailures: 2})
+	a := g.Peer("node-a")
+	if a == nil {
+		t.Fatal("nil breaker")
+	}
+	if g.Peer("node-a") != a {
+		t.Fatal("second Peer() returned a different breaker")
+	}
+	if g.Peer("node-b") == a {
+		t.Fatal("distinct peers share a breaker")
+	}
+}
+
+func TestPeerGateCheckNamesOpenPeers(t *testing.T) {
+	g := NewPeerGate(BreakerConfig{ConsecutiveFailures: 1, OpenFor: time.Hour})
+	if err := g.Check(); err != nil {
+		t.Fatalf("empty gate unhealthy: %v", err)
+	}
+	b := g.Peer("node-a")
+	g.Peer("node-b") // stays closed
+	b.Record(false)  // trips (ConsecutiveFailures=1)
+	err := g.Check()
+	if err == nil {
+		t.Fatal("open peer not reported")
+	}
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("Check error %v does not wrap ErrOpen", err)
+	}
+	if got := g.Open(); len(got) != 1 || got[0] != "node-a" {
+		t.Fatalf("Open() = %v, want [node-a]", got)
+	}
+	if g.States()["node-b"] != Closed {
+		t.Fatal("healthy peer reported non-closed")
+	}
+}
+
+func TestPeerGateDropResetsBreaker(t *testing.T) {
+	g := NewPeerGate(BreakerConfig{ConsecutiveFailures: 1, OpenFor: time.Hour})
+	g.Peer("node-a").Record(false)
+	if g.Peer("node-a").State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	g.Drop("node-a")
+	if g.Peer("node-a").State() != Closed {
+		t.Fatal("rejoined peer inherited the old open breaker")
+	}
+}
+
+// TestBreakerLiveMirrorsState pins the atomic fast path against the locked
+// state through a full closed → open → half-open → closed cycle.
+func TestBreakerLiveMirrorsState(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{
+		ConsecutiveFailures: 2, OpenFor: time.Second, HalfOpenProbes: 1, Clock: clock,
+	})
+	if !b.Live() {
+		t.Fatal("fresh breaker not live")
+	}
+	b.Record(false)
+	b.Record(false)
+	if b.Live() {
+		t.Fatal("live after trip")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open probe rejected")
+	}
+	if b.Live() {
+		t.Fatal("live while half-open")
+	}
+	b.Record(true)
+	if !b.Live() {
+		t.Fatal("not live after probe success closed it")
+	}
+	var nilB *Breaker
+	if !nilB.Live() {
+		t.Fatal("nil breaker must be live")
+	}
+}
+
+func TestPeerGateConcurrent(t *testing.T) {
+	g := NewPeerGate(BreakerConfig{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids := []string{"a", "b", "c", "d"}
+			for j := 0; j < 1000; j++ {
+				b := g.Peer(ids[(i+j)%len(ids)])
+				if b.Live() {
+					b.Record(true)
+				}
+				if j%100 == 0 {
+					g.Drop(ids[j%len(ids)])
+					_ = g.Check()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
