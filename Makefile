@@ -2,9 +2,9 @@ GO ?= go
 
 # The committed perf-trajectory record `make bench` writes; bump the suffix
 # when a PR re-baselines the ladder.
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 # The previous record, used as the regression baseline for -within gates.
-BENCH_BASE ?= BENCH_8.json
+BENCH_BASE ?= BENCH_9.json
 # Fixed iteration counts so runs are comparable across commits.
 BENCH_TIME ?= 2000000x
 # The wire ladder goes through real loopback sockets (µs per query, not ns),
@@ -25,7 +25,9 @@ race:
 	$(GO) test -race ./internal/lru/ ./internal/engine/ ./internal/netproto/ ./internal/policy/ ./internal/obs/... ./internal/backing/ ./internal/resilience/ ./internal/cluster/
 
 # chaos runs the failure-injection suite (backing blackouts, writer panics,
-# overload shedding, cluster node death mid-replay) under the race detector.
+# overload shedding, cluster node death mid-replay — with and without gossip
+# membership doing the eviction — and a link-cut partition healed by hinted
+# handoff) under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/resilience/ ./internal/engine/ ./internal/cluster/
 
@@ -53,7 +55,9 @@ chaos:
 #
 # The cluster leg prices the router veneer: querying a local-owner key
 # through a one-node cluster.Router must cost ≤1.3× the bare engine and not
-# allocate (runs -count=5, benchjson keeps each side's fastest run).
+# allocate (runs -count=5, benchjson keeps each side's fastest run) — and
+# the same bar holds with the full self-healing stack armed (gossip
+# membership, read-repair queue + sweeper, hinted handoff): path=selfheal.
 bench:
 	{ $(GO) test -run '^$$' -bench 'FlatVsGeneric|FlatQuery|FlatReaders|Engine|Tiered|Breaker|Shedder' -benchmem \
 		-benchtime=$(BENCH_TIME) ./internal/lru/ ./internal/engine/ ./internal/resilience/ \
@@ -84,6 +88,8 @@ bench:
 		-zeroalloc 'NetDecode' \
 		-maxratio 'ClusterRouter/path=local<=1.3*ClusterRouter/path=single' \
 		-zeroalloc 'ClusterRouter/path=local' \
+		-maxratio 'ClusterRouter/path=selfheal<=1.3*ClusterRouter/path=single' \
+		-zeroalloc 'ClusterRouter/path=selfheal' \
 		-baseline $(BENCH_BASE) \
 		-within 'EngineQuery=3' \
 		-within 'FlatQuery/core=flat=3' \

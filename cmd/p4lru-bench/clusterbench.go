@@ -34,11 +34,16 @@ func clusterCmd(args []string) error {
 	seed := fs.Uint64("seed", 42, "ring seed (and workload seed)")
 	useNet := fs.Bool("net", false, "reach nodes over loopback UDP/TCP instead of in-process")
 	kill := fs.Bool("kill", false, "kill one node mid-replay and report recovery")
+	gossip := fs.Bool("gossip", false, "gossip membership: breaker trips escalate suspect → dead, no explicit Fail")
+	partition := fs.Bool("partition", false, "cut one node's link mid-replay, heal it, and report hinted-handoff replay (in-process only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *nodes < 1 {
 		return fmt.Errorf("need at least one node")
+	}
+	if *partition && *useNet {
+		return fmt.Errorf("-partition needs in-process nodes (a loopback socket has no link to cut)")
 	}
 	spec, err := policy.ParseSpec(*pol)
 	if err != nil {
@@ -49,6 +54,13 @@ func clusterCmd(args []string) error {
 		spec.Seed = *seed + 1
 	}
 
+	// With gossip the suspicion window is short so a -kill demo converges
+	// quickly — unless -partition, where the heal must win the race against
+	// the confirm or the cut node would be evicted instead of replayed into.
+	suspectAfter := 150 * time.Millisecond
+	if *partition {
+		suspectAfter = 10 * time.Second
+	}
 	r := cluster.New(cluster.Config{
 		Seed:           *seed,
 		VNodes:         *vnodes,
@@ -56,6 +68,8 @@ func clusterCmd(args []string) error {
 		HotK:           *hotk,
 		HeartbeatEvery: 25 * time.Millisecond,
 		DualReadFor:    5 * time.Second,
+		Gossip:         *gossip,
+		SuspectAfter:   suspectAfter,
 	})
 	defer r.Close()
 
@@ -72,7 +86,11 @@ func clusterCmd(args []string) error {
 		id := fmt.Sprintf("node-%d", i)
 		var peer cluster.Peer
 		if *useNet {
-			srv, err := netproto.NewNodeServer("127.0.0.1:0", netproto.NodeConfig{Engine: e, RingSeed: *seed})
+			ncfg := netproto.NodeConfig{Engine: e, RingSeed: *seed}
+			if *gossip {
+				ncfg.Gossip = cluster.NewMembership(id, "", "").Exchange
+			}
+			srv, err := netproto.NewNodeServer("127.0.0.1:0", ncfg)
 			if err != nil {
 				return err
 			}
@@ -86,6 +104,9 @@ func clusterCmd(args []string) error {
 			peer = cl
 		} else {
 			lp := cluster.NewLocalPeer(e, *seed)
+			if *gossip {
+				lp.AttachMembership(cluster.NewMembership(id, "", ""))
+			}
 			locals[id] = lp
 			peer = lp
 		}
@@ -137,12 +158,43 @@ func clusterCmd(args []string) error {
 	fmt.Printf("%-16s %10.0f queries/s   %6.2f%% hits   %d nodes   %d hot keys\n",
 		"steady", qps, hit*100, len(r.Members()), len(r.HotKeys()))
 
+	if *partition {
+		// Partition drill: cut one node's link (the node is healthy, the
+		// path to it is not), keep serving — writes to its arcs park as
+		// hints — then heal and watch the hint log drain back into it.
+		victim := fmt.Sprintf("node-%d", *nodes-1)
+		locals[victim].CutLink()
+		fmt.Printf("\ncut link to %s mid-replay...\n", victim)
+		cutStart := time.Now()
+		for time.Since(cutStart) < time.Second {
+			replay(512)
+		}
+		hit, _ = replay(*queries / 4)
+		fmt.Printf("%-16s %6.2f%% hits   %d hints parked   degraded=%v   members %v\n",
+			"partitioned", hit*100, r.PendingHints(), r.Degraded(), r.Members())
+
+		locals[victim].HealLink()
+		healStart := time.Now()
+		for r.PendingHints() > 0 && time.Since(healStart) < 10*time.Second {
+			replay(512) // keep traffic flowing while the breaker re-proves the node
+		}
+		fmt.Printf("%-16s hints drained in %v after heal\n",
+			"healed", time.Since(healStart).Round(time.Millisecond))
+		replay(*queries / 4)
+		hit, qps = replay(*queries)
+		fmt.Printf("%-16s %10.0f queries/s   %6.2f%% hits   %d nodes   %d hints pending\n",
+			"post-heal", qps, hit*100, len(r.Members()), r.PendingHints())
+	}
+
 	if !*kill {
 		return nil
 	}
 
 	// Chaos demo: kill the last node and keep replaying until the failure
 	// detector evicts it, then measure the recovered cluster.
+	// With -gossip there is no explicit Fail anywhere: breaker trip files a
+	// suspect accusation, the suspicion window hardens it to dead, and
+	// reconcile prunes the ring.
 	victim := fmt.Sprintf("node-%d", *nodes-1)
 	if lp := locals[victim]; lp != nil {
 		lp.Kill()
@@ -151,11 +203,21 @@ func clusterCmd(args []string) error {
 	}
 	fmt.Printf("\nkilled %s mid-replay...\n", victim)
 	start := time.Now()
-	for len(r.Members()) == *nodes && time.Since(start) < 10*time.Second {
+	// The eviction cannot land before the suspicion window hardens the
+	// accusation, so the stall cap must sit beyond it.
+	stallCap := 10*time.Second + suspectAfter
+	for len(r.Members()) == *nodes && time.Since(start) < stallCap {
 		replay(512)
 	}
-	fmt.Printf("%-16s evicted after %v (survivors absorbed its ranges)\n",
-		victim, time.Since(start).Round(time.Millisecond))
+	if len(r.Members()) == *nodes {
+		return fmt.Errorf("%s not evicted within %v", victim, stallCap)
+	}
+	how := "breaker auto-fail"
+	if *gossip {
+		how = "gossip suspect → dead verdict"
+	}
+	fmt.Printf("%-16s evicted after %v via %s (survivors absorbed its ranges)\n",
+		victim, time.Since(start).Round(time.Millisecond), how)
 
 	replay(*queries / 4) // let survivors re-warm
 	hit, qps = replay(*queries)

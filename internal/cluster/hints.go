@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"io"
+	"sync"
+
+	"github.com/p4lru/p4lru/internal/engine"
+)
+
+// hintLog parks updates addressed to unreachable peers — hinted handoff.
+// One entry per (peer, key) holding the latest value: hints are idempotent
+// installs, so a key rewritten while its owner is down costs one slot, not
+// one per write. Each peer's log is bounded; at capacity the oldest distinct
+// key is evicted (the newest write is the one worth keeping), and the caller
+// counts the drop.
+//
+// Replay drains a peer's log in one take and streams it as a synthesized
+// snapshot restored keep-existing: writes the recovered node accepted after
+// it came back are fresher than any parked hint and are never rolled back.
+// The inverse staleness — a partitioned (not dead) node whose old residents
+// beat the hints — is reconciled by the anti-entropy sweep, not the replay.
+type hintLog struct {
+	mu     sync.Mutex
+	capPer int
+	byPeer map[string]*peerHints
+}
+
+// peerHints is one peer's parked updates: latest value per key, plus the
+// distinct-key insertion order the capacity eviction walks.
+type peerHints struct {
+	vals  map[uint64]uint64
+	order []uint64
+}
+
+func newHintLog(capPer int) *hintLog {
+	return &hintLog{capPer: capPer, byPeer: make(map[string]*peerHints)}
+}
+
+// park records key → val for peer id, reporting whether an older hint was
+// evicted to make room.
+func (h *hintLog) park(id string, key, val uint64) (evicted bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.byPeer[id]
+	if ph == nil {
+		ph = &peerHints{vals: make(map[uint64]uint64)}
+		h.byPeer[id] = ph
+	}
+	if _, dup := ph.vals[key]; !dup {
+		if len(ph.order) >= h.capPer {
+			delete(ph.vals, ph.order[0])
+			// Shift rather than re-slice: the backing array is at capacity
+			// and stays bounded instead of crawling forward.
+			copy(ph.order, ph.order[1:])
+			ph.order = ph.order[:len(ph.order)-1]
+			evicted = true
+		}
+		ph.order = append(ph.order, key)
+	}
+	ph.vals[key] = val
+	return
+}
+
+// take removes and returns every hint parked for id (nil if none).
+func (h *hintLog) take(id string) map[uint64]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.byPeer[id]
+	if ph == nil {
+		return nil
+	}
+	delete(h.byPeer, id)
+	return ph.vals
+}
+
+// pendingFor reports how many hints are parked for id.
+func (h *hintLog) pendingFor(id string) int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.byPeer[id]
+	if ph == nil {
+		return 0
+	}
+	return len(ph.vals)
+}
+
+// pending reports the total parked hints across all peers (the gauge).
+func (h *hintLog) pending() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, ph := range h.byPeer {
+		n += len(ph.vals)
+	}
+	return n
+}
+
+// pushPairs streams pairs into p as a synthesized snapshot image restored
+// keep-existing — RestoreSnapshotIfAbsent semantics, the replay contract
+// (see hintLog). Returns the installed pair count.
+func pushPairs(p Peer, pairs map[uint64]uint64) (int, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		sw, err := engine.NewSnapshotWriter(pw)
+		if err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		for k, v := range pairs {
+			if err := sw.Add(k, v); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.CloseWithError(sw.Close())
+	}()
+	return p.Push(pr, true)
+}

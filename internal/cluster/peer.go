@@ -31,6 +31,16 @@ type Peer interface {
 	// pair count. keepExisting skips keys already resident — the mode used
 	// after a ring swap, when the node may hold fresher writes.
 	Push(r io.Reader, keepExisting bool) (int, error)
+	// Gossip exchanges membership digests: the node merges out and answers
+	// with its own (post-merge) view. A node with no membership attached
+	// answers (nil, nil).
+	Gossip(out []netproto.MemberDigest) ([]netproto.MemberDigest, error)
+	// Digest summarizes the node's contents inside arcs as a (count, xor)
+	// pair — the anti-entropy sweep's comparison primitive.
+	Digest(arcs [][2]uint64) (netproto.ArcDigest, error)
+	// Addrs returns the node's advertised plane addresses (UDP ops, TCP
+	// migration), or empty strings for an in-process peer.
+	Addrs() (udp, tcp string)
 	// Close releases the peer handle (not the node behind it).
 	Close() error
 }
@@ -44,12 +54,18 @@ var ErrPeerDown = fmt.Errorf("cluster: peer down: %w", netproto.ErrUnreachable)
 
 // LocalPeer adapts an in-process engine to the Peer interface. Kill makes
 // every subsequent operation fail like an unreachable remote node —
-// deterministic node death for chaos tests — and Revive undoes it.
+// deterministic node death for chaos tests — and Revive undoes it. CutLink
+// fails the same way but models a network partition instead of node death:
+// the engine keeps its data and other handles to the same engine still
+// reach it, so HealLink restores a node that diverged rather than died.
 type LocalPeer struct {
-	eng   *engine.Engine
-	hash  hashing.Hash
-	epoch time.Time
-	dead  atomic.Bool
+	eng    *engine.Engine
+	hash   hashing.Hash
+	epoch  time.Time
+	dead   atomic.Bool
+	cut    atomic.Bool
+	down   atomic.Bool // dead || cut, pre-folded for the router's fast path
+	member atomic.Pointer[Membership]
 }
 
 // NewLocalPeer wraps eng. ringSeed must match the cluster's Config.Seed so
@@ -61,15 +77,35 @@ func NewLocalPeer(eng *engine.Engine, ringSeed uint64) *LocalPeer {
 // Engine exposes the wrapped engine (tests assert on its contents).
 func (p *LocalPeer) Engine() *engine.Engine { return p.eng }
 
-// Kill makes the peer unreachable. Idempotent.
-func (p *LocalPeer) Kill() { p.dead.Store(true) }
+// AttachMembership gives the peer a node-side membership table: Gossip
+// exchanges route through it, making the in-process node a full gossip
+// participant (it spreads what it knows, including itself).
+func (p *LocalPeer) AttachMembership(m *Membership) { p.member.Store(m) }
+
+// Membership returns the attached node-side table, or nil.
+func (p *LocalPeer) Membership() *Membership { return p.member.Load() }
+
+// refreshDown folds the two failure flags into the single load the router's
+// devirtualized query path checks.
+func (p *LocalPeer) refreshDown() { p.down.Store(p.dead.Load() || p.cut.Load()) }
+
+// Kill makes the peer unreachable (node death). Idempotent.
+func (p *LocalPeer) Kill() { p.dead.Store(true); p.refreshDown() }
 
 // Revive brings a killed peer back. Idempotent.
-func (p *LocalPeer) Revive() { p.dead.Store(false) }
+func (p *LocalPeer) Revive() { p.dead.Store(false); p.refreshDown() }
+
+// CutLink severs this handle's link to the node — a partition, not a death.
+// The cut is per-handle: wrap the same engine in two LocalPeers to partition
+// one router's view while another still reaches the node. Idempotent.
+func (p *LocalPeer) CutLink() { p.cut.Store(true); p.refreshDown() }
+
+// HealLink restores a cut link. Idempotent.
+func (p *LocalPeer) HealLink() { p.cut.Store(false); p.refreshDown() }
 
 // Ping implements Peer.
 func (p *LocalPeer) Ping() error {
-	if p.dead.Load() {
+	if p.down.Load() {
 		return ErrPeerDown
 	}
 	return nil
@@ -77,7 +113,7 @@ func (p *LocalPeer) Ping() error {
 
 // Query implements Peer.
 func (p *LocalPeer) Query(key uint64) (uint64, bool, error) {
-	if p.dead.Load() {
+	if p.down.Load() {
 		return 0, false, ErrPeerDown
 	}
 	v, _, ok := p.eng.Query(key)
@@ -86,7 +122,7 @@ func (p *LocalPeer) Query(key uint64) (uint64, bool, error) {
 
 // Update implements Peer: synchronous apply, so returning nil is an ack.
 func (p *LocalPeer) Update(key, val uint64) error {
-	if p.dead.Load() {
+	if p.down.Load() {
 		return ErrPeerDown
 	}
 	p.eng.Apply(engine.Op{Key: key, Value: val, Token: policy.NoToken, Now: time.Since(p.epoch)})
@@ -96,7 +132,7 @@ func (p *LocalPeer) Update(key, val uint64) error {
 // OpenPull implements Peer: the snapshot is streamed through a pipe so
 // local and remote sources look identical to the migration executor.
 func (p *LocalPeer) OpenPull(arcs [][2]uint64) (io.ReadCloser, error) {
-	if p.dead.Load() {
+	if p.down.Load() {
 		return nil, ErrPeerDown
 	}
 	pr, pw := io.Pipe()
@@ -110,7 +146,7 @@ func (p *LocalPeer) OpenPull(arcs [][2]uint64) (io.ReadCloser, error) {
 
 // Push implements Peer.
 func (p *LocalPeer) Push(r io.Reader, keepExisting bool) (int, error) {
-	if p.dead.Load() {
+	if p.down.Load() {
 		return 0, ErrPeerDown
 	}
 	if keepExisting {
@@ -118,6 +154,39 @@ func (p *LocalPeer) Push(r io.Reader, keepExisting bool) (int, error) {
 	}
 	return p.eng.RestoreSnapshot(r)
 }
+
+// Gossip implements Peer through the attached membership table; a node
+// without one is mute but not broken — it answers with an empty view.
+func (p *LocalPeer) Gossip(out []netproto.MemberDigest) ([]netproto.MemberDigest, error) {
+	if p.down.Load() {
+		return nil, ErrPeerDown
+	}
+	m := p.member.Load()
+	if m == nil {
+		return nil, nil
+	}
+	return m.Exchange(out), nil
+}
+
+// Digest implements Peer: count + xor of the engine's residents whose ring
+// position falls inside arcs, matching the node server's computation.
+func (p *LocalPeer) Digest(arcs [][2]uint64) (netproto.ArcDigest, error) {
+	if p.down.Load() {
+		return netproto.ArcDigest{}, ErrPeerDown
+	}
+	var d netproto.ArcDigest
+	p.eng.Range(func(k, v uint64) bool {
+		if arcsContain(arcs, p.hash.Uint64(k)) {
+			d.Pairs++
+			d.XOR ^= netproto.PairDigest(k, v)
+		}
+		return true
+	})
+	return d, nil
+}
+
+// Addrs implements Peer: an in-process node has no wire addresses.
+func (p *LocalPeer) Addrs() (string, string) { return "", "" }
 
 // Close implements Peer. The engine is owned by the caller.
 func (p *LocalPeer) Close() error { return nil }

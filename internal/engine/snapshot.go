@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"io"
 
@@ -48,67 +49,95 @@ func (e *Engine) Snapshot(w io.Writer) error {
 // the filter. Like Snapshot, it reads through the lock-free path, so it can
 // run against a live engine.
 func (e *Engine) SnapshotFiltered(w io.Writer, keep func(key uint64) bool) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(snapshotMagic[:]); err != nil {
-		return fmt.Errorf("engine: snapshot header: %w", err)
+	sw, err := NewSnapshotWriter(w)
+	if err != nil {
+		return err
 	}
-	var head [8]byte
-	binary.LittleEndian.PutUint16(head[0:2], snapshotVersion)
-	if _, err := bw.Write(head[:]); err != nil {
-		return fmt.Errorf("engine: snapshot header: %w", err)
-	}
-
-	sum := fnv.New64a()
-	var (
-		chunk   [snapshotChunkMax * 16]byte
-		inChunk int
-		total   uint64
-		werr    error
-	)
-	flushChunk := func() bool {
-		if inChunk == 0 {
-			return true
-		}
-		var n [4]byte
-		binary.LittleEndian.PutUint32(n[:], uint32(inChunk))
-		if _, werr = bw.Write(n[:]); werr != nil {
-			return false
-		}
-		if _, werr = bw.Write(chunk[:inChunk*16]); werr != nil {
-			return false
-		}
-		inChunk = 0
-		return true
-	}
+	werr := error(nil)
 	e.Range(func(k, v uint64) bool {
 		if keep != nil && !keep(k) {
 			return true
 		}
-		off := inChunk * 16
-		binary.LittleEndian.PutUint64(chunk[off:off+8], k)
-		binary.LittleEndian.PutUint64(chunk[off+8:off+16], v)
-		_, _ = sum.Write(chunk[off : off+16])
-		inChunk++
-		total++
-		if inChunk == snapshotChunkMax {
-			return flushChunk()
-		}
-		return true
+		werr = sw.Add(k, v)
+		return werr == nil
 	})
-	if werr == nil {
-		flushChunk()
-	}
 	if werr != nil {
-		return fmt.Errorf("engine: snapshot write: %w", werr)
+		return werr
 	}
+	return sw.Close()
+}
 
+// SnapshotWriter streams (key, value) pairs into the versioned snapshot
+// format, one Add at a time — the encoder Snapshot/SnapshotFiltered are
+// built on, exported so callers holding pairs outside any engine (the
+// cluster tier's hint logs) can synthesize an image any Restore variant
+// accepts. NewSnapshotWriter writes the header; Close flushes the final
+// chunk and the checksummed trailer. Not safe for concurrent use.
+type SnapshotWriter struct {
+	bw      *bufio.Writer
+	sum     hash.Hash64
+	chunk   [snapshotChunkMax * 16]byte
+	inChunk int
+	total   uint64
+}
+
+// NewSnapshotWriter starts a snapshot image on w.
+func NewSnapshotWriter(w io.Writer) (*SnapshotWriter, error) {
+	sw := &SnapshotWriter{bw: bufio.NewWriter(w), sum: fnv.New64a()}
+	if _, err := sw.bw.Write(snapshotMagic[:]); err != nil {
+		return nil, fmt.Errorf("engine: snapshot header: %w", err)
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint16(head[0:2], snapshotVersion)
+	if _, err := sw.bw.Write(head[:]); err != nil {
+		return nil, fmt.Errorf("engine: snapshot header: %w", err)
+	}
+	return sw, nil
+}
+
+// Add appends one pair to the image.
+func (sw *SnapshotWriter) Add(k, v uint64) error {
+	off := sw.inChunk * 16
+	binary.LittleEndian.PutUint64(sw.chunk[off:off+8], k)
+	binary.LittleEndian.PutUint64(sw.chunk[off+8:off+16], v)
+	_, _ = sw.sum.Write(sw.chunk[off : off+16])
+	sw.inChunk++
+	sw.total++
+	if sw.inChunk == snapshotChunkMax {
+		return sw.flushChunk()
+	}
+	return nil
+}
+
+func (sw *SnapshotWriter) flushChunk() error {
+	if sw.inChunk == 0 {
+		return nil
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(sw.inChunk))
+	if _, err := sw.bw.Write(n[:]); err != nil {
+		return fmt.Errorf("engine: snapshot write: %w", err)
+	}
+	if _, err := sw.bw.Write(sw.chunk[:sw.inChunk*16]); err != nil {
+		return fmt.Errorf("engine: snapshot write: %w", err)
+	}
+	sw.inChunk = 0
+	return nil
+}
+
+// Close terminates the image: final partial chunk, empty terminator chunk,
+// and the (count, checksum) trailer restores verify against.
+func (sw *SnapshotWriter) Close() error {
+	if err := sw.flushChunk(); err != nil {
+		return err
+	}
 	var tail [4 + 8 + 8]byte // terminating empty chunk + trailer
-	binary.LittleEndian.PutUint64(tail[4:12], total)
-	binary.LittleEndian.PutUint64(tail[12:20], sum.Sum64())
-	if _, err := bw.Write(tail[:]); err != nil {
+	binary.LittleEndian.PutUint64(tail[4:12], sw.total)
+	binary.LittleEndian.PutUint64(tail[12:20], sw.sum.Sum64())
+	if _, err := sw.bw.Write(tail[:]); err != nil {
 		return fmt.Errorf("engine: snapshot trailer: %w", err)
 	}
-	return bw.Flush()
+	return sw.bw.Flush()
 }
 
 // RestoreSnapshot reads a Snapshot image from r and installs every pair into

@@ -41,6 +41,7 @@ type NodeServer struct {
 	// different key sets on different peers.
 	posHash hashing.Hash
 	epoch   time.Time
+	gossip  func(in []MemberDigest) []MemberDigest
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -49,6 +50,7 @@ type NodeServer struct {
 	wg     sync.WaitGroup
 
 	pings, queries, updates, migrations *obs.Counter
+	gossips, digests                    *obs.Counter
 }
 
 // NodeConfig parameterizes NewNodeServer.
@@ -60,8 +62,14 @@ type NodeConfig struct {
 	// RingSeed seeds the ring-position hash used to filter migration
 	// streams. Every node and router in one cluster must share it.
 	RingSeed uint64
+	// Gossip, when non-nil, answers MsgGossip exchanges: the handler merges
+	// the sender's membership digest and returns the node's own view, which
+	// rides back on the MsgGossipAck. The cluster layer's Membership.Exchange
+	// has exactly this signature. nil nodes ignore gossip datagrams.
+	Gossip func(in []MemberDigest) []MemberDigest
 	// Obs, when non-nil, receives node_pings_total, node_queries_total,
-	// node_updates_total and node_migrations_total.
+	// node_updates_total, node_migrations_total, node_gossips_total and
+	// node_digests_total.
 	Obs *obs.Registry
 }
 
@@ -89,6 +97,7 @@ func NewNodeServer(addr string, cfg NodeConfig) (*NodeServer, error) {
 		eng:     cfg.Engine,
 		posHash: hashing.New(cfg.RingSeed),
 		epoch:   time.Now(),
+		gossip:  cfg.Gossip,
 		udp:     udp,
 		tcp:     tcp,
 	}
@@ -97,6 +106,8 @@ func NewNodeServer(addr string, cfg NodeConfig) (*NodeServer, error) {
 		s.queries = r.Counter("node_queries_total")
 		s.updates = r.Counter("node_updates_total")
 		s.migrations = r.Counter("node_migrations_total")
+		s.gossips = r.Counter("node_gossips_total")
+		s.digests = r.Counter("node_digests_total")
 	}
 	s.wg.Add(2)
 	go s.udpLoop()
@@ -144,6 +155,28 @@ func (s *NodeServer) udpLoop() {
 			s.pings.Inc()
 			putHeader(buf, MsgPong, 0, msg.Key, 0)
 			out = headerSize
+		case MsgGossip:
+			in, err := parseMemberDigests(msg.Value)
+			if err != nil {
+				continue
+			}
+			s.gossips.Inc()
+			// The merge and the reply digest come from the same handler
+			// call, so the ack reflects the post-merge view — one exchange
+			// converges both sides, which is what lets a router bootstrap a
+			// whole membership from any single live peer. A node with no
+			// handler is ignorant, not dead: it acks with an empty view so
+			// the sender's breaker doesn't score it unreachable.
+			var reply []MemberDigest
+			if s.gossip != nil {
+				reply = s.gossip(in)
+			}
+			putHeader(buf, MsgGossipAck, 0, msg.Key, 0)
+			full, err := appendMemberDigests(buf[:headerSize], reply)
+			if err != nil {
+				continue
+			}
+			out = len(full)
 		case MsgQuery:
 			s.queries.Inc()
 			v, _, ok := s.eng.Query(msg.Key)
@@ -222,6 +255,30 @@ func (s *NodeServer) serveMigration(conn net.Conn) {
 		// The snapshot image is self-delimiting (terminating chunk +
 		// checksummed trailer), so the stream needs no extra framing.
 		_ = s.eng.SnapshotFiltered(conn, keep)
+	case MsgArcDigest:
+		arcs, err := readArcs(br)
+		if err != nil {
+			return
+		}
+		s.digests.Inc()
+		// Fold the resident pairs inside the arcs through the shared
+		// order-independent mix; the anti-entropy sweep compares this
+		// against other replicas' answers without moving any pairs.
+		var d ArcDigest
+		s.eng.Range(func(k, v uint64) bool {
+			h := s.posHash.Uint64(k)
+			for _, a := range arcs {
+				if arcContains(a, h) {
+					d.Pairs++
+					d.XOR ^= PairDigest(k, v)
+					break
+				}
+			}
+			return true
+		})
+		var ack [headerSize]byte
+		putHeader(ack[:], MsgArcDigestAck, 1, d.Pairs, d.XOR)
+		_, _ = conn.Write(ack[:])
 	case MsgMigratePush:
 		s.migrations.Inc()
 		restore := s.eng.RestoreSnapshot
@@ -340,6 +397,12 @@ func DialNode(udpAddr *net.UDPAddr, tcpAddr string, timeout time.Duration, retri
 // Close releases the UDP socket.
 func (c *NodeClient) Close() error { return c.conn.Close() }
 
+// Addrs returns the node's two plane addresses (UDP ops, TCP migration) —
+// what gossip digests advertise so other routers can dial this node.
+func (c *NodeClient) Addrs() (udp, tcp string) {
+	return c.conn.RemoteAddr().String(), c.tcpAddr
+}
+
 // roundTrip sends one request and waits for the matching reply type echoing
 // key, retrying timed-out attempts. Errors carry the ErrTimeout /
 // ErrUnreachable classification.
@@ -379,6 +442,46 @@ func (c *NodeClient) Ping() error {
 	return err
 }
 
+// Gossip exchanges membership digests with the node over the heartbeat
+// plane: out rides a MsgGossip datagram, the node merges it, and the reply
+// is the node's own (post-merge) view. Timed-out attempts retry like every
+// other UDP operation; errors carry the ErrTimeout / ErrUnreachable
+// classification so breakers treat a mute gossip peer like a mute ping peer.
+func (c *NodeClient) Gossip(out []MemberDigest) ([]MemberDigest, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nonce := c.nonce.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		putHeader(c.buf, MsgGossip, 0, nonce, 0)
+		pkt, err := appendMemberDigests(c.buf[:headerSize], out)
+		if err != nil {
+			return nil, err // over the datagram bound: not retryable
+		}
+		if _, err := c.conn.Write(pkt); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+		for {
+			n, err := c.conn.Read(c.buf)
+			if err != nil {
+				lastErr = err
+				break
+			}
+			var msg Message
+			if err := msg.Unmarshal(c.buf[:n]); err != nil || msg.Type != MsgGossipAck || msg.Key != nonce {
+				continue // stale or foreign reply
+			}
+			return parseMemberDigests(msg.Value)
+		}
+	}
+	return nil, fmt.Errorf("netproto: node %s gossip failed after %d attempts: %w",
+		c.conn.RemoteAddr(), c.retries+1, classifyAttempt(lastErr))
+}
+
 // Query reads key from the node's engine: (value, true) on a hit.
 func (c *NodeClient) Query(key uint64) (uint64, bool, error) {
 	msg, err := c.roundTrip(MsgQuery, key, 0, MsgReply)
@@ -395,25 +498,47 @@ func (c *NodeClient) Update(key, val uint64) error {
 	return err
 }
 
+// migrateStreamBudget bounds one whole migration stream once its header
+// exchange succeeded — generous because it covers a bulk snapshot transfer,
+// not one datagram's RTT.
+const migrateStreamBudget = 30 * time.Second
+
+// dialPlane opens one migration-plane connection with the same per-attempt
+// deadline discipline as the UDP ops plane: the dial and the header exchange
+// are bounded by the client's attempt timeout, and failures carry the typed
+// ErrTimeout / ErrUnreachable classification so per-peer breakers score a
+// slow migration plane exactly like a slow ops plane.
+func (c *NodeClient) dialPlane(op string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.tcpAddr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %s dial: %w", op, classifyAttempt(err))
+	}
+	// The header exchange must answer within one attempt budget; the caller
+	// widens the deadline to the stream budget once the exchange succeeds.
+	_ = conn.SetDeadline(time.Now().Add(c.timeout))
+	return conn, nil
+}
+
 // OpenPull asks the node to stream the slice of its contents inside arcs as
 // a snapshot image and returns the stream. The caller must Close it (the
 // image is self-delimiting, so a reader may stop at the snapshot trailer).
+// Setup failures carry the ErrTimeout / ErrUnreachable classification.
 func (c *NodeClient) OpenPull(arcs [][2]uint64) (io.ReadCloser, error) {
-	conn, err := net.DialTimeout("tcp", c.tcpAddr, c.timeout)
+	conn, err := c.dialPlane("migration pull")
 	if err != nil {
-		return nil, fmt.Errorf("netproto: migration dial: %w", err)
+		return nil, err
 	}
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	var head [headerSize]byte
 	putHeader(head[:], MsgMigratePull, 0, 0, 0)
 	if _, err := conn.Write(head[:]); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("netproto: migration request: %w", err)
+		return nil, fmt.Errorf("netproto: migration request: %w", classifyAttempt(err))
 	}
 	if err := writeArcs(conn, arcs); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("netproto: migration arcs: %w", err)
+		return nil, fmt.Errorf("netproto: migration arcs: %w", classifyAttempt(err))
 	}
+	_ = conn.SetDeadline(time.Now().Add(migrateStreamBudget))
 	return conn, nil
 }
 
@@ -421,14 +546,14 @@ func (c *NodeClient) OpenPull(arcs [][2]uint64) (io.ReadCloser, error) {
 // the restored pair count from the MsgMigrateDone ack. With keepExisting
 // set the node skips keys already resident instead of overwriting them
 // (RestoreSnapshotIfAbsent) — the mode cluster migration uses after a ring
-// swap, when resident keys are fresher than the image.
+// swap, when resident keys are fresher than the image. Transport failures
+// carry the ErrTimeout / ErrUnreachable classification.
 func (c *NodeClient) Push(r io.Reader, keepExisting bool) (int, error) {
-	conn, err := net.DialTimeout("tcp", c.tcpAddr, c.timeout)
+	conn, err := c.dialPlane("migration push")
 	if err != nil {
-		return 0, fmt.Errorf("netproto: migration dial: %w", err)
+		return 0, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	var keep uint8
 	if keepExisting {
 		keep = 1
@@ -436,16 +561,17 @@ func (c *NodeClient) Push(r io.Reader, keepExisting bool) (int, error) {
 	var head [headerSize]byte
 	putHeader(head[:], MsgMigratePush, keep, 0, 0)
 	if _, err := conn.Write(head[:]); err != nil {
-		return 0, fmt.Errorf("netproto: migration push: %w", err)
+		return 0, fmt.Errorf("netproto: migration push: %w", classifyAttempt(err))
 	}
+	_ = conn.SetDeadline(time.Now().Add(migrateStreamBudget))
 	if _, err := io.Copy(conn, r); err != nil {
-		return 0, fmt.Errorf("netproto: migration stream: %w", err)
+		return 0, fmt.Errorf("netproto: migration stream: %w", classifyAttempt(err))
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.CloseWrite() // the node sees EOF... but the snapshot trailer already delimits
 	}
 	if _, err := io.ReadFull(conn, head[:]); err != nil {
-		return 0, fmt.Errorf("netproto: migration ack: %w", err)
+		return 0, fmt.Errorf("netproto: migration ack: %w", classifyAttempt(err))
 	}
 	var done Message
 	if err := done.Unmarshal(head[:]); err != nil || done.Type != MsgMigrateDone {
@@ -455,4 +581,35 @@ func (c *NodeClient) Push(r io.Reader, keepExisting bool) (int, error) {
 		return int(done.CachedIndex), fmt.Errorf("netproto: node failed to restore migration stream")
 	}
 	return int(done.CachedIndex), nil
+}
+
+// Digest asks the node for the count + xor summary of its contents inside
+// arcs — the anti-entropy sweep's comparison primitive. It rides the TCP
+// plane (arc lists outgrow a datagram) with the same typed-error and
+// deadline discipline as migration.
+func (c *NodeClient) Digest(arcs [][2]uint64) (ArcDigest, error) {
+	conn, err := c.dialPlane("digest")
+	if err != nil {
+		return ArcDigest{}, err
+	}
+	defer conn.Close()
+	var head [headerSize]byte
+	putHeader(head[:], MsgArcDigest, 0, 0, 0)
+	if _, err := conn.Write(head[:]); err != nil {
+		return ArcDigest{}, fmt.Errorf("netproto: digest request: %w", classifyAttempt(err))
+	}
+	if err := writeArcs(conn, arcs); err != nil {
+		return ArcDigest{}, fmt.Errorf("netproto: digest arcs: %w", classifyAttempt(err))
+	}
+	// Digesting is a Range over the node's residents — bounded by the
+	// stream budget, not one RTT, on large nodes.
+	_ = conn.SetDeadline(time.Now().Add(migrateStreamBudget))
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return ArcDigest{}, fmt.Errorf("netproto: digest ack: %w", classifyAttempt(err))
+	}
+	var ack Message
+	if err := ack.Unmarshal(head[:]); err != nil || ack.Type != MsgArcDigestAck {
+		return ArcDigest{}, fmt.Errorf("netproto: bad digest ack")
+	}
+	return ArcDigest{Pairs: ack.Key, XOR: ack.CachedIndex}, nil
 }

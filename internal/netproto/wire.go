@@ -52,6 +52,23 @@ const (
 	// MsgMigrateDone closes a migration exchange: CachedIndex carries the
 	// pair count, CachedFlag 1 on success / 0 on failure.
 	MsgMigrateDone MsgType = 9
+	// MsgGossip carries a membership digest (UDP): Key is an echo nonce,
+	// CachedIndex the sender's membership table version, and the payload an
+	// encoded MemberDigest list. The receiver merges it and answers
+	// MsgGossipAck with its own digest — one exchange moves information both
+	// ways, SWIM-style.
+	MsgGossip MsgType = 10
+	// MsgGossipAck answers a gossip exchange, echoing the nonce in Key and
+	// carrying the responder's digest as payload.
+	MsgGossipAck MsgType = 11
+	// MsgArcDigest asks a node (TCP plane — arc lists outgrow a datagram)
+	// for the count + xor-of-hashes summary of its contents inside a set of
+	// hash arcs; the header is followed by the same arc encoding migration
+	// pulls use.
+	MsgArcDigest MsgType = 12
+	// MsgArcDigestAck answers an arc-digest request: Key carries the pair
+	// count, CachedIndex the running PairDigest xor.
+	MsgArcDigestAck MsgType = 13
 )
 
 // Wire layout (little endian):
@@ -144,7 +161,8 @@ func (m *Message) Unmarshal(data []byte) error {
 	}
 	switch MsgType(data[3]) {
 	case MsgQuery, MsgReply, MsgPing, MsgPong, MsgUpdate, MsgUpdateAck,
-		MsgMigratePull, MsgMigratePush, MsgMigrateDone:
+		MsgMigratePull, MsgMigratePush, MsgMigrateDone,
+		MsgGossip, MsgGossipAck, MsgArcDigest, MsgArcDigestAck:
 		m.Type = MsgType(data[3])
 	default:
 		return fmt.Errorf("%w: type %d", ErrBadMessage, data[3])

@@ -61,6 +61,12 @@ type BreakerConfig struct {
 	Clock func() time.Time
 	// Name labels the breaker's metrics, e.g. `{name="backing"}`.
 	Name string
+	// OnStateChange, when non-nil, observes every state transition. It runs
+	// after the breaker's lock is released, on the goroutine whose Allow or
+	// Record caused the transition — callbacks may call back into the
+	// breaker, but slow callbacks delay that caller. The cluster tier hangs
+	// hint-log replay off the open → closed recovery edge here.
+	OnStateChange func(name string, from, to State)
 	// Obs, when non-nil, receives resilience_breaker_state,
 	// resilience_breaker_opens_total, resilience_breaker_rejected_total and
 	// resilience_breaker_probes_total. nil costs nothing.
@@ -145,7 +151,15 @@ func (b *Breaker) Allow() bool {
 		return true
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	ok := b.allowLocked()
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return ok
+}
+
+func (b *Breaker) allowLocked() bool {
 	switch b.state {
 	case Closed:
 		return true
@@ -176,7 +190,14 @@ func (b *Breaker) Record(success bool) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	b.recordLocked(success)
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+func (b *Breaker) recordLocked(success bool) {
 	switch b.state {
 	case Closed:
 		b.window[b.windowPos] = !success
@@ -255,6 +276,14 @@ func (b *Breaker) setState(s State) {
 	b.state = s
 	b.liveState.Store(int32(s))
 	b.stateGauge.Set(float64(s))
+}
+
+// notify fires the configured state-change observer for a from → to edge.
+// Called after b.mu is released; a no-op when nothing changed.
+func (b *Breaker) notify(from, to State) {
+	if from != to && b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(b.cfg.Name, from, to)
+	}
 }
 
 // Live reports whether the breaker is closed, from an atomic mirror of the

@@ -160,3 +160,69 @@ func TestBreakerNilSafe(t *testing.T) {
 		t.Fatalf("nil breaker State = %v, want Closed", got)
 	}
 }
+
+// TestBreakerOnStateChange: the observer sees every edge of the full
+// trip/probe/recovery cycle in order — closed→open on the trip, open→half-open
+// when the cool-down lapses inside Allow, half-open→open on a sick probe, and
+// half-open→closed on recovery — and it may re-enter the breaker, because it
+// fires after the lock is released.
+func TestBreakerOnStateChange(t *testing.T) {
+	type edge struct{ from, to State }
+	var seen []edge
+	var reentrant State
+	clk := newClock()
+	cfg := BreakerConfig{
+		Name:                "backing",
+		ConsecutiveFailures: 2,
+		OpenFor:             time.Second,
+		HalfOpenProbes:      1,
+	}
+	var b *Breaker
+	cfg.Clock = clk.Now
+	cfg.OnStateChange = func(name string, from, to State) {
+		if name != "backing" {
+			t.Fatalf("observer got name %q, want \"backing\"", name)
+		}
+		seen = append(seen, edge{from, to})
+		// Re-entrancy: the callback fires outside the lock, so it may read
+		// the breaker it observes.
+		reentrant = b.State()
+	}
+	b = NewBreaker(cfg)
+
+	b.Record(true) // no transition, no callback
+	b.Record(false)
+	b.Record(false) // trip: closed → open
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() { // cool-down lapsed: open → half-open, probe granted
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.Record(false) // sick probe: half-open → open
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Record(true) // healthy probe: half-open → closed
+
+	want := []edge{
+		{Closed, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Closed},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %d edges %v, want %d %v", len(seen), seen, len(want), want)
+	}
+	for i, e := range want {
+		if seen[i] != e {
+			t.Fatalf("edge %d = %v, want %v", i, seen[i], e)
+		}
+	}
+	if reentrant != Closed {
+		t.Fatalf("re-entrant State() inside the final callback = %v, want Closed", reentrant)
+	}
+}
